@@ -1,0 +1,42 @@
+"""Ablation: random-graph builder cost across density regimes.
+
+The Jellyfish-style incremental fill with rewiring repair is the library's
+construction workhorse; this bench tracks its cost on sparse, medium, and
+near-complete regular graphs plus the bipartite cross-wiring primitive, so
+regressions in the repair paths show up as timing cliffs.
+"""
+
+from __future__ import annotations
+
+from repro.topology.builders import (
+    random_bipartite_matching,
+    random_graph_from_degrees,
+)
+
+
+def test_sparse_fill(benchmark):
+    budgets = {v: 4 for v in range(100)}
+    edges = benchmark(lambda: random_graph_from_degrees(budgets, rng=1))
+    assert len(edges) == 200
+
+
+def test_medium_fill(benchmark):
+    budgets = {v: 24 for v in range(100)}
+    edges = benchmark(lambda: random_graph_from_degrees(budgets, rng=2))
+    assert len(edges) == 1200
+
+
+def test_near_complete_fill(benchmark):
+    # Degree n-2: the regime where the rewiring repair does real work.
+    budgets = {v: 38 for v in range(40)}
+    edges = benchmark(lambda: random_graph_from_degrees(budgets, rng=3))
+    assert len(edges) == 40 * 38 // 2
+
+
+def test_bipartite_matching(benchmark):
+    stubs_a = {("a", i): 6 for i in range(30)}
+    stubs_b = {("b", i): 6 for i in range(30)}
+    edges = benchmark(
+        lambda: random_bipartite_matching(stubs_a, stubs_b, rng=4)
+    )
+    assert len(edges) == 180

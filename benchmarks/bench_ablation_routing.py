@@ -1,0 +1,53 @@
+"""Ablation: routing policy cost and quality on a random graph.
+
+Optimal (exact LP) vs k-shortest-path LP vs fluid ECMP on one RRG +
+permutation instance. Reproduces the routing lesson underlying the paper's
+§8 methodology: shortest-path-only ECMP forfeits a visible share of a
+random graph's capacity, while multipath over k-shortest paths recovers
+almost all of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.ecmp import ecmp_throughput
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.flow.path_lp import max_concurrent_flow_paths
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+
+@pytest.fixture(scope="module")
+def instance():
+    topo = random_regular_topology(20, 5, servers_per_switch=5, seed=21)
+    traffic = random_permutation_traffic(topo, seed=22)
+    exact = max_concurrent_flow(topo, traffic).throughput
+    return topo, traffic, exact
+
+
+def test_optimal_routing(benchmark, instance):
+    topo, traffic, exact = instance
+    result = benchmark(lambda: max_concurrent_flow(topo, traffic))
+    assert result.throughput == pytest.approx(exact)
+
+
+def test_k_shortest_multipath(benchmark, instance):
+    topo, traffic, exact = instance
+    result = benchmark(lambda: max_concurrent_flow_paths(topo, traffic, k=8))
+    # Multipath over 8 shortest paths recovers nearly all of the optimum.
+    assert result.throughput >= 0.9 * exact
+
+
+def test_ecmp_per_hop(benchmark, instance):
+    topo, traffic, exact = instance
+    result = benchmark(lambda: ecmp_throughput(topo, traffic, mode="per-hop"))
+    # ECMP is feasible but clearly below optimal on random graphs.
+    assert result.throughput <= exact * (1 + 1e-9)
+    assert result.throughput >= 0.2 * exact
+
+
+def test_ecmp_per_path(benchmark, instance):
+    topo, traffic, exact = instance
+    result = benchmark(lambda: ecmp_throughput(topo, traffic, mode="per-path"))
+    assert result.throughput <= exact * (1 + 1e-9)

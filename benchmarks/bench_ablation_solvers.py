@@ -1,0 +1,50 @@
+"""Ablation: the three flow engines on one instance.
+
+Benchmarks the exact arc LP, the k-shortest-path LP, and the
+Garg-Koenemann approximation on the same RRG + permutation, asserting the
+expected ordering: path-LP and GK lower-bound the exact optimum and land
+within a few percent of it on random graphs.
+
+This is a genuine pytest-benchmark comparison (multiple rounds), since a
+single solve is cheap at this size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.approx import garg_koenemann_throughput
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.flow.path_lp import max_concurrent_flow_paths
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+
+@pytest.fixture(scope="module")
+def instance():
+    topo = random_regular_topology(20, 6, servers_per_switch=5, seed=42)
+    traffic = random_permutation_traffic(topo, seed=43)
+    exact = max_concurrent_flow(topo, traffic).throughput
+    return topo, traffic, exact
+
+
+def test_edge_lp(benchmark, instance):
+    topo, traffic, exact = instance
+    result = benchmark(lambda: max_concurrent_flow(topo, traffic))
+    assert result.throughput == pytest.approx(exact)
+
+
+def test_path_lp_k8(benchmark, instance):
+    topo, traffic, exact = instance
+    result = benchmark(lambda: max_concurrent_flow_paths(topo, traffic, k=8))
+    assert result.throughput <= exact * (1 + 1e-6)
+    assert result.throughput >= 0.95 * exact
+
+
+def test_garg_koenemann(benchmark, instance):
+    topo, traffic, exact = instance
+    result = benchmark(
+        lambda: garg_koenemann_throughput(topo, traffic, epsilon=0.1)
+    )
+    assert result.throughput <= exact * (1 + 1e-6)
+    assert result.throughput >= 0.85 * exact

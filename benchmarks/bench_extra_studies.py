@@ -1,0 +1,69 @@
+"""Extension-study benchmarks (not paper figures).
+
+Regenerates the three extension studies (routing policies, cabling trade,
+latency-vs-load) and asserts their headline orderings.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.extra import (
+    run_extra_cabling,
+    run_extra_latency,
+    run_extra_routing,
+)
+
+
+def test_extra_routing(benchmark):
+    result = run_once(
+        benchmark,
+        run_extra_routing,
+        num_switches=16,
+        degrees=(4, 6, 8),
+        servers_per_switch=4,
+        runs=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    multipath = result.get_series("8-shortest multipath")
+    ecmp = result.get_series("ECMP (per-hop)")
+    assert min(multipath.ys()) >= 0.85
+    # ECMP forfeits real capacity on random graphs somewhere in the sweep.
+    assert min(ecmp.ys()) < 0.9
+
+
+def test_extra_cabling(benchmark):
+    result = run_once(
+        benchmark,
+        run_extra_cabling,
+        num_per_cluster=8,
+        network_ports=8,
+        servers_per_switch=4,
+        fractions=(0.3, 0.6, 1.0, 1.25),
+        runs=2,
+        seed=1,
+    )
+    print()
+    print(result.to_table())
+    cable = result.get_series("Mean cable length")
+    assert cable.ys() == sorted(cable.ys())
+
+
+def test_extra_latency(benchmark):
+    result = run_once(
+        benchmark,
+        run_extra_latency,
+        num_switches=10,
+        degree=4,
+        loads=(2, 6),
+        duration=150.0,
+        warmup=60.0,
+        runs=2,
+        seed=2,
+    )
+    print()
+    print(result.to_table())
+    p50 = result.get_series("p50 delay")
+    assert p50.y_at(6) > p50.y_at(2)

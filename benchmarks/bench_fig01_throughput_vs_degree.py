@@ -1,0 +1,53 @@
+"""Figure 1: RRG throughput and ASPL vs. the bounds, density sweep.
+
+Regenerates both panels at CI scale and asserts the headline claims: the
+throughput-to-bound ratio climbs toward 1 as the network densifies, and
+observed ASPL never undercuts the Cerf et al. lower bound.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig01 import run_fig1a, run_fig1b
+
+
+def test_fig1a_throughput_ratio(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig1a,
+        num_switches=20,
+        degrees=(4, 6, 8, 10),
+        servers_per_switch_options=(5,),
+        include_all_to_all=True,
+        runs=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    a2a = result.get_series("All to All")
+    assert a2a.ys()[-1] >= a2a.ys()[0]
+    assert a2a.ys()[-1] >= 0.9
+    for series in result.series:
+        assert all(0.0 <= y <= 1.0 + 1e-9 for y in series.ys())
+
+
+def test_fig1b_aspl_vs_bound(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig1b,
+        num_switches=40,
+        degrees=(4, 6, 8, 10, 12, 14),
+        runs=3,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    observed = result.get_series("Observed ASPL")
+    bound = result.get_series("ASPL lower-bound")
+    gaps = []
+    for x in observed.xs():
+        assert observed.y_at(x) >= bound.y_at(x) - 1e-9
+        gaps.append(observed.y_at(x) - bound.y_at(x))
+    # Densifying closes the gap (right side of the paper's panel).
+    assert gaps[-1] <= gaps[0]

@@ -1,0 +1,47 @@
+"""Figure 2: RRG throughput and ASPL vs. the bounds, size sweep.
+
+The degree is fixed and the network grows sparser rightward; the
+permutation throughput ratio stays high and ASPL hugs its bound.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig02 import run_fig2a, run_fig2b
+
+
+def test_fig2a_throughput_ratio(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig2a,
+        sizes=(12, 16, 24, 32),
+        network_degree=8,
+        servers_per_switch_options=(5,),
+        include_all_to_all=True,
+        all_to_all_size_cap=24,
+        runs=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    perm = result.get_series("Permutation (5 servers per switch)")
+    assert all(y >= 0.6 for y in perm.ys())
+
+
+def test_fig2b_aspl_vs_bound(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig2b,
+        sizes=(15, 25, 40, 60, 90),
+        network_degree=10,
+        runs=3,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    observed = result.get_series("Observed ASPL")
+    bound = result.get_series("ASPL lower-bound")
+    for x in observed.xs():
+        assert observed.y_at(x) >= bound.y_at(x) - 1e-9
+        assert observed.y_at(x) <= bound.y_at(x) * 1.35

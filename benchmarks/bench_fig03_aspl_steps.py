@@ -1,0 +1,31 @@
+"""Figure 3: the ASPL bound's curved steps at degree 4.
+
+Asserts the step boundaries land at the paper's x-tics (17, 53, 161, 485,
+1457) and that the observed-to-bound ratio trends toward 1 with size.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig03 import run_fig3
+
+
+def test_fig3_steps_and_ratio(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig3,
+        sizes=(17, 35, 53, 100, 161, 300, 485),
+        degree=4,
+        runs=3,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    assert result.metadata["step_boundaries"][:5] == [5, 17, 53, 161, 485]
+    ratio = result.get_series("Ratio (observed / bound)")
+    ys = ratio.ys()
+    assert all(y >= 1.0 - 1e-9 for y in ys)
+    # Large-size ratios sit below the small-size ones.
+    assert min(ys[-2:]) <= max(ys[:2])
+    assert ys[-1] < 1.2

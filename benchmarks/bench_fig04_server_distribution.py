@@ -1,0 +1,42 @@
+"""Figure 4: server distribution across switch types (§5.1).
+
+All three panels (port ratios, switch counts, oversubscription) peak at the
+proportional placement ratio x = 1, and throughput collapses toward both
+extremes of the sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig04 import run_fig4a, run_fig4b, run_fig4c
+
+
+def _assert_peak_near_proportional(result, low=0.5, high=1.6):
+    for series in result.series:
+        peak_x = series.peak().x
+        assert low <= peak_x <= high, f"{series.name} peaked at {peak_x}"
+        ys = series.ys()
+        assert ys[0] <= series.peak().y
+        assert ys[-1] <= series.peak().y
+
+
+def test_fig4a_port_ratios(benchmark):
+    result = run_once(benchmark, run_fig4a, max_points=7, runs=2, seed=0)
+    print()
+    print(result.to_table())
+    _assert_peak_near_proportional(result)
+
+
+def test_fig4b_switch_counts(benchmark):
+    result = run_once(benchmark, run_fig4b, max_points=7, runs=2, seed=1)
+    print()
+    print(result.to_table())
+    _assert_peak_near_proportional(result)
+
+
+def test_fig4c_oversubscription(benchmark):
+    result = run_once(benchmark, run_fig4c, max_points=7, runs=2, seed=2)
+    print()
+    print(result.to_table())
+    _assert_peak_near_proportional(result)

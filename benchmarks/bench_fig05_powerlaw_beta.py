@@ -1,0 +1,30 @@
+"""Figure 5: power-law switch populations, servers proportional to k^beta.
+
+beta = 1 (the proportional rule) must land within the optimal plateau; the
+extreme allocations (beta 0 or 1.6) lose throughput.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig05 import run_fig5
+
+
+def test_fig5_beta_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig5,
+        num_switches=20,
+        mean_ports_options=(6.0, 8.0),
+        betas=(0.0, 0.4, 0.8, 1.0, 1.2, 1.6),
+        runs=3,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    for series in result.series:
+        best = series.peak().y
+        assert series.y_at(1.0) >= 0.8 * best
+        # At least one extreme is clearly worse than the plateau.
+        assert min(series.y_at(0.0), series.y_at(1.6)) <= 0.95 * best

@@ -1,0 +1,50 @@
+"""Figure 6: throughput vs. cross-cluster connectivity (§5.1).
+
+Each panel shows the same two-regime shape: a collapse when the cross
+cluster cut is starved, and a wide stable region around the unbiased-random
+operating point.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig06 import run_fig6a, run_fig6b, run_fig6c
+
+
+def _assert_two_regimes(result):
+    for series in result.series:
+        ys = series.ys()
+        peak = series.peak().y
+        # Starved cut collapses throughput...
+        assert ys[0] < 0.75 * peak, series.name
+        # ... while the upper half of the sweep is comparatively stable.
+        upper = ys[len(ys) // 2 :]
+        assert min(upper) >= 0.6 * peak, series.name
+
+
+def test_fig6a_port_ratios(benchmark):
+    result = run_once(
+        benchmark, run_fig6a, points=7, min_fraction=0.08, runs=2, seed=0
+    )
+    print()
+    print(result.to_table())
+    _assert_two_regimes(result)
+
+
+def test_fig6b_switch_counts(benchmark):
+    result = run_once(
+        benchmark, run_fig6b, points=7, min_fraction=0.08, runs=2, seed=1
+    )
+    print()
+    print(result.to_table())
+    _assert_two_regimes(result)
+
+
+def test_fig6c_oversubscription(benchmark):
+    result = run_once(
+        benchmark, run_fig6c, points=7, min_fraction=0.08, runs=2, seed=2
+    )
+    print()
+    print(result.to_table())
+    _assert_two_regimes(result)

@@ -1,0 +1,42 @@
+"""Figure 7: joint server-placement x cross-connectivity sweep.
+
+Multiple configurations tie for the peak, the proportional split with a
+vanilla random interconnect is among the winners, and strong deviations in
+either dimension lose throughput.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig07 import run_fig7a, run_fig7b
+
+
+def _assert_proportional_among_optima(result):
+    best = max(s.peak().y for s in result.series)
+    # Series whose peak is within 10% of the global best are "optima"; at
+    # least one must peak at a cross-fraction >= 0.7, i.e. near vanilla
+    # randomness rather than a heavily biased interconnect.
+    winners = [s for s in result.series if s.peak().y >= 0.9 * best]
+    assert winners
+    assert any(s.peak().x >= 0.7 for s in winners)
+    # Some configuration must clearly lose somewhere.
+    assert min(min(s.ys()) for s in result.series) < 0.7 * best
+
+
+def test_fig7a_three_to_one(benchmark):
+    result = run_once(
+        benchmark, run_fig7a, num_splits=4, points=5, runs=2, seed=0
+    )
+    print()
+    print(result.to_table())
+    _assert_proportional_among_optima(result)
+
+
+def test_fig7b_three_to_two(benchmark):
+    result = run_once(
+        benchmark, run_fig7b, num_splits=4, points=5, runs=2, seed=1
+    )
+    print()
+    print(result.to_table())
+    _assert_proportional_among_optima(result)

@@ -1,0 +1,80 @@
+"""Figure 8: mixed line-speeds (§5.2).
+
+(a) several server splits tie — no clean optimum; (b)/(c) faster or more
+high-speed links raise peak throughput, but the benefit vanishes when the
+cross-cluster cut is starved.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig08 import run_fig8a, run_fig8b, run_fig8c
+from repro.experiments.heterogeneity import TwoTypeConfig
+
+CONFIG = TwoTypeConfig(6, 10, 6, 6, 48, label="bench8")
+
+
+def test_fig8a_split_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig8a,
+        config=CONFIG,
+        high_ports_per_large=2,
+        high_speed=8.0,
+        num_splits=4,
+        points=5,
+        runs=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    peaks = sorted((s.peak().y for s in result.series), reverse=True)
+    # "Multiple configurations having nearly the same throughput": the top
+    # two splits finish within 20% of each other.
+    assert len(peaks) >= 2
+    assert peaks[1] >= 0.8 * peaks[0]
+
+
+def test_fig8b_speed_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig8b,
+        config=CONFIG,
+        high_ports_per_large=2,
+        speeds=(2.0, 4.0, 8.0),
+        points=5,
+        min_fraction=0.2,
+        max_fraction=1.5,
+        runs=2,
+        seed=1,
+    )
+    print()
+    print(result.to_table())
+    slow = result.get_series("High-speed = 2")
+    fast = result.get_series("High-speed = 8")
+    top = max(fast.xs())
+    assert fast.y_at(top) >= slow.y_at(top) - 1e-9
+
+
+def test_fig8c_count_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig8c,
+        config=CONFIG,
+        high_counts=(1, 2, 3),
+        high_speed=4.0,
+        points=5,
+        min_fraction=0.2,
+        max_fraction=1.5,
+        runs=2,
+        seed=2,
+    )
+    print()
+    print(result.to_table())
+    few = result.get_series("1 H-links")
+    many = result.get_series("3 H-links")
+    assert many.peak().y >= few.peak().y - 1e-9
+    # At the starved end the extra links cannot raise the minimum flow.
+    bottom = min(many.xs())
+    assert abs(many.y_at(bottom) - few.y_at(bottom)) < 0.35 * many.peak().y

@@ -1,0 +1,77 @@
+"""Figure 9: throughput decomposition — utilization explains throughput.
+
+Re-analyses the placement, cross-cluster, and mixed-speed sweeps; in each,
+utilization must move over a wider range than inverse path length, and at
+the bottleneck end it must sit closer to throughput than inverse path
+length does.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig09 import run_fig9a, run_fig9b, run_fig9c
+from repro.experiments.heterogeneity import TwoTypeConfig
+
+
+def _swing(series) -> float:
+    ys = series.ys()
+    return max(ys) - min(ys)
+
+
+def test_fig9a_placement_decomposition(benchmark):
+    config = TwoTypeConfig(6, 12, 12, 6, 60, label="bench9a")
+    result = run_once(
+        benchmark, run_fig9a, config=config, max_points=7, runs=2, seed=0
+    )
+    print()
+    print(result.to_table())
+    throughput = result.get_series("Throughput")
+    utilization = result.get_series("Utilization")
+    assert _swing(throughput) > 0.15
+    # Utilization moves with throughput across the sweep.
+    assert _swing(utilization) > 0.1
+
+
+def test_fig9b_cross_decomposition(benchmark):
+    config = TwoTypeConfig(6, 12, 12, 6, 60, label="bench9b")
+    result = run_once(
+        benchmark,
+        run_fig9b,
+        config=config,
+        points=6,
+        min_fraction=0.05,
+        max_fraction=1.5,
+        runs=2,
+        seed=1,
+    )
+    print()
+    print(result.to_table())
+    throughput = result.get_series("Throughput")
+    utilization = result.get_series("Utilization")
+    spl = result.get_series("Inverse SPL")
+    assert _swing(utilization) > _swing(spl)
+    bottom = min(throughput.xs())
+    t0 = throughput.y_at(bottom)
+    assert abs(utilization.y_at(bottom) - t0) < abs(spl.y_at(bottom) - t0)
+
+
+def test_fig9c_mixed_speed_decomposition(benchmark):
+    config = TwoTypeConfig(6, 10, 6, 6, 48, label="bench9c")
+    result = run_once(
+        benchmark,
+        run_fig9c,
+        config=config,
+        high_ports_per_large=1,
+        high_speed=4.0,
+        points=5,
+        min_fraction=0.1,
+        max_fraction=1.5,
+        runs=2,
+        seed=2,
+    )
+    print()
+    print(result.to_table())
+    stretch = result.get_series("Inverse Stretch")
+    # Optimal routing keeps stretch near 1 across the sweep.
+    assert all(abs(y - 1.0) < 0.25 for y in stretch.ys())

@@ -1,0 +1,62 @@
+"""Figure 10: Equation-1 bound vs observed throughput.
+
+Uniform line-speeds: the bound is valid and reasonably tight on the
+plateau. Mixed line-speeds: still valid but can be loose.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig10 import run_fig10a, run_fig10b
+from repro.experiments.heterogeneity import TwoTypeConfig
+
+
+def test_fig10a_uniform_cases(benchmark):
+    cases = (
+        TwoTypeConfig(6, 12, 12, 6, 60, label="A"),
+        TwoTypeConfig(6, 12, 12, 8, 72, label="B"),
+    )
+    result = run_once(
+        benchmark,
+        run_fig10a,
+        cases=cases,
+        points=6,
+        min_fraction=0.1,
+        max_fraction=1.6,
+        runs=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    for label in ("A", "B"):
+        bound = result.get_series(f"Bound {label}")
+        observed = result.get_series(f"Throughput {label}")
+        for x in observed.xs():
+            assert observed.y_at(x) <= bound.y_at(x) * 1.35 + 1e-9
+        top = observed.xs()[-1]
+        assert observed.y_at(top) >= 0.45 * bound.y_at(top)
+
+
+def test_fig10b_mixed_cases(benchmark):
+    cases = (
+        (TwoTypeConfig(6, 10, 6, 6, 48, label="A"), 2, 4.0),
+        (TwoTypeConfig(6, 10, 6, 6, 48, label="B"), 2, 8.0),
+    )
+    result = run_once(
+        benchmark,
+        run_fig10b,
+        cases=cases,
+        points=5,
+        min_fraction=0.2,
+        max_fraction=1.6,
+        runs=2,
+        seed=1,
+    )
+    print()
+    print(result.to_table())
+    for label in ("A", "B"):
+        bound = result.get_series(f"Bound {label}")
+        observed = result.get_series(f"Throughput {label}")
+        for x in observed.xs():
+            assert observed.y_at(x) <= bound.y_at(x) * 1.35 + 1e-9

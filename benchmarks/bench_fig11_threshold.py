@@ -1,0 +1,47 @@
+"""Figure 11: the C-bar-star threshold marks the guaranteed drop point.
+
+For every configuration, every sampled point with cross capacity below the
+analytically derived threshold must sit strictly below the measured peak.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.heterogeneity import TwoTypeConfig
+
+
+def test_fig11_thresholds(benchmark):
+    configs = (
+        TwoTypeConfig(6, 12, 12, 6, 60, label="cfg1"),
+        TwoTypeConfig(6, 12, 12, 8, 72, label="cfg2"),
+        TwoTypeConfig(8, 10, 8, 8, 64, label="cfg3"),
+        TwoTypeConfig(6, 10, 6, 6, 48, label="cfg4"),
+    )
+    result = run_once(
+        benchmark,
+        run_fig11,
+        configs=configs,
+        points=7,
+        min_fraction=0.08,
+        max_fraction=1.0,
+        runs=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    print("thresholds:", {
+        name: round(x, 3) for name, x in result.metadata["thresholds"].items()
+    })
+    checked = 0
+    for series in result.series:
+        threshold = result.metadata["thresholds"][series.name]
+        peak = result.metadata["peaks"][series.name]
+        for point in series.sorted_points():
+            if point.x < threshold * 0.98:
+                assert point.y < peak - 1e-9, (
+                    f"{series.name}: point below threshold not below peak"
+                )
+                checked += 1
+    assert checked > 0, "sweep never probed below the threshold"

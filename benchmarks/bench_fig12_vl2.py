@@ -1,0 +1,82 @@
+"""Figure 12: rewiring VL2 for more servers at full throughput (§7).
+
+(a) the rewired network supports at least as many ToRs as VL2 under random
+permutations, (b) the permutation-sized rewired network keeps near-full
+throughput under minority-chunky traffic, (c) gains persist (smaller) when
+full throughput is demanded under 100% chunky.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig12 import run_fig12a, run_fig12b, run_fig12c
+
+
+def test_fig12a_improvement_ratio(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig12a,
+        da_values=(4, 6, 8),
+        di_values=(4, 8),
+        servers_per_tor=20,
+        runs=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    for series in result.series:
+        assert series.points, f"{series.name} is empty"
+        assert all(y >= 1.0 - 1e-9 for y in series.ys()), series.name
+    # Somewhere the rewiring must yield a strict improvement.
+    assert any(max(s.ys()) > 1.05 for s in result.series)
+
+
+def test_fig12b_chunky_traffic(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig12b,
+        da_values=(4, 6),
+        di=8,
+        chunky_percents=(20, 100),
+        servers_per_tor=20,
+        runs=2,
+        seed=1,
+    )
+    print()
+    print(result.to_table())
+    light = result.get_series("20% Chunky")
+    heavy = result.get_series("100% Chunky")
+    for x in light.xs():
+        # Minority-chunky stays near full throughput (the paper reports
+        # "within a few percent" at 2400 servers; at this bench's micro
+        # scale the 20%-set is just 1-2 ToRs, so allow wider slack) ...
+        assert light.y_at(x) >= 0.75
+        # ... and is never worse than the all-chunky pattern.
+        assert light.y_at(x) >= heavy.y_at(x) - 1e-9
+
+
+def test_fig12c_harder_workloads(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig12c,
+        da_values=(4, 6),
+        di=8,
+        traffic_kinds=("permutation", "chunky-100"),
+        servers_per_tor=20,
+        runs=2,
+        seed=2,
+    )
+    print()
+    print(result.to_table())
+    permutation = result.get_series("Permutation Traffic")
+    chunky = result.get_series("100% Chunky Traffic")
+    assert all(y >= 1.0 - 1e-9 for y in permutation.ys())
+    # Chunky gains are smaller than permutation gains (the paper's point);
+    # at the tiniest DA the random rewiring can even lose slightly to
+    # VL2's symmetric bipartite fabric, so only require near-parity there
+    # and recovery at the larger size.
+    for x in chunky.xs():
+        assert chunky.y_at(x) >= 0.8
+        assert chunky.y_at(x) <= permutation.y_at(x) + 0.25
+    assert chunky.ys()[-1] >= 0.95

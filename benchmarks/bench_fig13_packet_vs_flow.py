@@ -1,0 +1,44 @@
+"""Figure 13: packet-level MPTCP vs flow-level LP throughput (§8.2).
+
+On oversubscribed rewired-VL2 networks, the packet simulator's mean
+per-flow goodput must land near the exact LP value (the paper reports a
+few percent with htsim; the simplified transport here stays within ~25%
+at bench scale and typically ~10%).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig13 import run_fig13
+
+
+def test_fig13_packet_vs_flow(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig13,
+        da_values=(4, 6),
+        di=4,
+        servers_per_tor=10,
+        oversubscribe=1.3,
+        subflows=4,
+        packet_size=0.25,
+        duration=300.0,
+        warmup=120.0,
+        runs=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    flow = result.get_series("Flow-level")
+    packet = result.get_series("Packet-level")
+    packet_min = result.get_series("Packet-level (min flow)")
+    for x in flow.xs():
+        lp = flow.y_at(x)
+        sim = packet.y_at(x)
+        # Deliberately oversubscribed: the flow optimum sits below line rate.
+        assert 0.0 < lp < 1.0
+        # Efficiency: packet mean recovers most of the fluid optimum.
+        assert sim >= 0.75 * lp, f"packet {sim:.3f} too far below LP {lp:.3f}"
+        # Validity: no schedule's minimum flow beats the LP maximin.
+        assert packet_min.y_at(x) <= lp * 1.05 + 1e-9

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper figure at CI scale via
+``benchmark.pedantic(..., rounds=1)`` (experiment sweeps are far too heavy
+for pytest-benchmark's auto-calibration), prints the figure's series table
+(run with ``-s`` to see it), and asserts the figure's qualitative claim.
+
+Paper-scale parameter sets are available through the CLI:
+``repro-experiments run <fig-id> --paper``.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under benchmark timing and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

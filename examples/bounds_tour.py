@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A tour of the paper's analytical machinery (§4, §6.2).
+
+1. The Cerf et al. ASPL lower bound and its "curved step" boundaries.
+2. Theorem 1's throughput upper bound across network densities.
+3. The two-part cut bound (Eqn. 1) on a concrete two-cluster network, and
+   the C̄* threshold below which throughput provably drops (Figure 11).
+
+Run:  python examples/bounds_tour.py
+"""
+
+from repro import (
+    average_shortest_path_length,
+    max_concurrent_flow,
+    random_permutation_traffic,
+    two_cluster_random_topology,
+    two_part_throughput_bound,
+)
+from repro.core.bounds import (
+    aspl_lower_bound,
+    aspl_step_boundaries,
+    throughput_upper_bound,
+)
+from repro.core.cut_bounds import threshold_cross_capacity
+from repro.topology.two_cluster import cluster_cut_capacity
+
+
+def main() -> None:
+    print("ASPL bound steps for degree 4 (Figure 3's x-tics):")
+    print(" ", aspl_step_boundaries(4, max_levels=6))
+
+    print("\nThroughput upper bound, N=40 switches, 200 permutation flows:")
+    for degree in (5, 10, 20, 30):
+        bound = throughput_upper_bound(40, degree, 200)
+        d_star = aspl_lower_bound(40, degree)
+        print(f"  r={degree:2d}: d*={d_star:.3f}  bound={bound:.3f} per flow")
+
+    print("\nTwo-cluster cut bound vs observed (8x15p + 16x5p, 96 servers):")
+    header = f"  {'x':>5s} {'C-bar':>7s} {'bound':>7s} {'observed':>8s}"
+    print(header)
+    peak = 0.0
+    observations = []
+    for fraction in (0.15, 0.3, 0.6, 1.0, 1.4):
+        topo = two_cluster_random_topology(
+            num_large=8, large_network_ports=7,
+            num_small=16, small_network_ports=2,
+            servers_per_large=8, servers_per_small=2,
+            cross_fraction=fraction, clamp_cross=True, seed=99,
+        )
+        traffic = random_permutation_traffic(topo, seed=5)
+        observed = max_concurrent_flow(topo, traffic).throughput
+        bound = two_part_throughput_bound(
+            total_capacity=topo.total_capacity,
+            cross_capacity=cluster_cut_capacity(topo),
+            n1=64, n2=32,
+            aspl=average_shortest_path_length(topo),
+        )
+        cut = cluster_cut_capacity(topo)
+        print(f"  {fraction:5.2f} {cut:7.0f} {bound:7.3f} {observed:8.3f}")
+        peak = max(peak, observed)
+        observations.append((fraction, cut, observed))
+
+    cbar_star = threshold_cross_capacity(peak, 64, 32)
+    print(f"\npeak T* = {peak:.3f}; C-bar* = {cbar_star:.1f}")
+    print("every sampled point with cut capacity below C-bar* must sit below T*:")
+    for fraction, cut, observed in observations:
+        if cut < cbar_star:
+            verdict = "drops, as guaranteed" if observed < peak else "VIOLATION"
+            print(f"  x={fraction:.2f}: C-bar={cut:.0f} < C-bar* -> "
+                  f"T={observed:.3f} ({verdict})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Clustering racks shortens cables without losing throughput (§5.1).
+
+Figure 6 shows throughput is flat across a wide band of cross-cluster
+connectivity. The operational consequence the paper highlights: you can
+*bias connectivity toward co-located switches* — fewer long cables — while
+staying on the throughput plateau. This study sweeps the bias, laying the
+two clusters out contiguously on a line of racks, and reports throughput
+next to cable length.
+
+Run:  python examples/cabling_study.py
+"""
+
+from repro import max_concurrent_flow, random_permutation_traffic
+from repro.core.cabling import cable_report, linear_layout
+from repro.topology.two_cluster import two_cluster_random_topology
+
+
+def main() -> None:
+    print("two clusters of 8 switches x 8 net-ports, 4 servers each;")
+    print("sweeping cross-cluster link share (x = 1 is unbiased random)\n")
+    header = f"{'x':>5} {'throughput':>11} {'mean cable':>11} {'max cable':>10}"
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for fraction in (0.25, 0.5, 0.75, 1.0, 1.25):
+        throughputs = []
+        cable_means = []
+        cable_maxes = []
+        for seed in (1, 2, 3):
+            topo = two_cluster_random_topology(
+                num_large=8, large_network_ports=8,
+                num_small=8, small_network_ports=8,
+                servers_per_large=4, servers_per_small=4,
+                cross_fraction=fraction, clamp_cross=True, seed=seed,
+            )
+            traffic = random_permutation_traffic(topo, seed=seed + 10)
+            throughputs.append(max_concurrent_flow(topo, traffic).throughput)
+            layout = linear_layout(topo, group_by_cluster=True, seed=seed)
+            report = cable_report(topo, layout)
+            cable_means.append(report.mean_length)
+            cable_maxes.append(report.max_length)
+        throughput = sum(throughputs) / len(throughputs)
+        mean_cable = sum(cable_means) / len(cable_means)
+        max_cable = max(cable_maxes)
+        rows.append((fraction, throughput, mean_cable))
+        print(f"{fraction:5.2f} {throughput:11.3f} {mean_cable:11.2f} "
+              f"{max_cable:10.0f}")
+
+    print()
+    base = next(row for row in rows if row[0] == 1.0)
+    biased = next(row for row in rows if row[0] == 0.75)
+    saved = 1.0 - biased[2] / base[2]
+    lost = 1.0 - biased[1] / base[1]
+    print(f"cutting cross-cluster links by 25% saves {saved:.0%} mean cable")
+    print(f"length at a throughput cost of {max(lost, 0.0):.1%} — the Figure 6")
+    print("plateau in action: locality is nearly free until the cut starves")
+    print("(compare the collapse at x = 0.25).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Designing a heterogeneous network from a mixed equipment pool (§5).
+
+You have 8 large switches (15 ports) and 16 small switches (8 ports) and
+need to attach 96 servers. Where should the servers go, and how should the
+switches interconnect? The paper's answer: servers proportional to port
+counts, wired with vanilla randomness. This example verifies that with the
+:class:`~repro.core.design.HeterogeneousDesigner` grid search and prints
+the ranked design points.
+
+Run:  python examples/heterogeneous_design.py
+"""
+
+from repro import HeterogeneousDesigner
+from repro.core.placement import proportional_split_for
+
+
+def main() -> None:
+    designer = HeterogeneousDesigner(
+        num_large=8,
+        large_ports=15,
+        num_small=16,
+        small_ports=8,
+        total_servers=96,
+        runs=3,
+        seed=42,
+    )
+
+    proportional = proportional_split_for(8, 15, 16, 8, 96)
+    print(
+        "proportional rule says: "
+        f"{proportional.servers_per_large} servers on each large switch, "
+        f"{proportional.servers_per_small} on each small one "
+        f"(placement ratio {proportional.ratio:.2f})"
+    )
+
+    points = designer.search(cross_fractions=[0.4, 0.7, 1.0, 1.3])
+    print(f"\nevaluated {len(points)} design points; top 8 by throughput:")
+    print(f"{'design':>18s}  {'ratio':>6s}  {'throughput':>10s}  {'std':>6s}")
+    for point in points[:8]:
+        print(
+            f"{point.label():>18s}  {point.placement_ratio:6.2f}  "
+            f"{point.mean_throughput:10.4f}  {point.std_throughput:6.4f}"
+        )
+
+    best = points[0]
+    print(
+        f"\nbest design: {best.label()} "
+        f"(placement ratio {best.placement_ratio:.2f})"
+    )
+    print(
+        "note how near-proportional splits with cross fractions around 1.0 "
+        "crowd the top of the ranking, as §5.1 predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Packet-level MPTCP vs. the fluid flow LP (§8.2, Figure 13).
+
+Builds an oversubscribed rewired-VL2 network, computes the optimal
+concurrent flow with the exact LP, then runs the discrete-event packet
+simulator (8 MPTCP subflows over k-shortest paths) on the very same
+workload and compares per-flow goodput.
+
+Run:  python examples/packet_vs_flow.py
+"""
+
+from repro import (
+    PacketLevelSimulator,
+    SimulationConfig,
+    max_concurrent_flow,
+    random_permutation_traffic,
+    rewired_vl2_topology,
+)
+
+
+def main() -> None:
+    topo = rewired_vl2_topology(4, 4, num_tors=10, servers_per_tor=4, seed=1)
+    traffic = random_permutation_traffic(topo, seed=2)
+    print(f"topology: {topo}")
+    print(f"traffic : {traffic}")
+
+    lp = max_concurrent_flow(topo, traffic)
+    print(f"\nflow-level optimum (LP)  : {lp.throughput:.3f} per flow")
+
+    config = SimulationConfig(
+        duration=400.0,
+        warmup=150.0,
+        subflows=8,
+        packet_size=0.25,
+    )
+    report = PacketLevelSimulator(topo, config).run(traffic, seed=3)
+    print(f"packet-level mean goodput: {report.mean_rate:.3f} per flow")
+    print(f"packet-level min goodput : {report.min_rate:.3f} per flow")
+    print(f"packets dropped          : {report.total_dropped}")
+    gap = 1.0 - report.mean_rate / min(lp.throughput, 1.0)
+    print(f"\nmean gap to flow optimum : {gap:+.1%}")
+    print("(the paper reports a few percent with full MPTCP in htsim; the")
+    print(" simplified AIMD transport here typically lands within ~10%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Network analysis reports: the §6 methodology as a reusable tool."""
+
+from repro.analysis.report import (
+    NetworkAnalysis,
+    analyze_network,
+)
+
+__all__ = [
+    "NetworkAnalysis",
+    "analyze_network",
+]

@@ -1,0 +1,136 @@
+"""Homogeneous throughput and path-length bounds (§4).
+
+Theorem 1: for any topology of ``N`` switches with ``r`` network ports each
+and ``f`` uniform flows,
+
+    TH(N, r, f) <= N * r / (<D> * f),
+
+because delivering one unit of flow over ``d`` hops consumes ``d`` units of
+the network's ``N * r`` total (directed) capacity.
+
+Cerf, Cowan, Mullin and Stanton (1974) lower-bound ``<D>`` for any r-regular
+graph by the Moore-style tree count: at most ``r`` nodes at distance 1,
+``r(r-1)`` at distance 2, ``r(r-1)^2`` at distance 3, and so on. Combining
+the two gives the throughput upper bound every figure in §4 normalizes
+against:
+
+    TH(N, r, f) <= N * r / (d* * f).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import BoundError
+from repro.util.validation import check_positive, check_positive_int
+
+
+def aspl_lower_bound(num_nodes: int, degree: int) -> float:
+    """Cerf et al. lower bound ``d*`` on ASPL of any ``degree``-regular graph.
+
+    Fills distance levels greedily: level ``j`` can hold at most
+    ``degree * (degree - 1) ** (j - 1)`` nodes; the last, partially filled
+    level produces the "curved step" shape of Figure 3.
+
+    Raises :class:`BoundError` when no connected ``degree``-regular graph on
+    ``num_nodes`` nodes can exist (``degree < 2`` with more than
+    ``degree + 1`` nodes).
+    """
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    degree = check_positive_int(degree, "degree")
+    if num_nodes < 2:
+        raise BoundError("ASPL needs at least 2 nodes")
+    remaining = num_nodes - 1
+    if degree == 1:
+        if remaining > 1:
+            raise BoundError(
+                "a connected 1-regular graph has exactly 2 nodes"
+            )
+        return 1.0
+    total = 0.0
+    level = 1
+    while remaining > 0:
+        capacity = degree * (degree - 1) ** (level - 1)
+        filled = min(remaining, capacity)
+        total += level * filled
+        remaining -= filled
+        level += 1
+    return total / (num_nodes - 1)
+
+
+def aspl_step_boundaries(degree: int, max_levels: int = 8) -> list[int]:
+    """Node counts where the ASPL bound starts a new distance level.
+
+    For degree ``r`` the k-th boundary is ``1 + sum_{j<=k} r (r-1)^(j-1)``;
+    for ``r = 4`` this yields 5, 17, 53, 161, 485, 1457, ... — the x-tics of
+    Figure 3.
+    """
+    degree = check_positive_int(degree, "degree")
+    if degree < 2:
+        raise BoundError("step boundaries need degree >= 2")
+    check_positive_int(max_levels, "max_levels")
+    boundaries = []
+    filled = 1
+    for level in range(1, max_levels + 1):
+        filled += degree * (degree - 1) ** (level - 1)
+        boundaries.append(filled)
+    return boundaries
+
+
+def throughput_upper_bound(
+    num_switches: int,
+    network_degree: int,
+    num_flows: int,
+    aspl: "float | None" = None,
+    capacity_per_link: float = 1.0,
+) -> float:
+    """Theorem 1's per-flow throughput upper bound.
+
+    Parameters
+    ----------
+    num_flows:
+        The paper's ``f``: the number of (unit-demand) flows in the uniform
+        traffic matrix.
+    aspl:
+        Average shortest path length ``<D>`` to charge per delivered unit.
+        Defaults to the Cerf et al. lower bound ``d*``, which makes the
+        result an upper bound for *any* topology with these parameters;
+        pass the observed ASPL to bound one concrete graph more tightly.
+    capacity_per_link:
+        Uniform per-direction link capacity (the paper uses 1).
+    """
+    num_switches = check_positive_int(num_switches, "num_switches")
+    network_degree = check_positive_int(network_degree, "network_degree")
+    num_flows = check_positive_int(num_flows, "num_flows")
+    capacity_per_link = check_positive(capacity_per_link, "capacity_per_link")
+    if aspl is None:
+        aspl = aspl_lower_bound(num_switches, network_degree)
+    else:
+        aspl = check_positive(aspl, "aspl")
+    total_capacity = num_switches * network_degree * capacity_per_link
+    return total_capacity / (aspl * num_flows)
+
+
+def rrg_diameter_upper_bound(num_nodes: int, degree: int) -> float:
+    """Bollobás & de la Vega style diameter bound for random regular graphs.
+
+    With high probability the diameter of a random ``degree``-regular graph
+    on ``num_nodes`` nodes is at most
+
+        log_{d-1}(n) + log_{d-1}(log n) + C
+
+    for a small constant ``C`` (we use the commonly quoted C = 3). Because
+    diameter upper-bounds ASPL, dividing this by
+    :func:`aspl_lower_bound` shows the observed-to-bound ASPL ratio tends to
+    1 as ``n`` grows — the paper's Figure 3 asymptote.
+    """
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    degree = check_positive_int(degree, "degree")
+    if degree < 3:
+        raise BoundError("the diameter bound needs degree >= 3")
+    if num_nodes < degree + 2:
+        raise BoundError("bound needs num_nodes > degree + 1")
+    base = degree - 1
+    log_n = math.log(num_nodes) / math.log(base)
+    log_log = math.log(max(math.log(num_nodes), 1.0)) / math.log(base)
+    return log_n + log_log + 3.0

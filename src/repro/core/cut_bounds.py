@@ -1,0 +1,87 @@
+"""Two-cluster cut bounds (§6.2, Equations 1 and 2, Figure 11's C̄*).
+
+For a network split into two clusters hosting ``n1`` and ``n2`` servers with
+total capacity ``C`` and cross-cluster capacity ``C̄``, random permutation
+traffic sends an expected ``2 n1 n2 / (n1 + n2)`` flows across the cut, so
+
+    T <= min( C / (<D> (n1 + n2)),  C̄ (n1 + n2) / (2 n1 n2) )      (Eqn. 1)
+
+The first term is Theorem 1's path-length bound; the second is the cut
+bound. For equal clusters the cut term starts to dominate when
+``C̄ <= C / (2 <D>)`` (Eqn. 2). Given an empirical peak throughput ``T*``,
+throughput *must* fall below ``T*`` once ``C̄ < C̄* = T* 2 n1 n2/(n1+n2)``
+— the threshold marked on every curve of Figure 11.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive, check_positive_int
+
+
+def expected_cross_flow_fraction(n1: int, n2: int) -> float:
+    """Expected fraction of random-permutation flows crossing the cut.
+
+    Equals ``2 n1 n2 / ((n1 + n2)^2)`` of all ``n1 + n2`` flows, i.e. an
+    expected ``2 n1 n2 / (n1 + n2)`` crossing flows.
+    """
+    n1 = check_positive_int(n1, "n1")
+    n2 = check_positive_int(n2, "n2")
+    total = n1 + n2
+    return 2.0 * n1 * n2 / (total * total)
+
+
+def two_part_throughput_bound(
+    total_capacity: float,
+    cross_capacity: float,
+    n1: int,
+    n2: int,
+    aspl: float,
+) -> float:
+    """Equation 1: min of the path-length bound and the cut bound.
+
+    Parameters
+    ----------
+    total_capacity:
+        ``C``, network capacity counting both directions
+        (:attr:`Topology.total_capacity`).
+    cross_capacity:
+        ``C̄``, capacity crossing between the clusters, both directions
+        (:func:`repro.topology.two_cluster.cluster_cut_capacity`).
+    n1, n2:
+        Servers attached within each cluster.
+    aspl:
+        Average shortest path length ``<D>`` of the switch graph.
+    """
+    total_capacity = check_positive(total_capacity, "total_capacity")
+    if cross_capacity < 0:
+        raise ValueError(f"cross_capacity must be >= 0, got {cross_capacity}")
+    n1 = check_positive_int(n1, "n1")
+    n2 = check_positive_int(n2, "n2")
+    aspl = check_positive(aspl, "aspl")
+    path_bound = total_capacity / (aspl * (n1 + n2))
+    cut_bound = cross_capacity * (n1 + n2) / (2.0 * n1 * n2)
+    return min(path_bound, cut_bound)
+
+
+def cut_drop_point(total_capacity: float, aspl: float) -> float:
+    """Equation 2: the C̄ below which the cut bound dominates (equal clusters).
+
+    Returns ``C / (2 <D>)``. For unequal clusters use
+    :func:`two_part_throughput_bound` directly and find where its two terms
+    cross.
+    """
+    total_capacity = check_positive(total_capacity, "total_capacity")
+    aspl = check_positive(aspl, "aspl")
+    return total_capacity / (2.0 * aspl)
+
+
+def threshold_cross_capacity(peak_throughput: float, n1: int, n2: int) -> float:
+    """Figure 11's C̄*: the cross capacity below which T must drop below T*.
+
+    Since ``T <= C̄ (n1 + n2) / (2 n1 n2)``, throughput can only reach the
+    empirical peak ``T*`` while ``C̄ >= T* 2 n1 n2 / (n1 + n2)``.
+    """
+    peak_throughput = check_positive(peak_throughput, "peak_throughput")
+    n1 = check_positive_int(n1, "n1")
+    n2 = check_positive_int(n2, "n2")
+    return peak_throughput * 2.0 * n1 * n2 / (n1 + n2)

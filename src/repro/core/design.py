@@ -1,0 +1,165 @@
+"""Joint heterogeneous-network designer (§5's combined sweep, Figure 7).
+
+Given a fixed pool of two switch types and a server count, the designer
+sweeps server splits x cross-cluster connectivity, evaluates each candidate
+by exact max concurrent flow over several random samples, and reports the
+ranked design points. The paper's conclusion — proportional placement with
+a vanilla random interconnect is always among the optima — makes this a
+practical tool: the designer confirms (or adjusts) that default for any
+concrete equipment mix, including mixed line-speeds where no clean rule is
+known.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.placement import ServerSplit, feasible_server_splits
+from repro.exceptions import ExperimentError, TopologyError
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.topology.two_cluster import two_cluster_random_topology
+from repro.traffic.permutation import random_permutation_traffic
+from repro.util.rng import child_rngs
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated (server split, cross fraction) candidate."""
+
+    servers_per_large: int
+    servers_per_small: int
+    placement_ratio: float
+    cross_fraction: float
+    mean_throughput: float
+    std_throughput: float
+    runs: int
+
+    def label(self) -> str:
+        """Paper-style label, e.g. '12H, 4L @ x1.00'."""
+        return (
+            f"{self.servers_per_large}H, {self.servers_per_small}L "
+            f"@ x{self.cross_fraction:.2f}"
+        )
+
+
+class HeterogeneousDesigner:
+    """Grid-search designer over a two-type switch pool.
+
+    Parameters
+    ----------
+    num_large, large_ports, num_small, small_ports:
+        The equipment pool: switch counts and *total* port counts per type.
+    total_servers:
+        Servers to attach (each consumes one port).
+    runs:
+        Random samples per candidate; throughput is averaged.
+    seed:
+        Root seed; all candidate evaluations derive from it.
+    """
+
+    def __init__(
+        self,
+        num_large: int,
+        large_ports: int,
+        num_small: int,
+        small_ports: int,
+        total_servers: int,
+        runs: int = 3,
+        seed=None,
+    ) -> None:
+        self.num_large = check_positive_int(num_large, "num_large")
+        self.large_ports = check_positive_int(large_ports, "large_ports")
+        self.num_small = check_positive_int(num_small, "num_small")
+        self.small_ports = check_positive_int(small_ports, "small_ports")
+        self.total_servers = check_positive_int(total_servers, "total_servers")
+        self.runs = check_positive_int(runs, "runs")
+        self._seed = seed
+
+    def candidate_splits(self) -> list[ServerSplit]:
+        """All feasible uniform-per-type server splits."""
+        return feasible_server_splits(
+            self.num_large,
+            self.large_ports,
+            self.num_small,
+            self.small_ports,
+            self.total_servers,
+        )
+
+    def evaluate(
+        self, split: ServerSplit, cross_fraction: float, seed=None
+    ) -> DesignPoint:
+        """Measure mean/std throughput of one candidate over ``runs`` samples."""
+        throughputs: list[float] = []
+        for rng in child_rngs(seed if seed is not None else self._seed, self.runs):
+            topo = two_cluster_random_topology(
+                num_large=self.num_large,
+                large_network_ports=self.large_ports - split.servers_per_large,
+                num_small=self.num_small,
+                small_network_ports=self.small_ports - split.servers_per_small,
+                servers_per_large=split.servers_per_large,
+                servers_per_small=split.servers_per_small,
+                cross_fraction=cross_fraction,
+                clamp_cross=True,
+                seed=rng,
+            )
+            if not topo.is_connected():
+                throughputs.append(0.0)
+                continue
+            traffic = random_permutation_traffic(topo, seed=rng)
+            throughputs.append(max_concurrent_flow(topo, traffic).throughput)
+        mean = statistics.fmean(throughputs)
+        std = statistics.pstdev(throughputs) if len(throughputs) > 1 else 0.0
+        return DesignPoint(
+            servers_per_large=split.servers_per_large,
+            servers_per_small=split.servers_per_small,
+            placement_ratio=split.ratio,
+            cross_fraction=cross_fraction,
+            mean_throughput=mean,
+            std_throughput=std,
+            runs=self.runs,
+        )
+
+    def search(
+        self,
+        splits: "list[ServerSplit] | None" = None,
+        cross_fractions: "list[float] | None" = None,
+    ) -> list[DesignPoint]:
+        """Evaluate the grid and rank by mean throughput (best first).
+
+        Infeasible candidates (e.g. a split that strands a cluster without
+        network ports) score zero rather than aborting the search.
+        """
+        if splits is None:
+            splits = self.candidate_splits()
+        if cross_fractions is None:
+            cross_fractions = [0.5, 0.75, 1.0, 1.25, 1.5]
+        if not splits or not cross_fractions:
+            raise ExperimentError("empty search grid")
+        points: list[DesignPoint] = []
+        for index, split in enumerate(splits):
+            for jndex, fraction in enumerate(cross_fractions):
+                derived_seed = None
+                if self._seed is not None:
+                    derived_seed = hash((self._seed, index, jndex)) % (2**31)
+                try:
+                    points.append(self.evaluate(split, fraction, seed=derived_seed))
+                except TopologyError:
+                    points.append(
+                        DesignPoint(
+                            servers_per_large=split.servers_per_large,
+                            servers_per_small=split.servers_per_small,
+                            placement_ratio=split.ratio,
+                            cross_fraction=fraction,
+                            mean_throughput=0.0,
+                            std_throughput=0.0,
+                            runs=self.runs,
+                        )
+                    )
+        points.sort(key=lambda p: p.mean_throughput, reverse=True)
+        return points
+
+    def best(self, **kwargs) -> DesignPoint:
+        """Convenience: the top-ranked design point of :meth:`search`."""
+        return self.search(**kwargs)[0]

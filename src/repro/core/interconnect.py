@@ -1,0 +1,57 @@
+"""Cross-cluster interconnect sweep helpers (§5.1, Figures 6-8).
+
+The x-axis of the interconnection experiments is the ratio of realized
+cross-cluster links to the configuration-model expectation; these helpers
+compute the feasible sweep range for given port budgets so experiments can
+probe from near-partitioned to maximally-crossed without constructing
+infeasible graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.topology.two_cluster import expected_cross_links
+from repro.util.validation import check_positive_int
+
+
+def feasible_cross_fractions(
+    num_large: int,
+    large_network_ports: int,
+    num_small: int,
+    small_network_ports: int,
+    points: int = 9,
+    min_fraction: float = 0.1,
+    max_fraction: float = 2.0,
+) -> list[float]:
+    """Evenly spaced cross-fraction sweep clipped to the feasible range.
+
+    The upper limit of the feasible range is
+    ``min(stubs_large, stubs_small, num_large * num_small) / expected``;
+    values above it cannot be realized by a simple graph. At least one link
+    must cross (connectivity), which lower-bounds the range at
+    ``1 / expected``.
+    """
+    check_positive_int(points, "points")
+    if min_fraction <= 0 or max_fraction <= min_fraction:
+        raise ExperimentError(
+            f"need 0 < min_fraction < max_fraction, got "
+            f"({min_fraction}, {max_fraction})"
+        )
+    stubs_large = num_large * large_network_ports
+    stubs_small = num_small * small_network_ports
+    expected = expected_cross_links(stubs_large, stubs_small)
+    if expected <= 0:
+        raise ExperimentError("one cluster has no network ports")
+    feasible_max = (
+        min(stubs_large, stubs_small, num_large * num_small) / expected
+    )
+    feasible_min = 1.0 / expected
+    low = max(min_fraction, feasible_min)
+    high = min(max_fraction, feasible_max)
+    if high <= low:
+        raise ExperimentError(
+            f"empty sweep range: [{low:.3f}, {high:.3f}] after clipping"
+        )
+    return [float(x) for x in np.linspace(low, high, points)]

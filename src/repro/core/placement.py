@@ -1,0 +1,128 @@
+"""Server-placement rules and sweep helpers (§5.1, Figures 4-5).
+
+The paper's finding: with uniform line-speeds, attaching servers to switches
+*in proportion to port count* maximizes throughput. These helpers compute
+the normalization used on the figures' x-axes ("ratio to expected under
+random distribution") and enumerate the feasible integer sweep points for
+two-type networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ExperimentError
+from repro.util.validation import check_non_negative_int, check_positive_int
+
+
+def expected_share_per_switch(
+    total_servers: int, switch_ports: int, total_ports: int
+) -> float:
+    """Expected servers on one switch if servers landed on uniform random ports.
+
+    The paper's x-axis normalizer: a switch with ``k`` of the network's
+    ``K`` total ports expects ``total_servers * k / K`` servers.
+    """
+    total_servers = check_non_negative_int(total_servers, "total_servers")
+    switch_ports = check_positive_int(switch_ports, "switch_ports")
+    total_ports = check_positive_int(total_ports, "total_ports")
+    if switch_ports > total_ports:
+        raise ExperimentError(
+            f"switch_ports {switch_ports} exceeds total_ports {total_ports}"
+        )
+    return total_servers * switch_ports / total_ports
+
+
+def server_placement_ratio(
+    servers_at_switch: int,
+    total_servers: int,
+    switch_ports: int,
+    total_ports: int,
+) -> float:
+    """Figure 4's x-axis: servers at a switch over the random expectation."""
+    expected = expected_share_per_switch(total_servers, switch_ports, total_ports)
+    if expected <= 0:
+        raise ExperimentError("expected share is zero; no servers to place")
+    return servers_at_switch / expected
+
+
+@dataclass(frozen=True)
+class ServerSplit:
+    """A feasible distribution of servers over a two-type switch population.
+
+    ``ratio`` is the paper's x-axis value for the large switches.
+    """
+
+    servers_per_large: int
+    servers_per_small: int
+    ratio: float
+
+    def totals(self, num_large: int, num_small: int) -> int:
+        """Total servers this split places."""
+        return self.servers_per_large * num_large + self.servers_per_small * num_small
+
+
+def feasible_server_splits(
+    num_large: int,
+    large_ports: int,
+    num_small: int,
+    small_ports: int,
+    total_servers: int,
+    min_network_ports: int = 1,
+) -> list[ServerSplit]:
+    """Enumerate integer server splits for a two-type network sweep.
+
+    A split assigns the same integer count to every switch of a type (the
+    paper notes non-uniform placement within a type only creates
+    bottlenecks). Feasibility requires: totals match ``total_servers``,
+    every switch keeps at least ``min_network_ports`` ports for the
+    network, and the remainder divides evenly across the small switches.
+    """
+    num_large = check_positive_int(num_large, "num_large")
+    num_small = check_positive_int(num_small, "num_small")
+    large_ports = check_positive_int(large_ports, "large_ports")
+    small_ports = check_positive_int(small_ports, "small_ports")
+    total_servers = check_positive_int(total_servers, "total_servers")
+    check_non_negative_int(min_network_ports, "min_network_ports")
+
+    total_ports = num_large * large_ports + num_small * small_ports
+    splits: list[ServerSplit] = []
+    max_large = large_ports - min_network_ports
+    for servers_per_large in range(0, max_large + 1):
+        remaining = total_servers - servers_per_large * num_large
+        if remaining < 0:
+            break
+        if remaining % num_small != 0:
+            continue
+        servers_per_small = remaining // num_small
+        if servers_per_small > small_ports - min_network_ports:
+            continue
+        ratio = server_placement_ratio(
+            servers_per_large, total_servers, large_ports, total_ports
+        )
+        splits.append(
+            ServerSplit(
+                servers_per_large=servers_per_large,
+                servers_per_small=servers_per_small,
+                ratio=ratio,
+            )
+        )
+    if not splits:
+        raise ExperimentError(
+            "no feasible server split; adjust totals or port budgets"
+        )
+    return splits
+
+
+def proportional_split_for(
+    num_large: int,
+    large_ports: int,
+    num_small: int,
+    small_ports: int,
+    total_servers: int,
+) -> ServerSplit:
+    """The feasible split closest to the proportional rule (ratio 1.0)."""
+    splits = feasible_server_splits(
+        num_large, large_ports, num_small, small_ports, total_servers
+    )
+    return min(splits, key=lambda s: abs(s.ratio - 1.0))

@@ -1,0 +1,120 @@
+"""Theorem 2's two-regime throughput model for two-cluster random graphs.
+
+The paper's model: ``n`` switches of constant degree ``d`` split into two
+equal clusters; every node has ``p*n`` neighbours inside its cluster and
+``q*n`` in the other (``p + q = d / n``). Theorem 2 states there are
+constants ``c1, c2`` such that with ``q* = c1 * p / <D>``:
+
+- for ``q >= q*`` throughput stays within a constant factor of the peak
+  ``T* = Θ(1 / (n log n))`` (the plateau),
+- for ``q < q*`` throughput is ``Θ(q)`` (the linear bottleneck regime).
+
+These helpers expose the model quantitatively so experiments can overlay
+the predicted profile on measured curves, and tests can check the regime
+split empirically (Lemma 2's sparsest-cut value ``Θ(q)`` is checked via
+:func:`repro.metrics.cuts.nonuniform_sparsest_cut` on sampled graphs).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import BoundError
+from repro.util.validation import check_positive, check_positive_int
+
+
+def q_star(p: float, aspl: float, c1: float = 1.0) -> float:
+    """The regime boundary ``q* = c1 * p / <D>``.
+
+    ``p`` is the within-cluster edge density parameter of the model
+    (within-cluster degree divided by ``n``).
+    """
+    p = check_positive(p, "p")
+    aspl = check_positive(aspl, "aspl")
+    c1 = check_positive(c1, "c1")
+    return c1 * p / aspl
+
+
+def peak_throughput_scale(num_nodes: int, degree: int) -> float:
+    """Lemma 1's peak throughput scale ``T* = Θ(d / (n log n))``.
+
+    Returned without the unknowable constant: callers normalize measured
+    curves against their own peak, exactly as the paper's figures do.
+    """
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    degree = check_positive_int(degree, "degree")
+    if num_nodes < 3:
+        raise BoundError("model needs at least 3 nodes")
+    return degree / (num_nodes * math.log(num_nodes))
+
+
+def two_regime_throughput(
+    q: float,
+    p: float,
+    aspl: float,
+    peak: float,
+    c1: float = 1.0,
+) -> float:
+    """Theorem 2's predicted throughput at cross-density ``q``.
+
+    Piecewise: the plateau value ``peak`` for ``q >= q*`` and the linear
+    ramp ``peak * q / q*`` below it. The ramp is continuous at ``q*`` —
+    the theorem only fixes both regimes up to constants, and continuity is
+    the natural normalization for overlaying on measured data.
+    """
+    if q < 0:
+        raise ValueError(f"q must be >= 0, got {q}")
+    peak = check_positive(peak, "peak")
+    boundary = q_star(p, aspl, c1)
+    if q >= boundary:
+        return peak
+    return peak * q / boundary
+
+
+def predicted_profile(
+    qs: "list[float]",
+    p: float,
+    aspl: float,
+    peak: float,
+    c1: float = 1.0,
+) -> dict[float, float]:
+    """Evaluate :func:`two_regime_throughput` over a sweep of ``q`` values."""
+    return {
+        float(q): two_regime_throughput(q, p, aspl, peak, c1=c1) for q in qs
+    }
+
+
+def cluster_densities(
+    num_nodes: int, degree: int, cross_links: int
+) -> tuple[float, float]:
+    """Back out ``(p, q)`` from a concrete two-cluster construction.
+
+    For equal clusters of ``n/2`` nodes with ``X`` cross links, the model's
+    densities are ``q = X / (n/2)^2 / n``-normalized... concretely: each
+    node has ``2X / n`` cross neighbours on average, so ``q = 2X / n^2`` and
+    ``p = d/n - q``.
+    """
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    degree = check_positive_int(degree, "degree")
+    if cross_links < 0:
+        raise ValueError(f"cross_links must be >= 0, got {cross_links}")
+    q = 2.0 * cross_links / (num_nodes * num_nodes)
+    p = degree / num_nodes - q
+    if p < 0:
+        raise BoundError(
+            f"cross_links={cross_links} exceeds total degree budget"
+        )
+    return p, q
+
+
+def sparsest_cut_linear_in_q(q: float, constant: float = 2.0) -> float:
+    """Lemma 2's sparsest-cut value for the bipartite demand graph: ``Θ(q)``.
+
+    The lemma shows ``2 q c_min <= φ(G, H) <= 2 q``; this returns the upper
+    expression ``constant * q`` (with the paper's leading constant 2 by
+    default) for overlaying on measured cut values.
+    """
+    if q < 0:
+        raise ValueError(f"q must be >= 0, got {q}")
+    check_positive(constant, "constant")
+    return constant * q

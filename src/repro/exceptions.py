@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. More specific subclasses signal which subsystem
+rejected the input or failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or a construction request is unsatisfiable."""
+
+
+class GraphConstructionError(TopologyError):
+    """A randomized graph builder could not realize the requested graph.
+
+    Raised, for example, when a degree sequence is not graphical or when
+    stub-matching repair fails after the configured number of attempts.
+    """
+
+
+class TrafficError(ReproError):
+    """A traffic matrix is malformed or incompatible with a topology."""
+
+
+class FlowError(ReproError):
+    """A flow computation failed (infeasible model or solver failure)."""
+
+
+class SolverError(FlowError):
+    """The underlying LP solver reported failure."""
+
+
+class BoundError(ReproError):
+    """Invalid parameters passed to an analytical bound."""
+
+
+class SimulationError(ReproError):
+    """The packet-level simulator was misconfigured or failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was given inconsistent parameters."""

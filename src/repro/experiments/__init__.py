@@ -1,0 +1,34 @@
+"""Experiment harness: one module per paper figure.
+
+Every ``run_*`` function returns an
+:class:`~repro.experiments.common.ExperimentResult` holding named series of
+(x, y, std) points plus labels, and can be rendered as the text table the
+benchmarks print. Default parameters are CI-scale (seconds per figure);
+``scale="paper"`` parameter sets reproduce the paper's sizes where feasible
+on a laptop.
+
+Use :func:`~repro.experiments.registry.run_experiment` or the
+``repro-experiments`` CLI to run by figure id.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSeries,
+    SeriesPoint,
+    mean_and_std,
+)
+from repro.experiments.registry import (
+    available_experiments,
+    describe_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSeries",
+    "SeriesPoint",
+    "mean_and_std",
+    "available_experiments",
+    "describe_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,185 @@
+"""Extension studies beyond the paper's figure set.
+
+Three follow-on questions the paper raises but does not plot:
+
+- ``extra-routing``: how much of the optimal throughput do restricted
+  routing policies (fluid ECMP, k-shortest-path multipath) recover on
+  random graphs? (§8's motivation for MPTCP over shortest paths.)
+- ``extra-cabling``: the cable-length/throughput trade along the Figure 6
+  cross-connectivity sweep (§5.1's clustering remark, quantified).
+- ``extra-latency``: packet latency percentiles vs. offered load on an RRG
+  (§9's "what about latency?" discussion, measured).
+"""
+
+from __future__ import annotations
+
+from repro.core.cabling import cable_report, linear_layout
+from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
+from repro.flow.ecmp import ecmp_throughput
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.flow.path_lp import max_concurrent_flow_paths
+from repro.simulation.simulator import PacketLevelSimulator, SimulationConfig
+from repro.topology.random_regular import random_regular_topology
+from repro.topology.two_cluster import two_cluster_random_topology
+from repro.traffic.permutation import random_permutation_traffic
+from repro.util.rng import spawn_seeds
+
+
+def run_extra_routing(
+    num_switches: int = 16,
+    degrees: "tuple[int, ...]" = (4, 6, 8),
+    servers_per_switch: int = 4,
+    k: int = 8,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Routing-policy throughput, normalized to the optimal LP."""
+    result = ExperimentResult(
+        experiment_id="extra-routing",
+        title="Routing policies vs optimal on random graphs",
+        x_label="network degree r",
+        y_label="throughput (fraction of optimal)",
+        metadata={"num_switches": num_switches, "runs": runs, "seed": seed},
+    )
+    optimal = ExperimentSeries("Optimal (LP)")
+    multipath = ExperimentSeries(f"{k}-shortest multipath")
+    ecmp_hop = ExperimentSeries("ECMP (per-hop)")
+    for degree_index, degree in enumerate(degrees):
+        if degree >= num_switches:
+            continue
+        ratios_path: list[float] = []
+        ratios_ecmp: list[float] = []
+        root = None if seed is None else seed * 67_001 + degree_index
+        for child in spawn_seeds(root, runs):
+            topo = random_regular_topology(
+                num_switches, degree, servers_per_switch=servers_per_switch,
+                seed=child,
+            )
+            traffic = random_permutation_traffic(topo, seed=child)
+            exact = max_concurrent_flow(topo, traffic).throughput
+            if exact <= 0:
+                continue
+            ratios_path.append(
+                max_concurrent_flow_paths(topo, traffic, k=k).throughput / exact
+            )
+            ratios_ecmp.append(
+                ecmp_throughput(topo, traffic).throughput / exact
+            )
+        optimal.add(degree, 1.0)
+        mean, std = mean_and_std(ratios_path)
+        multipath.add(degree, mean, std)
+        mean, std = mean_and_std(ratios_ecmp)
+        ecmp_hop.add(degree, mean, std)
+    result.add_series(optimal)
+    result.add_series(multipath)
+    result.add_series(ecmp_hop)
+    return result
+
+
+def run_extra_cabling(
+    num_per_cluster: int = 8,
+    network_ports: int = 8,
+    servers_per_switch: int = 4,
+    fractions: "tuple[float, ...]" = (0.25, 0.5, 0.75, 1.0, 1.25),
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Throughput and mean cable length along the cross-connectivity sweep.
+
+    Layout: both clusters contiguous on a line of racks, so cross-cluster
+    links are the long ones. Cable length falls with the cross fraction
+    while throughput stays on the Figure 6 plateau until the cut starves.
+    """
+    result = ExperimentResult(
+        experiment_id="extra-cabling",
+        title="Cable length vs throughput across cross-cluster bias",
+        x_label="cross-cluster links (ratio to random expectation)",
+        y_label="throughput / mean cable length",
+        metadata={"runs": runs, "seed": seed},
+    )
+    throughput_series = ExperimentSeries("Throughput")
+    cable_series = ExperimentSeries("Mean cable length")
+    for fraction_index, fraction in enumerate(fractions):
+        throughputs: list[float] = []
+        cables: list[float] = []
+        root = None if seed is None else seed * 71_003 + fraction_index
+        for child in spawn_seeds(root, runs):
+            topo = two_cluster_random_topology(
+                num_large=num_per_cluster,
+                large_network_ports=network_ports,
+                num_small=num_per_cluster,
+                small_network_ports=network_ports,
+                servers_per_large=servers_per_switch,
+                servers_per_small=servers_per_switch,
+                cross_fraction=fraction,
+                clamp_cross=True,
+                seed=child,
+            )
+            if not topo.is_connected():
+                continue
+            traffic = random_permutation_traffic(topo, seed=child)
+            throughputs.append(max_concurrent_flow(topo, traffic).throughput)
+            layout = linear_layout(topo, group_by_cluster=True, seed=child)
+            cables.append(cable_report(topo, layout).mean_length)
+        if not throughputs:
+            continue
+        mean, std = mean_and_std(throughputs)
+        throughput_series.add(fraction, mean, std)
+        mean, std = mean_and_std(cables)
+        cable_series.add(fraction, mean, std)
+    result.add_series(throughput_series)
+    result.add_series(cable_series)
+    return result
+
+
+def run_extra_latency(
+    num_switches: int = 10,
+    degree: int = 4,
+    loads: "tuple[int, ...]" = (2, 4, 8),
+    duration: float = 200.0,
+    warmup: float = 80.0,
+    subflows: int = 2,
+    runs: int = 2,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Packet one-way delay percentiles vs offered load (servers/switch)."""
+    result = ExperimentResult(
+        experiment_id="extra-latency",
+        title="Packet latency vs offered load",
+        x_label="servers per switch (offered load)",
+        y_label="one-way delay (time units)",
+        metadata={
+            "num_switches": num_switches,
+            "degree": degree,
+            "runs": runs,
+            "seed": seed,
+        },
+    )
+    p50_series = ExperimentSeries("p50 delay")
+    p99_series = ExperimentSeries("p99 delay")
+    for load_index, load in enumerate(loads):
+        p50s: list[float] = []
+        p99s: list[float] = []
+        root = None if seed is None else seed * 73_009 + load_index
+        for child in spawn_seeds(root, runs):
+            topo = random_regular_topology(
+                num_switches, degree, servers_per_switch=load, seed=child
+            )
+            traffic = random_permutation_traffic(topo, seed=child)
+            config = SimulationConfig(
+                duration=duration, warmup=warmup, subflows=subflows
+            )
+            report = PacketLevelSimulator(topo, config).run(traffic, seed=child)
+            if not report.latency_samples:
+                continue
+            p50s.append(report.latency_percentile(50))
+            p99s.append(report.latency_percentile(99))
+        if not p50s:
+            continue
+        mean, std = mean_and_std(p50s)
+        p50_series.add(load, mean, std)
+        mean, std = mean_and_std(p99s)
+        p99_series.add(load, mean, std)
+    result.add_series(p50_series)
+    result.add_series(p99_series)
+    return result

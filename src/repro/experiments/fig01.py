@@ -1,0 +1,100 @@
+"""Figure 1: random graphs vs. the bounds at fixed size, sweeping density.
+
+(a) Per-flow throughput of RRG(N=40, r) as a *ratio to the Theorem-1 +
+Cerf upper bound*, for all-to-all traffic and random permutations at 5 and
+10 servers per switch. The paper finds the ratio climbs toward 1 as the
+network densifies, with all-to-all reaching exactly 1 for r >= 13.
+
+(b) Observed ASPL vs. the Cerf et al. lower bound over the same sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import aspl_lower_bound
+from repro.core.optimality import measure_optimality_gap
+from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
+from repro.util.rng import spawn_seeds
+
+DEFAULT_DEGREES = (4, 6, 8, 10, 12)
+PAPER_DEGREES = tuple(range(3, 36, 2))
+
+
+def run_fig1a(
+    num_switches: int = 24,
+    degrees: "tuple[int, ...]" = DEFAULT_DEGREES,
+    servers_per_switch_options: "tuple[int, ...]" = (5, 10),
+    include_all_to_all: bool = True,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Throughput-to-bound ratio vs. network degree (Figure 1a)."""
+    result = ExperimentResult(
+        experiment_id="fig1a",
+        title="RRG throughput vs upper bound (N fixed)",
+        x_label="network degree r",
+        y_label="throughput (ratio to upper bound)",
+        metadata={
+            "num_switches": num_switches,
+            "runs": runs,
+            "seed": seed,
+        },
+    )
+    workloads: list[tuple[str, str, int]] = []
+    if include_all_to_all:
+        workloads.append(("All to All", "all-to-all", 1))
+    for servers in servers_per_switch_options:
+        workloads.append(
+            (f"Permutation ({servers} servers per switch)", "permutation", servers)
+        )
+    for label, workload, servers in workloads:
+        series = ExperimentSeries(label)
+        for degree_index, degree in enumerate(degrees):
+            if degree >= num_switches:
+                continue
+            gap = measure_optimality_gap(
+                num_switches,
+                degree,
+                servers_per_switch=servers,
+                workload=workload,
+                runs=runs,
+                seed=None
+                if seed is None
+                else seed * 1_000_003 + degree_index * 101 + servers,
+            )
+            series.add(degree, min(gap.ratio, 1.0))
+        result.add_series(series)
+    return result
+
+
+def run_fig1b(
+    num_switches: int = 40,
+    degrees: "tuple[int, ...]" = DEFAULT_DEGREES,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Observed ASPL vs. the Cerf lower bound, degree sweep (Figure 1b)."""
+    from repro.metrics.paths import average_shortest_path_length
+    from repro.topology.random_regular import random_regular_topology
+
+    result = ExperimentResult(
+        experiment_id="fig1b",
+        title="RRG ASPL vs lower bound (N fixed)",
+        x_label="network degree r",
+        y_label="path length (hops)",
+        metadata={"num_switches": num_switches, "runs": runs, "seed": seed},
+    )
+    observed = ExperimentSeries("Observed ASPL")
+    bound = ExperimentSeries("ASPL lower-bound")
+    for degree in degrees:
+        if degree >= num_switches or degree < 2:
+            continue
+        values = []
+        for child in spawn_seeds(None if seed is None else seed + degree, runs):
+            topo = random_regular_topology(num_switches, degree, seed=child)
+            values.append(average_shortest_path_length(topo))
+        mean, std = mean_and_std(values)
+        observed.add(degree, mean, std)
+        bound.add(degree, aspl_lower_bound(num_switches, degree))
+    result.add_series(observed)
+    result.add_series(bound)
+    return result

@@ -1,0 +1,103 @@
+"""Figure 2: random graphs vs. the bounds at fixed degree, sweeping size.
+
+Same quantities as Figure 1 but with degree fixed (paper: r = 10) and the
+switch count growing — the network becomes *sparser* to the right. The
+throughput-to-bound ratio stays high (within a few percent for permutation
+workloads) even as size grows; the ASPL bound shows its first "step" in
+this range.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import aspl_lower_bound
+from repro.core.optimality import measure_optimality_gap
+from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
+from repro.util.rng import spawn_seeds
+
+DEFAULT_SIZES = (15, 20, 30, 40, 60)
+PAPER_SIZES = (20, 40, 60, 80, 100, 120, 140, 160, 180, 200)
+
+
+def run_fig2a(
+    sizes: "tuple[int, ...]" = DEFAULT_SIZES,
+    network_degree: int = 10,
+    servers_per_switch_options: "tuple[int, ...]" = (5, 10),
+    include_all_to_all: bool = True,
+    all_to_all_size_cap: int = 60,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Throughput-to-bound ratio vs. network size (Figure 2a).
+
+    ``all_to_all_size_cap`` skips all-to-all beyond that size — the same
+    scaling limit the paper notes for its simulator (commodity count grows
+    quadratically).
+    """
+    result = ExperimentResult(
+        experiment_id="fig2a",
+        title="RRG throughput vs upper bound (degree fixed)",
+        x_label="network size N",
+        y_label="throughput (ratio to upper bound)",
+        metadata={"network_degree": network_degree, "runs": runs, "seed": seed},
+    )
+    workloads: list[tuple[str, str, int]] = []
+    if include_all_to_all:
+        workloads.append(("All to All", "all-to-all", 1))
+    for servers in servers_per_switch_options:
+        workloads.append(
+            (f"Permutation ({servers} servers per switch)", "permutation", servers)
+        )
+    for label, workload, servers in workloads:
+        series = ExperimentSeries(label)
+        for size_index, size in enumerate(sizes):
+            if network_degree >= size:
+                continue
+            if workload == "all-to-all" and size > all_to_all_size_cap:
+                continue
+            gap = measure_optimality_gap(
+                size,
+                network_degree,
+                servers_per_switch=servers,
+                workload=workload,
+                runs=runs,
+                seed=None
+                if seed is None
+                else seed * 999_983 + size_index * 307 + servers,
+            )
+            series.add(size, min(gap.ratio, 1.0))
+        result.add_series(series)
+    return result
+
+
+def run_fig2b(
+    sizes: "tuple[int, ...]" = DEFAULT_SIZES,
+    network_degree: int = 10,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Observed ASPL vs. the Cerf lower bound, size sweep (Figure 2b)."""
+    from repro.metrics.paths import average_shortest_path_length
+    from repro.topology.random_regular import random_regular_topology
+
+    result = ExperimentResult(
+        experiment_id="fig2b",
+        title="RRG ASPL vs lower bound (degree fixed)",
+        x_label="network size N",
+        y_label="path length (hops)",
+        metadata={"network_degree": network_degree, "runs": runs, "seed": seed},
+    )
+    observed = ExperimentSeries("Observed ASPL")
+    bound = ExperimentSeries("ASPL lower-bound")
+    for size in sizes:
+        if network_degree >= size:
+            continue
+        values = []
+        for child in spawn_seeds(None if seed is None else seed + size, runs):
+            topo = random_regular_topology(size, network_degree, seed=child)
+            values.append(average_shortest_path_length(topo))
+        mean, std = mean_and_std(values)
+        observed.add(size, mean, std)
+        bound.add(size, aspl_lower_bound(size, network_degree))
+    result.add_series(observed)
+    result.add_series(bound)
+    return result

@@ -1,0 +1,59 @@
+"""Figure 3: the ASPL bound's "curved step" structure at degree 4.
+
+The Cerf et al. bound assumes a perfect distance tree: 4 nodes at distance
+1, 12 at distance 2, 36 at distance 3, ... Each time a level fills
+(N = 5, 17, 53, 161, 485, 1457 for degree 4) the bound bends upward —
+the "curved steps". Plotting observed RRG ASPL against the bound also
+shows their ratio approaching 1 as N grows.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import aspl_lower_bound, aspl_step_boundaries
+from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
+from repro.metrics.paths import average_shortest_path_length
+from repro.topology.random_regular import random_regular_topology
+from repro.util.rng import spawn_seeds
+
+DEFAULT_SIZES = (17, 35, 53, 100, 161, 300, 485)
+PAPER_SIZES = (17, 35, 53, 100, 161, 300, 485, 900, 1457)
+
+
+def run_fig3(
+    sizes: "tuple[int, ...]" = DEFAULT_SIZES,
+    degree: int = 4,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Observed ASPL, lower bound, and their ratio vs. size (Figure 3)."""
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title="ASPL bound steps at degree 4",
+        x_label="network size N",
+        y_label="path length (hops) / ratio",
+        metadata={
+            "degree": degree,
+            "runs": runs,
+            "seed": seed,
+            "step_boundaries": aspl_step_boundaries(degree, max_levels=7),
+        },
+    )
+    observed = ExperimentSeries("Observed ASPL")
+    bound = ExperimentSeries("ASPL lower-bound")
+    ratio = ExperimentSeries("Ratio (observed / bound)")
+    for size in sizes:
+        if degree >= size:
+            continue
+        values = []
+        for child in spawn_seeds(None if seed is None else seed + size, runs):
+            topo = random_regular_topology(size, degree, seed=child)
+            values.append(average_shortest_path_length(topo))
+        mean, std = mean_and_std(values)
+        lower = aspl_lower_bound(size, degree)
+        observed.add(size, mean, std)
+        bound.add(size, lower)
+        ratio.add(size, mean / lower, std / lower)
+    result.add_series(observed)
+    result.add_series(bound)
+    result.add_series(ratio)
+    return result

@@ -1,0 +1,122 @@
+"""Figure 4: distributing servers across heterogeneous switches (§5.1).
+
+Sweep how many servers sit on the large switches (x-axis normalized to the
+expectation under a uniformly random port assignment) with an *unbiased*
+random interconnect over the remaining ports. The paper's finding, robust
+across (a) port ratios, (b) small-switch counts, and (c) server totals:
+peak throughput lands at x = 1, i.e. servers proportional to port counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import feasible_server_splits
+from repro.exceptions import ExperimentError
+from repro.experiments.common import ExperimentResult, ExperimentSeries
+from repro.experiments.heterogeneity import TwoTypeConfig, unbiased_throughput
+
+#: CI-scale variants; the paper's are in PAPER_* below.
+DEFAULT_FIG4A_CONFIGS = (
+    TwoTypeConfig(8, 15, 16, 5, 96, label="3:1 Port-ratio"),
+    TwoTypeConfig(8, 15, 16, 8, 96, label="2:1 Port-ratio"),
+    TwoTypeConfig(8, 15, 16, 10, 96, label="3:2 Port-ratio"),
+)
+DEFAULT_FIG4B_CONFIGS = (
+    TwoTypeConfig(8, 15, 8, 10, 96, label="8 Small Switches"),
+    TwoTypeConfig(8, 15, 12, 10, 96, label="12 Small Switches"),
+    TwoTypeConfig(8, 15, 16, 10, 96, label="16 Small Switches"),
+)
+DEFAULT_FIG4C_CONFIGS = (
+    TwoTypeConfig(8, 15, 12, 10, 96, label="96 Servers"),
+    TwoTypeConfig(8, 15, 12, 10, 108, label="108 Servers"),
+    TwoTypeConfig(8, 15, 12, 10, 120, label="120 Servers"),
+)
+
+PAPER_FIG4A_CONFIGS = (
+    TwoTypeConfig(20, 30, 40, 10, 480, label="3:1 Port-ratio"),
+    TwoTypeConfig(20, 30, 40, 15, 480, label="2:1 Port-ratio"),
+    TwoTypeConfig(20, 30, 40, 20, 480, label="3:2 Port-ratio"),
+)
+PAPER_FIG4B_CONFIGS = (
+    TwoTypeConfig(20, 30, 20, 20, 480, label="20 Small Switches"),
+    TwoTypeConfig(20, 30, 30, 20, 480, label="30 Small Switches"),
+    TwoTypeConfig(20, 30, 40, 20, 480, label="40 Small Switches"),
+)
+PAPER_FIG4C_CONFIGS = (
+    TwoTypeConfig(20, 30, 30, 20, 480, label="480 Servers"),
+    TwoTypeConfig(20, 30, 30, 20, 510, label="510 Servers"),
+    TwoTypeConfig(20, 30, 30, 20, 540, label="540 Servers"),
+)
+
+
+def _subsample(splits: list, max_points: int) -> list:
+    if len(splits) <= max_points:
+        return splits
+    step = (len(splits) - 1) / (max_points - 1)
+    return [splits[round(i * step)] for i in range(max_points)]
+
+
+def run_fig4(
+    configs: "tuple[TwoTypeConfig, ...]" = DEFAULT_FIG4A_CONFIGS,
+    variant: str = "a",
+    max_points: int = 9,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Throughput vs. server-placement ratio for a set of configs.
+
+    One series per config; the x-axis is the placement ratio ("ratio to
+    expected under random distribution").
+    """
+    if not configs:
+        raise ExperimentError("need at least one configuration")
+    result = ExperimentResult(
+        experiment_id=f"fig4{variant}",
+        title="Distributing servers across switches",
+        x_label="servers at large switches (ratio to random expectation)",
+        y_label="per-flow throughput",
+        metadata={"runs": runs, "seed": seed},
+    )
+    for config_index, config in enumerate(configs):
+        splits = feasible_server_splits(
+            config.num_large,
+            config.large_ports,
+            config.num_small,
+            config.small_ports,
+            config.total_servers,
+        )
+        splits = _subsample(splits, max_points)
+        series = ExperimentSeries(config.describe())
+        for split_index, split in enumerate(splits):
+            child_seed = (
+                None
+                if seed is None
+                else seed * 7_001 + config_index * 131 + split_index
+            )
+            mean, std = unbiased_throughput(
+                config,
+                split.servers_per_large,
+                split.servers_per_small,
+                runs=runs,
+                seed=child_seed,
+            )
+            series.add(split.ratio, mean, std)
+        result.add_series(series)
+    return result
+
+
+def run_fig4a(**kwargs) -> ExperimentResult:
+    """Figure 4(a): varying the port ratio between switch types."""
+    kwargs.setdefault("configs", DEFAULT_FIG4A_CONFIGS)
+    return run_fig4(variant="a", **kwargs)
+
+
+def run_fig4b(**kwargs) -> ExperimentResult:
+    """Figure 4(b): varying the number of small switches."""
+    kwargs.setdefault("configs", DEFAULT_FIG4B_CONFIGS)
+    return run_fig4(variant="b", **kwargs)
+
+
+def run_fig4c(**kwargs) -> ExperimentResult:
+    """Figure 4(c): varying oversubscription (total server count)."""
+    kwargs.setdefault("configs", DEFAULT_FIG4C_CONFIGS)
+    return run_fig4(variant="c", **kwargs)

@@ -1,0 +1,107 @@
+"""Figure 6: throughput vs. cross-cluster connectivity (§5.1).
+
+With servers placed proportionally (the Figure 4 optimum), sweep the number
+of links crossing between the large- and small-switch clusters, normalized
+to the unbiased-random expectation. The paper's surprise: throughput is
+*flat* across a wide range and only collapses when the cross-cluster cut
+becomes the bottleneck (left end), regardless of (a) port ratios, (b)
+small-switch counts, and (c) oversubscription.
+"""
+
+from __future__ import annotations
+
+from repro.core.interconnect import feasible_cross_fractions
+from repro.core.placement import proportional_split_for
+from repro.exceptions import ExperimentError
+from repro.experiments.common import ExperimentResult, ExperimentSeries
+from repro.experiments.fig04 import (
+    DEFAULT_FIG4A_CONFIGS,
+    DEFAULT_FIG4B_CONFIGS,
+    DEFAULT_FIG4C_CONFIGS,
+    PAPER_FIG4A_CONFIGS,
+    PAPER_FIG4B_CONFIGS,
+    PAPER_FIG4C_CONFIGS,
+)
+from repro.experiments.heterogeneity import TwoTypeConfig, clustered_throughput
+
+# Figure 6 reuses Figure 4's equipment configurations.
+DEFAULT_FIG6A_CONFIGS = DEFAULT_FIG4A_CONFIGS
+DEFAULT_FIG6B_CONFIGS = DEFAULT_FIG4B_CONFIGS
+DEFAULT_FIG6C_CONFIGS = DEFAULT_FIG4C_CONFIGS
+PAPER_FIG6A_CONFIGS = PAPER_FIG4A_CONFIGS
+PAPER_FIG6B_CONFIGS = PAPER_FIG4B_CONFIGS
+PAPER_FIG6C_CONFIGS = PAPER_FIG4C_CONFIGS
+
+
+def run_fig6(
+    configs: "tuple[TwoTypeConfig, ...]" = DEFAULT_FIG6A_CONFIGS,
+    variant: str = "a",
+    points: int = 8,
+    min_fraction: float = 0.1,
+    max_fraction: float = 1.8,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Throughput vs. cross-cluster link fraction, one series per config."""
+    if not configs:
+        raise ExperimentError("need at least one configuration")
+    result = ExperimentResult(
+        experiment_id=f"fig6{variant}",
+        title="Interconnecting switches: cross-cluster sweep",
+        x_label="cross-cluster links (ratio to random expectation)",
+        y_label="per-flow throughput",
+        metadata={"runs": runs, "seed": seed},
+    )
+    for config_index, config in enumerate(configs):
+        split = proportional_split_for(
+            config.num_large,
+            config.large_ports,
+            config.num_small,
+            config.small_ports,
+            config.total_servers,
+        )
+        fractions = feasible_cross_fractions(
+            config.num_large,
+            config.large_ports - split.servers_per_large,
+            config.num_small,
+            config.small_ports - split.servers_per_small,
+            points=points,
+            min_fraction=min_fraction,
+            max_fraction=max_fraction,
+        )
+        series = ExperimentSeries(config.describe())
+        for frac_index, fraction in enumerate(fractions):
+            child_seed = (
+                None
+                if seed is None
+                else seed * 13_007 + config_index * 149 + frac_index
+            )
+            mean, std = clustered_throughput(
+                config,
+                split.servers_per_large,
+                split.servers_per_small,
+                cross_fraction=fraction,
+                runs=runs,
+                seed=child_seed,
+            )
+            series.add(fraction, mean, std)
+        result.add_series(series)
+    return result
+
+
+def run_fig6a(**kwargs) -> ExperimentResult:
+    """Figure 6(a): cross sweep across port ratios."""
+    kwargs.setdefault("configs", DEFAULT_FIG6A_CONFIGS)
+    return run_fig6(variant="a", **kwargs)
+
+
+def run_fig6b(**kwargs) -> ExperimentResult:
+    """Figure 6(b): cross sweep across small-switch counts."""
+    kwargs.setdefault("configs", DEFAULT_FIG6B_CONFIGS)
+    return run_fig6(variant="b", **kwargs)
+
+
+def run_fig6c(**kwargs) -> ExperimentResult:
+    """Figure 6(c): cross sweep across server totals (oversubscription)."""
+    kwargs.setdefault("configs", DEFAULT_FIG6C_CONFIGS)
+    return run_fig6(variant="c", **kwargs)

@@ -1,0 +1,107 @@
+"""Figure 7: joint sweep of server placement x cross-cluster connectivity.
+
+Multiple (split, cross-fraction) combinations achieve peak throughput, but
+the proportional split with a vanilla random interconnect is always among
+them; large deviations in either dimension lose throughput. Series are
+labelled paper-style: '12H, 4L' means 12 servers on each large switch and
+4 on each small one.
+"""
+
+from __future__ import annotations
+
+from repro.core.interconnect import feasible_cross_fractions
+from repro.core.placement import ServerSplit, feasible_server_splits
+from repro.exceptions import ExperimentError
+from repro.experiments.common import ExperimentResult, ExperimentSeries
+from repro.experiments.heterogeneity import TwoTypeConfig, clustered_throughput
+
+DEFAULT_FIG7A_CONFIG = TwoTypeConfig(8, 15, 16, 5, 96, label="fig7a")
+DEFAULT_FIG7B_CONFIG = TwoTypeConfig(8, 15, 16, 10, 96, label="fig7b")
+PAPER_FIG7A_CONFIG = TwoTypeConfig(20, 30, 40, 10, 480, label="fig7a")
+PAPER_FIG7B_CONFIG = TwoTypeConfig(20, 30, 40, 20, 560, label="fig7b")
+
+
+def _spread_splits(splits: list[ServerSplit], count: int) -> list[ServerSplit]:
+    """Pick ``count`` splits spread across the feasible ratio range."""
+    if len(splits) <= count:
+        return splits
+    step = (len(splits) - 1) / (count - 1)
+    return [splits[round(i * step)] for i in range(count)]
+
+
+def run_fig7(
+    config: TwoTypeConfig = DEFAULT_FIG7A_CONFIG,
+    variant: str = "a",
+    num_splits: int = 5,
+    points: int = 7,
+    min_fraction: float = 0.15,
+    max_fraction: float = 1.8,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Combined placement x interconnect sweep for one equipment pool."""
+    splits = feasible_server_splits(
+        config.num_large,
+        config.large_ports,
+        config.num_small,
+        config.small_ports,
+        config.total_servers,
+    )
+    splits = [s for s in splits if s.servers_per_large > 0]
+    if not splits:
+        raise ExperimentError("no usable splits for this configuration")
+    splits = _spread_splits(splits, num_splits)
+
+    result = ExperimentResult(
+        experiment_id=f"fig7{variant}",
+        title="Combined server distribution and cross-cluster sweep",
+        x_label="cross-cluster links (ratio to random expectation)",
+        y_label="per-flow throughput",
+        metadata={"config": config.describe(), "runs": runs, "seed": seed},
+    )
+    for split_index, split in enumerate(splits):
+        label = f"{split.servers_per_large}H, {split.servers_per_small}L"
+        series = ExperimentSeries(label)
+        try:
+            fractions = feasible_cross_fractions(
+                config.num_large,
+                config.large_ports - split.servers_per_large,
+                config.num_small,
+                config.small_ports - split.servers_per_small,
+                points=points,
+                min_fraction=min_fraction,
+                max_fraction=max_fraction,
+            )
+        except ExperimentError:
+            continue
+        for frac_index, fraction in enumerate(fractions):
+            child_seed = (
+                None
+                if seed is None
+                else seed * 17_011 + split_index * 163 + frac_index
+            )
+            mean, std = clustered_throughput(
+                config,
+                split.servers_per_large,
+                split.servers_per_small,
+                cross_fraction=fraction,
+                runs=runs,
+                seed=child_seed,
+            )
+            series.add(fraction, mean, std)
+        result.add_series(series)
+    if not result.series:
+        raise ExperimentError("no split produced a feasible sweep")
+    return result
+
+
+def run_fig7a(**kwargs) -> ExperimentResult:
+    """Figure 7(a): 3:1 port-ratio equipment pool."""
+    kwargs.setdefault("config", DEFAULT_FIG7A_CONFIG)
+    return run_fig7(variant="a", **kwargs)
+
+
+def run_fig7b(**kwargs) -> ExperimentResult:
+    """Figure 7(b): 3:2 port-ratio equipment pool."""
+    kwargs.setdefault("config", DEFAULT_FIG7B_CONFIG)
+    return run_fig7(variant="b", **kwargs)

@@ -1,0 +1,225 @@
+"""Figure 8: heterogeneous line-speeds (§5.2).
+
+Large switches gain extra high-line-speed ports wired only to other
+high-speed ports (a fast mesh over the large cluster); small switches stay
+low-speed. (a) sweeps server splits x cross connectivity — multiple
+configurations tie, no clean rule; (b) sweeps the high-speed multiplier at
+fixed count; (c) sweeps the high-port count at fixed speed. In (b)/(c) the
+benefit of fast ports vanishes when the cross-cluster cut is starved: the
+bottleneck has moved to the cut, so extra core capacity cannot raise the
+minimum flow.
+"""
+
+from __future__ import annotations
+
+from repro.core.interconnect import feasible_cross_fractions
+from repro.core.placement import feasible_server_splits
+from repro.exceptions import ExperimentError
+from repro.experiments.common import ExperimentResult, ExperimentSeries
+from repro.experiments.fig07 import _spread_splits
+from repro.experiments.heterogeneity import TwoTypeConfig, mixed_speed_throughput
+
+#: CI-scale default: 8 large switches with 12 low-speed ports each plus a
+#: high-speed mesh; 8 small switches with 8 low-speed ports.
+DEFAULT_FIG8_CONFIG = TwoTypeConfig(8, 12, 8, 8, 64, label="fig8")
+PAPER_FIG8_CONFIG = TwoTypeConfig(20, 40, 20, 15, 860, label="fig8")
+
+
+def run_fig8a(
+    config: TwoTypeConfig = DEFAULT_FIG8_CONFIG,
+    high_ports_per_large: int = 3,
+    high_speed: float = 10.0,
+    num_splits: int = 5,
+    points: int = 7,
+    min_fraction: float = 0.2,
+    max_fraction: float = 1.8,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Figure 8(a): server splits x cross sweep with a fast large-switch mesh."""
+    splits = feasible_server_splits(
+        config.num_large,
+        config.large_ports,
+        config.num_small,
+        config.small_ports,
+        config.total_servers,
+    )
+    splits = [s for s in splits if s.servers_per_large > 0]
+    if not splits:
+        raise ExperimentError("no usable splits for this configuration")
+    splits = _spread_splits(splits, num_splits)
+
+    result = ExperimentResult(
+        experiment_id="fig8a",
+        title="Mixed line-speeds: server splits x cross-cluster sweep",
+        x_label="cross-cluster links (ratio to random expectation)",
+        y_label="per-flow throughput",
+        metadata={
+            "config": config.describe(),
+            "high_ports_per_large": high_ports_per_large,
+            "high_speed": high_speed,
+            "runs": runs,
+            "seed": seed,
+        },
+    )
+    for split_index, split in enumerate(splits):
+        label = f"{split.servers_per_large}H, {split.servers_per_small}L"
+        series = ExperimentSeries(label)
+        try:
+            fractions = feasible_cross_fractions(
+                config.num_large,
+                config.large_ports - split.servers_per_large,
+                config.num_small,
+                config.small_ports - split.servers_per_small,
+                points=points,
+                min_fraction=min_fraction,
+                max_fraction=max_fraction,
+            )
+        except ExperimentError:
+            continue
+        for frac_index, fraction in enumerate(fractions):
+            child_seed = (
+                None
+                if seed is None
+                else seed * 19_013 + split_index * 167 + frac_index
+            )
+            mean, std = mixed_speed_throughput(
+                config,
+                split.servers_per_large,
+                split.servers_per_small,
+                cross_fraction=fraction,
+                high_ports_per_large=high_ports_per_large,
+                high_speed=high_speed,
+                runs=runs,
+                seed=child_seed,
+            )
+            series.add(fraction, mean, std)
+        result.add_series(series)
+    if not result.series:
+        raise ExperimentError("no split produced a feasible sweep")
+    return result
+
+
+def _fixed_split_sweep(
+    config: TwoTypeConfig,
+    sweep_label: str,
+    variants: "list[tuple[str, int, float]]",
+    points: int,
+    min_fraction: float,
+    max_fraction: float,
+    runs: int,
+    seed: "int | None",
+    experiment_id: str,
+    title: str,
+) -> ExperimentResult:
+    """Shared body of Figures 8(b) and 8(c): proportional split, one series
+    per (count, speed) variant."""
+    from repro.core.placement import proportional_split_for
+
+    split = proportional_split_for(
+        config.num_large,
+        config.large_ports,
+        config.num_small,
+        config.small_ports,
+        config.total_servers,
+    )
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label="cross-cluster links (ratio to random expectation)",
+        y_label="per-flow throughput",
+        metadata={
+            "config": config.describe(),
+            "split": f"{split.servers_per_large}H, {split.servers_per_small}L",
+            "sweep": sweep_label,
+            "runs": runs,
+            "seed": seed,
+        },
+    )
+    fractions = feasible_cross_fractions(
+        config.num_large,
+        config.large_ports - split.servers_per_large,
+        config.num_small,
+        config.small_ports - split.servers_per_small,
+        points=points,
+        min_fraction=min_fraction,
+        max_fraction=max_fraction,
+    )
+    for variant_index, (label, high_count, high_speed) in enumerate(variants):
+        series = ExperimentSeries(label)
+        for frac_index, fraction in enumerate(fractions):
+            child_seed = (
+                None
+                if seed is None
+                else seed * 23_017 + variant_index * 173 + frac_index
+            )
+            mean, std = mixed_speed_throughput(
+                config,
+                split.servers_per_large,
+                split.servers_per_small,
+                cross_fraction=fraction,
+                high_ports_per_large=high_count,
+                high_speed=high_speed,
+                runs=runs,
+                seed=child_seed,
+            )
+            series.add(fraction, mean, std)
+        result.add_series(series)
+    return result
+
+
+def run_fig8b(
+    config: TwoTypeConfig = DEFAULT_FIG8_CONFIG,
+    high_ports_per_large: int = 3,
+    speeds: "tuple[float, ...]" = (2.0, 4.0, 8.0),
+    points: int = 7,
+    min_fraction: float = 0.2,
+    max_fraction: float = 1.6,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Figure 8(b): sweep the high-speed multiplier at fixed port count."""
+    variants = [
+        (f"High-speed = {speed:g}", high_ports_per_large, speed)
+        for speed in speeds
+    ]
+    return _fixed_split_sweep(
+        config,
+        sweep_label="line-speed",
+        variants=variants,
+        points=points,
+        min_fraction=min_fraction,
+        max_fraction=max_fraction,
+        runs=runs,
+        seed=seed,
+        experiment_id="fig8b",
+        title="Mixed line-speeds: varying the high line-speed",
+    )
+
+
+def run_fig8c(
+    config: TwoTypeConfig = DEFAULT_FIG8_CONFIG,
+    high_counts: "tuple[int, ...]" = (1, 2, 3),
+    high_speed: float = 4.0,
+    points: int = 7,
+    min_fraction: float = 0.2,
+    max_fraction: float = 1.6,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Figure 8(c): sweep the number of high-speed ports at fixed speed."""
+    variants = [
+        (f"{count} H-links", count, high_speed) for count in high_counts
+    ]
+    return _fixed_split_sweep(
+        config,
+        sweep_label="high-port count",
+        variants=variants,
+        points=points,
+        min_fraction=min_fraction,
+        max_fraction=max_fraction,
+        runs=runs,
+        seed=seed,
+        experiment_id="fig8c",
+        title="Mixed line-speeds: varying the high-port count",
+    )

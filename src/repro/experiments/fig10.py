@@ -1,0 +1,191 @@
+"""Figure 10: the Equation-1 bound vs. observed throughput (§6.2).
+
+For uniform line-speeds the two-part bound (path-length term + cut term)
+tracks observed throughput closely across the cross-connectivity sweep; for
+mixed line-speeds it can be loose. Each case contributes a "Bound" and a
+"Throughput" series over the same sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.cut_bounds import two_part_throughput_bound
+from repro.core.interconnect import feasible_cross_fractions
+from repro.core.placement import proportional_split_for
+from repro.exceptions import ExperimentError
+from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
+from repro.experiments.heterogeneity import TwoTypeConfig
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.metrics.paths import average_shortest_path_length
+from repro.topology.heterogeneous import mixed_linespeed_topology
+from repro.topology.two_cluster import (
+    cluster_cut_capacity,
+    two_cluster_random_topology,
+)
+from repro.traffic.permutation import random_permutation_traffic
+from repro.util.rng import spawn_seeds
+
+DEFAULT_UNIFORM_CASES = (
+    TwoTypeConfig(8, 15, 16, 5, 96, label="A"),
+    TwoTypeConfig(8, 15, 12, 10, 108, label="B"),
+)
+PAPER_UNIFORM_CASES = (
+    TwoTypeConfig(20, 30, 40, 10, 480, label="A"),
+    TwoTypeConfig(20, 30, 30, 20, 510, label="B"),
+)
+#: (config, high_ports_per_large, high_speed) triples for the mixed panel.
+DEFAULT_MIXED_CASES = (
+    (TwoTypeConfig(8, 12, 8, 8, 64, label="A"), 2, 4.0),
+    (TwoTypeConfig(8, 12, 8, 8, 64, label="B"), 3, 8.0),
+)
+
+
+def _sweep_case(
+    config: TwoTypeConfig,
+    build,
+    points: int,
+    min_fraction: float,
+    max_fraction: float,
+    runs: int,
+    seed,
+) -> tuple[ExperimentSeries, ExperimentSeries]:
+    """Measure (bound series, throughput series) for one case."""
+    split = proportional_split_for(
+        config.num_large,
+        config.large_ports,
+        config.num_small,
+        config.small_ports,
+        config.total_servers,
+    )
+    fractions = feasible_cross_fractions(
+        config.num_large,
+        config.large_ports - split.servers_per_large,
+        config.num_small,
+        config.small_ports - split.servers_per_small,
+        points=points,
+        min_fraction=min_fraction,
+        max_fraction=max_fraction,
+    )
+    n1 = split.servers_per_large * config.num_large
+    n2 = split.servers_per_small * config.num_small
+    bound_series = ExperimentSeries(f"Bound {config.label}")
+    throughput_series = ExperimentSeries(f"Throughput {config.label}")
+    for index, fraction in enumerate(fractions):
+        bounds = []
+        throughputs = []
+        root = None if seed is None else seed * 41_011 + index
+        for child in spawn_seeds(root, runs):
+            topo = build(split, fraction, child)
+            if not topo.is_connected():
+                continue
+            traffic = random_permutation_traffic(topo, seed=child)
+            result = max_concurrent_flow(topo, traffic)
+            throughputs.append(result.throughput)
+            bounds.append(
+                two_part_throughput_bound(
+                    total_capacity=topo.total_capacity,
+                    cross_capacity=cluster_cut_capacity(topo),
+                    n1=n1,
+                    n2=n2,
+                    aspl=average_shortest_path_length(topo),
+                )
+            )
+        if not throughputs:
+            continue
+        mean_bound, _ = mean_and_std(bounds)
+        mean_throughput, std_throughput = mean_and_std(throughputs)
+        bound_series.add(fraction, mean_bound)
+        throughput_series.add(fraction, mean_throughput, std_throughput)
+    return bound_series, throughput_series
+
+
+def run_fig10a(
+    cases: "tuple[TwoTypeConfig, ...]" = DEFAULT_UNIFORM_CASES,
+    points: int = 7,
+    min_fraction: float = 0.1,
+    max_fraction: float = 1.8,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Figure 10(a): uniform line-speeds — bound is empirically tight."""
+    if not cases:
+        raise ExperimentError("need at least one case")
+    result = ExperimentResult(
+        experiment_id="fig10a",
+        title="Eqn-1 bound vs observed throughput (uniform line-speed)",
+        x_label="cross-cluster links (ratio to random expectation)",
+        y_label="per-flow throughput",
+        metadata={"runs": runs, "seed": seed},
+    )
+    for case_index, config in enumerate(cases):
+        def build(split, fraction, child, cfg=config):
+            return two_cluster_random_topology(
+                num_large=cfg.num_large,
+                large_network_ports=cfg.large_ports - split.servers_per_large,
+                num_small=cfg.num_small,
+                small_network_ports=cfg.small_ports - split.servers_per_small,
+                servers_per_large=split.servers_per_large,
+                servers_per_small=split.servers_per_small,
+                cross_fraction=fraction,
+                clamp_cross=True,
+                seed=child,
+            )
+
+        bound, throughput = _sweep_case(
+            config,
+            build,
+            points,
+            min_fraction,
+            max_fraction,
+            runs,
+            None if seed is None else seed + case_index * 977,
+        )
+        result.add_series(bound)
+        result.add_series(throughput)
+    return result
+
+
+def run_fig10b(
+    cases=DEFAULT_MIXED_CASES,
+    points: int = 7,
+    min_fraction: float = 0.2,
+    max_fraction: float = 1.8,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Figure 10(b): mixed line-speeds — the bound can be loose."""
+    if not cases:
+        raise ExperimentError("need at least one case")
+    result = ExperimentResult(
+        experiment_id="fig10b",
+        title="Eqn-1 bound vs observed throughput (mixed line-speeds)",
+        x_label="cross-cluster links (ratio to random expectation)",
+        y_label="per-flow throughput",
+        metadata={"runs": runs, "seed": seed},
+    )
+    for case_index, (config, high_count, high_speed) in enumerate(cases):
+        def build(split, fraction, child, cfg=config, hc=high_count, hs=high_speed):
+            return mixed_linespeed_topology(
+                num_large=cfg.num_large,
+                large_low_ports=cfg.large_ports - split.servers_per_large,
+                num_small=cfg.num_small,
+                small_low_ports=cfg.small_ports - split.servers_per_small,
+                servers_per_large=split.servers_per_large,
+                servers_per_small=split.servers_per_small,
+                high_ports_per_large=hc,
+                high_speed=hs,
+                cross_fraction=fraction,
+                seed=child,
+            )
+
+        bound, throughput = _sweep_case(
+            config,
+            build,
+            points,
+            min_fraction,
+            max_fraction,
+            runs,
+            None if seed is None else seed + case_index * 983,
+        )
+        result.add_series(bound)
+        result.add_series(throughput)
+    return result

@@ -1,0 +1,125 @@
+"""Figure 11: the C̄* threshold below which throughput must drop (§6.2).
+
+For each two-cluster configuration, the empirical peak throughput T* fixes
+a cross-capacity threshold C̄* = T* · 2 n1 n2 / (n1 + n2); the cut bound
+guarantees throughput below T* whenever realized cross capacity is below
+C̄*. The experiment sweeps many configurations, marks each curve's
+threshold, and the test suite asserts the guarantee holds on every sampled
+point.
+"""
+
+from __future__ import annotations
+
+from repro.core.cut_bounds import threshold_cross_capacity
+from repro.core.interconnect import feasible_cross_fractions
+from repro.core.placement import proportional_split_for
+from repro.exceptions import ExperimentError
+from repro.experiments.common import ExperimentResult, ExperimentSeries
+from repro.experiments.heterogeneity import TwoTypeConfig, clustered_throughput
+from repro.topology.two_cluster import expected_cross_links
+
+DEFAULT_CONFIGS = (
+    TwoTypeConfig(8, 15, 16, 5, 96, label="cfg1"),
+    TwoTypeConfig(8, 15, 16, 8, 96, label="cfg2"),
+    TwoTypeConfig(8, 15, 12, 10, 108, label="cfg3"),
+    TwoTypeConfig(6, 12, 12, 8, 72, label="cfg4"),
+)
+PAPER_CONFIG_COUNT = 18
+
+
+def paper_configs(count: int = PAPER_CONFIG_COUNT) -> "tuple[TwoTypeConfig, ...]":
+    """Generate a spread of 18 paper-scale two-cluster configurations."""
+    out = []
+    base = [
+        (20, 30, 40, 10),
+        (20, 30, 40, 15),
+        (20, 30, 40, 20),
+        (20, 30, 30, 20),
+        (20, 30, 20, 20),
+        (16, 24, 32, 12),
+    ]
+    servers = (480, 510, 540)
+    for num_large, large_ports, num_small, small_ports in base:
+        for total in servers:
+            label = f"{num_large}x{large_ports}/{num_small}x{small_ports}@{total}"
+            out.append(
+                TwoTypeConfig(
+                    num_large, large_ports, num_small, small_ports, total, label
+                )
+            )
+    return tuple(out[:count])
+
+
+def run_fig11(
+    configs: "tuple[TwoTypeConfig, ...]" = DEFAULT_CONFIGS,
+    points: int = 8,
+    min_fraction: float = 0.1,
+    max_fraction: float = 1.0,
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Throughput profiles with analytically marked drop thresholds.
+
+    ``metadata["thresholds"]`` maps each config label to its threshold in
+    x-axis units (cross links as a fraction of the random expectation);
+    ``metadata["peaks"]`` maps labels to the measured T*.
+    """
+    if not configs:
+        raise ExperimentError("need at least one configuration")
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Cross-connectivity profiles with C-bar-star thresholds",
+        x_label="cross-cluster links (ratio to random expectation)",
+        y_label="per-flow throughput",
+        metadata={"runs": runs, "seed": seed, "thresholds": {}, "peaks": {}},
+    )
+    for config_index, config in enumerate(configs):
+        split = proportional_split_for(
+            config.num_large,
+            config.large_ports,
+            config.num_small,
+            config.small_ports,
+            config.total_servers,
+        )
+        large_net = config.large_ports - split.servers_per_large
+        small_net = config.small_ports - split.servers_per_small
+        fractions = feasible_cross_fractions(
+            config.num_large,
+            large_net,
+            config.num_small,
+            small_net,
+            points=points,
+            min_fraction=min_fraction,
+            max_fraction=max_fraction,
+        )
+        series = ExperimentSeries(config.describe())
+        for frac_index, fraction in enumerate(fractions):
+            child_seed = (
+                None
+                if seed is None
+                else seed * 43_013 + config_index * 179 + frac_index
+            )
+            mean, std = clustered_throughput(
+                config,
+                split.servers_per_large,
+                split.servers_per_small,
+                cross_fraction=fraction,
+                runs=runs,
+                seed=child_seed,
+            )
+            series.add(fraction, mean, std)
+        result.add_series(series)
+
+        peak = series.peak().y
+        n1 = split.servers_per_large * config.num_large
+        n2 = split.servers_per_small * config.num_small
+        expected = expected_cross_links(
+            config.num_large * large_net, config.num_small * small_net
+        )
+        # Cross capacity of x expected links is 2 * x * expected (both
+        # directions, unit capacities), so the threshold in x units is:
+        cbar_star = threshold_cross_capacity(peak, n1, n2)
+        threshold_x = cbar_star / (2.0 * expected)
+        result.metadata["thresholds"][series.name] = threshold_x
+        result.metadata["peaks"][series.name] = peak
+    return result

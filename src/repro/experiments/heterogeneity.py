@@ -1,0 +1,181 @@
+"""Shared evaluation helpers for the heterogeneous experiments (Figs 4-11).
+
+Each helper builds a randomized topology family, runs random-permutation
+traffic through the exact flow LP over several seeds, and reports
+mean/std per-flow throughput. Disconnected samples score zero throughput
+(the LP optimum when some demand cannot be routed), which is exactly how a
+physically stranded cluster behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import mean_and_std
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.metrics.paths import average_shortest_path_length
+from repro.topology.heterogeneous import (
+    heterogeneous_random_topology,
+    mixed_linespeed_topology,
+)
+from repro.topology.two_cluster import (
+    cluster_cut_capacity,
+    two_cluster_random_topology,
+)
+from repro.traffic.permutation import random_permutation_traffic
+from repro.util.rng import spawn_seeds
+
+
+@dataclass(frozen=True)
+class TwoTypeConfig:
+    """An equipment pool of two switch types plus a server count.
+
+    ``large_ports``/``small_ports`` are *total* ports per switch (servers
+    consume them).
+    """
+
+    num_large: int
+    large_ports: int
+    num_small: int
+    small_ports: int
+    total_servers: int
+    label: str = ""
+
+    @property
+    def total_ports(self) -> int:
+        return (
+            self.num_large * self.large_ports + self.num_small * self.small_ports
+        )
+
+    def describe(self) -> str:
+        return self.label or (
+            f"{self.num_large}x{self.large_ports}p + "
+            f"{self.num_small}x{self.small_ports}p, {self.total_servers} servers"
+        )
+
+
+def unbiased_throughput(
+    config: TwoTypeConfig,
+    servers_per_large: int,
+    servers_per_small: int,
+    runs: int = 3,
+    seed=None,
+) -> tuple[float, float]:
+    """Mean/std throughput of the unbiased random interconnect (§5.1).
+
+    Servers are attached per the given split; every remaining port joins
+    one uniform random graph over all switches (no cross-cluster control).
+    """
+    port_counts: dict = {}
+    servers: dict = {}
+    for i in range(config.num_large):
+        port_counts[("L", i)] = config.large_ports
+        servers[("L", i)] = servers_per_large
+    for i in range(config.num_small):
+        port_counts[("S", i)] = config.small_ports
+        servers[("S", i)] = servers_per_small
+
+    def one(seed_child) -> float:
+        topo = heterogeneous_random_topology(
+            port_counts, servers, seed=seed_child
+        )
+        if not topo.is_connected():
+            return 0.0
+        traffic = random_permutation_traffic(topo, seed=seed_child)
+        return max_concurrent_flow(topo, traffic).throughput
+
+    return mean_and_std(one(child) for child in spawn_seeds(seed, runs))
+
+
+@dataclass(frozen=True)
+class ClusteredSample:
+    """One two-cluster measurement with the quantities §6 analyses need."""
+
+    throughput: float
+    cut_capacity: float
+    total_capacity: float
+    aspl: float
+
+
+def clustered_throughput(
+    config: TwoTypeConfig,
+    servers_per_large: int,
+    servers_per_small: int,
+    cross_fraction: float,
+    runs: int = 3,
+    seed=None,
+    detailed: bool = False,
+):
+    """Mean/std throughput of the cross-controlled two-cluster network.
+
+    With ``detailed=True`` returns ``(mean, std, samples)`` where samples
+    carry cut capacity, total capacity and ASPL per run (for Figures 10-11).
+    """
+    samples: list[ClusteredSample] = []
+    for child in spawn_seeds(seed, runs):
+        topo = two_cluster_random_topology(
+            num_large=config.num_large,
+            large_network_ports=config.large_ports - servers_per_large,
+            num_small=config.num_small,
+            small_network_ports=config.small_ports - servers_per_small,
+            servers_per_large=servers_per_large,
+            servers_per_small=servers_per_small,
+            cross_fraction=cross_fraction,
+            clamp_cross=True,
+            seed=child,
+        )
+        cut = cluster_cut_capacity(topo)
+        if not topo.is_connected():
+            samples.append(ClusteredSample(0.0, cut, topo.total_capacity, 0.0))
+            continue
+        traffic = random_permutation_traffic(topo, seed=child)
+        throughput = max_concurrent_flow(topo, traffic).throughput
+        samples.append(
+            ClusteredSample(
+                throughput=throughput,
+                cut_capacity=cut,
+                total_capacity=topo.total_capacity,
+                aspl=average_shortest_path_length(topo),
+            )
+        )
+    mean, std = mean_and_std(s.throughput for s in samples)
+    if detailed:
+        return mean, std, samples
+    return mean, std
+
+
+def mixed_speed_throughput(
+    config: TwoTypeConfig,
+    servers_per_large: int,
+    servers_per_small: int,
+    cross_fraction: float,
+    high_ports_per_large: int,
+    high_speed: float,
+    runs: int = 3,
+    seed=None,
+) -> tuple[float, float]:
+    """Mean/std throughput with extra high-line-speed ports on large switches.
+
+    ``config`` port counts refer to *low-speed* ports; the high-speed mesh
+    among large switches is additional equipment (§5.2's setting).
+    """
+
+    def one(seed_child) -> float:
+        topo = mixed_linespeed_topology(
+            num_large=config.num_large,
+            large_low_ports=config.large_ports - servers_per_large,
+            num_small=config.num_small,
+            small_low_ports=config.small_ports - servers_per_small,
+            servers_per_large=servers_per_large,
+            servers_per_small=servers_per_small,
+            high_ports_per_large=high_ports_per_large,
+            high_speed=high_speed,
+            cross_fraction=cross_fraction,
+            seed=seed_child,
+        )
+        if not topo.is_connected():
+            return 0.0
+        traffic = random_permutation_traffic(topo, seed=seed_child)
+        return max_concurrent_flow(topo, traffic).throughput
+
+    return mean_and_std(one(child) for child in spawn_seeds(seed, runs))

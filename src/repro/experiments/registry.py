@@ -1,0 +1,327 @@
+"""Registry mapping figure ids to experiment functions.
+
+Each entry records the CI-scale default callable and the keyword overrides
+that lift it to the paper's scale (``scale="paper"``). Paper-scale runs can
+take minutes to hours on a laptop — exactly the CPLEX-bound regime the
+original TopoBench tool operated in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import ExperimentError
+from repro.experiments import extra, fig01, fig02, fig03, fig04, fig05, fig06
+from repro.experiments import fig07, fig08, fig09, fig10, fig11, fig12, fig13
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered figure experiment."""
+
+    experiment_id: str
+    fn: Callable[..., ExperimentResult]
+    description: str
+    paper_kwargs: dict = field(default_factory=dict)
+
+
+_SPECS: dict[str, ExperimentSpec] = {}
+
+
+def _register(spec: ExperimentSpec) -> None:
+    _SPECS[spec.experiment_id] = spec
+
+
+_register(
+    ExperimentSpec(
+        "fig1a",
+        fig01.run_fig1a,
+        "RRG throughput vs upper bound, density sweep",
+        {"degrees": fig01.PAPER_DEGREES, "num_switches": 40},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig1b",
+        fig01.run_fig1b,
+        "RRG ASPL vs lower bound, density sweep",
+        {"degrees": fig01.PAPER_DEGREES, "num_switches": 40},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig2a",
+        fig02.run_fig2a,
+        "RRG throughput vs upper bound, size sweep",
+        {"sizes": fig02.PAPER_SIZES},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig2b",
+        fig02.run_fig2b,
+        "RRG ASPL vs lower bound, size sweep",
+        {"sizes": fig02.PAPER_SIZES},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig3",
+        fig03.run_fig3,
+        "ASPL bound step structure at degree 4",
+        {"sizes": fig03.PAPER_SIZES},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig4a",
+        fig04.run_fig4a,
+        "Server distribution sweep across port ratios",
+        {"configs": fig04.PAPER_FIG4A_CONFIGS},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig4b",
+        fig04.run_fig4b,
+        "Server distribution sweep across small-switch counts",
+        {"configs": fig04.PAPER_FIG4B_CONFIGS},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig4c",
+        fig04.run_fig4c,
+        "Server distribution sweep across oversubscription",
+        {"configs": fig04.PAPER_FIG4C_CONFIGS},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig5",
+        fig05.run_fig5,
+        "Power-law ports: servers proportional to degree^beta",
+        {"num_switches": 40, "mean_ports_options": fig05.PAPER_MEAN_PORTS},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig6a",
+        fig06.run_fig6a,
+        "Cross-cluster sweep across port ratios",
+        {"configs": fig06.PAPER_FIG6A_CONFIGS},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig6b",
+        fig06.run_fig6b,
+        "Cross-cluster sweep across small-switch counts",
+        {"configs": fig06.PAPER_FIG6B_CONFIGS},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig6c",
+        fig06.run_fig6c,
+        "Cross-cluster sweep across oversubscription",
+        {"configs": fig06.PAPER_FIG6C_CONFIGS},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig7a",
+        fig07.run_fig7a,
+        "Combined placement x interconnect sweep (3:1 ports)",
+        {"config": fig07.PAPER_FIG7A_CONFIG},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig7b",
+        fig07.run_fig7b,
+        "Combined placement x interconnect sweep (3:2 ports)",
+        {"config": fig07.PAPER_FIG7B_CONFIG},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig8a",
+        fig08.run_fig8a,
+        "Mixed line-speeds: splits x cross sweep",
+        {
+            "config": fig08.PAPER_FIG8_CONFIG,
+            "high_ports_per_large": 3,
+            "high_speed": 10.0,
+        },
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig8b",
+        fig08.run_fig8b,
+        "Mixed line-speeds: high-speed multiplier sweep",
+        {
+            "config": fig08.PAPER_FIG8_CONFIG,
+            "high_ports_per_large": 6,
+            "speeds": (2.0, 4.0, 8.0),
+        },
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig8c",
+        fig08.run_fig8c,
+        "Mixed line-speeds: high-port count sweep",
+        {
+            "config": fig08.PAPER_FIG8_CONFIG,
+            "high_counts": (3, 6, 9),
+            "high_speed": 4.0,
+        },
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig9a",
+        fig09.run_fig9a,
+        "Decomposition along server placement",
+        {"config": fig09.PAPER_FIG4C_CONFIGS[0]},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig9b",
+        fig09.run_fig9b,
+        "Decomposition along cross-cluster connectivity",
+        {"config": fig09.PAPER_FIG4C_CONFIGS[1]},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig9c",
+        fig09.run_fig9c,
+        "Decomposition along mixed-speed cross sweep",
+        {"config": fig09.PAPER_FIG8_CONFIG, "high_ports_per_large": 3},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig10a",
+        fig10.run_fig10a,
+        "Eqn-1 bound vs observed (uniform line-speed)",
+        {"cases": fig10.PAPER_UNIFORM_CASES},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig10b",
+        fig10.run_fig10b,
+        "Eqn-1 bound vs observed (mixed line-speeds)",
+        {},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig11",
+        fig11.run_fig11,
+        "C-bar-star thresholds across configurations",
+        {"configs": fig11.paper_configs()},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig12a",
+        fig12.run_fig12a,
+        "Rewired VL2 vs VL2, permutation traffic",
+        {
+            "da_values": fig12.PAPER_DA_VALUES,
+            "di_values": fig12.PAPER_DI_VALUES,
+            "servers_per_tor": 20,
+        },
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig12b",
+        fig12.run_fig12b,
+        "Rewired VL2 under chunky traffic",
+        {"da_values": fig12.PAPER_DA_VALUES, "di": 28, "servers_per_tor": 20},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig12c",
+        fig12.run_fig12c,
+        "Rewired VL2 vs VL2 under harder workloads",
+        {"da_values": fig12.PAPER_DA_VALUES, "di": 28, "servers_per_tor": 20},
+    )
+)
+_register(
+    ExperimentSpec(
+        "fig13",
+        fig13.run_fig13,
+        "Packet-level MPTCP vs flow-level LP",
+        {"da_values": fig13.PAPER_DA_VALUES, "di": 8, "servers_per_tor": 20},
+    )
+)
+
+
+_register(
+    ExperimentSpec(
+        "extra-routing",
+        extra.run_extra_routing,
+        "Extension: ECMP / multipath / optimal routing comparison",
+        {"num_switches": 24, "degrees": (4, 6, 8, 10, 12)},
+    )
+)
+_register(
+    ExperimentSpec(
+        "extra-cabling",
+        extra.run_extra_cabling,
+        "Extension: cable length vs throughput across cross-cluster bias",
+        {"num_per_cluster": 16, "network_ports": 12, "servers_per_switch": 6},
+    )
+)
+_register(
+    ExperimentSpec(
+        "extra-latency",
+        extra.run_extra_latency,
+        "Extension: packet delay percentiles vs offered load",
+        {"num_switches": 16, "degree": 6, "loads": (2, 4, 8, 12)},
+    )
+)
+
+
+def available_experiments() -> list[str]:
+    """Sorted experiment ids."""
+    return sorted(_SPECS)
+
+
+def describe_experiments() -> list[tuple[str, str]]:
+    """(id, description) pairs, sorted by id."""
+    return [(eid, _SPECS[eid].description) for eid in available_experiments()]
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "default", **overrides
+) -> ExperimentResult:
+    """Run a registered experiment.
+
+    ``scale="paper"`` applies the paper-scale parameter overrides before
+    any explicit ``overrides``.
+    """
+    spec = _SPECS.get(experiment_id)
+    if spec is None:
+        known = ", ".join(available_experiments())
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        )
+    if scale not in ("default", "paper"):
+        raise ExperimentError(f"unknown scale {scale!r}; use 'default' or 'paper'")
+    kwargs: dict = {}
+    if scale == "paper":
+        kwargs.update(spec.paper_kwargs)
+    kwargs.update(overrides)
+    return spec.fn(**kwargs)

@@ -1,0 +1,120 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments run fig1a fig1b --runs 3 --seed 0
+    repro-experiments run fig12a --paper
+    repro-experiments run all --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import (
+    available_experiments,
+    describe_experiments,
+    run_experiment,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the figures of 'High Throughput Data Center Topology "
+            "Design' (NSDI 2014)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    analyze = sub.add_parser(
+        "analyze", help="analyze a serialized topology (JSON) under a workload"
+    )
+    analyze.add_argument("topology", help="path to a topology JSON file")
+    analyze.add_argument(
+        "--traffic",
+        default="permutation",
+        choices=["permutation", "none"],
+        help="workload to solve (default: random permutation)",
+    )
+    analyze.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (e.g. fig1a fig12a) or 'all'",
+    )
+    run.add_argument(
+        "--paper",
+        action="store_true",
+        help="use paper-scale parameters (slow; minutes to hours)",
+    )
+    run.add_argument("--runs", type=int, default=None, help="runs per point")
+    run.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    run.add_argument(
+        "--out", type=str, default=None, help="also append tables to this file"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for eid, description in describe_experiments():
+            print(f"{eid:8s}  {description}")
+        return 0
+
+    if args.command == "analyze":
+        from repro.analysis.report import analyze_network
+        from repro.topology.serialization import load_topology
+
+        topo = load_topology(args.topology)
+        traffic = None if args.traffic == "none" else args.traffic
+        analysis = analyze_network(topo, traffic=traffic, seed=args.seed)
+        print(analysis.to_text())
+        return 0
+
+    ids = list(args.experiments)
+    if ids == ["all"]:
+        ids = available_experiments()
+    unknown = [eid for eid in ids if eid not in available_experiments()]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    overrides: dict = {}
+    if args.runs is not None:
+        overrides["runs"] = args.runs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    scale = "paper" if args.paper else "default"
+
+    exit_code = 0
+    for eid in ids:
+        start = time.time()
+        try:
+            result = run_experiment(eid, scale=scale, **overrides)
+        except Exception as exc:  # surface which figure failed, keep going
+            print(f"!! {eid} failed: {exc}", file=sys.stderr)
+            exit_code = 1
+            continue
+        elapsed = time.time() - start
+        table = result.to_table()
+        print(table)
+        print(f"   ({elapsed:.1f}s)\n")
+        if args.out:
+            with open(args.out, "a", encoding="utf-8") as handle:
+                handle.write(table + f"\n   ({elapsed:.1f}s)\n\n")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

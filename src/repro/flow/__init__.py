@@ -1,0 +1,48 @@
+"""Max concurrent multi-commodity flow engines.
+
+Throughput in the paper is the optimum of the standard maximum concurrent
+flow problem: maximize ``t`` such that every source-destination pair with
+demand ``d`` simultaneously receives ``t * d`` units of fluid, splittable
+flow within link capacities. Maximizing the minimum flow builds fairness
+into the metric itself.
+
+Three engines are provided:
+
+- :func:`~repro.flow.edge_lp.max_concurrent_flow` — exact arc-based LP
+  (scipy HiGHS) with commodities aggregated by source switch,
+- :func:`~repro.flow.path_lp.max_concurrent_flow_paths` — LP restricted to
+  k-shortest path sets (a fast lower bound, and the model MPTCP-over-
+  shortest-paths approximates),
+- :func:`~repro.flow.approx.garg_koenemann_throughput` — the
+  Garg–Könemann (1-ε) combinatorial approximation, no LP solver needed.
+"""
+
+from repro.flow.result import ThroughputResult
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.flow.path_lp import max_concurrent_flow_paths
+from repro.flow.approx import garg_koenemann_throughput
+from repro.flow.ecmp import ecmp_throughput
+from repro.flow.decomposition import (
+    ThroughputDecomposition,
+    decompose_throughput,
+    group_utilization,
+)
+from repro.flow.path_decomposition import (
+    PathFlow,
+    decompose_arc_flows,
+    decompose_commodity_flows,
+)
+
+__all__ = [
+    "ThroughputResult",
+    "max_concurrent_flow",
+    "max_concurrent_flow_paths",
+    "garg_koenemann_throughput",
+    "ecmp_throughput",
+    "ThroughputDecomposition",
+    "decompose_throughput",
+    "group_utilization",
+    "PathFlow",
+    "decompose_arc_flows",
+    "decompose_commodity_flows",
+]

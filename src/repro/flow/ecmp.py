@@ -1,0 +1,125 @@
+"""ECMP fluid throughput: equal splitting over shortest paths.
+
+The paper (and Jellyfish before it) evaluates topologies under *optimal*
+routing; real fabrics usually run ECMP, which hashes flows uniformly over
+shortest paths only. This module computes the fluid-limit throughput of two
+ECMP idealizations:
+
+- ``per-hop`` (default): at every switch, traffic toward a destination
+  splits equally across all shortest-path next hops — exactly the fixed
+  point of per-packet ECMP hashing,
+- ``per-path``: demand splits equally over the set of end-to-end shortest
+  paths (an idealization closer to flowlet/WCMP-style balancing).
+
+Both produce deterministic arc loads for a demand matrix; the reported
+throughput is the largest ``t`` such that ``t x`` loads fit in capacity,
+i.e. ``min over arcs of capacity / load``. Comparing against
+:func:`repro.flow.edge_lp.max_concurrent_flow` quantifies how much of the
+optimal throughput ECMP forfeits on a given topology (substantial on random
+graphs — the Jellyfish finding that motivated MPTCP over k-shortest paths).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FlowError
+from repro.flow.result import ThroughputResult
+from repro.metrics.paths import all_shortest_paths, shortest_path_lengths_from
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+
+#: Cap on enumerated paths per pair in per-path mode (shortest-path counts
+#: can grow combinatorially).
+MAX_PATHS_PER_PAIR = 256
+
+
+def ecmp_throughput(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    mode: str = "per-hop",
+) -> ThroughputResult:
+    """Fluid ECMP throughput for a traffic matrix.
+
+    Returns a :class:`ThroughputResult` whose arc flows are the ECMP loads
+    scaled by the achieved ``t`` (so utilization/decomposition helpers work
+    unchanged). ``exact=False``: ECMP is a restricted routing policy.
+    """
+    if mode not in ("per-hop", "per-path"):
+        raise FlowError(f"unknown ECMP mode {mode!r}")
+    traffic.validate_against(topo.switches)
+    if not traffic.demands:
+        raise FlowError("traffic matrix has no network demands")
+
+    arcs = topo.arcs()
+    loads = {(u, v): 0.0 for u, v, _ in arcs}
+    caps = {(u, v): float(cap) for u, v, cap in arcs}
+
+    if mode == "per-hop":
+        _accumulate_per_hop(topo, traffic, loads)
+    else:
+        _accumulate_per_path(topo, traffic, loads)
+
+    throughput = float("inf")
+    for arc, load in loads.items():
+        if load > 0:
+            throughput = min(throughput, caps[arc] / load)
+    if throughput == float("inf"):
+        raise FlowError("no demand produced any load")
+    arc_flows = {arc: load * throughput for arc, load in loads.items()}
+    return ThroughputResult(
+        throughput=throughput,
+        arc_flows=arc_flows,
+        arc_capacities=caps,
+        total_demand=traffic.total_demand,
+        solver=f"ecmp-{mode}",
+        exact=False,
+    )
+
+
+def _accumulate_per_hop(
+    topo: Topology, traffic: TrafficMatrix, loads: dict
+) -> None:
+    """Per-destination equal next-hop splitting (true ECMP fixed point)."""
+    by_destination: dict = {}
+    for (u, v), units in traffic.demands.items():
+        by_destination.setdefault(v, {})[u] = units
+    for destination, sources in by_destination.items():
+        dist = shortest_path_lengths_from(topo, destination)
+        arrived: dict = {}
+        for source, units in sources.items():
+            if source not in dist:
+                raise FlowError(
+                    f"demand {source!r}->{destination!r} has no path"
+                )
+            arrived[source] = arrived.get(source, 0.0) + float(units)
+        # The shortest-path DAG toward `destination` only has arcs from
+        # farther nodes to strictly closer ones, so one pass over nodes in
+        # decreasing distance order sees all of a node's incoming mass
+        # before splitting it across its next hops.
+        for node in sorted(dist, key=lambda n: -dist[n]):
+            amount = arrived.get(node, 0.0)
+            if amount <= 0 or node == destination:
+                continue
+            next_hops = [
+                neighbor
+                for neighbor in topo.neighbors(node)
+                if dist.get(neighbor, float("inf")) == dist[node] - 1
+            ]
+            share = amount / len(next_hops)
+            for neighbor in next_hops:
+                loads[(node, neighbor)] += share
+                arrived[neighbor] = arrived.get(neighbor, 0.0) + share
+            arrived[node] = 0.0
+
+
+def _accumulate_per_path(
+    topo: Topology, traffic: TrafficMatrix, loads: dict
+) -> None:
+    """Equal split over the enumerated shortest-path set of each pair."""
+    for (u, v), units in traffic.demands.items():
+        paths = list(all_shortest_paths(topo, u, v, limit=MAX_PATHS_PER_PAIR))
+        if not paths:
+            raise FlowError(f"demand {u!r}->{v!r} has no path")
+        share = float(units) / len(paths)
+        for path in paths:
+            for a, b in zip(path[:-1], path[1:]):
+                loads[(a, b)] += share

@@ -1,0 +1,233 @@
+"""Exact max concurrent flow via an arc-based linear program.
+
+This replaces the paper's CPLEX runs with scipy's HiGHS solver. The model is
+the standard maximum concurrent multi-commodity flow LP:
+
+    maximize    t
+    subject to  flow conservation per commodity group and node,
+                sum of flows on every arc <= its capacity,
+                each pair (u, v) with demand d receives t * d.
+
+Commodities are *aggregated by source switch*: for concurrent flow with a
+shared scale factor ``t``, all demands out of one source can share a flow
+variable per arc, which shrinks the LP by a factor of ~#switches relative
+to per-pair commodities without changing the optimum. The ablation
+benchmark ``bench_ablation_aggregation`` verifies the equivalence
+empirically; tests verify it exactly on small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.exceptions import FlowError, SolverError
+from repro.flow.result import ThroughputResult
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+
+
+def max_concurrent_flow(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    aggregate_by_source: bool = True,
+    keep_commodity_flows: bool = False,
+) -> ThroughputResult:
+    """Solve the exact max concurrent flow problem.
+
+    Parameters
+    ----------
+    topo:
+        The network. Every demand endpoint must be a switch in it.
+    traffic:
+        Switch-level demand matrix. Must contain at least one network
+        demand.
+    aggregate_by_source:
+        Use one commodity per source switch (default, recommended). Setting
+        ``False`` builds one commodity per demand pair — exponentially
+        larger input, same optimum; retained for the aggregation ablation.
+    keep_commodity_flows:
+        Also record per-commodity arc flows on the result (keyed by source
+        switch). Required by exact path decomposition
+        (:mod:`repro.flow.path_decomposition`); costs O(commodities x arcs)
+        memory.
+
+    Returns
+    -------
+    ThroughputResult
+        With per-arc flows summed over commodities; ``exact=True``.
+    """
+    traffic.validate_against(topo.switches)
+    if not traffic.demands:
+        raise FlowError("traffic matrix has no network demands")
+
+    arcs = topo.arcs()
+    if not arcs:
+        raise FlowError("topology has no links")
+    if aggregate_by_source:
+        commodities = _aggregate_by_source(traffic)
+    else:
+        commodities = [
+            (u, {v: units}) for (u, v), units in sorted(
+                traffic.demands.items(), key=lambda kv: (repr(kv[0][0]), repr(kv[0][1]))
+            )
+        ]
+    return _solve(
+        topo,
+        arcs,
+        commodities,
+        traffic,
+        solver_label="edge-lp",
+        keep_commodity_flows=keep_commodity_flows,
+    )
+
+
+def _aggregate_by_source(traffic: TrafficMatrix) -> list[tuple]:
+    """Group demands into one commodity per source switch."""
+    by_source: dict = {}
+    for (u, v), units in traffic.demands.items():
+        by_source.setdefault(u, {})[v] = units
+    return sorted(by_source.items(), key=lambda kv: repr(kv[0]))
+
+
+def _solve(
+    topo: Topology,
+    arcs: list,
+    commodities: list,
+    traffic: TrafficMatrix,
+    solver_label: str,
+    keep_commodity_flows: bool = False,
+) -> ThroughputResult:
+    nodes = topo.switches
+    node_index = {node: i for i, node in enumerate(nodes)}
+    num_nodes = len(nodes)
+    num_arcs = len(arcs)
+    num_commodities = len(commodities)
+    num_vars = num_commodities * num_arcs + 1  # + throughput variable t
+    t_col = num_vars - 1
+
+    arc_tail = np.fromiter(
+        (node_index[u] for u, _, _ in arcs), dtype=np.int64, count=num_arcs
+    )
+    arc_head = np.fromiter(
+        (node_index[v] for _, v, _ in arcs), dtype=np.int64, count=num_arcs
+    )
+    capacities = np.fromiter(
+        (cap for _, _, cap in arcs), dtype=np.float64, count=num_arcs
+    )
+
+    # Equality rows: conservation for every commodity at every node except
+    # the commodity's source (the source row is implied by the others).
+    eq_rows: list[np.ndarray] = []
+    eq_cols: list[np.ndarray] = []
+    eq_vals: list[np.ndarray] = []
+    row_base = 0
+    num_eq_rows = num_commodities * (num_nodes - 1)
+    for k, (source, dests) in enumerate(commodities):
+        src_idx = node_index[source]
+        # Map node -> conservation row id for this commodity (source skipped).
+        node_rows = np.empty(num_nodes, dtype=np.int64)
+        row = row_base
+        for i in range(num_nodes):
+            if i == src_idx:
+                node_rows[i] = -1
+            else:
+                node_rows[i] = row
+                row += 1
+        col_base = k * num_arcs
+        arc_cols = np.arange(col_base, col_base + num_arcs, dtype=np.int64)
+
+        head_rows = node_rows[arc_head]
+        mask = head_rows >= 0
+        eq_rows.append(head_rows[mask])
+        eq_cols.append(arc_cols[mask])
+        eq_vals.append(np.ones(int(mask.sum())))
+
+        tail_rows = node_rows[arc_tail]
+        mask = tail_rows >= 0
+        eq_rows.append(tail_rows[mask])
+        eq_cols.append(arc_cols[mask])
+        eq_vals.append(-np.ones(int(mask.sum())))
+
+        # Demand terms: inflow - outflow - t * demand(v) = 0 at each dest.
+        dest_rows = np.fromiter(
+            (node_rows[node_index[v]] for v in dests), dtype=np.int64, count=len(dests)
+        )
+        if np.any(dest_rows < 0):
+            raise FlowError(f"commodity {source!r} demands traffic to itself")
+        eq_rows.append(dest_rows)
+        eq_cols.append(np.full(len(dests), t_col, dtype=np.int64))
+        eq_vals.append(
+            -np.fromiter(dests.values(), dtype=np.float64, count=len(dests))
+        )
+        row_base += num_nodes - 1
+
+    a_eq = sparse.coo_matrix(
+        (
+            np.concatenate(eq_vals),
+            (np.concatenate(eq_rows), np.concatenate(eq_cols)),
+        ),
+        shape=(num_eq_rows, num_vars),
+    ).tocsr()
+    b_eq = np.zeros(num_eq_rows)
+
+    # Capacity rows: sum over commodities of flow on arc a <= capacity(a).
+    ub_rows = np.tile(np.arange(num_arcs, dtype=np.int64), num_commodities)
+    ub_cols = np.arange(num_commodities * num_arcs, dtype=np.int64)
+    a_ub = sparse.coo_matrix(
+        (np.ones(num_commodities * num_arcs), (ub_rows, ub_cols)),
+        shape=(num_arcs, num_vars),
+    ).tocsr()
+    b_ub = capacities
+
+    objective = np.zeros(num_vars)
+    objective[t_col] = -1.0  # linprog minimizes
+
+    outcome = linprog(
+        objective,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=(0, None),
+        method="highs",
+    )
+    if not outcome.success:
+        raise SolverError(
+            f"HiGHS failed on {topo.name!r} / {traffic.name!r}: {outcome.message}"
+        )
+
+    solution = np.asarray(outcome.x)
+    throughput = float(solution[t_col])
+    per_commodity = solution[:t_col].reshape(num_commodities, num_arcs)
+    per_arc = per_commodity.sum(axis=0)
+    arc_flows = {
+        (arcs[a][0], arcs[a][1]): float(per_arc[a]) for a in range(num_arcs)
+    }
+    arc_caps = {(u, v): float(cap) for u, v, cap in arcs}
+    commodity_flows = None
+    if keep_commodity_flows:
+        commodity_flows = {}
+        for k, (source, _) in enumerate(commodities):
+            flows_k = {
+                (arcs[a][0], arcs[a][1]): float(per_commodity[k, a])
+                for a in range(num_arcs)
+                if per_commodity[k, a] > 1e-12
+            }
+            # Per-pair commodities can repeat a source; merge their flows.
+            if source in commodity_flows:
+                merged = commodity_flows[source]
+                for arc, value in flows_k.items():
+                    merged[arc] = merged.get(arc, 0.0) + value
+            else:
+                commodity_flows[source] = flows_k
+    return ThroughputResult(
+        throughput=throughput,
+        arc_flows=arc_flows,
+        arc_capacities=arc_caps,
+        total_demand=traffic.total_demand,
+        solver=solver_label,
+        exact=True,
+        commodity_flows=commodity_flows,
+    )

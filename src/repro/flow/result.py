@@ -1,0 +1,138 @@
+"""Result container shared by all flow engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.exceptions import FlowError
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of a max concurrent flow computation.
+
+    Attributes
+    ----------
+    throughput:
+        The concurrent rate ``t``: every demand pair ``(u, v)`` with demand
+        ``d`` receives ``t * d`` units. For unit server flows this is the
+        paper's per-flow throughput.
+    arc_flows:
+        Mapping directed arc ``(u, v)`` -> total flow routed on it (summed
+        over commodities).
+    arc_capacities:
+        Mapping directed arc ``(u, v)`` -> capacity.
+    total_demand:
+        Sum of demand units across pairs.
+    solver:
+        Engine label ("edge-lp", "path-lp", "garg-koenemann").
+    exact:
+        Whether ``throughput`` is the true optimum (False for restricted
+        path sets and approximations, which give lower bounds).
+    """
+
+    throughput: float
+    arc_flows: dict = field(default_factory=dict)
+    arc_capacities: dict = field(default_factory=dict)
+    total_demand: float = 0.0
+    solver: str = "unknown"
+    exact: bool = True
+    #: Optional per-commodity arc flows: {source -> {arc -> flow}}. Only
+    #: populated when the solver is asked to keep them (needed for exact
+    #: path decomposition); ``None`` otherwise.
+    commodity_flows: "dict | None" = None
+
+    @property
+    def total_capacity(self) -> float:
+        """Network capacity summed over directed arcs (the paper's ``C``)."""
+        return float(sum(self.arc_capacities.values()))
+
+    @property
+    def total_flow_volume(self) -> float:
+        """Flow-hops: total flow summed over directed arcs."""
+        return float(sum(self.arc_flows.values()))
+
+    @property
+    def utilization(self) -> float:
+        """Capacity-weighted average link utilization ``U``."""
+        cap = self.total_capacity
+        if cap <= 0:
+            raise FlowError("result has no capacity; cannot compute utilization")
+        return self.total_flow_volume / cap
+
+    @property
+    def delivered_rate(self) -> float:
+        """Aggregate delivered traffic, ``t * total_demand``."""
+        return self.throughput * self.total_demand
+
+    @property
+    def mean_routed_path_length(self) -> float:
+        """Average hops per delivered unit, weighted by flow volume.
+
+        Equal to flow-hops divided by delivered rate; undefined (raises) when
+        nothing was delivered.
+        """
+        delivered = self.delivered_rate
+        if delivered <= 0:
+            raise FlowError("no traffic delivered; routed path length undefined")
+        return self.total_flow_volume / delivered
+
+    def arc_utilization(self, u, v) -> float:
+        """Utilization of the directed arc ``(u, v)``."""
+        key = (u, v)
+        if key not in self.arc_capacities:
+            raise FlowError(f"unknown arc {key!r}")
+        cap = self.arc_capacities[key]
+        return self.arc_flows.get(key, 0.0) / cap
+
+    def link_utilization(self, u, v) -> float:
+        """Utilization of the undirected link: max over the two directions."""
+        return max(self.arc_utilization(u, v), self.arc_utilization(v, u))
+
+    def utilizations(self) -> dict:
+        """Mapping of every directed arc to its utilization."""
+        return {
+            arc: self.arc_flows.get(arc, 0.0) / cap
+            for arc, cap in self.arc_capacities.items()
+        }
+
+    def max_utilization(self) -> float:
+        """Highest per-arc utilization (1.0 at a saturated bottleneck)."""
+        return max(self.utilizations().values(), default=0.0)
+
+    def filtered_utilization(self, predicate: Callable[[object, object], bool]) -> float:
+        """Capacity-weighted utilization over arcs where ``predicate(u, v)``.
+
+        Used to localize bottlenecks, e.g. "average utilization of
+        cross-cluster links".
+        """
+        flow = 0.0
+        cap = 0.0
+        for (u, v), capacity in self.arc_capacities.items():
+            if predicate(u, v):
+                cap += capacity
+                flow += self.arc_flows.get((u, v), 0.0)
+        if cap <= 0:
+            raise FlowError("no arcs match the predicate")
+        return flow / cap
+
+    def validate_feasibility(self, tolerance: float = 1e-6) -> None:
+        """Assert no arc carries more than its capacity (plus tolerance)."""
+        for arc, flow in self.arc_flows.items():
+            cap = self.arc_capacities.get(arc)
+            if cap is None:
+                raise FlowError(f"flow on unknown arc {arc!r}")
+            if flow > cap * (1 + tolerance) + tolerance:
+                raise FlowError(
+                    f"arc {arc!r} overloaded: flow {flow:.6f} > capacity {cap:.6f}"
+                )
+
+    def summary(self) -> "Mapping[str, float]":
+        """Headline numbers as a plain dict (for printing/reporting)."""
+        return {
+            "throughput": self.throughput,
+            "total_capacity": self.total_capacity,
+            "utilization": self.utilization if self.total_capacity > 0 else 0.0,
+            "delivered_rate": self.delivered_rate,
+        }

@@ -1,0 +1,170 @@
+"""Cut metrics: bisection bandwidth and sparsest cuts.
+
+§6 of the paper argues bisection bandwidth is a poor throughput predictor
+while the (non-uniform) sparsest cut governs the bottleneck regime. These
+helpers compute exact cuts by brute force on small networks and fall back to
+spectral (Fiedler-vector sweep) heuristics on larger ones.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.metrics.spectral import fiedler_vector
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+
+#: Largest switch count for which exact enumeration over subsets is used.
+EXACT_CUT_LIMIT = 18
+
+
+def cut_capacity(topo: Topology, side: set) -> float:
+    """Capacity crossing between ``side`` and its complement (both ways)."""
+    side = set(side)
+    unknown = [v for v in side if v not in topo]
+    if unknown:
+        raise TopologyError(f"unknown switches in cut side: {unknown!r}")
+    other = [v for v in topo.switches if v not in side]
+    return topo.cut_capacity(side, other)
+
+
+def _sweep_cuts(topo: Topology) -> list[set]:
+    """Candidate cuts from a Fiedler-vector sweep (sorted prefixes)."""
+    order = fiedler_vector(topo)
+    ranked = [node for node, _ in sorted(order.items(), key=lambda kv: kv[1])]
+    return [set(ranked[:i]) for i in range(1, len(ranked))]
+
+
+def bisection_bandwidth(
+    topo: Topology, exact_limit: int = EXACT_CUT_LIMIT, attempts: int = 200, seed=None
+) -> float:
+    """Minimum capacity crossing any balanced bipartition.
+
+    Exact for ``num_switches <= exact_limit`` (enumeration); otherwise the
+    minimum over a Fiedler sweep's balanced prefix and random balanced
+    bipartitions — an upper bound on the true bisection bandwidth.
+    """
+    nodes = topo.switches
+    n = len(nodes)
+    if n < 2:
+        raise TopologyError("bisection needs at least 2 switches")
+    half = n // 2
+    if n <= exact_limit:
+        best = float("inf")
+        for side in combinations(nodes, half):
+            best = min(best, cut_capacity(topo, set(side)))
+        return best
+
+    rng = np.random.default_rng(seed)
+    best = float("inf")
+    order = fiedler_vector(topo)
+    ranked = [node for node, _ in sorted(order.items(), key=lambda kv: kv[1])]
+    best = min(best, cut_capacity(topo, set(ranked[:half])))
+    node_list = list(nodes)
+    for _ in range(attempts):
+        perm = rng.permutation(n)
+        side = {node_list[int(i)] for i in perm[:half]}
+        best = min(best, cut_capacity(topo, side))
+    return best
+
+
+def uniform_sparsest_cut(
+    topo: Topology, exact_limit: int = EXACT_CUT_LIMIT
+) -> tuple[float, set]:
+    """Uniform sparsest cut: min over S of cap(S, S̄) / (|S| * |S̄|).
+
+    Returns ``(value, side)``. Exact by enumeration for small networks,
+    Fiedler-sweep upper bound otherwise.
+    """
+    nodes = topo.switches
+    n = len(nodes)
+    if n < 2:
+        raise TopologyError("sparsest cut needs at least 2 switches")
+
+    def ratio(side: set) -> float:
+        size = len(side)
+        return cut_capacity(topo, side) / (size * (n - size))
+
+    best_val = float("inf")
+    best_side: set = set()
+    if n <= exact_limit:
+        anchor = nodes[0]
+        rest = nodes[1:]
+        # Fixing one node on a side halves the enumeration (complementary
+        # cuts have equal ratios).
+        for size in range(0, n - 1):
+            for extra in combinations(rest, size):
+                side = {anchor, *extra}
+                if len(side) == n:
+                    continue
+                value = ratio(side)
+                if value < best_val:
+                    best_val = value
+                    best_side = side
+        return best_val, best_side
+
+    for side in _sweep_cuts(topo):
+        value = ratio(side)
+        if value < best_val:
+            best_val = value
+            best_side = side
+    return best_val, best_side
+
+
+def nonuniform_sparsest_cut(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    exact_limit: int = EXACT_CUT_LIMIT,
+) -> tuple[float, set]:
+    """Non-uniform sparsest cut: min over S of Cap(S) / Dem(S).
+
+    ``Dem(S)`` counts demand units separated by the cut (in either
+    direction), matching Theorem 3's demand graph formulation. Subsets
+    separating no demand are skipped. Exact for small networks; Fiedler
+    sweep otherwise.
+    """
+    nodes = topo.switches
+    n = len(nodes)
+    if n < 2:
+        raise TopologyError("sparsest cut needs at least 2 switches")
+    if not traffic.demands:
+        raise TopologyError("traffic matrix has no network demands")
+
+    def demand_across(side: set) -> float:
+        total = 0.0
+        for (u, v), units in traffic.demands.items():
+            if (u in side) != (v in side):
+                total += units
+        return total
+
+    def ratio(side: set) -> float:
+        dem = demand_across(side)
+        if dem <= 0:
+            return float("inf")
+        return cut_capacity(topo, side) / dem
+
+    best_val = float("inf")
+    best_side: set = set()
+    if n <= exact_limit:
+        anchor = nodes[0]
+        rest = nodes[1:]
+        for size in range(0, n - 1):
+            for extra in combinations(rest, size):
+                side = {anchor, *extra}
+                if len(side) == n:
+                    continue
+                value = ratio(side)
+                if value < best_val:
+                    best_val = value
+                    best_side = side
+        return best_val, best_side
+
+    for side in _sweep_cuts(topo):
+        value = ratio(side)
+        if value < best_val:
+            best_val = value
+            best_side = side
+    return best_val, best_side

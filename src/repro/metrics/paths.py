@@ -1,0 +1,228 @@
+"""Shortest-path metrics over topologies.
+
+Path lengths are measured in switch-to-switch hops (link capacities do not
+affect distance), matching the paper's ``<D>`` and the Cerf et al. bound it
+is compared against. Includes a self-contained Yen's algorithm for the
+k-shortest simple paths used by the path-restricted LP and the MPTCP
+simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Iterator
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+from repro.util.validation import check_positive_int
+
+
+def shortest_path_lengths_from(topo: Topology, source) -> dict:
+    """Hop distances from ``source`` to every reachable switch (BFS)."""
+    if source not in topo:
+        raise TopologyError(f"switch {source!r} does not exist")
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in topo.neighbors(node):
+            if neighbor not in dist:
+                dist[neighbor] = dist[node] + 1
+                frontier.append(neighbor)
+    return dist
+
+
+def all_pairs_shortest_lengths(topo: Topology) -> dict:
+    """Mapping node -> {node -> hop distance} over reachable pairs."""
+    return {v: shortest_path_lengths_from(topo, v) for v in topo.switches}
+
+
+def average_shortest_path_length(topo: Topology) -> float:
+    """ASPL over all ordered pairs of distinct switches (the paper's ``<D>``).
+
+    Raises :class:`TopologyError` on disconnected or single-switch networks,
+    where the quantity is undefined.
+    """
+    nodes = topo.switches
+    if len(nodes) < 2:
+        raise TopologyError("ASPL is undefined for fewer than 2 switches")
+    total = 0
+    count = 0
+    for source in nodes:
+        dist = shortest_path_lengths_from(topo, source)
+        if len(dist) != len(nodes):
+            raise TopologyError(
+                f"topology {topo.name!r} is disconnected; ASPL undefined"
+            )
+        total += sum(dist.values())
+        count += len(nodes) - 1
+    return total / count
+
+
+def diameter(topo: Topology) -> int:
+    """Longest shortest-path distance between any switch pair."""
+    nodes = topo.switches
+    if len(nodes) < 2:
+        raise TopologyError("diameter is undefined for fewer than 2 switches")
+    worst = 0
+    for source in nodes:
+        dist = shortest_path_lengths_from(topo, source)
+        if len(dist) != len(nodes):
+            raise TopologyError(
+                f"topology {topo.name!r} is disconnected; diameter undefined"
+            )
+        worst = max(worst, max(dist.values()))
+    return worst
+
+
+def path_length_histogram(topo: Topology) -> dict[int, int]:
+    """Mapping hop distance -> number of ordered switch pairs at it."""
+    hist: dict[int, int] = {}
+    for source in topo.switches:
+        dist = shortest_path_lengths_from(topo, source)
+        for node, d in dist.items():
+            if node == source:
+                continue
+            hist[d] = hist.get(d, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def demand_weighted_aspl(topo: Topology, traffic: TrafficMatrix) -> float:
+    """Average hop distance across demand pairs, weighted by demand units.
+
+    This is the ``<D>`` that enters the throughput decomposition for a
+    concrete workload; for uniform workloads over evenly spread servers it
+    coincides with the unweighted ASPL up to sampling noise.
+    """
+    if not traffic.demands:
+        raise TopologyError("traffic matrix has no network demands")
+    by_source: dict = {}
+    for (u, v), units in traffic.demands.items():
+        by_source.setdefault(u, []).append((v, units))
+    weighted = 0.0
+    total_units = 0.0
+    for source, dests in by_source.items():
+        dist = shortest_path_lengths_from(topo, source)
+        for v, units in dests:
+            if v not in dist:
+                raise TopologyError(
+                    f"demand {source!r}->{v!r} has no path in {topo.name!r}"
+                )
+            weighted += units * dist[v]
+            total_units += units
+    return weighted / total_units
+
+
+# ----------------------------------------------------------------------
+# Path enumeration
+# ----------------------------------------------------------------------
+def _bfs_path(adjacency: dict, source, target, banned_nodes: set, banned_edges: set):
+    """Shortest path avoiding banned nodes/edges; None if unreachable."""
+    if source == target:
+        return [source]
+    parent = {source: None}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in adjacency[node]:
+            if neighbor in parent or neighbor in banned_nodes:
+                continue
+            if (node, neighbor) in banned_edges:
+                continue
+            parent[neighbor] = node
+            if neighbor == target:
+                path = [neighbor]
+                while parent[path[-1]] is not None:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            frontier.append(neighbor)
+    return None
+
+
+def k_shortest_paths(topo: Topology, source, target, k: int) -> list[list]:
+    """Yen's algorithm: up to ``k`` shortest simple paths (by hops).
+
+    Returns fewer than ``k`` paths when the graph does not contain that many
+    simple paths. Ties are broken deterministically by path node sequence.
+    """
+    check_positive_int(k, "k")
+    for node in (source, target):
+        if node not in topo:
+            raise TopologyError(f"switch {node!r} does not exist")
+    if source == target:
+        raise TopologyError("source and target must differ")
+    adjacency = {v: sorted(topo.neighbors(v), key=repr) for v in topo.switches}
+
+    first = _bfs_path(adjacency, source, target, set(), set())
+    if first is None:
+        return []
+    accepted: list[list] = [first]
+    candidates: list[tuple[int, list, list]] = []  # (length, tiebreak, path)
+    seen: set[tuple] = {tuple(first)}
+
+    while len(accepted) < k:
+        prev = accepted[-1]
+        for j in range(len(prev) - 1):
+            spur_node = prev[j]
+            root = prev[: j + 1]
+            banned_edges: set = set()
+            for path in accepted:
+                if len(path) > j and path[: j + 1] == root:
+                    banned_edges.add((path[j], path[j + 1]))
+                    banned_edges.add((path[j + 1], path[j]))
+            banned_nodes = set(root[:-1])
+            spur = _bfs_path(adjacency, spur_node, target, banned_nodes, banned_edges)
+            if spur is None:
+                continue
+            candidate = root[:-1] + spur
+            key = tuple(candidate)
+            if key in seen:
+                continue
+            seen.add(key)
+            heapq.heappush(
+                candidates, (len(candidate), [repr(n) for n in candidate], candidate)
+            )
+        if not candidates:
+            break
+        _, _, best = heapq.heappop(candidates)
+        accepted.append(best)
+    return accepted
+
+
+def all_shortest_paths(
+    topo: Topology, source, target, limit: "int | None" = None
+) -> Iterator[list]:
+    """Enumerate every shortest path from ``source`` to ``target`` (ECMP set).
+
+    Builds the BFS predecessor DAG and walks it; ``limit`` truncates the
+    enumeration (shortest-path counts can grow exponentially).
+    """
+    for node in (source, target):
+        if node not in topo:
+            raise TopologyError(f"switch {node!r} does not exist")
+    if source == target:
+        raise TopologyError("source and target must differ")
+    dist = shortest_path_lengths_from(topo, source)
+    if target not in dist:
+        return
+    predecessors: dict = {}
+    for v in dist:
+        predecessors[v] = [
+            u for u in topo.neighbors(v) if dist.get(u, -1) == dist[v] - 1
+        ]
+
+    emitted = 0
+    stack = [(target, [target])]
+    while stack:
+        node, suffix = stack.pop()
+        if node == source:
+            yield list(reversed(suffix))
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+            continue
+        for pred in predecessors[node]:
+            stack.append((pred, suffix + [pred]))

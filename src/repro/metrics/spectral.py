@@ -1,0 +1,126 @@
+"""Spectral graph measures: expansion, mixing, and Cheeger bounds.
+
+The paper's Theorem 2 rests on expander properties of random regular graphs
+(the expander mixing lemma, Lemma 2). These helpers expose the spectral
+quantities those arguments use so tests and benchmarks can check them
+directly on sampled graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+
+
+def _adjacency_matrix(topo: Topology, weighted: bool = False) -> tuple[np.ndarray, list]:
+    nodes = topo.switches
+    index = {v: i for i, v in enumerate(nodes)}
+    matrix = np.zeros((len(nodes), len(nodes)))
+    for link in topo.links:
+        weight = link.capacity if weighted else 1.0
+        i, j = index[link.u], index[link.v]
+        matrix[i, j] = weight
+        matrix[j, i] = weight
+    return matrix, nodes
+
+
+def adjacency_spectral_gap(topo: Topology, weighted: bool = False) -> float:
+    """Gap between the two largest adjacency eigenvalues, ``λ1 - λ2``.
+
+    For a d-regular graph ``λ1 = d`` and a large gap certifies expansion.
+    """
+    if topo.num_switches < 2:
+        raise TopologyError("spectral gap needs at least 2 switches")
+    matrix, _ = _adjacency_matrix(topo, weighted=weighted)
+    eigenvalues = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+    return float(eigenvalues[0] - eigenvalues[1])
+
+
+def second_largest_adjacency_eigenvalue_magnitude(topo: Topology) -> float:
+    """λ = max(|λ2|, |λn|) — the mixing-lemma eigenvalue."""
+    if topo.num_switches < 2:
+        raise TopologyError("needs at least 2 switches")
+    matrix, _ = _adjacency_matrix(topo)
+    eigenvalues = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+    return float(max(abs(eigenvalues[1]), abs(eigenvalues[-1])))
+
+
+def algebraic_connectivity(topo: Topology, weighted: bool = True) -> float:
+    """Second-smallest Laplacian eigenvalue (Fiedler value)."""
+    if topo.num_switches < 2:
+        raise TopologyError("algebraic connectivity needs at least 2 switches")
+    matrix, _ = _adjacency_matrix(topo, weighted=weighted)
+    degrees = matrix.sum(axis=1)
+    laplacian = np.diag(degrees) - matrix
+    eigenvalues = np.sort(np.linalg.eigvalsh(laplacian))
+    return float(eigenvalues[1])
+
+
+def fiedler_vector(topo: Topology, weighted: bool = True) -> dict:
+    """Eigenvector of the second-smallest Laplacian eigenvalue, per node.
+
+    Sorting nodes by their Fiedler-vector entry gives the classic spectral
+    sweep used for cut heuristics.
+    """
+    if topo.num_switches < 2:
+        raise TopologyError("Fiedler vector needs at least 2 switches")
+    matrix, nodes = _adjacency_matrix(topo, weighted=weighted)
+    degrees = matrix.sum(axis=1)
+    laplacian = np.diag(degrees) - matrix
+    eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+    order = np.argsort(eigenvalues)
+    vector = eigenvectors[:, order[1]]
+    return {node: float(vector[i]) for i, node in enumerate(nodes)}
+
+
+def expander_mixing_deviation(topo: Topology, side_s: set, side_t: set) -> dict:
+    """Expander mixing lemma accounting for node sets S, T.
+
+    For a d-regular graph, ``|e(S,T) - d|S||T|/n| <= λ sqrt(|S||T|)``. Returns
+    the observed edge count, the expected count, the lemma's bound on the
+    deviation, and whether it holds. Requires a regular topology.
+    """
+    degrees = {topo.degree(v) for v in topo.switches}
+    if len(degrees) != 1:
+        raise TopologyError("expander mixing lemma requires a regular graph")
+    d = degrees.pop()
+    n = topo.num_switches
+    side_s = set(side_s)
+    side_t = set(side_t)
+    edges = 0
+    for link in topo.links:
+        if link.u in side_s and link.v in side_t:
+            edges += 1
+        if link.v in side_s and link.u in side_t:
+            edges += 1
+    expected = d * len(side_s) * len(side_t) / n
+    lam = second_largest_adjacency_eigenvalue_magnitude(topo)
+    bound = lam * float(np.sqrt(len(side_s) * len(side_t)))
+    deviation = abs(edges - expected)
+    return {
+        "observed": float(edges),
+        "expected": expected,
+        "deviation": deviation,
+        "bound": bound,
+        "holds": deviation <= bound + 1e-9,
+    }
+
+
+def cheeger_bounds(topo: Topology) -> tuple[float, float]:
+    """Cheeger inequality bounds on edge expansion for a d-regular graph.
+
+    Returns ``(lower, upper)`` with ``lower = (d - λ2) / 2`` and
+    ``upper = sqrt(2 d (d - λ2))``, bracketing the conductance-style edge
+    expansion ``h``.
+    """
+    degrees = {topo.degree(v) for v in topo.switches}
+    if len(degrees) != 1:
+        raise TopologyError("Cheeger bounds require a regular graph")
+    d = degrees.pop()
+    matrix, _ = _adjacency_matrix(topo)
+    eigenvalues = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+    lambda2 = float(eigenvalues[1])
+    gap = d - lambda2
+    return gap / 2.0, float(np.sqrt(2.0 * d * gap))

@@ -1,0 +1,35 @@
+"""Packet-level network simulation (§8.2, Figure 13).
+
+A discrete-event, per-packet simulator with FIFO drop-tail link queues and
+MPTCP-style multipath transport: each flow stripes packets over several
+subflows, one per (k-shortest) path, each governed by an AIMD congestion
+window with per-packet ACKs, RTT estimation, and timeout-driven loss
+recovery.
+
+The paper ran htsim with full MPTCP to show packet-level throughput lands
+within a few percent of the fluid-flow LP optimum; this simulator exercises
+the same code path — multipath congestion control over a concrete topology —
+with a documented, simplified transport model (see
+:class:`~repro.simulation.mptcp.Subflow` for the exact abstractions).
+"""
+
+from repro.simulation.events import EventQueue
+from repro.simulation.links import LinkQueue
+from repro.simulation.routing import host_paths_for_pair
+from repro.simulation.mptcp import MptcpFlow, Subflow
+from repro.simulation.simulator import (
+    PacketLevelSimulator,
+    SimulationConfig,
+    SimulationReport,
+)
+
+__all__ = [
+    "EventQueue",
+    "LinkQueue",
+    "host_paths_for_pair",
+    "MptcpFlow",
+    "Subflow",
+    "PacketLevelSimulator",
+    "SimulationConfig",
+    "SimulationReport",
+]

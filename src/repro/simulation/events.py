@@ -1,0 +1,59 @@
+"""Discrete-event queue for the packet simulator."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.exceptions import SimulationError
+
+
+class EventQueue:
+    """A time-ordered callback queue.
+
+    Events at equal times fire in scheduling order (a monotone sequence
+    number breaks ties), which keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = 0
+        self.now = 0.0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._counter, action))
+        self._counter += 1
+
+    def schedule_at(self, when: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, (when, self._counter, action))
+        self._counter += 1
+
+    def run_until(self, end_time: float, max_events: "int | None" = None) -> int:
+        """Process events up to ``end_time``; returns the number processed.
+
+        ``max_events`` guards against runaway event storms (raises
+        :class:`SimulationError` when exceeded).
+        """
+        processed = 0
+        while self._heap and self._heap[0][0] <= end_time:
+            when, _, action = heapq.heappop(self._heap)
+            self.now = when
+            action()
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events before t={end_time}"
+                )
+        self.now = max(self.now, end_time)
+        return processed
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,89 @@
+"""Directed link model: rate-limited FIFO queue with drop-tail buffer.
+
+Packet transmission on a link of capacity ``c`` takes ``size / c`` time
+units; packets then arrive at the far end after a fixed propagation delay.
+The buffer bounds the number of packets queued or in transmission; arrivals
+beyond it are dropped (drop-tail), which is what the AIMD senders react to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import EventQueue
+from repro.util.validation import check_positive, check_positive_int
+
+
+class LinkQueue:
+    """One direction of a link, serialized through an event queue.
+
+    Parameters
+    ----------
+    rate:
+        Capacity in flow units (packets of size 1 take ``1 / rate`` time).
+    propagation_delay:
+        Added after serialization before delivery at the far end.
+    buffer_packets:
+        Maximum packets held (queued + in service); beyond it, drop-tail.
+    """
+
+    def __init__(
+        self,
+        events: EventQueue,
+        rate: float,
+        propagation_delay: float = 0.01,
+        buffer_packets: int = 64,
+        name: str = "link",
+    ) -> None:
+        self.events = events
+        self.rate = check_positive(rate, "rate")
+        if propagation_delay < 0:
+            raise SimulationError(
+                f"propagation_delay must be >= 0, got {propagation_delay}"
+            )
+        self.propagation_delay = propagation_delay
+        self.buffer_packets = check_positive_int(buffer_packets, "buffer_packets")
+        self.name = name
+        self.occupancy = 0
+        self.busy_until = 0.0
+        self.delivered = 0
+        self.dropped = 0
+        self.busy_time = 0.0
+
+    def submit(
+        self, size: float, deliver: Callable[[], None]
+    ) -> bool:
+        """Offer a packet; returns False (and counts a drop) if buffer-full.
+
+        ``deliver`` fires at the packet's arrival time at the far end.
+        """
+        if self.occupancy >= self.buffer_packets:
+            self.dropped += 1
+            return False
+        self.occupancy += 1
+        now = self.events.now
+        start = max(self.busy_until, now)
+        finish = start + size / self.rate
+        self.busy_time += size / self.rate
+        self.busy_until = finish
+
+        def complete() -> None:
+            self.occupancy -= 1
+            self.delivered += 1
+            deliver()
+
+        self.events.schedule_at(finish + self.propagation_delay, complete)
+        return True
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time the transmitter was busy."""
+        if elapsed <= 0:
+            raise SimulationError("elapsed time must be positive")
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkQueue({self.name}, rate={self.rate}, "
+            f"occ={self.occupancy}/{self.buffer_packets})"
+        )

@@ -1,0 +1,260 @@
+"""MPTCP-style multipath transport with per-subflow AIMD windows.
+
+Model (simplifications are deliberate and documented):
+
+- Each subflow source-routes packets of size 1 along a fixed host-to-host
+  path and keeps at most ``cwnd`` packets outstanding.
+- Receivers ACK every packet; ACKs return after the path's propagation
+  delay without queueing (ACK bandwidth is negligible at these sizes).
+- Slow start doubles the window per RTT (``+1`` per ACK) until
+  ``ssthresh``; congestion avoidance adds ``1 / cwnd`` per ACK.
+- Loss is detected by per-packet retransmission timeouts driven by an EWMA
+  RTT estimator (no dupack machinery — with per-packet ACKs and source
+  routing, timeouts recover equivalently). On loss the window halves, at
+  most once per RTT (fast-recovery-like behaviour, never collapsing to
+  slow start).
+- Subflows are uncoupled by default (one AIMD loop each, as in EWTCP);
+  ``coupling="ewtcp"`` scales each subflow's additive increase by ``1/k``
+  so a k-subflow flow gains no aggressiveness over a single-path flow.
+
+Senders have infinite backlogs: the simulator measures achievable
+throughput, not flow completion times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import EventQueue
+from repro.simulation.links import LinkQueue
+
+
+@dataclass
+class SubflowStats:
+    """Counters exposed for reporting and tests."""
+
+    sent: int = 0
+    delivered: int = 0
+    retransmits: int = 0
+    timeouts: int = 0
+    acks: int = 0
+
+
+class Subflow:
+    """One AIMD-controlled path of an MPTCP flow."""
+
+    def __init__(
+        self,
+        events: EventQueue,
+        links: "list[LinkQueue]",
+        flow: "MptcpFlow",
+        initial_cwnd: float = 2.0,
+        ssthresh: float = 32.0,
+        max_cwnd: float = 256.0,
+        min_rto: float = 1.0,
+        increase_scale: float = 1.0,
+        packet_size: float = 1.0,
+    ) -> None:
+        if not links:
+            raise SimulationError("subflow needs at least one link")
+        if packet_size <= 0:
+            raise SimulationError(f"packet_size must be positive, got {packet_size}")
+        self.events = events
+        self.links = links
+        self.flow = flow
+        self.packet_size = float(packet_size)
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float(ssthresh)
+        self.max_cwnd = float(max_cwnd)
+        self.min_rto = float(min_rto)
+        self.increase_scale = float(increase_scale)
+        self.inflight = 0
+        self.next_seq = 0
+        # seq -> (send_time, send_index); send_index orders transmissions so
+        # ACKs for later-sent packets can signal losses (dupack-style).
+        self.outstanding: dict[int, tuple[float, int]] = {}
+        self.dupacks: dict[int, int] = {}
+        self.retransmit_queue: list[int] = []
+        # Seqs ever retransmitted: their receive-side delay samples are
+        # ambiguous (which copy arrived?) and are excluded from latency.
+        self.retransmitted_seqs: set[int] = set()
+        self.delivered_seqs: set[int] = set()
+        self.stats = SubflowStats()
+        self.srtt: "float | None" = None
+        self.rttvar = 0.0
+        self._recovery_until = 0.0
+        self._send_counter = 0
+        #: ACKs-for-later-packets needed to declare a loss (TCP's classic 3).
+        self.dupack_threshold = 3
+        self.ack_delay = sum(link.propagation_delay for link in links)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting."""
+        self.maybe_send()
+
+    def maybe_send(self) -> None:
+        """Fill the congestion window with (re)transmissions."""
+        while self.inflight < int(self.cwnd):
+            if self.retransmit_queue:
+                seq = self.retransmit_queue.pop(0)
+                self.stats.retransmits += 1
+                self.retransmitted_seqs.add(seq)
+            else:
+                seq = self.next_seq
+                self.next_seq += 1
+            self._transmit(seq)
+
+    def _transmit(self, seq: int) -> None:
+        self.inflight += 1
+        self.outstanding[seq] = (self.events.now, self._send_counter)
+        self._send_counter += 1
+        self.dupacks[seq] = 0
+        self.stats.sent += 1
+
+        def forward(hop: int) -> None:
+            if hop == len(self.links):
+                self._arrived(seq)
+                return
+            accepted = self.links[hop].submit(
+                self.packet_size, lambda: forward(hop + 1)
+            )
+            if not accepted:
+                # Dropped; dupacks or the retransmission timeout recover it.
+                return
+
+        forward(0)
+        self.events.schedule(self._rto(), lambda: self._on_timeout(seq))
+
+    def _arrived(self, seq: int) -> None:
+        """Packet reached the receiver: count delivery, return an ACK."""
+        if seq not in self.delivered_seqs:
+            self.delivered_seqs.add(seq)
+            self.stats.delivered += 1
+            record = self.outstanding.get(seq)
+            delay = None
+            if record is not None and seq not in self.retransmitted_seqs:
+                delay = self.events.now - record[0]
+            self.flow.on_delivery(delay)
+        self.events.schedule(self.ack_delay, lambda: self._on_ack(seq))
+
+    def _on_ack(self, seq: int) -> None:
+        self.stats.acks += 1
+        record = self.outstanding.pop(seq, None)
+        self.dupacks.pop(seq, None)
+        if record is None:
+            return  # Late ACK for a packet loss recovery already handled.
+        sent_at, send_index = record
+        self.inflight -= 1
+        self._sample_rtt(self.events.now - sent_at)
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0
+        else:
+            self.cwnd += self.increase_scale / self.cwnd
+        self.cwnd = min(self.cwnd, self.max_cwnd)
+        # Dupack accounting: an ACK for a packet sent *after* one still
+        # outstanding suggests the earlier packet was lost.
+        lost: list[int] = []
+        for other, (_, other_index) in self.outstanding.items():
+            if other_index < send_index:
+                count = self.dupacks.get(other, 0) + 1
+                self.dupacks[other] = count
+                if count >= self.dupack_threshold:
+                    lost.append(other)
+        for other in lost:
+            self._declare_loss(other, timeout=False)
+        self.maybe_send()
+
+    def _declare_loss(self, seq: int, timeout: bool) -> None:
+        if seq not in self.outstanding:
+            return
+        del self.outstanding[seq]
+        self.dupacks.pop(seq, None)
+        self.inflight -= 1
+        if timeout:
+            self.stats.timeouts += 1
+        now = self.events.now
+        if now >= self._recovery_until:
+            # Halve at most once per RTT-ish window.
+            self.ssthresh = max(self.cwnd / 2.0, 1.0)
+            self.cwnd = max(self.cwnd / 2.0, 1.0)
+            self._recovery_until = now + (self.srtt or self._rto())
+        self.retransmit_queue.append(seq)
+
+    def _on_timeout(self, seq: int) -> None:
+        if seq not in self.outstanding:
+            return  # Already acknowledged or recovered via dupacks.
+        self._declare_loss(seq, timeout=True)
+        self.maybe_send()
+
+    # ------------------------------------------------------------------
+    def _sample_rtt(self, rtt: float) -> None:
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+
+    def _rto(self) -> float:
+        if self.srtt is None:
+            # No sample yet: be generous so queue-buildup at startup does
+            # not trigger spurious retransmission storms.
+            return max(4.0 * self.min_rto, 8.0 * self.ack_delay + 4.0)
+        return max(self.min_rto, self.srtt + 4.0 * self.rttvar)
+
+
+class MptcpFlow:
+    """A multipath flow: several subflows feeding one delivery counter."""
+
+    #: Cap on retained one-way-delay samples per flow (first-come; enough
+    #: for stable percentiles without unbounded memory).
+    MAX_LATENCY_SAMPLES = 512
+
+    def __init__(self, flow_id, coupling: str = "uncoupled") -> None:
+        if coupling not in ("uncoupled", "ewtcp"):
+            raise SimulationError(f"unknown coupling {coupling!r}")
+        self.flow_id = flow_id
+        self.coupling = coupling
+        self.subflows: list[Subflow] = []
+        self.delivered = 0
+        #: One-way packet delays recorded while ``measure_latency`` is set
+        #: (the simulator enables it after warmup).
+        self.measure_latency = False
+        self.latency_samples: list[float] = []
+
+    def add_subflow(
+        self, events: EventQueue, links: "list[LinkQueue]", **kwargs
+    ) -> Subflow:
+        """Attach a subflow over ``links`` (kwargs as in :class:`Subflow`)."""
+        subflow = Subflow(events, links, flow=self, **kwargs)
+        self.subflows.append(subflow)
+        return subflow
+
+    def finalize_coupling(self) -> None:
+        """Apply the coupling policy once all subflows are attached."""
+        if self.coupling == "ewtcp" and self.subflows:
+            scale = 1.0 / len(self.subflows)
+            for subflow in self.subflows:
+                subflow.increase_scale = scale
+
+    def start(self) -> None:
+        """Start every subflow."""
+        self.finalize_coupling()
+        for subflow in self.subflows:
+            subflow.start()
+
+    def on_delivery(self, delay: "float | None" = None) -> None:
+        """Called by subflows when a new data packet reaches the receiver.
+
+        ``delay`` is the packet's one-way send-to-deliver time; sampled
+        only while the measurement window is open.
+        """
+        self.delivered += 1
+        if (
+            self.measure_latency
+            and delay is not None
+            and len(self.latency_samples) < self.MAX_LATENCY_SAMPLES
+        ):
+            self.latency_samples.append(delay)

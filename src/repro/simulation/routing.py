@@ -1,0 +1,80 @@
+"""Route selection for the packet simulator.
+
+Subflows are source-routed: each carries a fixed host-to-host path
+``[src_host, src_switch, ..., dst_switch, dst_host]``. Paths come from the
+k shortest simple switch paths (Yen), matching the paper's "MPTCP with the
+shortest paths" evaluation; an ECMP variant samples among equal-cost
+shortest paths only.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SimulationError
+from repro.metrics.paths import all_shortest_paths, k_shortest_paths
+from repro.topology.base import Topology
+from repro.util.rng import as_rng
+from repro.util.validation import check_positive_int
+
+#: Host node ids are tuples ("host", switch, index) to avoid clashing with
+#: any switch naming scheme.
+HOST = "host"
+
+
+def host_id(server) -> tuple:
+    """Simulator node id for a ``(switch, index)`` server."""
+    switch, index = server
+    return (HOST, switch, index)
+
+
+def host_paths_for_pair(
+    topo: Topology,
+    src_server,
+    dst_server,
+    num_paths: int,
+    mode: str = "k-shortest",
+    seed=None,
+) -> list[list]:
+    """Host-to-host paths for one server pair.
+
+    Parameters
+    ----------
+    num_paths:
+        Desired path count; fewer are returned if the topology has fewer
+        simple paths.
+    mode:
+        ``"k-shortest"`` (Yen; the paper's choice) or ``"ecmp"`` (sample
+        with replacement among equal-cost shortest paths).
+
+    Returns
+    -------
+    list of node paths including the host endpoints. Same-switch pairs get
+    the two-hop host-switch-host path.
+    """
+    check_positive_int(num_paths, "num_paths")
+    src_switch, _ = src_server
+    dst_switch, _ = dst_server
+    for switch in (src_switch, dst_switch):
+        if switch not in topo:
+            raise SimulationError(f"switch {switch!r} does not exist")
+    src = host_id(src_server)
+    dst = host_id(dst_server)
+    if src_switch == dst_switch:
+        return [[src, src_switch, dst]]
+
+    if mode == "k-shortest":
+        switch_paths = k_shortest_paths(topo, src_switch, dst_switch, num_paths)
+    elif mode == "ecmp":
+        rng = as_rng(seed)
+        pool = list(all_shortest_paths(topo, src_switch, dst_switch, limit=64))
+        if not pool:
+            switch_paths = []
+        else:
+            picks = rng.integers(len(pool), size=num_paths)
+            switch_paths = [pool[int(i)] for i in picks]
+    else:
+        raise SimulationError(f"unknown routing mode {mode!r}")
+    if not switch_paths:
+        raise SimulationError(
+            f"no path between switches {src_switch!r} and {dst_switch!r}"
+        )
+    return [[src, *path, dst] for path in switch_paths]

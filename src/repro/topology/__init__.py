@@ -1,0 +1,90 @@
+"""Topology substrate: capacitated switch graphs and generators.
+
+The :class:`~repro.topology.base.Topology` model represents a switch-level
+network: switches are nodes, links carry capacities (parallel links collapse
+into summed capacity), and each switch records how many servers attach to it.
+
+Generators cover every family the paper uses or compares against:
+
+- random regular graphs (Jellyfish-style construction),
+- two-cluster random graphs with exact cross-cluster link control,
+- heterogeneous networks (two port-count classes, power-law port counts,
+  mixed line-speeds),
+- VL2 and the paper's rewired VL2,
+- classical baselines (fat-tree, folded Clos, hypercube, torus, complete
+  graph, small-world ring).
+"""
+
+from repro.topology.base import Link, Topology
+from repro.topology.builders import (
+    is_graphical,
+    random_bipartite_matching,
+    random_graph_from_degrees,
+)
+from repro.topology.random_regular import random_regular_topology
+from repro.topology.two_cluster import (
+    expected_cross_links,
+    two_cluster_random_topology,
+)
+from repro.topology.heterogeneous import (
+    heterogeneous_random_topology,
+    mixed_linespeed_topology,
+    power_law_port_counts,
+    proportional_server_split,
+)
+from repro.topology.vl2 import rewired_vl2_topology, vl2_topology
+from repro.topology.fattree import fat_tree_topology
+from repro.topology.clos import folded_clos_topology, leaf_spine_topology
+from repro.topology.hypercube import hypercube_topology
+from repro.topology.torus import torus_topology
+from repro.topology.complete import complete_bipartite_topology, complete_topology
+from repro.topology.smallworld import small_world_topology
+from repro.topology.bcube import bcube_topology
+from repro.topology.flattened_butterfly import flattened_butterfly_topology
+from repro.topology.dragonfly import dragonfly_topology
+from repro.topology.expansion import add_switch_by_link_swaps, expand_topology
+from repro.topology.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+    topology_to_dot,
+)
+from repro.topology.registry import available_topologies, make_topology
+
+__all__ = [
+    "Link",
+    "Topology",
+    "is_graphical",
+    "random_bipartite_matching",
+    "random_graph_from_degrees",
+    "random_regular_topology",
+    "expected_cross_links",
+    "two_cluster_random_topology",
+    "heterogeneous_random_topology",
+    "mixed_linespeed_topology",
+    "power_law_port_counts",
+    "proportional_server_split",
+    "vl2_topology",
+    "rewired_vl2_topology",
+    "fat_tree_topology",
+    "folded_clos_topology",
+    "leaf_spine_topology",
+    "hypercube_topology",
+    "torus_topology",
+    "complete_topology",
+    "complete_bipartite_topology",
+    "small_world_topology",
+    "bcube_topology",
+    "flattened_butterfly_topology",
+    "dragonfly_topology",
+    "add_switch_by_link_swaps",
+    "expand_topology",
+    "load_topology",
+    "save_topology",
+    "topology_from_dict",
+    "topology_to_dict",
+    "topology_to_dot",
+    "available_topologies",
+    "make_topology",
+]

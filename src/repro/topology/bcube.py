@@ -1,0 +1,64 @@
+"""BCube — the server-centric modular topology of Guo et al. (SIGCOMM '09).
+
+The paper cites BCube [18] among the designs it benchmarks against
+conceptually. BCube(n, k) has ``n^(k+1)`` servers, each with ``k+1`` ports,
+and ``(k+1) * n^k`` n-port switches arranged in ``k+1`` levels; servers
+forward traffic (switches never connect to switches).
+
+In this library's switch-level model, forwarding servers are represented as
+degree-``k+1`` switches carrying one attached server each; level switches
+carry zero servers. Capacity semantics are identical to the original.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.topology.base import Topology
+from repro.util.validation import check_non_negative_int, check_positive, check_positive_int
+
+
+def bcube_topology(
+    n: int,
+    k: int = 1,
+    capacity: float = 1.0,
+    name: "str | None" = None,
+) -> Topology:
+    """Build BCube(n, k).
+
+    Parameters
+    ----------
+    n:
+        Switch port count (and servers per BCube_0 cell); n >= 2.
+    k:
+        Recursion level; BCube_k uses k+1 switch levels.
+
+    Returns
+    -------
+    Topology
+        Server-hosts are nodes ``("srv",) + address`` with one attached
+        server; switches are ``("sw", level) + prefix`` nodes.
+    """
+    n = check_positive_int(n, "n")
+    if n < 2:
+        raise ValueError(f"BCube needs n >= 2, got {n}")
+    k = check_non_negative_int(k, "k")
+    capacity = check_positive(capacity, "capacity")
+
+    topo = Topology(name or f"bcube(n={n}, k={k})")
+    addresses = list(product(range(n), repeat=k + 1))
+    for address in addresses:
+        topo.add_switch(("srv", *address), servers=1, switch_type="server")
+
+    # Level-l switches connect the n servers whose addresses agree except
+    # in digit l.
+    for level in range(k + 1):
+        rests = list(product(range(n), repeat=k))
+        for rest in rests:
+            switch = ("sw", level, *rest)
+            topo.add_switch(switch, servers=0, switch_type="switch")
+            for digit in range(n):
+                address = list(rest)
+                address.insert(level, digit)
+                topo.add_link(switch, ("srv", *address), capacity=capacity)
+    return topo

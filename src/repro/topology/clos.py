@@ -1,0 +1,76 @@
+"""Folded-Clos / leaf-spine topologies.
+
+Simple two-tier Clos fabrics used as structured comparison points and as
+substrates in tests: every leaf connects to every spine. Oversubscription is
+controlled by the ratio of attached servers to uplink capacity.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.util.validation import check_positive, check_positive_int
+
+
+def leaf_spine_topology(
+    num_leaves: int,
+    num_spines: int,
+    servers_per_leaf: int,
+    link_capacity: float = 1.0,
+    links_per_pair: int = 1,
+    name: "str | None" = None,
+) -> Topology:
+    """Build a leaf-spine (two-tier folded Clos) network.
+
+    Every leaf connects to every spine with ``links_per_pair`` parallel links
+    of ``link_capacity`` each (collapsed into one link of the aggregate
+    capacity).
+    """
+    num_leaves = check_positive_int(num_leaves, "num_leaves")
+    num_spines = check_positive_int(num_spines, "num_spines")
+    check_positive_int(links_per_pair, "links_per_pair")
+    link_capacity = check_positive(link_capacity, "link_capacity")
+    if servers_per_leaf < 0:
+        raise TopologyError(
+            f"servers_per_leaf must be >= 0, got {servers_per_leaf}"
+        )
+
+    topo = Topology(name or f"leaf-spine({num_leaves}x{num_spines})")
+    leaves = [f"leaf{i}" for i in range(num_leaves)]
+    spines = [f"spine{i}" for i in range(num_spines)]
+    for leaf in leaves:
+        topo.add_switch(leaf, servers=servers_per_leaf, switch_type="leaf")
+    for spine in spines:
+        topo.add_switch(spine, servers=0, switch_type="spine")
+    for leaf in leaves:
+        for spine in spines:
+            topo.add_link(
+                leaf, spine, capacity=link_capacity * links_per_pair
+            )
+    return topo
+
+
+def folded_clos_topology(
+    num_leaves: int,
+    num_spines: int,
+    servers_per_leaf: int,
+    oversubscription: float = 1.0,
+    name: "str | None" = None,
+) -> Topology:
+    """Leaf-spine sized by an oversubscription target.
+
+    ``oversubscription`` is the ratio of leaf server capacity to leaf uplink
+    capacity; 1.0 is a non-blocking fabric. Uplink capacity per leaf-spine
+    pair is ``servers_per_leaf / (oversubscription * num_spines)``.
+    """
+    check_positive(oversubscription, "oversubscription")
+    check_positive_int(servers_per_leaf, "servers_per_leaf")
+    per_pair = servers_per_leaf / (oversubscription * num_spines)
+    return leaf_spine_topology(
+        num_leaves,
+        num_spines,
+        servers_per_leaf,
+        link_capacity=per_pair,
+        name=name
+        or f"folded-clos({num_leaves}x{num_spines}, 1:{oversubscription:g})",
+    )

@@ -1,0 +1,57 @@
+"""Complete graphs and complete bipartite graphs.
+
+The complete graph is the densest homogeneous design point (useful for
+verifying that throughput bounds are met with equality); the complete
+bipartite graph models VL2's aggregation-core fabric in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.util.validation import check_non_negative_int, check_positive, check_positive_int
+
+
+def complete_topology(
+    num_switches: int,
+    servers_per_switch: int = 0,
+    capacity: float = 1.0,
+    name: "str | None" = None,
+) -> Topology:
+    """Build the complete graph on ``num_switches`` switches."""
+    num_switches = check_positive_int(num_switches, "num_switches")
+    servers_per_switch = check_non_negative_int(
+        servers_per_switch, "servers_per_switch"
+    )
+    capacity = check_positive(capacity, "capacity")
+    topo = Topology(name or f"complete(N={num_switches})")
+    for v in range(num_switches):
+        topo.add_switch(v, servers=servers_per_switch)
+    for u in range(num_switches):
+        for v in range(u + 1, num_switches):
+            topo.add_link(u, v, capacity=capacity)
+    return topo
+
+
+def complete_bipartite_topology(
+    num_left: int,
+    num_right: int,
+    servers_per_left: int = 0,
+    servers_per_right: int = 0,
+    capacity: float = 1.0,
+    name: "str | None" = None,
+) -> Topology:
+    """Build the complete bipartite graph K(num_left, num_right)."""
+    num_left = check_positive_int(num_left, "num_left")
+    num_right = check_positive_int(num_right, "num_right")
+    capacity = check_positive(capacity, "capacity")
+    topo = Topology(name or f"K({num_left},{num_right})")
+    lefts = [f"l{i}" for i in range(num_left)]
+    rights = [f"r{i}" for i in range(num_right)]
+    for node in lefts:
+        topo.add_switch(node, servers=servers_per_left, cluster="left")
+    for node in rights:
+        topo.add_switch(node, servers=servers_per_right, cluster="right")
+    for u in lefts:
+        for v in rights:
+            topo.add_link(u, v, capacity=capacity)
+    return topo

@@ -1,0 +1,84 @@
+"""Dragonfly — Kim, Dally, Scott, Abts (ISCA '08).
+
+The canonical hierarchical direct network: groups of ``a`` routers, each
+router with ``p`` attached servers and ``h`` global ports; routers within a
+group form a complete graph, and the ``a * h`` global links of each group
+connect it to every other group (the balanced configuration uses
+``g = a * h + 1`` groups, exactly one global link per group pair).
+
+Included as a structured point of comparison for the homogeneous
+optimality-gap experiments.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.util.validation import check_non_negative_int, check_positive, check_positive_int
+
+
+def dragonfly_topology(
+    routers_per_group: int,
+    servers_per_router: int = 1,
+    global_ports_per_router: int = 1,
+    num_groups: "int | None" = None,
+    capacity: float = 1.0,
+    name: "str | None" = None,
+) -> Topology:
+    """Build a (balanced by default) dragonfly.
+
+    Parameters
+    ----------
+    routers_per_group:
+        ``a`` — routers per group (complete graph within a group).
+    servers_per_router:
+        ``p`` — attached servers per router.
+    global_ports_per_router:
+        ``h`` — global links per router.
+    num_groups:
+        ``g``; defaults to the balanced ``a * h + 1``. Must satisfy
+        ``g - 1 <= a * h`` so every group pair can get at least one global
+        link; links are assigned round-robin over each group's routers.
+    """
+    a = check_positive_int(routers_per_group, "routers_per_group")
+    p = check_non_negative_int(servers_per_router, "servers_per_router")
+    h = check_positive_int(global_ports_per_router, "global_ports_per_router")
+    capacity = check_positive(capacity, "capacity")
+    if num_groups is None:
+        num_groups = a * h + 1
+    g = check_positive_int(num_groups, "num_groups")
+    if g < 2:
+        raise TopologyError("dragonfly needs at least 2 groups")
+    if g - 1 > a * h:
+        raise TopologyError(
+            f"{g} groups need {g - 1} global links per group but only "
+            f"{a * h} global ports exist"
+        )
+
+    topo = Topology(
+        name or f"dragonfly(a={a}, p={p}, h={h}, g={g})"
+    )
+    for group in range(g):
+        for router in range(a):
+            topo.add_switch(
+                (group, router),
+                servers=p,
+                cluster=f"g{group}",
+                switch_type="router",
+            )
+    # Intra-group complete graphs.
+    for group in range(g):
+        for i in range(a):
+            for j in range(i + 1, a):
+                topo.add_link((group, i), (group, j), capacity=capacity)
+    # Global links: group pair (s, t) with s < t uses the next free global
+    # port (round-robin over routers) in each group.
+    next_port = [0] * g
+    for s in range(g):
+        for t in range(s + 1, g):
+            router_s = next_port[s] % a
+            router_t = next_port[t] % a
+            next_port[s] += 1
+            next_port[t] += 1
+            topo.add_link((s, router_s), (t, router_t), capacity=capacity)
+    return topo

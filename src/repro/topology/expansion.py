@@ -1,0 +1,130 @@
+"""Incremental network expansion by random link swaps.
+
+Jellyfish's headline operational advantage (which the paper inherits by
+building on random graphs) is cheap incremental growth: to add a switch
+with ``r`` network ports, pick ``r/2`` random existing links, remove them,
+and connect both freed endpoints to the new switch. The result is again a
+(near-)uniform random graph — no rewiring of the rest of the fabric.
+
+This module implements that operation plus whole-rack addition, and exposes
+the count of links touched so operators can audit cabling churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.util.rng import as_rng
+from repro.util.validation import check_non_negative_int, check_positive_int
+
+
+@dataclass(frozen=True)
+class ExpansionReport:
+    """What an expansion step changed."""
+
+    added_switch: object
+    links_removed: int
+    links_added: int
+    leftover_ports: int
+
+
+def add_switch_by_link_swaps(
+    topo: Topology,
+    new_switch,
+    network_ports: int,
+    servers: int = 0,
+    capacity: float = 1.0,
+    seed=None,
+    max_attempts: int = 200,
+) -> ExpansionReport:
+    """Attach ``new_switch`` by splitting random existing links (in place).
+
+    Each accepted swap removes one random link ``(u, v)`` (with neither
+    endpoint already adjacent to the new switch) and adds ``(new, u)`` and
+    ``(new, v)``, consuming two of the new switch's ports. An odd port
+    count leaves one port unused, as in a physical deployment.
+
+    Raises :class:`TopologyError` when no valid swap can be found (e.g. the
+    network is too small or the new switch is already adjacent to
+    everything).
+    """
+    network_ports = check_non_negative_int(network_ports, "network_ports")
+    check_non_negative_int(servers, "servers")
+    if new_switch in topo:
+        raise TopologyError(f"switch {new_switch!r} already exists")
+    rng = as_rng(seed)
+
+    topo.add_switch(new_switch, servers=servers)
+    removed = 0
+    added = 0
+    remaining = network_ports
+    attempts = 0
+    while remaining >= 2:
+        links = [
+            link
+            for link in topo.links
+            if link.u != new_switch and link.v != new_switch
+        ]
+        if not links:
+            break
+        link = links[int(rng.integers(len(links)))]
+        attempts += 1
+        if topo.has_link(new_switch, link.u) or topo.has_link(new_switch, link.v):
+            if attempts > max_attempts:
+                break
+            continue
+        topo.remove_link(link.u, link.v)
+        # Preserve the split link's capacity on both new links so the new
+        # switch's ports match the fabric's line speed.
+        topo.add_link(new_switch, link.u, capacity=link.capacity)
+        topo.add_link(new_switch, link.v, capacity=link.capacity)
+        removed += 1
+        added += 2
+        remaining -= 2
+        attempts = 0
+    if remaining >= 2:
+        raise TopologyError(
+            f"could not place {remaining} ports of {new_switch!r} by swaps"
+        )
+    # `capacity` is used only when the new switch must seed an empty fabric.
+    if added == 0 and network_ports >= 2 and topo.num_switches == 2:
+        other = next(v for v in topo.switches if v != new_switch)
+        topo.add_link(new_switch, other, capacity=capacity)
+        added = 1
+        remaining = network_ports - 1
+    return ExpansionReport(
+        added_switch=new_switch,
+        links_removed=removed,
+        links_added=added,
+        leftover_ports=remaining,
+    )
+
+
+def expand_topology(
+    topo: Topology,
+    new_switches: dict,
+    servers: "dict | None" = None,
+    seed=None,
+) -> list[ExpansionReport]:
+    """Add several switches by repeated link swaps (in place).
+
+    ``new_switches`` maps new switch id -> network port count; ``servers``
+    optionally maps ids -> attached server counts. Returns one report per
+    added switch, in insertion order.
+    """
+    rng = as_rng(seed)
+    servers = servers or {}
+    reports = []
+    for switch_id, ports in new_switches.items():
+        reports.append(
+            add_switch_by_link_swaps(
+                topo,
+                switch_id,
+                network_ports=check_positive_int(ports, f"ports[{switch_id!r}]"),
+                servers=int(servers.get(switch_id, 0)),
+                seed=rng,
+            )
+        )
+    return reports

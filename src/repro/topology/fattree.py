@@ -1,0 +1,62 @@
+"""Three-tier k-ary fat-tree (folded Clos) of Al-Fares et al., SIGCOMM 2008.
+
+The fat-tree is the canonical structured baseline the paper (and Jellyfish)
+compares against: ``k`` pods of ``k/2`` edge and ``k/2`` aggregation
+switches each, plus ``(k/2)^2`` core switches, all with ``k`` ports, giving
+``k^3 / 4`` servers at full bisection bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.util.validation import check_positive, check_positive_int
+
+
+def fat_tree_topology(
+    k: int,
+    capacity: float = 1.0,
+    servers_per_edge: "int | None" = None,
+    name: "str | None" = None,
+) -> Topology:
+    """Build a k-ary fat-tree.
+
+    Parameters
+    ----------
+    k:
+        Port count of every switch; must be even.
+    servers_per_edge:
+        Servers attached to each edge switch; defaults to ``k / 2`` (the
+        full-bisection configuration).
+    """
+    check_positive_int(k, "k")
+    if k % 2 != 0:
+        raise TopologyError(f"fat-tree arity k must be even, got {k}")
+    capacity = check_positive(capacity, "capacity")
+    half = k // 2
+    if servers_per_edge is None:
+        servers_per_edge = half
+    if servers_per_edge > half:
+        raise TopologyError(
+            f"servers_per_edge {servers_per_edge} exceeds edge down-ports {half}"
+        )
+
+    topo = Topology(name or f"fat-tree(k={k})")
+    cores = [f"core{i}" for i in range(half * half)]
+    for core in cores:
+        topo.add_switch(core, servers=0, switch_type="core")
+    for pod in range(k):
+        edges = [f"p{pod}e{i}" for i in range(half)]
+        aggs = [f"p{pod}a{i}" for i in range(half)]
+        for edge in edges:
+            topo.add_switch(edge, servers=servers_per_edge, switch_type="edge")
+        for agg in aggs:
+            topo.add_switch(agg, servers=0, switch_type="agg")
+        for edge in edges:
+            for agg in aggs:
+                topo.add_link(edge, agg, capacity=capacity)
+        # Aggregation switch i of each pod connects to core group i.
+        for i, agg in enumerate(aggs):
+            for j in range(half):
+                topo.add_link(agg, cores[i * half + j], capacity=capacity)
+    return topo

@@ -1,0 +1,50 @@
+"""Flattened butterfly (k-ary n-flat) — Kim, Dally, Abts (ISCA '07).
+
+A generalized-hypercube-style direct network: switches sit at the points of
+an ``(n-1)``-dimensional grid with ``k`` positions per dimension, and every
+switch links directly to each switch differing in exactly one coordinate.
+The paper's discussion of "flat" topologies (and its warning that not all
+flat designs perform equally) makes this a natural structured baseline.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.util.validation import check_non_negative_int, check_positive, check_positive_int
+
+
+def flattened_butterfly_topology(
+    k: int,
+    dimensions: int = 2,
+    servers_per_switch: int = 0,
+    capacity: float = 1.0,
+    name: "str | None" = None,
+) -> Topology:
+    """Build a k-ary flattened butterfly over ``dimensions`` dimensions.
+
+    ``k ** dimensions`` switches; each has ``dimensions * (k - 1)`` network
+    ports (full connectivity along every grid line).
+    """
+    k = check_positive_int(k, "k")
+    dimensions = check_positive_int(dimensions, "dimensions")
+    if k < 2:
+        raise TopologyError(f"flattened butterfly needs k >= 2, got {k}")
+    servers_per_switch = check_non_negative_int(
+        servers_per_switch, "servers_per_switch"
+    )
+    capacity = check_positive(capacity, "capacity")
+
+    topo = Topology(name or f"flattened-butterfly(k={k}, n={dimensions})")
+    coords = list(product(range(k), repeat=dimensions))
+    for coord in coords:
+        topo.add_switch(coord, servers=servers_per_switch)
+    for coord in coords:
+        for axis in range(dimensions):
+            for value in range(coord[axis] + 1, k):
+                other = list(coord)
+                other[axis] = value
+                topo.add_link(coord, tuple(other), capacity=capacity)
+    return topo

@@ -1,0 +1,36 @@
+"""Hypercube topology.
+
+The paper cites the hypercube as a "flat" design that random graphs beat by
+roughly 30% at 512 nodes; it serves here as a structured baseline for the
+optimality-gap experiments.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.util.validation import check_non_negative_int, check_positive, check_positive_int
+
+
+def hypercube_topology(
+    dimension: int,
+    servers_per_switch: int = 0,
+    capacity: float = 1.0,
+    name: "str | None" = None,
+) -> Topology:
+    """Build a ``dimension``-cube: ``2**dimension`` switches of degree
+    ``dimension``, with nodes adjacent iff their ids differ in one bit."""
+    dimension = check_positive_int(dimension, "dimension")
+    servers_per_switch = check_non_negative_int(
+        servers_per_switch, "servers_per_switch"
+    )
+    capacity = check_positive(capacity, "capacity")
+    n = 1 << dimension
+    topo = Topology(name or f"hypercube(d={dimension})")
+    for v in range(n):
+        topo.add_switch(v, servers=servers_per_switch)
+    for v in range(n):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                topo.add_link(v, u, capacity=capacity)
+    return topo

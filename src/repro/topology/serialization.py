@@ -1,0 +1,152 @@
+"""Topology serialization: JSON round-trip and Graphviz DOT export.
+
+A downstream user needs to persist generated topologies (they are random!)
+and inspect them visually; this module provides a stable JSON schema and a
+DOT writer that color-groups switches by cluster/type.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+
+#: Version tag embedded in every serialized topology.
+SCHEMA_VERSION = 1
+
+
+def topology_to_dict(topo: Topology) -> dict:
+    """Convert a topology to a JSON-safe dictionary.
+
+    Node ids are stringified via ``repr`` round-trippable JSON forms where
+    possible: int and str ids are preserved natively; tuple ids become
+    lists. Other id types raise.
+    """
+
+    def encode(node):
+        if isinstance(node, (int, str)):
+            return node
+        if isinstance(node, tuple):
+            return {"tuple": [encode(part) for part in node]}
+        raise TopologyError(
+            f"cannot serialize switch id of type {type(node).__name__}: {node!r}"
+        )
+
+    switches = []
+    for node in topo.switches:
+        switches.append(
+            {
+                "id": encode(node),
+                "servers": topo.servers_at(node),
+                "cluster": topo.cluster_of(node),
+                "switch_type": topo.switch_type_of(node),
+            }
+        )
+    links = [
+        {"u": encode(link.u), "v": encode(link.v), "capacity": link.capacity}
+        for link in topo.links
+    ]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": topo.name,
+        "switches": switches,
+        "links": links,
+    }
+
+
+def topology_from_dict(payload: dict) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise TopologyError(
+            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+
+    def decode(value):
+        if isinstance(value, dict) and "tuple" in value:
+            return tuple(decode(part) for part in value["tuple"])
+        return value
+
+    topo = Topology(payload.get("name", "topology"))
+    for entry in payload["switches"]:
+        topo.add_switch(
+            decode(entry["id"]),
+            servers=int(entry.get("servers", 0)),
+            cluster=entry.get("cluster"),
+            switch_type=entry.get("switch_type"),
+        )
+    for entry in payload["links"]:
+        topo.add_link(
+            decode(entry["u"]), decode(entry["v"]), capacity=float(entry["capacity"])
+        )
+    return topo
+
+
+def save_topology(topo: Topology, path_or_file: "str | IO[str]") -> None:
+    """Write a topology as JSON to a path or open text file."""
+    payload = topology_to_dict(topo)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    else:
+        json.dump(payload, path_or_file, indent=2, sort_keys=True)
+
+
+def load_topology(path_or_file: "str | IO[str]") -> Topology:
+    """Read a topology from a JSON path or open text file."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(path_or_file)
+    return topology_from_dict(payload)
+
+
+_PALETTE = (
+    "lightblue",
+    "lightsalmon",
+    "palegreen",
+    "plum",
+    "khaki",
+    "lightgray",
+)
+
+
+def topology_to_dot(topo: Topology, max_width_capacity: "float | None" = None) -> str:
+    """Render the topology as Graphviz DOT.
+
+    Switches are colored by cluster label (falling back to switch type);
+    edge pen widths scale with capacity. The output is plain text suitable
+    for ``dot -Tpng`` or any Graphviz viewer.
+    """
+    groups = topo.clusters()
+    color_of: dict = {}
+    for index, group in enumerate(groups):
+        color_of[group] = _PALETTE[index % len(_PALETTE)]
+
+    if max_width_capacity is None:
+        max_width_capacity = max(
+            (link.capacity for link in topo.links), default=1.0
+        )
+
+    def node_id(node) -> str:
+        return json.dumps(repr(node))
+
+    lines = [f"graph {json.dumps(topo.name)} {{", "  node [style=filled];"]
+    for node in topo.switches:
+        group = topo.cluster_of(node) or topo.switch_type_of(node)
+        color = color_of.get(group, "white")
+        label = f"{node!r}\\n{topo.servers_at(node)} srv"
+        lines.append(
+            f"  {node_id(node)} [label={json.dumps(label)}, fillcolor={color}];"
+        )
+    for link in topo.links:
+        width = 1.0 + 3.0 * link.capacity / max_width_capacity
+        lines.append(
+            f"  {node_id(link.u)} -- {node_id(link.v)} "
+            f"[penwidth={width:.2f}, label={json.dumps(f'{link.capacity:g}')}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

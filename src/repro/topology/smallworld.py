@@ -1,0 +1,73 @@
+"""Small-world ring topology (Watts-Strogatz style).
+
+Models the "small-world datacenters" design point the paper cites [26]: a
+ring lattice where each switch links to its ``k`` nearest neighbors, with a
+fraction of links rewired to uniformly random endpoints.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.util.rng import as_rng
+from repro.util.validation import (
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+def small_world_topology(
+    num_switches: int,
+    nearest_neighbors: int,
+    rewire_probability: float = 0.1,
+    servers_per_switch: int = 0,
+    capacity: float = 1.0,
+    seed=None,
+    name: "str | None" = None,
+) -> Topology:
+    """Build a Watts-Strogatz-style small-world network.
+
+    Start from a ring lattice where every switch connects to the
+    ``nearest_neighbors`` closest switches (must be even), then rewire each
+    clockwise link independently with probability ``rewire_probability`` to
+    a uniformly random non-adjacent endpoint.
+    """
+    num_switches = check_positive_int(num_switches, "num_switches")
+    nearest_neighbors = check_positive_int(nearest_neighbors, "nearest_neighbors")
+    rewire_probability = check_probability(rewire_probability, "rewire_probability")
+    servers_per_switch = check_non_negative_int(
+        servers_per_switch, "servers_per_switch"
+    )
+    capacity = check_positive(capacity, "capacity")
+    if nearest_neighbors % 2 != 0:
+        raise TopologyError(
+            f"nearest_neighbors must be even, got {nearest_neighbors}"
+        )
+    if nearest_neighbors >= num_switches:
+        raise TopologyError(
+            f"nearest_neighbors {nearest_neighbors} must be < num_switches "
+            f"{num_switches}"
+        )
+    rng = as_rng(seed)
+
+    topo = Topology(name or f"small-world(N={num_switches}, k={nearest_neighbors})")
+    for v in range(num_switches):
+        topo.add_switch(v, servers=servers_per_switch)
+    half = nearest_neighbors // 2
+    for v in range(num_switches):
+        for offset in range(1, half + 1):
+            u = (v + offset) % num_switches
+            if rng.random() < rewire_probability:
+                # Rewire the clockwise link to a random valid endpoint.
+                for _ in range(num_switches):
+                    candidate = int(rng.integers(num_switches))
+                    if candidate != v and not topo.has_link(v, candidate):
+                        u = candidate
+                        break
+                else:
+                    continue
+            if not topo.has_link(v, u):
+                topo.add_link(v, u, capacity=capacity)
+    return topo

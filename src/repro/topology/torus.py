@@ -1,0 +1,42 @@
+"""2D/3D torus topologies (supercomputer-style baselines)."""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.util.validation import check_non_negative_int, check_positive, check_positive_int
+
+
+def torus_topology(
+    dims: "tuple[int, ...]",
+    servers_per_switch: int = 0,
+    capacity: float = 1.0,
+    name: "str | None" = None,
+) -> Topology:
+    """Build a wrap-around torus with the given dimension sizes.
+
+    ``dims = (m, n)`` gives a 2D m-by-n torus; three entries give a 3D torus.
+    Every dimension must be >= 3 so wrap links do not duplicate grid links.
+    """
+    if not dims:
+        raise TopologyError("dims must contain at least one dimension")
+    dims = tuple(check_positive_int(d, "dims entry") for d in dims)
+    if any(d < 3 for d in dims):
+        raise TopologyError(f"every torus dimension must be >= 3, got {dims}")
+    servers_per_switch = check_non_negative_int(
+        servers_per_switch, "servers_per_switch"
+    )
+    capacity = check_positive(capacity, "capacity")
+
+    topo = Topology(name or f"torus{dims}")
+    coords = list(product(*(range(d) for d in dims)))
+    for coord in coords:
+        topo.add_switch(coord, servers=servers_per_switch)
+    for coord in coords:
+        for axis, size in enumerate(dims):
+            succ = list(coord)
+            succ[axis] = (coord[axis] + 1) % size
+            topo.add_link(coord, tuple(succ), capacity=capacity)
+    return topo

@@ -1,0 +1,201 @@
+"""VL2 and the paper's rewired VL2 (§7).
+
+VL2 [Greenberg et al., SIGCOMM 2009] is a three-layer Clos-style design:
+
+- each top-of-rack (ToR) switch attaches 20 servers at 1 GbE and has two
+  10 GbE uplinks to two different aggregation switches,
+- aggregation switches have ``DA`` 10 GbE ports: half down to ToRs, half up
+  to intermediate (core) switches,
+- core switches have ``DI`` 10 GbE ports forming a complete bipartite graph
+  with the aggregation layer.
+
+This yields ``DI`` aggregation switches, ``DA / 2`` core switches, and
+``DA * DI / 4`` ToRs supported at full throughput.
+
+The paper's improvement keeps exactly the same switches but (a) spreads the
+ToR uplinks across aggregation *and* core switches proportionally to their
+port counts, and (b) wires all remaining 10 GbE ports uniformly at random.
+:func:`rewired_vl2_topology` implements that construction with a variable
+ToR count so callers can binary-search the largest count supported at full
+throughput (see :mod:`repro.core.vl2_improvement`).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.topology.builders import (
+    random_bipartite_matching,
+    random_graph_from_degrees,
+)
+from repro.topology.heterogeneous import proportional_server_split
+from repro.util.rng import as_rng
+from repro.util.validation import check_positive, check_positive_int
+
+TOR = "tor"
+AGG = "agg"
+CORE = "core"
+
+#: Default server count per ToR and line-speeds, from the VL2 paper.
+DEFAULT_SERVERS_PER_TOR = 20
+DEFAULT_FABRIC_CAPACITY = 10.0
+DEFAULT_TOR_UPLINKS = 2
+
+
+def _validate_vl2_params(da: int, di: int) -> None:
+    check_positive_int(da, "da")
+    check_positive_int(di, "di")
+    if da % 2 != 0:
+        raise TopologyError(f"aggregation degree da must be even, got {da}")
+    if di % 2 != 0:
+        raise TopologyError(f"core degree di must be even, got {di}")
+    if da * di % 4 != 0:
+        raise TopologyError(f"da * di must be divisible by 4, got {da}*{di}")
+
+
+def vl2_node_names(da: int, di: int, num_tors: "int | None" = None):
+    """Switch id lists ``(tors, aggs, cores)`` for a VL2 of the given size."""
+    if num_tors is None:
+        num_tors = (da * di) // 4
+    tors = [f"tor{i}" for i in range(num_tors)]
+    aggs = [f"agg{i}" for i in range(di)]
+    cores = [f"core{i}" for i in range(da // 2)]
+    return tors, aggs, cores
+
+
+def vl2_topology(
+    da: int,
+    di: int,
+    servers_per_tor: int = DEFAULT_SERVERS_PER_TOR,
+    fabric_capacity: float = DEFAULT_FABRIC_CAPACITY,
+    num_tors: "int | None" = None,
+    name: "str | None" = None,
+) -> Topology:
+    """Build the standard VL2 topology for aggregation/core degrees DA, DI.
+
+    Link capacities are in units of the server line-speed (1 GbE = 1.0), so
+    the default 10 GbE fabric links carry capacity 10. "Full throughput"
+    then means every server flow sustains rate >= 1.0.
+
+    ``num_tors`` defaults to the design maximum ``DA * DI / 4``; smaller
+    counts keep the round-robin uplink spreading (used when searching how
+    many ToRs a workload actually sustains).
+    """
+    _validate_vl2_params(da, di)
+    servers_per_tor = check_positive_int(servers_per_tor, "servers_per_tor")
+    fabric_capacity = check_positive(fabric_capacity, "fabric_capacity")
+
+    max_tors = (da * di) // 4
+    if num_tors is None:
+        num_tors = max_tors
+    num_tors = check_positive_int(num_tors, "num_tors")
+    if num_tors > max_tors:
+        raise TopologyError(
+            f"VL2(DA={da}, DI={di}) hosts at most {max_tors} ToRs, "
+            f"got {num_tors}"
+        )
+    tors, aggs, cores = vl2_node_names(da, di, num_tors=num_tors)
+    topo = Topology(name or f"vl2(DA={da}, DI={di})")
+    for tor in tors:
+        topo.add_switch(tor, servers=servers_per_tor, switch_type=TOR, cluster=TOR)
+    for agg in aggs:
+        topo.add_switch(agg, servers=0, switch_type=AGG, cluster="fabric")
+    for core in cores:
+        topo.add_switch(core, servers=0, switch_type=CORE, cluster="fabric")
+
+    # Each ToR's two uplinks go to consecutive aggregation switches; the
+    # round-robin spreads exactly DA/2 ToR links onto every aggregation
+    # switch.
+    for i in range(num_tors):
+        first = (2 * i) % di
+        second = (2 * i + 1) % di
+        topo.add_link(tors[i], aggs[first], capacity=fabric_capacity)
+        topo.add_link(tors[i], aggs[second], capacity=fabric_capacity)
+
+    # Complete bipartite aggregation <-> core fabric.
+    for agg in aggs:
+        for core in cores:
+            topo.add_link(agg, core, capacity=fabric_capacity)
+    return topo
+
+
+def rewired_vl2_topology(
+    da: int,
+    di: int,
+    num_tors: int,
+    servers_per_tor: int = DEFAULT_SERVERS_PER_TOR,
+    fabric_capacity: float = DEFAULT_FABRIC_CAPACITY,
+    tor_uplinks: int = DEFAULT_TOR_UPLINKS,
+    seed=None,
+    name: "str | None" = None,
+) -> Topology:
+    """Rewire VL2's switch equipment per §7 with a variable ToR count.
+
+    The fabric equipment is identical to ``vl2_topology(da, di)``: ``di``
+    aggregation switches with ``da`` ports and ``da / 2`` core switches with
+    ``di`` ports. ToR uplinks are spread across *all* fabric switches in
+    proportion to their port counts (the §5.1 proportional rule, with ToRs
+    playing the role of servers), and every remaining fabric port is wired
+    uniformly at random.
+
+    Raises :class:`TopologyError` when ``num_tors`` needs more fabric ports
+    than exist.
+    """
+    _validate_vl2_params(da, di)
+    num_tors = check_positive_int(num_tors, "num_tors")
+    tor_uplinks = check_positive_int(tor_uplinks, "tor_uplinks")
+    servers_per_tor = check_positive_int(servers_per_tor, "servers_per_tor")
+    fabric_capacity = check_positive(fabric_capacity, "fabric_capacity")
+    rng = as_rng(seed)
+
+    tors, aggs, cores = vl2_node_names(da, di, num_tors=num_tors)
+    ports = {agg: da for agg in aggs}
+    ports.update({core: di for core in cores})
+    total_fabric_ports = sum(ports.values())
+    uplink_count = num_tors * tor_uplinks
+    if uplink_count > total_fabric_ports:
+        raise TopologyError(
+            f"{num_tors} ToRs need {uplink_count} fabric ports but only "
+            f"{total_fabric_ports} exist"
+        )
+
+    topo = Topology(name or f"rewired-vl2(DA={da}, DI={di}, T={num_tors})")
+    for tor in tors:
+        topo.add_switch(tor, servers=servers_per_tor, switch_type=TOR, cluster=TOR)
+    for agg in aggs:
+        topo.add_switch(agg, servers=0, switch_type=AGG, cluster="fabric")
+    for core in cores:
+        topo.add_switch(core, servers=0, switch_type=CORE, cluster="fabric")
+
+    # ToR uplinks land on fabric switches proportionally to port counts.
+    quotas = proportional_server_split(uplink_count, ports)
+    over = [sw for sw, q in quotas.items() if q > ports[sw]]
+    if over:
+        raise TopologyError(
+            f"uplink quota exceeds port budget at {over!r}; "
+            "reduce num_tors or tor_uplinks"
+        )
+    tor_stubs = {tor: tor_uplinks for tor in tors}
+    fabric_stubs = {sw: q for sw, q in quotas.items() if q > 0}
+    uplink_edges = random_bipartite_matching(tor_stubs, fabric_stubs, rng=rng)
+    for u, v in uplink_edges:
+        topo.add_link(u, v, capacity=fabric_capacity)
+
+    # Remaining fabric ports interconnect uniformly at random.
+    remaining = {sw: ports[sw] - quotas.get(sw, 0) for sw in ports}
+    fabric_edges = random_graph_from_degrees(remaining, rng=rng, allow_remainder=True)
+    for u, v in fabric_edges:
+        topo.add_link(u, v, capacity=fabric_capacity)
+    return topo
+
+
+def vl2_equipment_summary(topo: Topology) -> dict:
+    """Count switches by type — sanity helper for equipment-equality checks."""
+    summary = {TOR: 0, AGG: 0, CORE: 0, "other": 0}
+    for node in topo.switches:
+        kind = topo.switch_type_of(node)
+        if kind in summary:
+            summary[kind] += 1
+        else:
+            summary["other"] += 1
+    return summary

@@ -1,0 +1,32 @@
+"""Traffic matrices: the workloads the paper evaluates.
+
+All constructors return a switch-level :class:`~repro.traffic.base.TrafficMatrix`
+whose demands count unit server flows between switch pairs. Server-level
+pair lists are retained where the packet simulator needs them (permutations,
+chunky), and omitted for dense matrices (all-to-all).
+"""
+
+from repro.traffic.base import TrafficMatrix, servers_of
+from repro.traffic.permutation import (
+    random_permutation_traffic,
+    switch_permutation_traffic,
+)
+from repro.traffic.alltoall import all_to_all_traffic
+from repro.traffic.chunky import chunky_traffic
+from repro.traffic.stride import stride_traffic
+from repro.traffic.hotspot import hotspot_traffic
+from repro.traffic.gravity import gravity_traffic
+from repro.traffic.adversarial import longest_matching_traffic
+
+__all__ = [
+    "TrafficMatrix",
+    "servers_of",
+    "random_permutation_traffic",
+    "switch_permutation_traffic",
+    "all_to_all_traffic",
+    "chunky_traffic",
+    "stride_traffic",
+    "hotspot_traffic",
+    "gravity_traffic",
+    "longest_matching_traffic",
+]

@@ -1,0 +1,36 @@
+"""All-to-all traffic: every server sends one unit flow to every other.
+
+The paper notes ([20]) that all-to-all performance bounds performance under
+any workload within a factor of two, which makes it the canonical
+"high-density" stress matrix. The switch-level aggregation keeps the LP
+small: demand between switches ``u != v`` is ``servers(u) * servers(v)``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TrafficError
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+
+
+def all_to_all_traffic(topo: Topology, name: "str | None" = None) -> TrafficMatrix:
+    """Build the all-to-all matrix over every server pair of ``topo``."""
+    server_map = {v: c for v, c in topo.server_map().items() if c > 0}
+    total = sum(server_map.values())
+    if total < 2:
+        raise TrafficError(f"need at least 2 servers, topology has {total}")
+    demands: dict = {}
+    local = 0
+    for u, su in server_map.items():
+        local += su * (su - 1)
+        for v, sv in server_map.items():
+            if u == v:
+                continue
+            demands[(u, v)] = float(su * sv)
+    return TrafficMatrix(
+        name=name or "all-to-all",
+        demands=demands,
+        num_flows=total * (total - 1),
+        num_local_flows=local,
+        server_pairs=None,
+    )

@@ -1,0 +1,162 @@
+"""Traffic-matrix data model.
+
+A :class:`TrafficMatrix` stores switch-level demands: ``demands[(u, v)]`` is
+the number of unit server flows whose source attaches to switch ``u`` and
+destination to switch ``v``. Flows between servers on the *same* switch
+never touch the network (the paper's model assumes a non-blocking switch
+backplane); they are counted separately in :attr:`TrafficMatrix.num_local_flows`
+so throughput bounds can still account for the paper's total flow count
+``f``.
+
+Servers are addressed as ``(switch_id, local_index)`` pairs; constructors
+that know individual endpoints (permutations, chunky) keep the server-level
+pair list for the packet simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import TrafficError
+
+ServerId = tuple  # (switch_id, local_index)
+
+
+def servers_of(server_map: Mapping[object, int]) -> list[ServerId]:
+    """Enumerate server ids for a switch -> server-count mapping."""
+    out: list[ServerId] = []
+    for switch, count in server_map.items():
+        for index in range(int(count)):
+            out.append((switch, index))
+    return out
+
+
+@dataclass
+class TrafficMatrix:
+    """Switch-level demand matrix with server-flow bookkeeping.
+
+    Attributes
+    ----------
+    name:
+        Workload label used in reports.
+    demands:
+        Mapping ``(src_switch, dst_switch) -> units``. Units are numbers of
+        unit-rate server flows (possibly fractional for synthetic TMs).
+    num_flows:
+        Total server-level flows, including same-switch ("local") flows.
+        This is the paper's ``f``.
+    num_local_flows:
+        Flows between co-located servers; they appear in ``num_flows`` but
+        not in ``demands``.
+    server_pairs:
+        Optional explicit list of ``((src_switch, i), (dst_switch, j))``
+        server-level flows for simulators; ``None`` for dense matrices.
+    """
+
+    name: str
+    demands: dict = field(default_factory=dict)
+    num_flows: int = 0
+    num_local_flows: int = 0
+    server_pairs: "list[tuple[ServerId, ServerId]] | None" = None
+
+    def __post_init__(self) -> None:
+        cleaned: dict = {}
+        for (u, v), units in self.demands.items():
+            if u == v:
+                raise TrafficError(
+                    f"demand between {u!r} and itself must be recorded as a "
+                    "local flow, not a network demand"
+                )
+            units = float(units)
+            if units < 0:
+                raise TrafficError(f"negative demand {units} for ({u!r}, {v!r})")
+            if units > 0:
+                cleaned[(u, v)] = units
+        self.demands = cleaned
+        if self.num_flows < 0 or self.num_local_flows < 0:
+            raise TrafficError("flow counts must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_network_flows(self) -> int:
+        """Server flows that traverse the network (``f`` minus local)."""
+        return self.num_flows - self.num_local_flows
+
+    @property
+    def total_demand(self) -> float:
+        """Sum of switch-level demand units (network flows only)."""
+        return float(sum(self.demands.values()))
+
+    def pairs(self) -> list[tuple]:
+        """Demand endpoints as a list of ``(u, v)`` switch pairs."""
+        return list(self.demands)
+
+    def sources(self) -> list:
+        """Distinct source switches, in first-seen order."""
+        seen: dict = {}
+        for u, _ in self.demands:
+            seen.setdefault(u, None)
+        return list(seen)
+
+    def demand(self, u, v) -> float:
+        """Demand units from switch ``u`` to switch ``v`` (0 if none)."""
+        return float(self.demands.get((u, v), 0.0))
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """Return a copy with every switch-level demand multiplied."""
+        if factor <= 0:
+            raise TrafficError(f"scale factor must be positive, got {factor}")
+        return TrafficMatrix(
+            name=f"{self.name} x{factor:g}",
+            demands={pair: units * factor for pair, units in self.demands.items()},
+            num_flows=self.num_flows,
+            num_local_flows=self.num_local_flows,
+            server_pairs=self.server_pairs,
+        )
+
+    def validate_against(self, switches: Iterable) -> None:
+        """Check every demand endpoint is a known switch."""
+        known = set(switches)
+        for u, v in self.demands:
+            if u not in known:
+                raise TrafficError(f"demand source {u!r} is not a switch")
+            if v not in known:
+                raise TrafficError(f"demand destination {v!r} is not a switch")
+
+    @classmethod
+    def from_server_pairs(
+        cls,
+        pairs: Iterable[tuple[ServerId, ServerId]],
+        name: str = "custom",
+    ) -> "TrafficMatrix":
+        """Aggregate explicit server-level flows into a switch-level TM."""
+        demands: dict = {}
+        kept: list[tuple[ServerId, ServerId]] = []
+        num_flows = 0
+        num_local = 0
+        for src, dst in pairs:
+            if src == dst:
+                raise TrafficError(f"server {src!r} cannot send to itself")
+            num_flows += 1
+            kept.append((src, dst))
+            src_switch, _ = src
+            dst_switch, _ = dst
+            if src_switch == dst_switch:
+                num_local += 1
+                continue
+            key = (src_switch, dst_switch)
+            demands[key] = demands.get(key, 0.0) + 1.0
+        return cls(
+            name=name,
+            demands=demands,
+            num_flows=num_flows,
+            num_local_flows=num_local,
+            server_pairs=kept,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficMatrix(name={self.name!r}, pairs={len(self.demands)}, "
+            f"flows={self.num_flows}, local={self.num_local_flows})"
+        )

@@ -1,0 +1,65 @@
+"""Chunky traffic (§8.1): a hard-to-route mixture workload.
+
+"x% Chunky": a fraction ``x`` of the network's server-bearing switches
+(ToRs) participate in a *ToR-level* permutation — each sends all of its
+traffic to exactly one other participating ToR — while the remaining
+switches' servers run a server-level random permutation among themselves.
+The paper uses this to stress concentrated, low-entropy communication.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TrafficError
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix, servers_of
+from repro.util.rng import as_rng, random_derangement
+from repro.util.validation import check_probability
+
+
+def chunky_traffic(
+    topo: Topology,
+    chunky_fraction: float,
+    seed=None,
+    name: "str | None" = None,
+) -> TrafficMatrix:
+    """Build an ``x%`` chunky matrix with ``x = chunky_fraction``.
+
+    ``chunky_fraction = 1.0`` is the paper's "100% Chunky" worst case: a
+    pure ToR-level permutation. Fractions that leave fewer than two switches
+    on either side degrade gracefully: a side with < 2 participants
+    contributes no flows.
+    """
+    chunky_fraction = check_probability(chunky_fraction, "chunky_fraction")
+    rng = as_rng(seed)
+    tors = [v for v in topo.switches if topo.servers_at(v) > 0]
+    if len(tors) < 2:
+        raise TrafficError(
+            f"need at least 2 server-bearing switches, got {len(tors)}"
+        )
+    order = list(tors)
+    rng.shuffle(order)
+    num_chunky = int(round(chunky_fraction * len(order)))
+    chunky_set = order[:num_chunky]
+    rest = order[num_chunky:]
+
+    pairs: list[tuple] = []
+    if len(chunky_set) >= 2:
+        perm = random_derangement(rng, len(chunky_set))
+        for i, src_switch in enumerate(chunky_set):
+            dst_switch = chunky_set[int(perm[i])]
+            dst_count = topo.servers_at(dst_switch)
+            for j in range(topo.servers_at(src_switch)):
+                pairs.append(((src_switch, j), (dst_switch, j % dst_count)))
+
+    rest_servers = servers_of({v: topo.servers_at(v) for v in rest})
+    if len(rest_servers) >= 2:
+        perm = random_derangement(rng, len(rest_servers))
+        for i, src in enumerate(rest_servers):
+            pairs.append((src, rest_servers[int(perm[i])]))
+
+    if not pairs:
+        raise TrafficError(
+            "chunky split produced no flows; adjust chunky_fraction or sizes"
+        )
+    label = name or f"chunky-{int(round(chunky_fraction * 100))}%"
+    return TrafficMatrix.from_server_pairs(pairs, name=label)

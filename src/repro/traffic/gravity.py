@@ -1,0 +1,45 @@
+"""Gravity-model traffic: demand proportional to endpoint sizes.
+
+``demand(u, v) ∝ servers(u) * servers(v)``, normalized so each server
+originates one unit of traffic in total. This is the classical smooth
+baseline TM; unlike all-to-all it keeps per-source totals constant when
+server populations are unequal.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TrafficError
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+
+
+def gravity_traffic(topo: Topology, name: "str | None" = None) -> TrafficMatrix:
+    """Build the gravity matrix over the server populations of ``topo``.
+
+    Each switch ``u`` originates ``servers(u)`` total units, split across
+    destinations ``v != u`` proportionally to ``servers(v)``. Demands are
+    fractional; ``num_flows`` counts one flow per ordered switch pair with
+    positive demand.
+    """
+    server_map = {v: c for v, c in topo.server_map().items() if c > 0}
+    total = sum(server_map.values())
+    if total < 2 or len(server_map) < 2:
+        raise TrafficError(
+            "gravity traffic needs servers on at least 2 switches"
+        )
+    demands: dict = {}
+    for u, su in server_map.items():
+        others = total - su
+        if others <= 0:
+            continue
+        for v, sv in server_map.items():
+            if u == v:
+                continue
+            demands[(u, v)] = su * sv / others
+    return TrafficMatrix(
+        name=name or "gravity",
+        demands=demands,
+        num_flows=len(demands),
+        num_local_flows=0,
+        server_pairs=None,
+    )

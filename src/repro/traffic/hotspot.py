@@ -1,0 +1,49 @@
+"""Hotspot traffic: many senders converge on a few destination servers.
+
+Models incast-style aggregation patterns (shuffle reducers, popular
+services). Not part of the paper's figure set, but the paper notes its tool
+"is easy to augment with arbitrary traffic patterns" — this is one such
+augmentation, exercised by the extra benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TrafficError
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix, servers_of
+from repro.util.rng import as_rng
+from repro.util.validation import check_fraction, check_positive_int
+
+
+def hotspot_traffic(
+    topo: Topology,
+    num_hotspots: int = 1,
+    sender_fraction: float = 1.0,
+    seed=None,
+    name: "str | None" = None,
+) -> TrafficMatrix:
+    """Build a hotspot matrix.
+
+    ``num_hotspots`` destination servers are chosen uniformly at random;
+    a ``sender_fraction`` share of the remaining servers each send one unit
+    flow to a hotspot chosen round-robin (balancing load over hotspots).
+    """
+    num_hotspots = check_positive_int(num_hotspots, "num_hotspots")
+    sender_fraction = check_fraction(sender_fraction, "sender_fraction")
+    rng = as_rng(seed)
+    servers = servers_of(topo.server_map())
+    if len(servers) < num_hotspots + 1:
+        raise TrafficError(
+            f"need more than {num_hotspots} servers, topology has {len(servers)}"
+        )
+    order = list(servers)
+    rng.shuffle(order)
+    hotspots = order[:num_hotspots]
+    rest = order[num_hotspots:]
+    num_senders = max(1, int(round(sender_fraction * len(rest))))
+    senders = rest[:num_senders]
+    pairs = [
+        (sender, hotspots[i % num_hotspots]) for i, sender in enumerate(senders)
+    ]
+    label = name or f"hotspot-{num_hotspots}"
+    return TrafficMatrix.from_server_pairs(pairs, name=label)

@@ -1,0 +1,37 @@
+"""Stride traffic: server ``i`` sends to server ``(i + stride) mod S``.
+
+A deterministic permutation workload; strides near half the server count
+produce long-haul patterns on structured topologies, which makes stride a
+useful adversarial complement to random permutations.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TrafficError
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix, servers_of
+from repro.util.validation import check_positive_int
+
+
+def stride_traffic(
+    topo: Topology, stride: int = 1, name: "str | None" = None
+) -> TrafficMatrix:
+    """Build the stride-``stride`` permutation over all servers.
+
+    Servers are ordered by switch insertion order, then local index. The
+    stride must not be a multiple of the server count (that would map every
+    server to itself).
+    """
+    stride = check_positive_int(stride, "stride")
+    servers = servers_of(topo.server_map())
+    total = len(servers)
+    if total < 2:
+        raise TrafficError(f"need at least 2 servers, topology has {total}")
+    if stride % total == 0:
+        raise TrafficError(
+            f"stride {stride} is a multiple of the server count {total}"
+        )
+    pairs = [
+        (servers[i], servers[(i + stride) % total]) for i in range(total)
+    ]
+    return TrafficMatrix.from_server_pairs(pairs, name=name or f"stride-{stride}")

@@ -1,0 +1,25 @@
+"""Shared utilities: RNG plumbing, validation helpers, table rendering."""
+
+from repro.util.rng import (
+    as_rng,
+    child_rngs,
+    spawn_seeds,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "as_rng",
+    "child_rngs",
+    "spawn_seeds",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,87 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic constructor in the library accepts either an integer seed,
+``None`` (fresh entropy), or a :class:`numpy.random.Generator`. These helpers
+normalize that convention and derive independent child generators for
+multi-run experiment sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+
+
+def as_rng(seed: "int | None | np.random.Generator | np.random.SeedSequence" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Passing an existing generator returns it unchanged, so callers can thread
+    one generator through a pipeline without re-seeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed, count: int) -> list[np.random.SeedSequence]:
+    """Derive ``count`` independent seed sequences from one root seed.
+
+    Accepts any seed form :func:`as_rng` does: an existing generator is
+    consumed for one draw of entropy, so repeated calls with the same
+    generator yield different (but deterministic) children. Used by
+    experiment sweeps so each run is independent yet the whole sweep is
+    reproducible from a single integer.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seed = int(seed.integers(2**63))
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return root.spawn(count)
+
+
+def child_rngs(seed, count: int) -> list[np.random.Generator]:
+    """Return ``count`` independent generators derived from ``seed``."""
+    return [np.random.default_rng(ss) for ss in spawn_seeds(seed, count)]
+
+
+def random_derangement(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Sample a uniformly random derangement of ``range(n)``.
+
+    A derangement is a permutation with no fixed points; the paper's random
+    permutation traffic requires every server to send to a *different*
+    server. Uses rejection sampling, which succeeds with probability ~1/e
+    per attempt, so the expected number of attempts is small and constant.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n == 1:
+        raise ValueError("no derangement exists for n == 1")
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    while True:
+        perm = rng.permutation(n)
+        if not np.any(perm == np.arange(n)):
+            return perm
+
+
+def sample_pairs_without_replacement(
+    rng: np.random.Generator, items: Iterable[int]
+) -> list[tuple[int, int]]:
+    """Randomly partition ``items`` into disjoint unordered pairs.
+
+    If the number of items is odd the last element is dropped. Used by
+    stub-matching graph builders.
+    """
+    arr = np.fromiter(items, dtype=np.int64)
+    rng.shuffle(arr)
+    usable = len(arr) - (len(arr) % 2)
+    return [(int(arr[i]), int(arr[i + 1])) for i in range(0, usable, 2)]

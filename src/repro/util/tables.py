@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment series.
+
+The benchmark harness prints the same rows a paper figure plots; these
+helpers produce aligned, copy-paste-friendly tables without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Mapping[float, float]],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render several named y-series keyed by a shared x-axis.
+
+    ``series`` maps series name -> {x: y}. Missing points render as ``-``.
+    """
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label, *series.keys()]
+    rows = []
+    for x in xs:
+        row: list[object] = [float(x) if isinstance(x, float) else x]
+        for points in series.values():
+            row.append(points.get(x, "-"))
+        rows.append(row)
+    return format_table(headers, rows, float_format=float_format)

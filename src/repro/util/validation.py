@@ -1,0 +1,64 @@
+"""Small argument-validation helpers used across the library.
+
+These raise :class:`ValueError` with a consistent message format naming the
+offending argument, which keeps constructor bodies short and error messages
+uniform.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as int."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 0 and return it as int."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number > 0 and return it as float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    if not value > 0 or value != value or value == float("inf"):
+        raise ValueError(f"{name} must be positive and finite, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number >= 0 and return it as float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    if value < 0 or value != value or value == float("inf"):
+        raise ValueError(f"{name} must be >= 0 and finite, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as float."""
+    value = check_non_negative(value, name)
+    if value > 1:
+        raise ValueError(f"{name} must be <= 1, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in (0, 1] and return it as float."""
+    value = check_positive(value, name)
+    if value > 1:
+        raise ValueError(f"{name} must be in (0, 1], got {value}")
+    return value

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build deliberately small instances: every LP here solves in
+milliseconds so the full suite stays fast while still exercising the real
+solvers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.base import Topology
+from repro.topology.random_regular import random_regular_topology
+from repro.topology.two_cluster import two_cluster_random_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+
+@pytest.fixture
+def triangle() -> Topology:
+    """Three switches in a cycle, one server each, unit capacities."""
+    topo = Topology("triangle")
+    for v in range(3):
+        topo.add_switch(v, servers=1)
+    topo.add_link(0, 1)
+    topo.add_link(1, 2)
+    topo.add_link(2, 0)
+    return topo
+
+
+@pytest.fixture
+def path_two() -> Topology:
+    """Two switches joined by one unit link, one server each."""
+    topo = Topology("path2")
+    topo.add_switch("a", servers=1)
+    topo.add_switch("b", servers=1)
+    topo.add_link("a", "b", capacity=1.0)
+    return topo
+
+
+@pytest.fixture
+def small_rrg() -> Topology:
+    """RRG(N=12, r=4) with 3 servers per switch (seeded)."""
+    return random_regular_topology(12, 4, servers_per_switch=3, seed=7)
+
+
+@pytest.fixture
+def small_rrg_traffic(small_rrg):
+    """A seeded permutation on the small RRG."""
+    return random_permutation_traffic(small_rrg, seed=13)
+
+
+@pytest.fixture
+def small_two_cluster() -> Topology:
+    """Two-cluster network: 4 large x 6 net-ports, 8 small x 3 net-ports."""
+    return two_cluster_random_topology(
+        num_large=4,
+        large_network_ports=6,
+        num_small=8,
+        small_network_ports=3,
+        servers_per_large=4,
+        servers_per_small=2,
+        cross_fraction=1.0,
+        seed=23,
+    )

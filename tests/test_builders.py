@@ -1,0 +1,179 @@
+"""Tests for the randomized graph builders, including hypothesis properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphConstructionError
+from repro.topology.builders import (
+    is_graphical,
+    random_bipartite_matching,
+    random_graph_from_degrees,
+)
+
+
+class TestIsGraphical:
+    def test_known_graphical(self):
+        assert is_graphical([2, 2, 2])  # triangle
+        assert is_graphical([3, 3, 3, 3])  # K4
+        assert is_graphical([1, 1])
+
+    def test_known_non_graphical(self):
+        assert not is_graphical([3, 1])  # odd sum is caught too
+        assert not is_graphical([2, 2, 1])  # odd sum
+        assert not is_graphical([4, 1, 1, 1])  # Erdos-Gallai violation
+
+    def test_rejects_negative_and_oversized(self):
+        assert not is_graphical([-1, 1])
+        assert not is_graphical([5, 1, 1, 1, 1])  # degree > n-1
+
+    def test_empty_is_graphical(self):
+        assert is_graphical([])
+
+    @given(st.lists(st.integers(min_value=0, max_value=8), min_size=2, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx(self, degrees):
+        import networkx as nx
+
+        assert is_graphical(degrees) == nx.is_graphical(degrees)
+
+
+def _check_simple(edges, budgets):
+    seen = set()
+    used = {node: 0 for node in budgets}
+    for u, v in edges:
+        assert u != v, "self loop"
+        key = frozenset((u, v))
+        assert key not in seen, "parallel edge"
+        seen.add(key)
+        used[u] += 1
+        used[v] += 1
+    for node, count in used.items():
+        assert count <= budgets[node], f"degree budget exceeded at {node}"
+    return used
+
+
+class TestRandomGraphFromDegrees:
+    def test_regular_graph_exact(self):
+        budgets = {v: 4 for v in range(10)}
+        edges = random_graph_from_degrees(budgets, rng=1, allow_remainder=False)
+        used = _check_simple(edges, budgets)
+        assert all(count == 4 for count in used.values())
+
+    def test_near_complete_graph(self):
+        budgets = {v: 9 for v in range(10)}
+        edges = random_graph_from_degrees(budgets, rng=2, allow_remainder=False)
+        assert len(edges) == 45
+
+    def test_odd_total_leaves_remainder(self):
+        budgets = {0: 1, 1: 1, 2: 1}
+        edges = random_graph_from_degrees(budgets, rng=3)
+        assert len(edges) == 1
+
+    def test_remainder_rejected_when_disallowed(self):
+        budgets = {0: 1, 1: 1, 2: 1}
+        with pytest.raises(GraphConstructionError, match="stubs"):
+            random_graph_from_degrees(budgets, rng=3, allow_remainder=False)
+
+    def test_budget_above_n_minus_1_rejected(self):
+        with pytest.raises(GraphConstructionError, match="exceeds"):
+            random_graph_from_degrees({0: 3, 1: 1, 2: 1}, rng=0)
+
+    def test_budget_above_n_minus_1_clamped(self):
+        edges = random_graph_from_degrees(
+            {0: 5, 1: 1, 2: 1}, rng=0, clamp=True
+        )
+        _check_simple(edges, {0: 2, 1: 1, 2: 1})
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            random_graph_from_degrees({0: -1, 1: 1})
+
+    def test_zero_budgets_produce_no_edges(self):
+        assert random_graph_from_degrees({0: 0, 1: 0}) == []
+
+    def test_deterministic_given_seed(self):
+        budgets = {v: 3 for v in range(8)}
+        a = random_graph_from_degrees(budgets, rng=11)
+        b = random_graph_from_degrees(budgets, rng=11)
+        assert sorted(map(sorted, a)) == sorted(map(sorted, b))
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=6),
+            min_size=2,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_simple_within_budgets(self, budgets):
+        n = len(budgets)
+        budgets = {node: min(b, n - 1) for node, b in budgets.items()}
+        edges = random_graph_from_degrees(budgets, rng=5)
+        _check_simple(edges, budgets)
+
+    def test_regular_fill_places_everything_when_graphical(self):
+        # 12 nodes degree 5: graphical (even sum); builder must place all.
+        budgets = {v: 5 for v in range(12)}
+        edges = random_graph_from_degrees(budgets, rng=7, allow_remainder=False)
+        assert len(edges) == 30
+
+
+class TestRandomBipartiteMatching:
+    def test_exact_matching(self):
+        stubs_a = {("a", i): 2 for i in range(4)}
+        stubs_b = {("b", i): 2 for i in range(4)}
+        edges = random_bipartite_matching(stubs_a, stubs_b, rng=1)
+        assert len(edges) == 8
+        for u, v in edges:
+            sides = {u[0], v[0]}
+            assert sides == {"a", "b"}
+
+    def test_no_parallel_edges(self):
+        stubs_a = {("a", 0): 3}
+        stubs_b = {("b", i): 1 for i in range(3)}
+        edges = random_bipartite_matching(stubs_a, stubs_b, rng=2)
+        assert len({frozenset(e) for e in edges}) == 3
+
+    def test_total_mismatch_rejected(self):
+        with pytest.raises(GraphConstructionError, match="totals differ"):
+            random_bipartite_matching({"a": 2}, {"b": 1}, rng=0)
+
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(GraphConstructionError, match="both sides"):
+            random_bipartite_matching({"x": 1}, {"x": 1}, rng=0)
+
+    def test_forbidden_pairs_avoided(self):
+        stubs_a = {("a", 0): 1, ("a", 1): 1}
+        stubs_b = {("b", 0): 1, ("b", 1): 1}
+        forbidden = {frozenset((("a", 0), ("b", 0)))}
+        for seed in range(8):
+            edges = random_bipartite_matching(
+                stubs_a, stubs_b, rng=seed, forbidden=forbidden
+            )
+            assert frozenset((("a", 0), ("b", 0))) not in {
+                frozenset(e) for e in edges
+            }
+
+    def test_infeasible_raises(self):
+        # 2 stubs on one pair of nodes cannot form 2 simple edges.
+        with pytest.raises(GraphConstructionError):
+            random_bipartite_matching({"a": 2}, {"b": 2}, rng=0)
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_budgets_respected(self, per_node, nodes):
+        stubs_a = {("a", i): per_node for i in range(nodes)}
+        stubs_b = {("b", i): per_node for i in range(nodes)}
+        if per_node > nodes:
+            return  # infeasible by simple-graph cap
+        edges = random_bipartite_matching(stubs_a, stubs_b, rng=3)
+        used: dict = {}
+        for u, v in edges:
+            used[u] = used.get(u, 0) + 1
+            used[v] = used.get(v, 0) + 1
+        assert all(count == per_node for count in used.values())

@@ -1,0 +1,128 @@
+"""Tests for the homogeneous bounds (Theorem 1 and Cerf et al.)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    aspl_lower_bound,
+    aspl_step_boundaries,
+    rrg_diameter_upper_bound,
+    throughput_upper_bound,
+)
+from repro.exceptions import BoundError
+from repro.metrics.paths import average_shortest_path_length
+from repro.topology.complete import complete_topology
+from repro.topology.hypercube import hypercube_topology
+
+
+class TestAsplLowerBound:
+    def test_complete_graph_degree(self):
+        # Degree n-1 places everyone at distance 1.
+        assert aspl_lower_bound(10, 9) == pytest.approx(1.0)
+
+    def test_two_levels_exact(self):
+        # N=8, r=3: 3 at distance 1, remaining 4 at distance 2.
+        expected = (3 * 1 + 4 * 2) / 7
+        assert aspl_lower_bound(8, 3) == pytest.approx(expected)
+
+    def test_paper_value_degree10_n40(self):
+        # 10 at distance 1, 29 at distance 2 -> (10 + 58)/39.
+        assert aspl_lower_bound(40, 10) == pytest.approx(68 / 39)
+
+    def test_matches_real_graphs(self):
+        # The bound must lower-bound actual regular graphs.
+        cube = hypercube_topology(4)
+        assert aspl_lower_bound(16, 4) <= average_shortest_path_length(cube)
+        clique = complete_topology(7)
+        assert aspl_lower_bound(7, 6) <= average_shortest_path_length(clique)
+
+    def test_monotone_decreasing_in_degree(self):
+        values = [aspl_lower_bound(100, r) for r in range(2, 30)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_increasing_in_size(self):
+        values = [aspl_lower_bound(n, 4) for n in range(6, 200, 7)]
+        assert values == sorted(values)
+
+    def test_degree_one_special_cases(self):
+        assert aspl_lower_bound(2, 1) == pytest.approx(1.0)
+        with pytest.raises(BoundError, match="1-regular"):
+            aspl_lower_bound(4, 1)
+
+    def test_tiny_sizes_rejected(self):
+        with pytest.raises(BoundError, match="at least 2"):
+            aspl_lower_bound(1, 3)
+
+    @given(
+        st.integers(min_value=4, max_value=2000),
+        st.integers(min_value=2, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_one_property(self, n, r):
+        assert aspl_lower_bound(n, r) >= 1.0
+
+
+class TestStepBoundaries:
+    def test_degree_four_paper_series(self):
+        assert aspl_step_boundaries(4, 6) == [5, 17, 53, 161, 485, 1457]
+
+    def test_degree_three(self):
+        assert aspl_step_boundaries(3, 4) == [4, 10, 22, 46]
+
+    def test_degree_below_two_rejected(self):
+        with pytest.raises(BoundError, match="degree >= 2"):
+            aspl_step_boundaries(1)
+
+    def test_boundaries_are_bend_points(self):
+        # Just below a boundary the marginal node joins the current level;
+        # just above, a more distant one: the bound's slope increases.
+        for boundary in aspl_step_boundaries(4, 4)[1:]:
+            below = aspl_lower_bound(boundary, 4)
+            above = aspl_lower_bound(boundary + 1, 4)
+            assert above > below
+
+
+class TestThroughputUpperBound:
+    def test_formula_with_explicit_aspl(self):
+        # N*r / (<D> * f).
+        assert throughput_upper_bound(10, 4, 20, aspl=2.0) == pytest.approx(1.0)
+
+    def test_default_uses_cerf_bound(self):
+        value = throughput_upper_bound(40, 10, 200)
+        expected = 40 * 10 / (aspl_lower_bound(40, 10) * 200)
+        assert value == pytest.approx(expected)
+
+    def test_capacity_scaling(self):
+        one = throughput_upper_bound(10, 4, 20, aspl=2.0)
+        ten = throughput_upper_bound(10, 4, 20, aspl=2.0, capacity_per_link=10.0)
+        assert ten == pytest.approx(10.0 * one)
+
+    def test_more_flows_lower_bound(self):
+        few = throughput_upper_bound(20, 5, 10)
+        many = throughput_upper_bound(20, 5, 100)
+        assert many == pytest.approx(few / 10.0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_upper_bound(0, 4, 10)
+        with pytest.raises(ValueError):
+            throughput_upper_bound(10, 4, 10, aspl=-1.0)
+
+
+class TestDiameterBound:
+    def test_upper_bounds_aspl_ratio_shrinks(self):
+        # diameter bound / aspl lower bound tends toward 1-ish growth wise;
+        # here just check it upper-bounds the Cerf bound.
+        for n in (50, 200, 1000):
+            assert rrg_diameter_upper_bound(n, 4) > aspl_lower_bound(n, 4)
+
+    def test_small_degree_rejected(self):
+        with pytest.raises(BoundError, match="degree >= 3"):
+            rrg_diameter_upper_bound(100, 2)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(BoundError, match="num_nodes"):
+            rrg_diameter_upper_bound(4, 3)

@@ -1,0 +1,120 @@
+"""Tests for cable-length accounting and layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cabling import (
+    cable_report,
+    compare_layouts,
+    grid_layout,
+    linear_layout,
+)
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.topology.two_cluster import two_cluster_random_topology
+
+
+@pytest.fixture
+def clustered_topo() -> Topology:
+    """Cross-sparse two-cluster network (the clustering-friendly regime)."""
+    return two_cluster_random_topology(
+        6, 5, 6, 5, cross_links=3, seed=3
+    )
+
+
+class TestLayouts:
+    def test_linear_layout_assigns_all(self, clustered_topo):
+        layout = linear_layout(clustered_topo, seed=1)
+        assert set(layout) == set(clustered_topo.switches)
+        assert sorted(layout.values()) == list(range(12))
+
+    def test_cluster_grouping_contiguous(self, clustered_topo):
+        layout = linear_layout(clustered_topo, group_by_cluster=True, seed=1)
+        large_slots = sorted(
+            layout[v] for v in clustered_topo.nodes_in_cluster("large")
+        )
+        # Contiguous block: max - min spans exactly the cluster size.
+        assert large_slots[-1] - large_slots[0] == len(large_slots) - 1
+
+    def test_explicit_order(self, clustered_topo):
+        order = list(clustered_topo.switches)[::-1]
+        layout = linear_layout(clustered_topo, order=order)
+        assert layout[order[0]] == 0
+
+    def test_bad_order_rejected(self, clustered_topo):
+        with pytest.raises(TopologyError, match="every switch"):
+            linear_layout(clustered_topo, order=[0, 1])
+
+    def test_grid_layout_shape(self, clustered_topo):
+        layout = grid_layout(clustered_topo, columns=4, seed=2)
+        rows = {pos[0] for pos in layout.values()}
+        cols = {pos[1] for pos in layout.values()}
+        assert max(cols) <= 3
+        assert len(rows) == 3  # 12 switches / 4 columns
+
+    def test_grid_columns_validated(self, clustered_topo):
+        with pytest.raises(TopologyError, match="columns"):
+            grid_layout(clustered_topo, columns=0)
+
+
+class TestCableReport:
+    def test_simple_line(self):
+        topo = Topology("line")
+        for v in range(3):
+            topo.add_switch(v)
+        topo.add_link(0, 1)
+        topo.add_link(0, 2)
+        report = cable_report(topo, {0: 0, 1: 1, 2: 2})
+        assert report.total_length == pytest.approx(3.0)  # 1 + 2
+        assert report.mean_length == pytest.approx(1.5)
+        assert report.max_length == pytest.approx(2.0)
+        assert report.num_cables == 2
+
+    def test_capacity_weighting(self):
+        topo = Topology("trunk")
+        topo.add_switch(0)
+        topo.add_switch(1)
+        topo.add_link(0, 1, capacity=4.0)
+        unweighted = cable_report(topo, {0: 0, 1: 2})
+        weighted = cable_report(topo, {0: 0, 1: 2}, weight_by_capacity=True)
+        assert unweighted.num_cables == 1
+        assert weighted.num_cables == 4
+        assert weighted.total_length == pytest.approx(8.0)
+
+    def test_grid_positions_use_manhattan(self):
+        topo = Topology("grid")
+        topo.add_switch("a")
+        topo.add_switch("b")
+        topo.add_link("a", "b")
+        report = cable_report(topo, {"a": (0, 0), "b": (2, 3)})
+        assert report.total_length == pytest.approx(5.0)
+
+    def test_missing_switch_rejected(self, clustered_topo):
+        with pytest.raises(TopologyError, match="misses"):
+            cable_report(clustered_topo, {0: 0})
+
+
+class TestClusteringPaysOff:
+    def test_clustered_layout_shortens_cables(self, clustered_topo):
+        """The paper's §5.1 consequence: on cross-sparse networks, placing
+        clusters contiguously cuts cable length."""
+        reports = compare_layouts(clustered_topo, seed=4)
+        assert (
+            reports["clustered"].mean_length
+            < reports["random"].mean_length
+        )
+
+    def test_throughput_unchanged_by_layout(self, clustered_topo):
+        """Layout is physical only — sanity that we never conflate it with
+        the logical topology."""
+        from repro.flow.edge_lp import max_concurrent_flow
+        from repro.traffic.base import TrafficMatrix
+
+        tm = TrafficMatrix(
+            name="x", demands={(0, 7): 1.0, (7, 0): 1.0}, num_flows=2
+        )
+        before = max_concurrent_flow(clustered_topo, tm).throughput
+        compare_layouts(clustered_topo, seed=5)
+        after = max_concurrent_flow(clustered_topo, tm).throughput
+        assert before == after

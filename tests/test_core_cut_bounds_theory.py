@@ -1,0 +1,141 @@
+"""Tests for Equation 1/2 cut bounds and the Theorem 2 two-regime model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cut_bounds import (
+    cut_drop_point,
+    expected_cross_flow_fraction,
+    threshold_cross_capacity,
+    two_part_throughput_bound,
+)
+from repro.core.theory import (
+    cluster_densities,
+    peak_throughput_scale,
+    predicted_profile,
+    q_star,
+    sparsest_cut_linear_in_q,
+    two_regime_throughput,
+)
+from repro.exceptions import BoundError
+
+
+class TestCutBounds:
+    def test_cross_flow_fraction_equal_clusters(self):
+        # Equal clusters: half the flows cross in expectation.
+        assert expected_cross_flow_fraction(50, 50) == pytest.approx(0.5)
+
+    def test_cross_flow_fraction_skewed(self):
+        assert expected_cross_flow_fraction(90, 10) == pytest.approx(0.18)
+
+    def test_two_part_bound_min_of_terms(self):
+        # Make the cut term binding.
+        value = two_part_throughput_bound(
+            total_capacity=1000.0, cross_capacity=10.0, n1=50, n2=50, aspl=2.0
+        )
+        assert value == pytest.approx(10.0 * 100 / (2 * 50 * 50))
+        # Make the path term binding.
+        value = two_part_throughput_bound(
+            total_capacity=100.0, cross_capacity=10_000.0, n1=50, n2=50, aspl=2.0
+        )
+        assert value == pytest.approx(100.0 / (2.0 * 100))
+
+    def test_bound_upper_bounds_lp(self):
+        """Eqn. 1 must hold for actual two-cluster networks."""
+        from repro.flow.edge_lp import max_concurrent_flow
+        from repro.metrics.paths import average_shortest_path_length
+        from repro.topology.two_cluster import (
+            cluster_cut_capacity,
+            two_cluster_random_topology,
+        )
+        from repro.traffic.permutation import random_permutation_traffic
+
+        for fraction in (0.3, 1.0):
+            topo = two_cluster_random_topology(
+                4, 6, 8, 3,
+                servers_per_large=4,
+                servers_per_small=2,
+                cross_fraction=fraction,
+                seed=11,
+            )
+            traffic = random_permutation_traffic(topo, seed=12)
+            observed = max_concurrent_flow(topo, traffic).throughput
+            bound = two_part_throughput_bound(
+                total_capacity=topo.total_capacity,
+                cross_capacity=cluster_cut_capacity(topo),
+                n1=16,
+                n2=16,
+                aspl=average_shortest_path_length(topo),
+            )
+            # Eqn. 1 assumes the *expected* number of crossing flows; allow
+            # a modest sampling slack on top of the analytical bound.
+            assert observed <= bound * 1.3 + 1e-9
+
+    def test_drop_point(self):
+        assert cut_drop_point(100.0, 2.5) == pytest.approx(20.0)
+
+    def test_threshold(self):
+        assert threshold_cross_capacity(0.5, 50, 50) == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_part_throughput_bound(-1.0, 1.0, 1, 1, 1.0)
+        with pytest.raises(ValueError):
+            two_part_throughput_bound(1.0, -1.0, 1, 1, 1.0)
+
+
+class TestTwoRegimeModel:
+    def test_q_star_formula(self):
+        assert q_star(0.1, 2.0) == pytest.approx(0.05)
+        assert q_star(0.1, 2.0, c1=2.0) == pytest.approx(0.1)
+
+    def test_plateau_and_ramp(self):
+        peak = 1.0
+        boundary = q_star(0.1, 2.0)
+        assert two_regime_throughput(boundary * 2, 0.1, 2.0, peak) == peak
+        assert two_regime_throughput(boundary, 0.1, 2.0, peak) == peak
+        half = two_regime_throughput(boundary / 2, 0.1, 2.0, peak)
+        assert half == pytest.approx(peak / 2)
+
+    def test_zero_q_zero_throughput(self):
+        assert two_regime_throughput(0.0, 0.1, 2.0, 1.0) == 0.0
+
+    def test_profile_matches_pointwise(self):
+        qs = [0.0, 0.01, 0.05, 0.2]
+        profile = predicted_profile(qs, 0.1, 2.0, 1.0)
+        for q in qs:
+            assert profile[q] == two_regime_throughput(q, 0.1, 2.0, 1.0)
+
+    def test_peak_scale_decreasing_in_n(self):
+        assert peak_throughput_scale(100, 4) > peak_throughput_scale(1000, 4)
+
+    def test_cluster_densities_roundtrip(self):
+        n, d, cross = 20, 6, 15
+        p, q = cluster_densities(n, d, cross)
+        assert p + q == pytest.approx(d / n)
+        assert q == pytest.approx(2.0 * cross / (n * n))
+
+    def test_excessive_cross_rejected(self):
+        with pytest.raises(BoundError, match="exceeds"):
+            cluster_densities(10, 2, 200)
+
+    def test_sparsest_cut_linear(self):
+        assert sparsest_cut_linear_in_q(0.25) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            sparsest_cut_linear_in_q(-0.1)
+
+    def test_regime_split_empirical(self):
+        """Above q*, measured throughput stays near peak; far below, it
+        tracks the cut linearly — the Theorem 2 shape on real samples."""
+        from repro.experiments.heterogeneity import (
+            TwoTypeConfig,
+            clustered_throughput,
+        )
+
+        config = TwoTypeConfig(6, 8, 6, 8, 36)
+        plateau, _ = clustered_throughput(config, 3, 3, 1.0, runs=2, seed=1)
+        mid, _ = clustered_throughput(config, 3, 3, 0.7, runs=2, seed=2)
+        starved, _ = clustered_throughput(config, 3, 3, 0.1, runs=2, seed=3)
+        assert starved < 0.6 * plateau
+        assert mid > 0.6 * plateau

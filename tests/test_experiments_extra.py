@@ -1,0 +1,59 @@
+"""Integration tests for the extension studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.extra import (
+    run_extra_cabling,
+    run_extra_latency,
+    run_extra_routing,
+)
+
+
+@pytest.mark.slow
+class TestExtraRouting:
+    def test_policy_ordering(self):
+        result = run_extra_routing(
+            num_switches=12, degrees=(4, 6), servers_per_switch=3,
+            runs=2, seed=0,
+        )
+        multipath = result.get_series("8-shortest multipath")
+        ecmp = result.get_series("ECMP (per-hop)")
+        for x in multipath.xs():
+            assert multipath.y_at(x) <= 1.0 + 1e-9
+            assert ecmp.y_at(x) <= 1.0 + 1e-9
+            # Multipath recovers more of the optimum than ECMP.
+            assert multipath.y_at(x) >= ecmp.y_at(x) - 0.05
+        # Multipath is near-optimal on random graphs.
+        assert min(multipath.ys()) >= 0.85
+
+
+@pytest.mark.slow
+class TestExtraCabling:
+    def test_cable_monotone_and_plateau(self):
+        result = run_extra_cabling(
+            num_per_cluster=6, network_ports=6, servers_per_switch=3,
+            fractions=(0.3, 0.6, 1.0), runs=2, seed=1,
+        )
+        cable = result.get_series("Mean cable length")
+        throughput = result.get_series("Throughput")
+        # Cable length grows with cross-cluster share under the clustered
+        # layout.
+        assert cable.ys() == sorted(cable.ys())
+        # Moderate bias keeps most of the unbiased throughput.
+        assert throughput.y_at(0.6) >= 0.55 * throughput.y_at(1.0)
+
+
+@pytest.mark.slow
+class TestExtraLatency:
+    def test_latency_grows_with_load(self):
+        result = run_extra_latency(
+            num_switches=8, degree=4, loads=(2, 8),
+            duration=150.0, warmup=60.0, runs=2, seed=2,
+        )
+        p50 = result.get_series("p50 delay")
+        p99 = result.get_series("p99 delay")
+        assert p50.y_at(8) > p50.y_at(2)
+        for x in p50.xs():
+            assert p99.y_at(x) >= p50.y_at(x)

@@ -1,0 +1,104 @@
+"""Tests for experiment-harness helper internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig04 import _subsample
+from repro.experiments.fig07 import _spread_splits
+from repro.experiments.heterogeneity import (
+    ClusteredSample,
+    TwoTypeConfig,
+    clustered_throughput,
+    mixed_speed_throughput,
+    unbiased_throughput,
+)
+
+
+class TestSubsampling:
+    def test_subsample_keeps_endpoints(self):
+        items = list(range(20))
+        picked = _subsample(items, 5)
+        assert len(picked) == 5
+        assert picked[0] == 0
+        assert picked[-1] == 19
+
+    def test_subsample_short_lists_unchanged(self):
+        items = [1, 2, 3]
+        assert _subsample(items, 10) == items
+
+    def test_spread_splits_endpoints(self):
+        from repro.core.placement import feasible_server_splits
+
+        splits = feasible_server_splits(8, 15, 16, 5, 96)
+        spread = _spread_splits(splits, 4)
+        assert len(spread) == 4
+        assert spread[0] == splits[0]
+        assert spread[-1] == splits[-1]
+
+
+class TestTwoTypeConfig:
+    def test_total_ports(self):
+        config = TwoTypeConfig(8, 15, 16, 5, 96)
+        assert config.total_ports == 8 * 15 + 16 * 5
+
+    def test_describe_uses_label(self):
+        config = TwoTypeConfig(8, 15, 16, 5, 96, label="mine")
+        assert config.describe() == "mine"
+        unnamed = TwoTypeConfig(8, 15, 16, 5, 96)
+        assert "8x15p" in unnamed.describe()
+
+
+class TestThroughputHelpers:
+    CONFIG = TwoTypeConfig(4, 10, 8, 4, 28)
+
+    def test_unbiased_mean_and_std(self):
+        mean, std = unbiased_throughput(self.CONFIG, 5, 1, runs=2, seed=1)
+        assert mean > 0
+        assert std >= 0
+
+    def test_clustered_detailed_samples(self):
+        mean, std, samples = clustered_throughput(
+            self.CONFIG, 5, 1, cross_fraction=1.0, runs=2, seed=2, detailed=True
+        )
+        assert len(samples) == 2
+        for sample in samples:
+            assert isinstance(sample, ClusteredSample)
+            assert sample.cut_capacity > 0
+            assert sample.total_capacity > sample.cut_capacity
+            if sample.throughput > 0:
+                assert sample.aspl >= 1.0
+
+    def test_clustered_cross_controls_cut(self):
+        _, _, samples_low = clustered_throughput(
+            self.CONFIG, 5, 1, cross_fraction=0.3, runs=2, seed=3, detailed=True
+        )
+        _, _, samples_high = clustered_throughput(
+            self.CONFIG, 5, 1, cross_fraction=1.0, runs=2, seed=3, detailed=True
+        )
+        assert samples_low[0].cut_capacity < samples_high[0].cut_capacity
+
+    def test_mixed_speed_more_capacity_not_worse(self):
+        slow, _ = mixed_speed_throughput(
+            self.CONFIG, 5, 1, cross_fraction=1.0,
+            high_ports_per_large=1, high_speed=2.0, runs=2, seed=4,
+        )
+        fast, _ = mixed_speed_throughput(
+            self.CONFIG, 5, 1, cross_fraction=1.0,
+            high_ports_per_large=1, high_speed=16.0, runs=2, seed=4,
+        )
+        assert fast >= slow - 0.1  # same seeds, strictly more capacity
+
+
+class TestPaperConfigGenerators:
+    def test_fig11_paper_configs(self):
+        from repro.experiments.fig11 import paper_configs
+
+        configs = paper_configs()
+        assert len(configs) == 18
+        assert len({c.label for c in configs}) == 18
+
+    def test_fig11_paper_configs_truncation(self):
+        from repro.experiments.fig11 import paper_configs
+
+        assert len(paper_configs(5)) == 5

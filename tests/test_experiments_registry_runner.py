@@ -1,0 +1,80 @@
+"""Tests for the experiment registry and the CLI runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import (
+    available_experiments,
+    describe_experiments,
+    run_experiment,
+)
+from repro.experiments.runner import main
+
+ALL_FIGURE_IDS = {
+    "fig1a", "fig1b", "fig2a", "fig2b", "fig3",
+    "fig4a", "fig4b", "fig4c", "fig5",
+    "fig6a", "fig6b", "fig6c", "fig7a", "fig7b",
+    "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c",
+    "fig10a", "fig10b", "fig11", "fig12a", "fig12b", "fig12c", "fig13",
+}
+EXTRA_IDS = {"extra-routing", "extra-cabling", "extra-latency"}
+
+
+class TestRegistry:
+    def test_every_paper_figure_registered(self):
+        assert set(available_experiments()) == ALL_FIGURE_IDS | EXTRA_IDS
+
+    def test_descriptions_nonempty(self):
+        for eid, description in describe_experiments():
+            assert eid in ALL_FIGURE_IDS | EXTRA_IDS
+            assert description
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ExperimentError, match="scale"):
+            run_experiment("fig3", scale="galactic")
+
+    def test_run_with_overrides(self):
+        result = run_experiment("fig3", sizes=(17, 53), runs=1, seed=0)
+        assert result.experiment_id == "fig3"
+        assert result.metadata["runs"] == 1
+
+    def test_paper_scale_applies_kwargs(self):
+        # fig1b paper scale uses the full degree sweep; just check the
+        # parameters flow through without running the heavy cases.
+        result = run_experiment(
+            "fig1b", scale="paper", degrees=(4, 6), runs=1, seed=0
+        )
+        assert result.metadata["num_switches"] == 40
+
+
+class TestRunnerCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12a" in out
+
+    def test_run_fast_experiment(self, capsys):
+        code = main(["run", "fig3", "--runs", "1", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "Observed ASPL" in out
+
+    def test_run_unknown_id(self, capsys):
+        assert main(["run", "figZZ"]) == 2
+        err = capsys.readouterr().err
+        assert "figZZ" in err
+
+    def test_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "results.txt"
+        code = main(
+            ["run", "fig3", "--runs", "1", "--seed", "0", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert "fig3" in out_file.read_text()

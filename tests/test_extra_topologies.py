@@ -1,0 +1,132 @@
+"""Tests for BCube, flattened butterfly, and dragonfly baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.metrics.paths import average_shortest_path_length, diameter
+from repro.topology.bcube import bcube_topology
+from repro.topology.dragonfly import dragonfly_topology
+from repro.topology.flattened_butterfly import flattened_butterfly_topology
+
+
+class TestBcube:
+    def test_bcube0_is_star(self):
+        topo = bcube_topology(4, k=0)
+        # 4 server-hosts + 1 switch.
+        assert topo.num_switches == 5
+        assert topo.num_servers == 4
+        assert topo.num_links == 4
+
+    def test_bcube1_counts(self):
+        n, k = 4, 1
+        topo = bcube_topology(n, k)
+        servers = [v for v in topo.switches if topo.switch_type_of(v) == "server"]
+        switches = [v for v in topo.switches if topo.switch_type_of(v) == "switch"]
+        assert len(servers) == n ** (k + 1)
+        assert len(switches) == (k + 1) * n**k
+        # Every server-host has k+1 ports; every switch has n.
+        for node in servers:
+            assert topo.degree(node) == k + 1
+        for node in switches:
+            assert topo.degree(node) == n
+
+    def test_connected(self):
+        assert bcube_topology(3, 1).is_connected()
+        assert bcube_topology(2, 2).is_connected()
+
+    def test_diameter_bound(self):
+        # BCube_k diameter is at most 2(k+1) hops in the switch-level view.
+        topo = bcube_topology(3, 1)
+        assert diameter(topo) <= 4
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError, match="n >= 2"):
+            bcube_topology(1, 1)
+
+    def test_full_throughput_permutation(self):
+        from repro.flow.edge_lp import max_concurrent_flow
+        from repro.traffic.permutation import random_permutation_traffic
+
+        topo = bcube_topology(3, 1)
+        traffic = random_permutation_traffic(topo, seed=1)
+        result = max_concurrent_flow(topo, traffic)
+        assert result.throughput >= 1.0 - 1e-6  # BCube is non-blocking-ish
+
+
+class TestFlattenedButterfly:
+    def test_counts_and_degrees(self):
+        k, n = 4, 2
+        topo = flattened_butterfly_topology(k, n)
+        assert topo.num_switches == k**n
+        expected_degree = n * (k - 1)
+        assert all(topo.degree(v) == expected_degree for v in topo.switches)
+
+    def test_one_dimension_is_complete_graph(self):
+        topo = flattened_butterfly_topology(5, dimensions=1)
+        assert topo.num_links == 10
+        assert average_shortest_path_length(topo) == pytest.approx(1.0)
+
+    def test_diameter_equals_dimensions(self):
+        assert diameter(flattened_butterfly_topology(3, 2)) == 2
+        assert diameter(flattened_butterfly_topology(3, 3)) == 3
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(TopologyError, match="k >= 2"):
+            flattened_butterfly_topology(1, 2)
+
+    def test_servers_attached(self):
+        topo = flattened_butterfly_topology(3, 2, servers_per_switch=2)
+        assert topo.num_servers == 18
+
+
+class TestDragonfly:
+    def test_balanced_structure(self):
+        a, p, h = 3, 2, 1
+        topo = dragonfly_topology(a, p, h)
+        g = a * h + 1
+        assert topo.num_switches == g * a
+        assert topo.num_servers == g * a * p
+        assert topo.is_connected()
+
+    def test_router_degree_budget(self):
+        a, h = 4, 2
+        topo = dragonfly_topology(a, 1, h)
+        # Each router: a-1 local plus at most h global ports.
+        for v in topo.switches:
+            assert topo.degree(v) <= (a - 1) + h
+
+    def test_each_group_pair_linked(self):
+        a, h = 3, 1
+        topo = dragonfly_topology(a, 1, h)
+        g = a * h + 1
+        for s in range(g):
+            for t in range(s + 1, g):
+                crossing = [
+                    link
+                    for link in topo.links
+                    if {link.u[0], link.v[0]} == {s, t}
+                ]
+                assert len(crossing) == 1
+
+    def test_intra_group_complete(self):
+        topo = dragonfly_topology(4, 1, 1)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert topo.has_link((0, i), (0, j))
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(TopologyError, match="global ports"):
+            dragonfly_topology(2, 1, 1, num_groups=5)
+
+    def test_single_group_rejected(self):
+        with pytest.raises(TopologyError, match="2 groups"):
+            dragonfly_topology(3, 1, 1, num_groups=1)
+
+    def test_registry_exposes_new_kinds(self):
+        from repro.topology.registry import available_topologies
+
+        names = available_topologies()
+        for kind in ("bcube", "flattened-butterfly", "dragonfly"):
+            assert kind in names

@@ -1,0 +1,75 @@
+"""Tests for the Garg-Koenemann approximation against the exact LP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flow.approx import garg_koenemann_throughput
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.topology.base import Topology
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.base import TrafficMatrix
+from repro.traffic.permutation import random_permutation_traffic
+
+
+class TestGargKoenemann:
+    def test_feasible_lower_bound(self, small_rrg, small_rrg_traffic):
+        lp = max_concurrent_flow(small_rrg, small_rrg_traffic).throughput
+        gk = garg_koenemann_throughput(
+            small_rrg, small_rrg_traffic, epsilon=0.1
+        )
+        gk.validate_feasibility()
+        assert gk.throughput <= lp * (1 + 1e-6)
+
+    def test_close_to_optimal(self, small_rrg, small_rrg_traffic):
+        lp = max_concurrent_flow(small_rrg, small_rrg_traffic).throughput
+        gk = garg_koenemann_throughput(
+            small_rrg, small_rrg_traffic, epsilon=0.05
+        ).throughput
+        assert gk >= 0.85 * lp
+
+    def test_tighter_epsilon_not_worse(self, triangle):
+        tm = TrafficMatrix(name="one", demands={(0, 1): 1.0}, num_flows=1)
+        loose = garg_koenemann_throughput(triangle, tm, epsilon=0.3).throughput
+        tight = garg_koenemann_throughput(triangle, tm, epsilon=0.05).throughput
+        exact = max_concurrent_flow(triangle, tm).throughput
+        assert tight >= loose - 0.15 * exact
+        assert tight >= 0.9 * exact
+
+    def test_multiple_seeds_against_lp(self):
+        for seed in range(3):
+            topo = random_regular_topology(8, 3, servers_per_switch=2, seed=seed)
+            traffic = random_permutation_traffic(topo, seed=seed)
+            lp = max_concurrent_flow(topo, traffic).throughput
+            gk = garg_koenemann_throughput(topo, traffic, epsilon=0.08)
+            gk.validate_feasibility()
+            assert 0.8 * lp <= gk.throughput <= lp * (1 + 1e-6)
+
+    def test_disconnected_demand_raises(self):
+        topo = Topology("split")
+        for v in range(4):
+            topo.add_switch(v, servers=1)
+        topo.add_link(0, 1)
+        topo.add_link(2, 3)
+        tm = TrafficMatrix(name="x", demands={(0, 3): 1.0}, num_flows=1)
+        with pytest.raises(FlowError, match="no path"):
+            garg_koenemann_throughput(topo, tm)
+
+    def test_invalid_epsilon_rejected(self, triangle):
+        tm = TrafficMatrix(name="one", demands={(0, 1): 1.0}, num_flows=1)
+        with pytest.raises(ValueError, match="epsilon"):
+            garg_koenemann_throughput(triangle, tm, epsilon=0.0)
+        with pytest.raises(ValueError, match="epsilon"):
+            garg_koenemann_throughput(triangle, tm, epsilon=1.5)
+
+    def test_empty_traffic_rejected(self, triangle):
+        tm = TrafficMatrix(name="none", demands={}, num_flows=0)
+        with pytest.raises(FlowError, match="no network demands"):
+            garg_koenemann_throughput(triangle, tm)
+
+    def test_result_marked_inexact(self, triangle):
+        tm = TrafficMatrix(name="one", demands={(0, 1): 1.0}, num_flows=1)
+        result = garg_koenemann_throughput(triangle, tm)
+        assert not result.exact
+        assert result.solver == "garg-koenemann"

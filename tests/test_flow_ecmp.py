@@ -1,0 +1,132 @@
+"""Tests for ECMP fluid throughput."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flow.ecmp import ecmp_throughput
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.topology.base import Topology
+from repro.topology.complete import complete_bipartite_topology
+from repro.topology.hypercube import hypercube_topology
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.base import TrafficMatrix
+from repro.traffic.permutation import random_permutation_traffic
+
+
+class TestEcmpBasics:
+    def test_single_shortest_path(self, path_two):
+        tm = TrafficMatrix(name="x", demands={("a", "b"): 1.0}, num_flows=1)
+        result = ecmp_throughput(path_two, tm)
+        assert result.throughput == pytest.approx(1.0)
+        assert result.arc_flows[("a", "b")] == pytest.approx(1.0)
+
+    def test_ignores_longer_paths(self, triangle):
+        # ECMP uses only the one-hop shortest path; the LP also exploits
+        # the detour and doubles throughput.
+        tm = TrafficMatrix(name="x", demands={(0, 1): 1.0}, num_flows=1)
+        ecmp = ecmp_throughput(triangle, tm)
+        optimal = max_concurrent_flow(triangle, tm)
+        assert ecmp.throughput == pytest.approx(1.0)
+        assert optimal.throughput == pytest.approx(2.0)
+
+    def test_equal_split_two_hop(self):
+        # Leaf-spine: two equal-cost 2-hop paths; each carries half.
+        topo = complete_bipartite_topology(2, 2, servers_per_left=1)
+        tm = TrafficMatrix(name="x", demands={("l0", "l1"): 1.0}, num_flows=1)
+        result = ecmp_throughput(topo, tm)
+        assert result.throughput == pytest.approx(2.0)
+        assert result.arc_flows[("l0", "r0")] == pytest.approx(1.0)
+        assert result.arc_flows[("l0", "r1")] == pytest.approx(1.0)
+
+    def test_modes_agree_on_symmetric_dag(self):
+        topo = hypercube_topology(3, servers_per_switch=1)
+        tm = TrafficMatrix(name="x", demands={(0, 7): 1.0}, num_flows=1)
+        per_hop = ecmp_throughput(topo, tm, mode="per-hop")
+        per_path = ecmp_throughput(topo, tm, mode="per-path")
+        assert per_hop.throughput == pytest.approx(per_path.throughput)
+
+    def test_modes_differ_on_asymmetric_dag(self):
+        # Diamond where one branch re-splits: per-hop puts 1/2 on the first
+        # split and 1/4 on the re-split arcs; per-path puts 1/3 per path.
+        topo = Topology("asym")
+        for v in ("s", "a", "b", "c", "d", "t"):
+            topo.add_switch(v)
+        topo.add_link("s", "a")
+        topo.add_link("a", "t")
+        topo.add_link("s", "b")
+        topo.add_link("b", "c")
+        topo.add_link("b", "d")
+        topo.add_link("c", "t")
+        topo.add_link("d", "t")
+        # Make both routes length 3: s-a-x-t needs an extra hop.
+        topo.remove_link("a", "t")
+        topo.add_switch("e")
+        topo.add_link("a", "e")
+        topo.add_link("e", "t")
+        tm = TrafficMatrix(name="x", demands={("s", "t"): 1.0}, num_flows=1)
+        per_hop = ecmp_throughput(topo, tm, mode="per-hop")
+        per_path = ecmp_throughput(topo, tm, mode="per-path")
+        assert per_hop.arc_flows[("s", "a")] == pytest.approx(
+            per_hop.throughput * 0.5
+        )
+        assert per_path.arc_flows[("s", "a")] == pytest.approx(
+            per_path.throughput / 3.0
+        )
+
+
+class TestEcmpVsOptimal:
+    def test_never_beats_lp(self, small_rrg, small_rrg_traffic):
+        lp = max_concurrent_flow(small_rrg, small_rrg_traffic).throughput
+        for mode in ("per-hop", "per-path"):
+            ecmp = ecmp_throughput(small_rrg, small_rrg_traffic, mode=mode)
+            ecmp.validate_feasibility()
+            assert ecmp.throughput <= lp * (1 + 1e-9)
+
+    def test_loses_noticeably_on_random_graphs(self):
+        """Jellyfish's observation: shortest-path-only routing wastes RRG
+        capacity; optimal routing wins by a clear margin."""
+        topo = random_regular_topology(16, 4, servers_per_switch=4, seed=3)
+        traffic = random_permutation_traffic(topo, seed=4)
+        lp = max_concurrent_flow(topo, traffic).throughput
+        ecmp = ecmp_throughput(topo, traffic).throughput
+        assert ecmp < 0.95 * lp
+
+    def test_matches_lp_on_nonblocking_clos(self):
+        from repro.topology.clos import leaf_spine_topology
+
+        topo = leaf_spine_topology(4, 4, servers_per_leaf=4)
+        traffic = random_permutation_traffic(topo, seed=5)
+        lp = max_concurrent_flow(topo, traffic).throughput
+        ecmp = ecmp_throughput(topo, traffic).throughput
+        # All paths are shortest and symmetric: ECMP is optimal here.
+        assert ecmp == pytest.approx(lp, rel=1e-6)
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self, triangle):
+        tm = TrafficMatrix(name="x", demands={(0, 1): 1.0}, num_flows=1)
+        with pytest.raises(FlowError, match="mode"):
+            ecmp_throughput(triangle, tm, mode="bogus")
+
+    def test_empty_traffic_rejected(self, triangle):
+        tm = TrafficMatrix(name="none", demands={}, num_flows=0)
+        with pytest.raises(FlowError, match="no network demands"):
+            ecmp_throughput(triangle, tm)
+
+    def test_unreachable_demand_rejected(self):
+        topo = Topology("disc")
+        topo.add_switch(0)
+        topo.add_switch(1)
+        topo.add_switch(2)
+        topo.add_link(0, 1)
+        tm = TrafficMatrix(name="x", demands={(0, 2): 1.0}, num_flows=1)
+        with pytest.raises(FlowError, match="no path"):
+            ecmp_throughput(topo, tm)
+
+    def test_result_marked_inexact(self, triangle):
+        tm = TrafficMatrix(name="x", demands={(0, 1): 1.0}, num_flows=1)
+        result = ecmp_throughput(triangle, tm)
+        assert not result.exact
+        assert result.solver == "ecmp-per-hop"

@@ -1,0 +1,150 @@
+"""Tests for the exact max-concurrent-flow LP against known optima."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+from repro.traffic.permutation import random_permutation_traffic
+
+
+class TestKnownOptima:
+    def test_single_link_bidirectional(self, path_two):
+        tm = TrafficMatrix(
+            name="pair",
+            demands={("a", "b"): 1.0, ("b", "a"): 1.0},
+            num_flows=2,
+        )
+        result = max_concurrent_flow(path_two, tm)
+        # Full-duplex link: each direction independently carries 1 unit.
+        assert result.throughput == pytest.approx(1.0)
+
+    def test_triangle_single_demand_uses_both_routes(self, triangle):
+        tm = TrafficMatrix(name="one", demands={(0, 1): 1.0}, num_flows=1)
+        result = max_concurrent_flow(triangle, tm)
+        # Direct link (capacity 1) plus the 2-hop detour (capacity 1).
+        assert result.throughput == pytest.approx(2.0)
+
+    def test_star_rotation(self):
+        topo = Topology("star")
+        topo.add_switch("c")
+        for leaf in ("l1", "l2", "l3"):
+            topo.add_switch(leaf, servers=1)
+            topo.add_link("c", leaf, capacity=1.0)
+        tm = TrafficMatrix(
+            name="rotate",
+            demands={("l1", "l2"): 1.0, ("l2", "l3"): 1.0, ("l3", "l1"): 1.0},
+            num_flows=3,
+        )
+        result = max_concurrent_flow(topo, tm)
+        # Each access arc carries exactly one flow.
+        assert result.throughput == pytest.approx(1.0)
+
+    def test_demand_scaling_inverse(self, triangle):
+        tm1 = TrafficMatrix(name="d1", demands={(0, 1): 1.0}, num_flows=1)
+        tm2 = tm1.scaled(2.0)
+        t1 = max_concurrent_flow(triangle, tm1).throughput
+        t2 = max_concurrent_flow(triangle, tm2).throughput
+        assert t2 == pytest.approx(t1 / 2.0)
+
+    def test_capacity_scaling_linear(self):
+        def build(cap: float) -> Topology:
+            topo = Topology("pair")
+            topo.add_switch("a", servers=1)
+            topo.add_switch("b", servers=1)
+            topo.add_link("a", "b", capacity=cap)
+            return topo
+
+        tm = TrafficMatrix(name="x", demands={("a", "b"): 1.0}, num_flows=1)
+        t1 = max_concurrent_flow(build(1.0), tm).throughput
+        t3 = max_concurrent_flow(build(3.0), tm).throughput
+        assert t3 == pytest.approx(3.0 * t1)
+
+    def test_bottleneck_cut_respected(self):
+        # Two cliques joined by one unit link: all demand crosses it.
+        topo = Topology("barbell")
+        for v in range(6):
+            topo.add_switch(v, servers=1)
+        for u in range(3):
+            for v in range(u + 1, 3):
+                topo.add_link(u, v)
+                topo.add_link(u + 3, v + 3)
+        topo.add_link(2, 3, capacity=1.0)
+        tm = TrafficMatrix(
+            name="across",
+            demands={(0, 4): 1.0, (1, 5): 1.0},
+            num_flows=2,
+        )
+        result = max_concurrent_flow(topo, tm)
+        assert result.throughput == pytest.approx(0.5)
+
+
+class TestStructure:
+    def test_flows_respect_capacity(self, small_rrg, small_rrg_traffic):
+        result = max_concurrent_flow(small_rrg, small_rrg_traffic)
+        result.validate_feasibility()
+
+    def test_aggregation_matches_per_pair(self, small_rrg, small_rrg_traffic):
+        agg = max_concurrent_flow(small_rrg, small_rrg_traffic)
+        per_pair = max_concurrent_flow(
+            small_rrg, small_rrg_traffic, aggregate_by_source=False
+        )
+        assert agg.throughput == pytest.approx(per_pair.throughput, rel=1e-6)
+
+    def test_unreachable_demand_gives_zero(self):
+        topo = Topology("split")
+        for v in range(4):
+            topo.add_switch(v, servers=1)
+        topo.add_link(0, 1)
+        topo.add_link(2, 3)
+        tm = TrafficMatrix(name="cross", demands={(0, 2): 1.0}, num_flows=1)
+        result = max_concurrent_flow(topo, tm)
+        assert result.throughput == pytest.approx(0.0)
+
+    def test_empty_traffic_rejected(self, triangle):
+        tm = TrafficMatrix(name="none", demands={}, num_flows=0)
+        with pytest.raises(FlowError, match="no network demands"):
+            max_concurrent_flow(triangle, tm)
+
+    def test_linkless_topology_rejected(self):
+        topo = Topology("isolated")
+        topo.add_switch(0, servers=1)
+        topo.add_switch(1, servers=1)
+        tm = TrafficMatrix(name="x", demands={(0, 1): 1.0}, num_flows=1)
+        with pytest.raises(FlowError, match="no links"):
+            max_concurrent_flow(topo, tm)
+
+    def test_unknown_endpoint_rejected(self, triangle):
+        tm = TrafficMatrix(name="bad", demands={(0, "zz"): 1.0}, num_flows=1)
+        with pytest.raises(Exception, match="not a switch"):
+            max_concurrent_flow(triangle, tm)
+
+    def test_result_metadata(self, small_rrg, small_rrg_traffic):
+        result = max_concurrent_flow(small_rrg, small_rrg_traffic)
+        assert result.solver == "edge-lp"
+        assert result.exact
+        assert result.total_demand == small_rrg_traffic.total_demand
+        assert result.total_capacity == pytest.approx(
+            small_rrg.total_capacity
+        )
+
+    def test_throughput_bounded_by_theorem1(self):
+        # Sanity against the paper's bound on several seeded RRGs.
+        from repro.core.bounds import throughput_upper_bound
+        from repro.metrics.paths import average_shortest_path_length
+        from repro.topology.random_regular import random_regular_topology
+
+        for seed in range(3):
+            topo = random_regular_topology(10, 4, servers_per_switch=3, seed=seed)
+            traffic = random_permutation_traffic(topo, seed=seed)
+            result = max_concurrent_flow(topo, traffic)
+            bound = throughput_upper_bound(
+                10,
+                4,
+                traffic.num_network_flows,
+                aspl=average_shortest_path_length(topo),
+            )
+            assert result.throughput <= bound * (1 + 1e-9)

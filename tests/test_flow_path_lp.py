@@ -1,0 +1,74 @@
+"""Tests for the path-restricted concurrent flow LP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.flow.path_lp import max_concurrent_flow_paths
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+
+
+class TestPathLp:
+    def test_lower_bounds_edge_lp(self, small_rrg, small_rrg_traffic):
+        exact = max_concurrent_flow(small_rrg, small_rrg_traffic).throughput
+        for k in (1, 2, 4, 8):
+            restricted = max_concurrent_flow_paths(
+                small_rrg, small_rrg_traffic, k=k
+            ).throughput
+            assert restricted <= exact * (1 + 1e-6)
+
+    def test_monotone_in_k(self, small_rrg, small_rrg_traffic):
+        previous = 0.0
+        for k in (1, 2, 4, 8):
+            value = max_concurrent_flow_paths(
+                small_rrg, small_rrg_traffic, k=k
+            ).throughput
+            assert value >= previous - 1e-9
+            previous = value
+
+    def test_exact_on_triangle_with_enough_paths(self, triangle):
+        tm = TrafficMatrix(name="one", demands={(0, 1): 1.0}, num_flows=1)
+        exact = max_concurrent_flow(triangle, tm).throughput
+        restricted = max_concurrent_flow_paths(triangle, tm, k=2).throughput
+        assert restricted == pytest.approx(exact)
+
+    def test_single_path_restriction(self, triangle):
+        tm = TrafficMatrix(name="one", demands={(0, 1): 1.0}, num_flows=1)
+        restricted = max_concurrent_flow_paths(triangle, tm, k=1).throughput
+        assert restricted == pytest.approx(1.0)  # direct link only
+
+    def test_explicit_paths(self, triangle):
+        tm = TrafficMatrix(name="one", demands={(0, 1): 1.0}, num_flows=1)
+        paths = {(0, 1): [[0, 2, 1]]}  # force the detour
+        result = max_concurrent_flow_paths(triangle, tm, paths_by_pair=paths)
+        assert result.throughput == pytest.approx(1.0)
+        assert result.arc_flows[(0, 2)] == pytest.approx(1.0)
+
+    def test_invalid_explicit_path_rejected(self, triangle):
+        tm = TrafficMatrix(name="one", demands={(0, 1): 1.0}, num_flows=1)
+        with pytest.raises(FlowError, match="does not run"):
+            max_concurrent_flow_paths(
+                triangle, tm, paths_by_pair={(0, 1): [[1, 0]]}
+            )
+        with pytest.raises(FlowError, match="missing link"):
+            max_concurrent_flow_paths(
+                triangle, tm, paths_by_pair={(0, 1): [[0, 0, 1]]}
+            )
+
+    def test_missing_paths_rejected(self, triangle):
+        tm = TrafficMatrix(name="one", demands={(0, 1): 1.0}, num_flows=1)
+        with pytest.raises(FlowError, match="no candidate paths"):
+            max_concurrent_flow_paths(triangle, tm, paths_by_pair={(0, 1): []})
+
+    def test_result_marked_inexact(self, triangle):
+        tm = TrafficMatrix(name="one", demands={(0, 1): 1.0}, num_flows=1)
+        result = max_concurrent_flow_paths(triangle, tm, k=1)
+        assert not result.exact
+        assert result.solver == "path-lp"
+
+    def test_feasibility(self, small_rrg, small_rrg_traffic):
+        result = max_concurrent_flow_paths(small_rrg, small_rrg_traffic, k=4)
+        result.validate_feasibility()

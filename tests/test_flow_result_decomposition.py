@@ -1,0 +1,155 @@
+"""Tests for ThroughputResult accounting and the §6.1 decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flow.decomposition import (
+    cluster_link_classifier,
+    decompose_throughput,
+    group_utilization,
+)
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.flow.result import ThroughputResult
+from repro.traffic.base import TrafficMatrix
+from repro.traffic.permutation import random_permutation_traffic
+
+
+def _toy_result() -> ThroughputResult:
+    return ThroughputResult(
+        throughput=0.5,
+        arc_flows={("a", "b"): 1.0, ("b", "a"): 0.0},
+        arc_capacities={("a", "b"): 2.0, ("b", "a"): 2.0},
+        total_demand=2.0,
+        solver="test",
+    )
+
+
+class TestThroughputResult:
+    def test_capacity_and_volume(self):
+        result = _toy_result()
+        assert result.total_capacity == 4.0
+        assert result.total_flow_volume == 1.0
+        assert result.utilization == pytest.approx(0.25)
+        assert result.delivered_rate == pytest.approx(1.0)
+        assert result.mean_routed_path_length == pytest.approx(1.0)
+
+    def test_arc_and_link_utilization(self):
+        result = _toy_result()
+        assert result.arc_utilization("a", "b") == pytest.approx(0.5)
+        assert result.arc_utilization("b", "a") == 0.0
+        assert result.link_utilization("a", "b") == pytest.approx(0.5)
+        with pytest.raises(FlowError, match="unknown arc"):
+            result.arc_utilization("a", "z")
+
+    def test_max_utilization_and_table(self):
+        result = _toy_result()
+        assert result.max_utilization() == pytest.approx(0.5)
+        assert set(result.utilizations()) == {("a", "b"), ("b", "a")}
+        summary = result.summary()
+        assert summary["throughput"] == 0.5
+
+    def test_filtered_utilization(self):
+        result = _toy_result()
+        forward = result.filtered_utilization(lambda u, v: u == "a")
+        assert forward == pytest.approx(0.5)
+        with pytest.raises(FlowError, match="predicate"):
+            result.filtered_utilization(lambda u, v: False)
+
+    def test_feasibility_validation(self):
+        result = _toy_result()
+        result.validate_feasibility()
+        result.arc_flows[("a", "b")] = 3.0
+        with pytest.raises(FlowError, match="overloaded"):
+            result.validate_feasibility()
+
+    def test_zero_delivery_path_length_undefined(self):
+        result = ThroughputResult(
+            throughput=0.0,
+            arc_flows={},
+            arc_capacities={("a", "b"): 1.0},
+            total_demand=1.0,
+        )
+        with pytest.raises(FlowError, match="undefined"):
+            result.mean_routed_path_length
+
+
+class TestDecomposition:
+    def test_identity_holds_on_rrg(self, small_rrg, small_rrg_traffic):
+        result = max_concurrent_flow(small_rrg, small_rrg_traffic)
+        decomposition = decompose_throughput(
+            small_rrg, small_rrg_traffic, result
+        )
+        assert decomposition.identity_residual < 1e-6
+        assert decomposition.stretch >= 1.0 - 1e-9
+        assert decomposition.utilization <= 1.0 + 1e-9
+        assert decomposition.inverse_aspl == pytest.approx(
+            1.0 / decomposition.aspl
+        )
+        assert decomposition.inverse_stretch == pytest.approx(
+            1.0 / decomposition.stretch
+        )
+
+    def test_zero_throughput_rejected(self, triangle):
+        result = ThroughputResult(
+            throughput=0.0,
+            arc_flows={},
+            arc_capacities={(0, 1): 1.0},
+            total_demand=1.0,
+        )
+        tm = TrafficMatrix(name="x", demands={(0, 1): 1.0}, num_flows=1)
+        with pytest.raises(FlowError, match="zero-throughput"):
+            decompose_throughput(triangle, tm, result)
+
+    def test_stretch_one_on_single_links(self, path_two):
+        tm = TrafficMatrix(
+            name="x", demands={("a", "b"): 1.0, ("b", "a"): 1.0}, num_flows=2
+        )
+        result = max_concurrent_flow(path_two, tm)
+        decomposition = decompose_throughput(path_two, tm, result)
+        assert decomposition.stretch == pytest.approx(1.0)
+        assert decomposition.aspl == pytest.approx(1.0)
+
+
+class TestGroupUtilization:
+    def test_cluster_grouping(self, small_two_cluster):
+        traffic = random_permutation_traffic(small_two_cluster, seed=1)
+        result = max_concurrent_flow(small_two_cluster, traffic)
+        groups = group_utilization(small_two_cluster, result)
+        assert set(groups) <= {"large-large", "large-small", "small-small"}
+        for value in groups.values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_custom_classifier(self, triangle):
+        tm = TrafficMatrix(name="x", demands={(0, 1): 1.0}, num_flows=1)
+        result = max_concurrent_flow(triangle, tm)
+        groups = group_utilization(
+            triangle, result, classifier=lambda u, v: "all"
+        )
+        assert set(groups) == {"all"}
+
+    def test_unlabelled_nodes_grouped(self, triangle):
+        classify = cluster_link_classifier(triangle)
+        assert classify(0, 1) == "unlabelled-unlabelled"
+
+    def test_bottleneck_localization(self):
+        """Cross-cluster starvation shows up as saturated cross links."""
+        from repro.topology.two_cluster import two_cluster_random_topology
+
+        topo = two_cluster_random_topology(
+            num_large=4,
+            large_network_ports=6,
+            num_small=8,
+            small_network_ports=3,
+            servers_per_large=4,
+            servers_per_small=2,
+            cross_links=3,
+            seed=3,
+        )
+        traffic = random_permutation_traffic(topo, seed=4)
+        result = max_concurrent_flow(topo, traffic)
+        groups = group_utilization(topo, result)
+        # The scarce cross links must be the hottest group.
+        assert groups["large-small"] == max(groups.values())
+        assert groups["large-small"] > 0.9

@@ -1,0 +1,195 @@
+"""Tests for heterogeneous topologies and server-placement rules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.topology.heterogeneous import (
+    beta_server_distribution,
+    heterogeneous_random_topology,
+    mixed_linespeed_topology,
+    power_law_port_counts,
+    power_law_ports_with_mean,
+    proportional_server_split,
+    total_ports,
+)
+
+
+class TestProportionalSplit:
+    def test_sums_exactly(self):
+        split = proportional_server_split(10, {"a": 1.0, "b": 1.0, "c": 2.0})
+        assert sum(split.values()) == 10
+
+    def test_proportionality(self):
+        split = proportional_server_split(12, {"a": 1.0, "b": 2.0, "c": 3.0})
+        assert split == {"a": 2, "b": 4, "c": 6}
+
+    def test_zero_weight_gets_zero(self):
+        split = proportional_server_split(5, {"a": 0.0, "b": 1.0})
+        assert split["a"] == 0
+        assert split["b"] == 5
+
+    def test_zero_servers(self):
+        assert proportional_server_split(0, {"a": 2.0}) == {"a": 0}
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(TopologyError, match="weights"):
+            proportional_server_split(3, {"a": 0.0})
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.dictionaries(
+            st.integers(0, 20),
+            st.floats(min_value=0.01, max_value=50, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_and_rounding_property(self, total, weights):
+        split = proportional_server_split(total, weights)
+        assert sum(split.values()) == total
+        weight_sum = sum(weights.values())
+        for node, count in split.items():
+            exact = total * weights[node] / weight_sum
+            assert abs(count - exact) < 1.0 + 1e-9
+
+
+class TestBetaDistribution:
+    def test_beta_one_is_proportional(self):
+        ports = {0: 10, 1: 20, 2: 30}
+        servers = beta_server_distribution(ports, 12, beta=1.0)
+        assert servers == {0: 2, 1: 4, 2: 6}
+
+    def test_beta_zero_is_uniform(self):
+        ports = {0: 10, 1: 20, 2: 30}
+        servers = beta_server_distribution(ports, 9, beta=0.0)
+        assert servers == {0: 3, 1: 3, 2: 3}
+
+    def test_respects_port_capacity(self):
+        ports = {0: 4, 1: 40}
+        servers = beta_server_distribution(ports, 30, beta=3.0)
+        assert servers[0] <= 3  # 4 ports - 1 reserved
+        assert sum(servers.values()) == 30
+
+    def test_overflow_redistributed(self):
+        ports = {0: 3, 1: 10, 2: 10}
+        servers = beta_server_distribution(ports, 15, beta=5.0)
+        assert sum(servers.values()) == 15
+        assert servers[0] <= 2
+
+    def test_too_many_servers_rejected(self):
+        with pytest.raises(TopologyError, match="cannot place"):
+            beta_server_distribution({0: 3, 1: 3}, 10, beta=1.0)
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError, match="beta"):
+            beta_server_distribution({0: 5}, 2, beta=-1.0)
+
+
+class TestHeterogeneousRandom:
+    def test_port_budgets_respected(self):
+        ports = {0: 8, 1: 8, 2: 4, 3: 4, 4: 4}
+        servers = {0: 2, 1: 2, 2: 1, 3: 1, 4: 1}
+        topo = heterogeneous_random_topology(ports, servers, seed=1)
+        for node in topo.switches:
+            assert topo.degree(node) <= ports[node] - servers[node]
+        assert topo.num_servers == 7
+
+    def test_servers_exceeding_ports_rejected(self):
+        with pytest.raises(TopologyError, match="ports"):
+            heterogeneous_random_topology({0: 3, 1: 3}, {0: 4, 1: 0})
+
+    def test_deterministic(self):
+        ports = {i: 5 for i in range(8)}
+        servers = {i: 1 for i in range(8)}
+        a = heterogeneous_random_topology(ports, servers, seed=3)
+        b = heterogeneous_random_topology(ports, servers, seed=3)
+        ea = sorted(tuple(sorted((l.u, l.v), key=repr)) for l in a.links)
+        eb = sorted(tuple(sorted((l.u, l.v), key=repr)) for l in b.links)
+        assert ea == eb
+
+
+class TestPowerLawPorts:
+    def test_within_range(self):
+        counts = power_law_port_counts(50, exponent=2.0, min_ports=4, max_ports=16, seed=1)
+        assert len(counts) == 50
+        assert all(4 <= k <= 16 for k in counts)
+
+    def test_skewed_toward_small(self):
+        counts = power_law_port_counts(
+            500, exponent=2.5, min_ports=4, max_ports=64, seed=2
+        )
+        small = sum(1 for k in counts if k <= 8)
+        assert small > len(counts) / 2
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError, match="max_ports"):
+            power_law_port_counts(10, min_ports=8, max_ports=4)
+
+    def test_with_mean_hits_target(self):
+        counts = power_law_ports_with_mean(300, target_mean=8.0, seed=3)
+        mean = sum(counts) / len(counts)
+        assert abs(mean - 8.0) < 1.5
+
+    def test_with_mean_rejects_mean_below_min(self):
+        with pytest.raises(ValueError, match="target_mean"):
+            power_law_ports_with_mean(10, target_mean=2.0, min_ports=4)
+
+
+class TestMixedLinespeed:
+    def test_high_speed_mesh_added(self):
+        topo = mixed_linespeed_topology(
+            num_large=6,
+            large_low_ports=5,
+            num_small=6,
+            small_low_ports=3,
+            servers_per_large=3,
+            servers_per_small=1,
+            high_ports_per_large=2,
+            high_speed=10.0,
+            seed=4,
+        )
+        fast_caps = [l.capacity for l in topo.links if l.capacity >= 10.0]
+        assert fast_caps, "expected some high-speed capacity"
+        # High-speed capacity only lands between large switches.
+        large = set(topo.nodes_in_cluster("large"))
+        for link in topo.links:
+            if link.capacity >= 10.0:
+                assert link.u in large and link.v in large
+
+    def test_zero_high_ports_is_plain_two_cluster(self):
+        topo = mixed_linespeed_topology(
+            num_large=4,
+            large_low_ports=4,
+            num_small=4,
+            small_low_ports=3,
+            servers_per_large=2,
+            servers_per_small=1,
+            high_ports_per_large=0,
+            high_speed=10.0,
+            seed=5,
+        )
+        assert all(link.capacity == 1.0 for link in topo.links)
+
+    def test_high_ports_bounded_by_cluster(self):
+        with pytest.raises(TopologyError, match="high_ports_per_large"):
+            mixed_linespeed_topology(
+                num_large=3,
+                large_low_ports=3,
+                num_small=3,
+                small_low_ports=3,
+                servers_per_large=1,
+                servers_per_small=1,
+                high_ports_per_large=3,
+                high_speed=10.0,
+            )
+
+
+class TestTotalPorts:
+    def test_mapping_and_sequence(self):
+        assert total_ports({0: 3, 1: 4}) == 7
+        assert total_ports([3, 4, 5]) == 12

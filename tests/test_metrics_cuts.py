@@ -1,0 +1,124 @@
+"""Tests for cut metrics: bisection bandwidth and sparsest cuts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.metrics.cuts import (
+    bisection_bandwidth,
+    cut_capacity,
+    nonuniform_sparsest_cut,
+    uniform_sparsest_cut,
+)
+from repro.topology.base import Topology
+from repro.topology.complete import complete_topology
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.base import TrafficMatrix
+
+
+def _barbell() -> Topology:
+    """Two triangles joined by a single unit bridge."""
+    topo = Topology("barbell")
+    for v in range(6):
+        topo.add_switch(v, servers=1)
+    for u in range(3):
+        for v in range(u + 1, 3):
+            topo.add_link(u, v)
+            topo.add_link(u + 3, v + 3)
+    topo.add_link(2, 3)
+    return topo
+
+
+class TestCutCapacity:
+    def test_single_node_cut(self, triangle):
+        assert cut_capacity(triangle, {0}) == pytest.approx(4.0)
+
+    def test_unknown_node_rejected(self, triangle):
+        with pytest.raises(TopologyError, match="unknown"):
+            cut_capacity(triangle, {"zz"})
+
+
+class TestBisectionBandwidth:
+    def test_complete_graph_exact(self):
+        topo = complete_topology(6)
+        # Balanced bisection of K6 cuts 3*3 = 9 links, both directions.
+        assert bisection_bandwidth(topo) == pytest.approx(18.0)
+
+    def test_barbell_exact(self):
+        # The bridge is the only balanced min cut: capacity 2 (both dirs).
+        assert bisection_bandwidth(_barbell()) == pytest.approx(2.0)
+
+    def test_heuristic_upper_bounds_exact(self):
+        topo = random_regular_topology(14, 4, seed=3)
+        exact = bisection_bandwidth(topo, exact_limit=16)
+        heuristic = bisection_bandwidth(topo, exact_limit=4, attempts=100, seed=0)
+        assert heuristic >= exact - 1e-9
+
+    def test_needs_two_switches(self):
+        topo = Topology("one")
+        topo.add_switch(0)
+        with pytest.raises(TopologyError, match="at least 2"):
+            bisection_bandwidth(topo)
+
+
+class TestUniformSparsestCut:
+    def test_barbell_cut_found(self):
+        value, side = uniform_sparsest_cut(_barbell())
+        assert value == pytest.approx(2.0 / 9.0)  # bridge / (3 * 3)
+        assert side in ({0, 1, 2}, {3, 4, 5})
+
+    def test_complete_graph(self):
+        value, side = uniform_sparsest_cut(complete_topology(5))
+        # K5: cap(S) = 2|S||S'|, so every cut has ratio exactly 2.
+        assert value == pytest.approx(2.0)
+
+    def test_heuristic_upper_bounds_exact(self):
+        topo = random_regular_topology(12, 3, seed=4)
+        exact, _ = uniform_sparsest_cut(topo, exact_limit=12)
+        heuristic, _ = uniform_sparsest_cut(topo, exact_limit=4)
+        assert heuristic >= exact - 1e-9
+
+
+class TestNonuniformSparsestCut:
+    def test_upper_bounds_throughput(self):
+        """Sparsest cut >= max concurrent flow (the easy LP direction)."""
+        from repro.flow.edge_lp import max_concurrent_flow
+        from repro.traffic.permutation import random_permutation_traffic
+
+        for seed in range(3):
+            topo = random_regular_topology(
+                10, 3, servers_per_switch=1, seed=seed
+            )
+            traffic = random_permutation_traffic(topo, seed=seed)
+            throughput = max_concurrent_flow(topo, traffic).throughput
+            cut_value, _ = nonuniform_sparsest_cut(topo, traffic)
+            assert cut_value >= throughput - 1e-9
+
+    def test_within_log_factor_of_throughput(self):
+        """Theorem 3 (Linial-London-Rabinovich) empirically: the gap between
+        sparsest cut and throughput is O(log k)."""
+        import math
+
+        from repro.flow.edge_lp import max_concurrent_flow
+        from repro.traffic.permutation import random_permutation_traffic
+
+        topo = random_regular_topology(12, 3, servers_per_switch=1, seed=9)
+        traffic = random_permutation_traffic(topo, seed=9)
+        throughput = max_concurrent_flow(topo, traffic).throughput
+        cut_value, _ = nonuniform_sparsest_cut(topo, traffic)
+        k = len(traffic.demands)
+        assert cut_value <= throughput * (4.0 * math.log(max(k, 2)) + 4.0)
+
+    def test_barbell_with_cross_demand(self):
+        topo = _barbell()
+        tm = TrafficMatrix(
+            name="cross", demands={(0, 5): 1.0, (1, 4): 1.0}, num_flows=2
+        )
+        value, side = nonuniform_sparsest_cut(topo, tm)
+        assert value == pytest.approx(1.0)  # bridge 2 / demand 2
+
+    def test_empty_traffic_rejected(self, triangle):
+        tm = TrafficMatrix(name="none", demands={}, num_flows=0)
+        with pytest.raises(TopologyError, match="no network demands"):
+            nonuniform_sparsest_cut(triangle, tm)

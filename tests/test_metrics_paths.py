@@ -1,0 +1,149 @@
+"""Tests for path metrics and Yen's k-shortest paths."""
+
+from __future__ import annotations
+
+from itertools import islice
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.metrics.paths import (
+    all_pairs_shortest_lengths,
+    all_shortest_paths,
+    average_shortest_path_length,
+    demand_weighted_aspl,
+    diameter,
+    k_shortest_paths,
+    path_length_histogram,
+    shortest_path_lengths_from,
+)
+from repro.topology.base import Topology
+from repro.topology.hypercube import hypercube_topology
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.base import TrafficMatrix
+
+
+class TestShortestLengths:
+    def test_bfs_from_source(self, triangle):
+        assert shortest_path_lengths_from(triangle, 0) == {0: 0, 1: 1, 2: 1}
+
+    def test_unknown_source_rejected(self, triangle):
+        with pytest.raises(TopologyError, match="does not exist"):
+            shortest_path_lengths_from(triangle, "missing")
+
+    def test_matches_networkx(self):
+        topo = random_regular_topology(16, 4, seed=5)
+        graph = topo.to_networkx()
+        ours = all_pairs_shortest_lengths(topo)
+        theirs = dict(nx.all_pairs_shortest_path_length(graph))
+        for u in topo.switches:
+            assert ours[u] == dict(theirs[u])
+
+    def test_aspl_matches_networkx(self):
+        topo = random_regular_topology(14, 4, seed=6)
+        assert average_shortest_path_length(topo) == pytest.approx(
+            nx.average_shortest_path_length(topo.to_networkx())
+        )
+
+    def test_aspl_requires_connected(self):
+        topo = Topology("disc")
+        topo.add_switch(0)
+        topo.add_switch(1)
+        with pytest.raises(TopologyError, match="disconnected|undefined"):
+            average_shortest_path_length(topo)
+
+    def test_diameter_matches_networkx(self):
+        topo = random_regular_topology(14, 3, seed=7)
+        assert diameter(topo) == nx.diameter(topo.to_networkx())
+
+    def test_histogram_totals(self, triangle):
+        hist = path_length_histogram(triangle)
+        assert hist == {1: 6}
+        cube = hypercube_topology(3)
+        hist = path_length_histogram(cube)
+        assert sum(hist.values()) == 8 * 7
+
+
+class TestDemandWeightedAspl:
+    def test_weighting(self):
+        topo = Topology("path3")
+        for v in range(3):
+            topo.add_switch(v, servers=1)
+        topo.add_link(0, 1)
+        topo.add_link(1, 2)
+        tm = TrafficMatrix(
+            name="w",
+            demands={(0, 1): 1.0, (0, 2): 3.0},
+            num_flows=4,
+        )
+        # (1*1 + 3*2) / 4 = 1.75
+        assert demand_weighted_aspl(topo, tm) == pytest.approx(1.75)
+
+    def test_unroutable_demand_rejected(self):
+        topo = Topology("disc")
+        topo.add_switch(0)
+        topo.add_switch(1)
+        tm = TrafficMatrix(name="x", demands={(0, 1): 1.0}, num_flows=1)
+        with pytest.raises(TopologyError, match="no path"):
+            demand_weighted_aspl(topo, tm)
+
+
+class TestKShortestPaths:
+    def test_lengths_non_decreasing_and_simple(self):
+        topo = random_regular_topology(12, 3, seed=8)
+        nodes = topo.switches
+        paths = k_shortest_paths(topo, nodes[0], nodes[-1], 6)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        for path in paths:
+            assert len(set(path)) == len(path)  # simple
+            for a, b in zip(path[:-1], path[1:]):
+                assert topo.has_link(a, b)
+        assert len({tuple(p) for p in paths}) == len(paths)
+
+    def test_matches_networkx_shortest_simple_paths(self):
+        topo = random_regular_topology(10, 3, seed=9)
+        graph = topo.to_networkx()
+        src, dst = topo.switches[0], topo.switches[5]
+        ours = k_shortest_paths(topo, src, dst, 5)
+        theirs = list(islice(nx.shortest_simple_paths(graph, src, dst), 5))
+        assert [len(p) for p in ours] == [len(p) for p in theirs]
+
+    def test_fewer_paths_than_k(self, path_two):
+        paths = k_shortest_paths(path_two, "a", "b", 10)
+        assert paths == [["a", "b"]]
+
+    def test_disconnected_returns_empty(self):
+        topo = Topology("disc")
+        topo.add_switch(0)
+        topo.add_switch(1)
+        assert k_shortest_paths(topo, 0, 1, 3) == []
+
+    def test_same_endpoints_rejected(self, triangle):
+        with pytest.raises(TopologyError, match="differ"):
+            k_shortest_paths(triangle, 0, 0, 2)
+
+    def test_triangle_enumeration(self, triangle):
+        paths = k_shortest_paths(triangle, 0, 1, 5)
+        assert paths == [[0, 1], [0, 2, 1]]
+
+
+class TestAllShortestPaths:
+    def test_hypercube_counts(self):
+        cube = hypercube_topology(3)
+        # Antipodal nodes at distance 3 have 3! = 6 shortest paths.
+        paths = list(all_shortest_paths(cube, 0, 7))
+        assert len(paths) == 6
+        assert all(len(p) == 4 for p in paths)
+
+    def test_limit(self):
+        cube = hypercube_topology(3)
+        paths = list(all_shortest_paths(cube, 0, 7, limit=2))
+        assert len(paths) == 2
+
+    def test_unreachable_yields_nothing(self):
+        topo = Topology("disc")
+        topo.add_switch(0)
+        topo.add_switch(1)
+        assert list(all_shortest_paths(topo, 0, 1)) == []

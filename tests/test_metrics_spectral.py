@@ -1,0 +1,118 @@
+"""Tests for spectral measures against known spectra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.metrics.spectral import (
+    adjacency_spectral_gap,
+    algebraic_connectivity,
+    cheeger_bounds,
+    expander_mixing_deviation,
+    fiedler_vector,
+    second_largest_adjacency_eigenvalue_magnitude,
+)
+from repro.topology.base import Topology
+from repro.topology.complete import complete_topology
+from repro.topology.random_regular import random_regular_topology
+
+
+def _cycle(n: int) -> Topology:
+    topo = Topology(f"cycle{n}")
+    for v in range(n):
+        topo.add_switch(v)
+    for v in range(n):
+        topo.add_link(v, (v + 1) % n)
+    return topo
+
+
+class TestSpectralGap:
+    def test_complete_graph(self):
+        # K_n adjacency spectrum: n-1 once, -1 with multiplicity n-1.
+        assert adjacency_spectral_gap(complete_topology(6)) == pytest.approx(6.0)
+
+    def test_cycle(self):
+        n = 8
+        gap = adjacency_spectral_gap(_cycle(n))
+        expected = 2.0 - 2.0 * math.cos(2.0 * math.pi / n)
+        assert gap == pytest.approx(expected, abs=1e-9)
+
+    def test_needs_two_nodes(self):
+        topo = Topology("one")
+        topo.add_switch(0)
+        with pytest.raises(TopologyError, match="at least 2"):
+            adjacency_spectral_gap(topo)
+
+    def test_random_regular_graphs_expand(self):
+        # Random regular graphs are near-Ramanujan: lambda <= 2*sqrt(d-1)
+        # plus slack.
+        d = 4
+        topo = random_regular_topology(30, d, seed=2)
+        lam = second_largest_adjacency_eigenvalue_magnitude(topo)
+        assert lam <= 2.0 * math.sqrt(d - 1) + 1.0
+
+
+class TestAlgebraicConnectivity:
+    def test_cycle_known_value(self):
+        n = 10
+        value = algebraic_connectivity(_cycle(n), weighted=False)
+        expected = 2.0 - 2.0 * math.cos(2.0 * math.pi / n)
+        assert value == pytest.approx(expected, abs=1e-9)
+
+    def test_disconnected_graph_is_zero(self):
+        topo = Topology("disc")
+        for v in range(4):
+            topo.add_switch(v)
+        topo.add_link(0, 1)
+        topo.add_link(2, 3)
+        assert algebraic_connectivity(topo) == pytest.approx(0.0, abs=1e-9)
+
+    def test_fiedler_vector_separates_barbell(self):
+        topo = Topology("barbell")
+        for v in range(6):
+            topo.add_switch(v)
+        for u in range(3):
+            for v in range(u + 1, 3):
+                topo.add_link(u, v)
+                topo.add_link(u + 3, v + 3)
+        topo.add_link(2, 3)
+        vec = fiedler_vector(topo)
+        left = {v for v in topo.switches if vec[v] < 0}
+        assert left in ({0, 1, 2}, {3, 4, 5})
+
+
+class TestMixingLemma:
+    def test_holds_on_random_regular(self):
+        topo = random_regular_topology(20, 4, seed=5)
+        nodes = topo.switches
+        outcome = expander_mixing_deviation(
+            topo, set(nodes[:10]), set(nodes[10:])
+        )
+        assert outcome["holds"]
+        assert outcome["deviation"] <= outcome["bound"] + 1e-9
+
+    def test_requires_regular(self):
+        topo = Topology("irregular")
+        topo.add_switch(0)
+        topo.add_switch(1)
+        topo.add_switch(2)
+        topo.add_link(0, 1)
+        topo.add_link(1, 2)
+        with pytest.raises(TopologyError, match="regular"):
+            expander_mixing_deviation(topo, {0}, {2})
+
+
+class TestCheeger:
+    def test_bracket_order(self):
+        topo = random_regular_topology(16, 4, seed=6)
+        lower, upper = cheeger_bounds(topo)
+        assert 0 <= lower <= upper
+
+    def test_complete_graph_values(self):
+        lower, upper = cheeger_bounds(complete_topology(6))
+        # Gap = d - lambda2 = 5 - (-1) = 6.
+        assert lower == pytest.approx(3.0)
+        assert upper == pytest.approx(math.sqrt(2 * 5 * 6))

@@ -1,0 +1,120 @@
+"""Hypothesis property tests tying the flow engines and bounds together.
+
+Each property samples random small instances and checks cross-engine
+invariants that must hold for *every* input, not just the curated cases:
+
+- path-LP and Garg-Koenemann never exceed the exact LP,
+- ECMP never exceeds the exact LP,
+- the exact LP never exceeds Theorem 1's bound (with observed ASPL) nor
+  the non-uniform sparsest cut,
+- scaling capacities scales throughput linearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import throughput_upper_bound
+from repro.flow.approx import garg_koenemann_throughput
+from repro.flow.ecmp import ecmp_throughput
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.flow.path_lp import max_concurrent_flow_paths
+from repro.metrics.cuts import nonuniform_sparsest_cut
+from repro.metrics.paths import average_shortest_path_length
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+_instances = st.tuples(
+    st.integers(min_value=6, max_value=12),   # switches
+    st.integers(min_value=3, max_value=5),    # degree
+    st.integers(min_value=1, max_value=3),    # servers per switch
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def _build(params):
+    n, r, servers, seed = params
+    if r >= n:
+        r = n - 1
+    topo = random_regular_topology(
+        n, r, servers_per_switch=servers, seed=seed
+    )
+    traffic = random_permutation_traffic(topo, seed=seed + 1)
+    return topo, traffic
+
+
+class TestEngineOrdering:
+    @given(_instances)
+    @settings(max_examples=15, deadline=None)
+    def test_restricted_engines_lower_bound_lp(self, params):
+        topo, traffic = _build(params)
+        exact = max_concurrent_flow(topo, traffic).throughput
+        path8 = max_concurrent_flow_paths(topo, traffic, k=8).throughput
+        ecmp = ecmp_throughput(topo, traffic).throughput
+        tolerance = exact * 1e-6 + 1e-9
+        assert path8 <= exact + tolerance
+        assert ecmp <= exact + tolerance
+
+    @given(_instances)
+    @settings(max_examples=8, deadline=None)
+    def test_gk_between_guarantee_and_lp(self, params):
+        topo, traffic = _build(params)
+        exact = max_concurrent_flow(topo, traffic).throughput
+        gk = garg_koenemann_throughput(topo, traffic, epsilon=0.1)
+        gk.validate_feasibility()
+        assert gk.throughput <= exact * (1 + 1e-6)
+        assert gk.throughput >= 0.7 * exact  # (1-eps)^3-ish with slack
+
+
+class TestBoundOrdering:
+    @given(_instances)
+    @settings(max_examples=15, deadline=None)
+    def test_lp_below_theorem1_with_observed_aspl(self, params):
+        topo, traffic = _build(params)
+        n, r = topo.num_switches, topo.degree(topo.switches[0])
+        exact = max_concurrent_flow(topo, traffic).throughput
+        bound = throughput_upper_bound(
+            n,
+            r,
+            traffic.num_network_flows,
+            aspl=average_shortest_path_length(topo),
+        )
+        # The observed-ASPL variant charges every flow the *average*
+        # distance; individual permutations can be luckier, so compare
+        # against the d*-based universal bound too.
+        universal = throughput_upper_bound(n, r, traffic.num_network_flows)
+        assert exact <= max(bound, universal) * (1 + 1e-6) + 1e-9
+
+    @given(_instances)
+    @settings(max_examples=10, deadline=None)
+    def test_lp_below_sparsest_cut(self, params):
+        topo, traffic = _build(params)
+        if topo.num_switches > 10:
+            return  # keep exact cut enumeration cheap
+        exact = max_concurrent_flow(topo, traffic).throughput
+        cut, _ = nonuniform_sparsest_cut(topo, traffic)
+        assert exact <= cut * (1 + 1e-6) + 1e-9
+
+
+class TestScaling:
+    @given(
+        _instances,
+        st.floats(min_value=0.5, max_value=4.0, allow_nan=False),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_capacity_scaling_linear(self, params, factor):
+        n, r, servers, seed = params
+        if r >= n:
+            r = n - 1
+        base = random_regular_topology(
+            n, r, servers_per_switch=servers, seed=seed
+        )
+        scaled = random_regular_topology(
+            n, r, servers_per_switch=servers, capacity=factor, seed=seed
+        )
+        traffic = random_permutation_traffic(base, seed=seed + 1)
+        t_base = max_concurrent_flow(base, traffic).throughput
+        t_scaled = max_concurrent_flow(scaled, traffic).throughput
+        assert t_scaled == pytest.approx(factor * t_base, rel=1e-6)

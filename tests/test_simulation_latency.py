@@ -1,0 +1,69 @@
+"""Tests for packet-latency measurement in the simulator (§9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.simulator import (
+    PacketLevelSimulator,
+    SimulationConfig,
+    SimulationReport,
+)
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+
+def _run(servers_per_switch: int, seed: int = 1) -> "SimulationReport":
+    topo = random_regular_topology(
+        8, 4, servers_per_switch=servers_per_switch, seed=seed
+    )
+    traffic = random_permutation_traffic(topo, seed=seed + 1)
+    config = SimulationConfig(duration=150.0, warmup=50.0, subflows=2)
+    return PacketLevelSimulator(topo, config).run(traffic, seed=seed + 2)
+
+
+class TestLatencySampling:
+    def test_samples_collected_after_warmup(self):
+        report = _run(servers_per_switch=2)
+        assert report.latency_samples
+        assert all(delay > 0 for delay in report.latency_samples)
+
+    def test_physical_lower_bound(self):
+        # Minimum conceivable one-way delay: 2 host links + 1 switch hop,
+        # each 1 time unit serialization at unit rate (plus propagation).
+        report = _run(servers_per_switch=2)
+        assert min(report.latency_samples) >= 3.0
+
+    def test_percentiles_ordered(self):
+        report = _run(servers_per_switch=2)
+        p50 = report.latency_percentile(50)
+        p99 = report.latency_percentile(99)
+        assert p50 <= p99
+        assert report.latency_percentile(0) <= p50
+        assert p50 <= report.mean_latency * 2.0
+
+    def test_heavier_load_raises_latency(self):
+        light = _run(servers_per_switch=2)
+        heavy = _run(servers_per_switch=8)
+        assert heavy.latency_percentile(50) > light.latency_percentile(50)
+
+    def test_empty_report_rejected(self):
+        report = SimulationReport()
+        with pytest.raises(SimulationError, match="latency"):
+            report.latency_percentile(50)
+        with pytest.raises(SimulationError, match="latency"):
+            _ = report.mean_latency
+
+    def test_invalid_percentile_rejected(self):
+        report = _run(servers_per_switch=2)
+        with pytest.raises(SimulationError, match="percentile"):
+            report.latency_percentile(101)
+
+    def test_sample_cap_respected(self):
+        report = _run(servers_per_switch=4)
+        from repro.simulation.mptcp import MptcpFlow
+
+        per_flow_cap = MptcpFlow.MAX_LATENCY_SAMPLES
+        flows = len(report.flow_rates)
+        assert len(report.latency_samples) <= per_flow_cap * flows

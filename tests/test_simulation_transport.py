@@ -1,0 +1,185 @@
+"""Tests for the AIMD/MPTCP transport and the end-to-end simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import EventQueue
+from repro.simulation.links import LinkQueue
+from repro.simulation.mptcp import MptcpFlow
+from repro.simulation.routing import host_id, host_paths_for_pair
+from repro.simulation.simulator import (
+    PacketLevelSimulator,
+    SimulationConfig,
+    SimulationReport,
+)
+from repro.topology.base import Topology
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.base import TrafficMatrix
+from repro.traffic.permutation import random_permutation_traffic
+
+
+def _run_single_path(rate: float, duration: float = 200.0) -> float:
+    """One flow over one link of the given rate; returns goodput."""
+    events = EventQueue()
+    link = LinkQueue(events, rate=rate, propagation_delay=0.01)
+    flow = MptcpFlow("f")
+    flow.add_subflow(events, [link], min_rto=10.0)
+    flow.start()
+    events.run_until(duration)
+    return flow.delivered / duration
+
+
+class TestSubflowDynamics:
+    def test_saturates_single_link(self):
+        goodput = _run_single_path(rate=1.0)
+        assert goodput >= 0.85
+
+    def test_goodput_scales_with_rate(self):
+        slow = _run_single_path(rate=0.5)
+        fast = _run_single_path(rate=2.0)
+        assert fast > 1.5 * slow
+
+    def test_two_flows_share_fairly(self):
+        events = EventQueue()
+        link = LinkQueue(events, rate=1.0, propagation_delay=0.01, buffer_packets=16)
+        flows = [MptcpFlow(f"f{i}") for i in range(2)]
+        for flow in flows:
+            flow.add_subflow(events, [link], min_rto=10.0)
+            flow.start()
+        events.run_until(400.0)
+        rates = [flow.delivered / 400.0 for flow in flows]
+        assert sum(rates) >= 0.8
+        assert min(rates) >= 0.25 * max(rates)
+
+    def test_loss_recovery_progresses(self):
+        # A tiny buffer forces drops; the flow must still progress.
+        events = EventQueue()
+        link = LinkQueue(events, rate=1.0, propagation_delay=0.01, buffer_packets=2)
+        flow = MptcpFlow("f")
+        subflow = flow.add_subflow(events, [link], min_rto=5.0, ssthresh=64.0)
+        flow.start()
+        events.run_until(300.0)
+        assert flow.delivered > 100
+        assert subflow.stats.retransmits > 0
+
+    def test_ewtcp_coupling_scales_increase(self):
+        events = EventQueue()
+        links = [LinkQueue(events, rate=1.0) for _ in range(4)]
+        flow = MptcpFlow("f", coupling="ewtcp")
+        for link in links:
+            flow.add_subflow(events, [link])
+        flow.finalize_coupling()
+        assert all(s.increase_scale == pytest.approx(0.25) for s in flow.subflows)
+
+    def test_unknown_coupling_rejected(self):
+        with pytest.raises(SimulationError, match="coupling"):
+            MptcpFlow("f", coupling="bogus")
+
+    def test_empty_path_rejected(self):
+        events = EventQueue()
+        flow = MptcpFlow("f")
+        with pytest.raises(SimulationError, match="at least one link"):
+            flow.add_subflow(events, [])
+
+
+class TestRouting:
+    def test_host_paths_structure(self, small_rrg):
+        src = (small_rrg.switches[0], 0)
+        dst = (small_rrg.switches[5], 1)
+        paths = host_paths_for_pair(small_rrg, src, dst, num_paths=4)
+        assert 1 <= len(paths) <= 4
+        for path in paths:
+            assert path[0] == host_id(src)
+            assert path[-1] == host_id(dst)
+            assert path[1] == src[0]
+            assert path[-2] == dst[0]
+
+    def test_same_switch_pair(self, small_rrg):
+        switch = small_rrg.switches[0]
+        paths = host_paths_for_pair(small_rrg, (switch, 0), (switch, 1), 4)
+        assert paths == [[host_id((switch, 0)), switch, host_id((switch, 1))]]
+
+    def test_ecmp_mode_samples_shortest(self, small_rrg):
+        src = (small_rrg.switches[0], 0)
+        dst = (small_rrg.switches[5], 0)
+        paths = host_paths_for_pair(
+            small_rrg, src, dst, num_paths=4, mode="ecmp", seed=1
+        )
+        lengths = {len(p) for p in paths}
+        assert len(lengths) == 1  # all equal-cost
+
+    def test_unknown_mode_rejected(self, small_rrg):
+        src = (small_rrg.switches[0], 0)
+        dst = (small_rrg.switches[1], 0)
+        with pytest.raises(SimulationError, match="routing mode"):
+            host_paths_for_pair(small_rrg, src, dst, 2, mode="bogus")
+
+
+class TestSimulator:
+    def test_end_to_end_rates_reasonable(self):
+        topo = random_regular_topology(8, 4, servers_per_switch=2, seed=1)
+        traffic = random_permutation_traffic(topo, seed=2)
+        config = SimulationConfig(duration=150.0, warmup=50.0, subflows=2)
+        report = PacketLevelSimulator(topo, config).run(traffic, seed=3)
+        assert len(report.flow_rates) == traffic.num_flows
+        assert 0.0 <= report.min_rate <= report.mean_rate
+        # No flow can beat its server NIC.
+        assert max(report.flow_rates.values()) <= 1.0 + 0.05
+
+    def test_dense_traffic_without_server_pairs_rejected(self):
+        topo = random_regular_topology(6, 3, servers_per_switch=2, seed=4)
+        from repro.traffic.alltoall import all_to_all_traffic
+
+        config = SimulationConfig(duration=20.0, warmup=5.0)
+        with pytest.raises(SimulationError, match="server-level pairs"):
+            PacketLevelSimulator(topo, config).run(all_to_all_traffic(topo))
+
+    def test_empty_traffic_rejected(self):
+        topo = random_regular_topology(6, 3, servers_per_switch=2, seed=4)
+        empty = TrafficMatrix(name="e", demands={}, num_flows=0, server_pairs=[])
+        config = SimulationConfig(duration=20.0, warmup=5.0)
+        with pytest.raises(SimulationError, match="no flows"):
+            PacketLevelSimulator(topo, config).run(empty)
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError, match="duration"):
+            SimulationConfig(duration=10.0, warmup=20.0)
+        with pytest.raises(SimulationError, match="subflow"):
+            SimulationConfig(subflows=0)
+
+    def test_report_percentiles(self):
+        report = SimulationReport(flow_rates={"a": 0.1, "b": 0.5, "c": 0.9})
+        assert report.rate_percentile(0) == pytest.approx(0.1)
+        assert report.rate_percentile(50) == pytest.approx(0.5)
+        assert report.rate_percentile(100) == pytest.approx(0.9)
+        with pytest.raises(SimulationError, match="percentile"):
+            report.rate_percentile(123)
+
+    def test_empty_report_rejected(self):
+        report = SimulationReport()
+        with pytest.raises(SimulationError, match="no flows"):
+            _ = report.min_rate
+
+    def test_deterministic_given_seed(self):
+        topo = random_regular_topology(6, 3, servers_per_switch=2, seed=5)
+        traffic = random_permutation_traffic(topo, seed=6)
+        config = SimulationConfig(duration=60.0, warmup=20.0, subflows=2)
+        first = PacketLevelSimulator(topo, config).run(traffic, seed=7)
+        second = PacketLevelSimulator(topo, config).run(traffic, seed=7)
+        assert first.flow_rates == second.flow_rates
+
+    def test_near_lp_in_oversubscribed_regime(self):
+        """The Figure 13 claim at micro scale: packet mean within ~25% of
+        the LP value (the paper gets within a few percent with htsim)."""
+        from repro.flow.edge_lp import max_concurrent_flow
+
+        topo = random_regular_topology(8, 4, servers_per_switch=6, seed=8)
+        traffic = random_permutation_traffic(topo, seed=9)
+        lp = max_concurrent_flow(topo, traffic).throughput
+        config = SimulationConfig(
+            duration=250.0, warmup=100.0, subflows=4, packet_size=0.5
+        )
+        report = PacketLevelSimulator(topo, config).run(traffic, seed=10)
+        assert report.mean_rate >= 0.75 * min(lp, 1.0)

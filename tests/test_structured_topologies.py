@@ -1,0 +1,202 @@
+"""Tests for structured baseline topologies: fat-tree, Clos, hypercube,
+torus, complete graphs, and small-world rings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.metrics.paths import average_shortest_path_length, diameter
+from repro.topology.clos import folded_clos_topology, leaf_spine_topology
+from repro.topology.complete import complete_bipartite_topology, complete_topology
+from repro.topology.fattree import fat_tree_topology
+from repro.topology.hypercube import hypercube_topology
+from repro.topology.smallworld import small_world_topology
+from repro.topology.torus import torus_topology
+
+
+class TestFatTree:
+    def test_k4_structure(self):
+        topo = fat_tree_topology(4)
+        # k=4: 4 cores, 4 pods x (2 edge + 2 agg) = 20 switches.
+        assert topo.num_switches == 20
+        assert topo.num_servers == 16  # k^3/4
+        assert topo.is_connected()
+
+    def test_all_switch_degrees_k(self):
+        k = 4
+        topo = fat_tree_topology(k)
+        for node in topo.switches:
+            kind = topo.switch_type_of(node)
+            servers = topo.servers_at(node)
+            assert topo.degree(node) + servers == k or kind == "core"
+            if kind == "core":
+                assert topo.degree(node) == k
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError, match="even"):
+            fat_tree_topology(5)
+
+    def test_custom_server_count(self):
+        topo = fat_tree_topology(4, servers_per_edge=1)
+        assert topo.num_servers == 8
+
+    def test_oversized_servers_rejected(self):
+        with pytest.raises(TopologyError, match="servers_per_edge"):
+            fat_tree_topology(4, servers_per_edge=3)
+
+    def test_full_bisection_throughput(self):
+        # A fat-tree at full configuration supports permutations at rate 1.
+        from repro.flow.edge_lp import max_concurrent_flow
+        from repro.traffic.permutation import random_permutation_traffic
+
+        topo = fat_tree_topology(4)
+        traffic = random_permutation_traffic(topo, seed=1)
+        result = max_concurrent_flow(topo, traffic)
+        assert result.throughput >= 1.0 - 1e-6
+
+
+class TestClos:
+    def test_leaf_spine_structure(self):
+        topo = leaf_spine_topology(4, 2, servers_per_leaf=3)
+        assert topo.num_switches == 6
+        assert topo.num_links == 8
+        assert topo.num_servers == 12
+
+    def test_parallel_links_aggregate(self):
+        topo = leaf_spine_topology(2, 2, servers_per_leaf=1, links_per_pair=3)
+        assert topo.capacity("leaf0", "spine0") == pytest.approx(3.0)
+
+    def test_folded_clos_oversubscription(self):
+        topo = folded_clos_topology(4, 4, servers_per_leaf=8, oversubscription=2.0)
+        # Each leaf's uplink capacity = servers / oversubscription = 4.
+        up = sum(topo.capacity(f"leaf0", f"spine{i}") for i in range(4))
+        assert up == pytest.approx(4.0)
+
+    def test_nonblocking_closes_permutation(self):
+        from repro.flow.edge_lp import max_concurrent_flow
+        from repro.traffic.permutation import random_permutation_traffic
+
+        topo = folded_clos_topology(4, 4, servers_per_leaf=4, oversubscription=1.0)
+        traffic = random_permutation_traffic(topo, seed=2)
+        result = max_concurrent_flow(topo, traffic)
+        assert result.throughput >= 1.0 - 1e-6
+
+
+class TestHypercube:
+    def test_structure(self):
+        topo = hypercube_topology(4)
+        assert topo.num_switches == 16
+        assert topo.num_links == 32  # n * d / 2
+        assert all(topo.degree(v) == 4 for v in topo.switches)
+
+    def test_diameter_is_dimension(self):
+        assert diameter(hypercube_topology(4)) == 4
+
+    def test_aspl_known_value(self):
+        # Mean Hamming distance between distinct 3-bit ids = 12/7.
+        aspl = average_shortest_path_length(hypercube_topology(3))
+        assert aspl == pytest.approx(12.0 / 7.0)
+
+
+class TestTorus:
+    def test_2d_structure(self):
+        topo = torus_topology((4, 4))
+        assert topo.num_switches == 16
+        assert all(topo.degree(v) == 4 for v in topo.switches)
+
+    def test_3d_structure(self):
+        topo = torus_topology((3, 3, 3))
+        assert topo.num_switches == 27
+        assert all(topo.degree(v) == 6 for v in topo.switches)
+
+    def test_small_dimension_rejected(self):
+        with pytest.raises(TopologyError, match=">= 3"):
+            torus_topology((2, 4))
+
+    def test_diameter(self):
+        assert diameter(torus_topology((4, 4))) == 4  # 2 + 2 wraps
+
+
+class TestComplete:
+    def test_complete_graph(self):
+        topo = complete_topology(6, servers_per_switch=1)
+        assert topo.num_links == 15
+        assert average_shortest_path_length(topo) == pytest.approx(1.0)
+
+    def test_complete_bipartite(self):
+        topo = complete_bipartite_topology(3, 4)
+        assert topo.num_links == 12
+        assert diameter(topo) == 2
+
+    def test_meets_throughput_bound_exactly(self):
+        # On K_n with one server per switch, permutation flows travel one
+        # hop; the bound N*r/(<D>*f) = n(n-1)/n = n-1 per flow is loose,
+        # but all-to-all achieves the exact optimum 2/n... sanity: LP >= 1.
+        from repro.flow.edge_lp import max_concurrent_flow
+        from repro.traffic.permutation import random_permutation_traffic
+
+        topo = complete_topology(6, servers_per_switch=1)
+        traffic = random_permutation_traffic(topo, seed=3)
+        result = max_concurrent_flow(topo, traffic)
+        assert result.throughput >= 1.0 - 1e-9
+
+
+class TestSmallWorld:
+    def test_ring_structure_no_rewiring(self):
+        topo = small_world_topology(10, 4, rewire_probability=0.0, seed=1)
+        assert topo.num_links == 20
+        assert all(topo.degree(v) == 4 for v in topo.switches)
+
+    def test_rewiring_changes_edges(self):
+        base = small_world_topology(20, 4, rewire_probability=0.0, seed=2)
+        rewired = small_world_topology(20, 4, rewire_probability=0.9, seed=2)
+        edges_base = {frozenset((l.u, l.v)) for l in base.links}
+        edges_rewired = {frozenset((l.u, l.v)) for l in rewired.links}
+        assert edges_base != edges_rewired
+
+    def test_rewiring_reduces_aspl(self):
+        ring = small_world_topology(40, 4, rewire_probability=0.0, seed=3)
+        shuffled = small_world_topology(40, 4, rewire_probability=0.5, seed=3)
+        if shuffled.is_connected():
+            assert (
+                average_shortest_path_length(shuffled)
+                < average_shortest_path_length(ring)
+            )
+
+    def test_odd_neighbor_count_rejected(self):
+        with pytest.raises(TopologyError, match="even"):
+            small_world_topology(10, 3)
+
+    def test_too_many_neighbors_rejected(self):
+        with pytest.raises(TopologyError, match="nearest_neighbors"):
+            small_world_topology(4, 4)
+
+
+class TestRegistry:
+    def test_make_by_name(self):
+        from repro.topology.registry import available_topologies, make_topology
+
+        assert "rrg" in available_topologies()
+        topo = make_topology("hypercube", dimension=3)
+        assert topo.num_switches == 8
+
+    def test_unknown_name_rejected(self):
+        from repro.topology.registry import make_topology
+
+        with pytest.raises(TopologyError, match="unknown topology"):
+            make_topology("nonsense")
+
+    def test_register_custom_and_no_overwrite(self):
+        from repro.topology.registry import make_topology, register_topology
+        from repro.topology.base import Topology
+
+        def factory(**kwargs):
+            topo = Topology("custom")
+            topo.add_switch(0)
+            return topo
+
+        register_topology("test-custom-unique", factory)
+        assert make_topology("test-custom-unique").num_switches == 1
+        with pytest.raises(TopologyError, match="already registered"):
+            register_topology("rrg", factory)

@@ -1,0 +1,82 @@
+"""Tests for incremental expansion by link swaps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.expansion import add_switch_by_link_swaps, expand_topology
+from repro.topology.random_regular import random_regular_topology
+
+
+class TestAddSwitch:
+    def test_degree_and_link_accounting(self):
+        topo = random_regular_topology(12, 4, servers_per_switch=2, seed=1)
+        links_before = topo.num_links
+        report = add_switch_by_link_swaps(
+            topo, "new", network_ports=4, servers=2, seed=2
+        )
+        assert topo.degree("new") == 4
+        assert topo.servers_at("new") == 2
+        assert report.links_removed == 2
+        assert report.links_added == 4
+        assert topo.num_links == links_before + 2
+        # Everyone else keeps their degree.
+        for v in topo.switches:
+            if v != "new":
+                assert topo.degree(v) == 4
+
+    def test_preserves_connectivity(self):
+        for seed in range(4):
+            topo = random_regular_topology(12, 4, seed=seed)
+            add_switch_by_link_swaps(topo, "new", network_ports=4, seed=seed)
+            assert topo.is_connected()
+
+    def test_odd_ports_leave_leftover(self):
+        topo = random_regular_topology(12, 4, seed=3)
+        report = add_switch_by_link_swaps(topo, "new", network_ports=5, seed=4)
+        assert report.leftover_ports == 1
+        assert topo.degree("new") == 4
+
+    def test_existing_switch_rejected(self):
+        topo = random_regular_topology(8, 3, seed=5)
+        with pytest.raises(TopologyError, match="already exists"):
+            add_switch_by_link_swaps(topo, 0, network_ports=2)
+
+    def test_throughput_stays_reasonable_after_expansion(self):
+        """Expansion must not wreck the network (Jellyfish's selling point)."""
+        from repro.flow.edge_lp import max_concurrent_flow
+        from repro.traffic.permutation import random_permutation_traffic
+
+        topo = random_regular_topology(12, 4, servers_per_switch=2, seed=6)
+        before = max_concurrent_flow(
+            topo, random_permutation_traffic(topo, seed=7)
+        ).throughput
+        add_switch_by_link_swaps(topo, "new", network_ports=4, servers=2, seed=8)
+        after = max_concurrent_flow(
+            topo, random_permutation_traffic(topo, seed=7)
+        ).throughput
+        assert after >= 0.6 * before
+
+    def test_capacity_preserved_on_split(self):
+        topo = random_regular_topology(10, 3, capacity=2.5, seed=9)
+        add_switch_by_link_swaps(topo, "new", network_ports=2, seed=10)
+        for neighbor in topo.neighbors("new"):
+            assert topo.capacity("new", neighbor) == pytest.approx(2.5)
+
+
+class TestExpandTopology:
+    def test_multiple_switches(self):
+        topo = random_regular_topology(12, 4, seed=11)
+        reports = expand_topology(
+            topo,
+            {"a": 4, "b": 4},
+            servers={"a": 2},
+            seed=12,
+        )
+        assert len(reports) == 2
+        assert topo.degree("a") == 4
+        assert topo.degree("b") == 4
+        assert topo.servers_at("a") == 2
+        assert topo.servers_at("b") == 0
+        assert topo.is_connected()

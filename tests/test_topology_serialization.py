@@ -1,0 +1,122 @@
+"""Tests for JSON round-trip and DOT export of topologies."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+    topology_to_dot,
+)
+from repro.topology.two_cluster import two_cluster_random_topology
+from repro.topology.vl2 import vl2_topology
+
+
+def _equivalent(a, b) -> bool:
+    if set(map(repr, a.switches)) != set(map(repr, b.switches)):
+        return False
+    def edge_set(t):
+        return {
+            (tuple(sorted((repr(l.u), repr(l.v)))), round(l.capacity, 9))
+            for t_l in [t] for l in t_l.links
+        }
+    return edge_set(a) == edge_set(b)
+
+
+class TestJsonRoundTrip:
+    def test_two_cluster_roundtrip(self):
+        topo = two_cluster_random_topology(
+            3, 4, 5, 2, servers_per_large=2, servers_per_small=1, seed=1
+        )
+        clone = topology_from_dict(topology_to_dict(topo))
+        assert _equivalent(topo, clone)
+        assert clone.num_servers == topo.num_servers
+        assert clone.cluster_of(0) == "large"
+
+    def test_string_node_ids(self):
+        topo = vl2_topology(4, 4, servers_per_tor=2)
+        clone = topology_from_dict(topology_to_dict(topo))
+        assert _equivalent(topo, clone)
+        assert clone.switch_type_of("tor0") == "tor"
+
+    def test_tuple_node_ids(self):
+        from repro.topology.dragonfly import dragonfly_topology
+
+        topo = dragonfly_topology(2, servers_per_router=1)
+        clone = topology_from_dict(topology_to_dict(topo))
+        assert _equivalent(topo, clone)
+        assert (0, 0) in clone
+
+    def test_file_round_trip(self, tmp_path):
+        topo = vl2_topology(4, 4, servers_per_tor=2)
+        path = str(tmp_path / "topo.json")
+        save_topology(topo, path)
+        assert _equivalent(topo, load_topology(path))
+
+    def test_stream_round_trip(self):
+        topo = vl2_topology(4, 4, servers_per_tor=2)
+        buffer = io.StringIO()
+        save_topology(topo, buffer)
+        buffer.seek(0)
+        assert _equivalent(topo, load_topology(buffer))
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(TopologyError, match="schema"):
+            topology_from_dict({"schema_version": 99, "switches": [], "links": []})
+
+    def test_unserializable_node_rejected(self):
+        from repro.topology.base import Topology
+
+        topo = Topology("bad")
+        topo.add_switch(frozenset({1}))
+        with pytest.raises(TopologyError, match="cannot serialize"):
+            topology_to_dict(topo)
+
+    def test_json_is_valid(self):
+        topo = vl2_topology(4, 4)
+        text = json.dumps(topology_to_dict(topo))
+        assert json.loads(text)["name"].startswith("vl2")
+
+
+class TestDotExport:
+    def test_contains_nodes_and_edges(self):
+        topo = vl2_topology(4, 4, servers_per_tor=2)
+        dot = topology_to_dot(topo)
+        assert dot.startswith("graph")
+        assert dot.rstrip().endswith("}")
+        assert "'tor0'" in dot
+        assert "--" in dot
+
+    def test_cluster_colors_differ(self):
+        topo = two_cluster_random_topology(3, 4, 4, 3, seed=2)
+        dot = topology_to_dot(topo)
+        colors = {
+            line.split("fillcolor=")[1].rstrip("];")
+            for line in dot.splitlines()
+            if "fillcolor=" in line
+        }
+        assert len(colors) >= 2
+
+    def test_penwidth_scales_with_capacity(self):
+        from repro.topology.base import Topology
+
+        topo = Topology("caps")
+        topo.add_switch(0)
+        topo.add_switch(1)
+        topo.add_switch(2)
+        topo.add_link(0, 1, capacity=1.0)
+        topo.add_link(1, 2, capacity=10.0)
+        dot = topology_to_dot(topo)
+        widths = [
+            float(part.split("penwidth=")[1].split(",")[0])
+            for part in dot.splitlines()
+            if "penwidth=" in part
+        ]
+        assert max(widths) > min(widths)

@@ -1,0 +1,77 @@
+"""Tests for the adversarial longest-matching permutation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.metrics.paths import demand_weighted_aspl
+from repro.topology.base import Topology
+from repro.topology.random_regular import random_regular_topology
+from repro.topology.torus import torus_topology
+from repro.traffic.adversarial import longest_matching_traffic
+from repro.traffic.permutation import random_permutation_traffic
+
+
+class TestLongestMatching:
+    def test_is_permutation(self):
+        topo = random_regular_topology(10, 3, servers_per_switch=2, seed=1)
+        tm = longest_matching_traffic(topo, seed=2)
+        sources = [src for src, _ in tm.server_pairs]
+        destinations = [dst for _, dst in tm.server_pairs]
+        assert len(set(sources)) == 20
+        assert len(set(destinations)) == 20
+        assert all(src != dst for src, dst in tm.server_pairs)
+
+    def test_harder_than_random_permutation(self):
+        """The adversarial matching travels farther on average than random
+        permutations (that's its purpose)."""
+        topo = torus_topology((4, 4), servers_per_switch=2)
+        adversarial = longest_matching_traffic(topo, seed=3)
+        random_tm = random_permutation_traffic(topo, seed=3)
+        assert demand_weighted_aspl(topo, adversarial) > demand_weighted_aspl(
+            topo, random_tm
+        )
+
+    def test_lowers_throughput(self):
+        from repro.flow.edge_lp import max_concurrent_flow
+
+        topo = torus_topology((4, 4), servers_per_switch=2)
+        adversarial = longest_matching_traffic(topo, seed=4)
+        random_tm = random_permutation_traffic(topo, seed=4)
+        hard = max_concurrent_flow(topo, adversarial).throughput
+        easy = max_concurrent_flow(topo, random_tm).throughput
+        assert hard <= easy + 1e-9
+
+    def test_antipodal_on_torus(self):
+        # On a 4x4 torus with 1 server each, every server can be paired at
+        # the full diameter (perfect antipodal matching exists).
+        topo = torus_topology((4, 4), servers_per_switch=1)
+        tm = longest_matching_traffic(topo, seed=5)
+        mean_distance = demand_weighted_aspl(topo, tm)
+        assert mean_distance == pytest.approx(4.0)
+
+    def test_deterministic_given_seed(self):
+        topo = random_regular_topology(8, 3, servers_per_switch=2, seed=6)
+        a = longest_matching_traffic(topo, seed=7)
+        b = longest_matching_traffic(topo, seed=7)
+        assert a.server_pairs == b.server_pairs
+
+    def test_needs_two_servers(self):
+        topo = Topology("tiny")
+        topo.add_switch(0, servers=1)
+        with pytest.raises(TrafficError, match="at least 2"):
+            longest_matching_traffic(topo)
+
+    def test_disconnected_rejected(self):
+        topo = Topology("disc")
+        topo.add_switch(0, servers=1)
+        topo.add_switch(1, servers=1)
+        with pytest.raises(TrafficError, match="disconnected"):
+            longest_matching_traffic(topo)
+
+    def test_odd_server_count(self):
+        topo = random_regular_topology(5, 2, servers_per_switch=1, seed=8)
+        tm = longest_matching_traffic(topo, seed=9)
+        assert tm.num_flows == 5
+        assert all(src != dst for src, dst in tm.server_pairs)

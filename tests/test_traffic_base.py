@@ -1,0 +1,111 @@
+"""Tests for the TrafficMatrix data model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TrafficError
+from repro.traffic.base import TrafficMatrix, servers_of
+
+
+class TestServersOf:
+    def test_enumeration(self):
+        servers = servers_of({"a": 2, "b": 1})
+        assert servers == [("a", 0), ("a", 1), ("b", 0)]
+
+    def test_empty(self):
+        assert servers_of({}) == []
+        assert servers_of({"a": 0}) == []
+
+
+class TestTrafficMatrix:
+    def test_basic_accessors(self):
+        tm = TrafficMatrix(
+            name="t",
+            demands={("a", "b"): 2.0, ("b", "a"): 1.0},
+            num_flows=3,
+        )
+        assert tm.total_demand == 3.0
+        assert tm.demand("a", "b") == 2.0
+        assert tm.demand("a", "z") == 0.0
+        assert set(tm.pairs()) == {("a", "b"), ("b", "a")}
+        assert tm.sources() == ["a", "b"]
+        assert tm.num_network_flows == 3
+
+    def test_zero_demands_dropped(self):
+        tm = TrafficMatrix(name="t", demands={("a", "b"): 0.0}, num_flows=0)
+        assert tm.pairs() == []
+
+    def test_self_demand_rejected(self):
+        with pytest.raises(TrafficError, match="local"):
+            TrafficMatrix(name="t", demands={("a", "a"): 1.0}, num_flows=1)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(TrafficError, match="negative"):
+            TrafficMatrix(name="t", demands={("a", "b"): -1.0}, num_flows=1)
+
+    def test_negative_flow_counts_rejected(self):
+        with pytest.raises(TrafficError, match=">= 0"):
+            TrafficMatrix(name="t", demands={}, num_flows=-1)
+
+    def test_scaled(self):
+        tm = TrafficMatrix(name="t", demands={("a", "b"): 2.0}, num_flows=2)
+        doubled = tm.scaled(2.0)
+        assert doubled.demand("a", "b") == 4.0
+        assert tm.demand("a", "b") == 2.0  # original untouched
+        with pytest.raises(TrafficError, match="positive"):
+            tm.scaled(0.0)
+
+    def test_validate_against(self):
+        tm = TrafficMatrix(name="t", demands={("a", "b"): 1.0}, num_flows=1)
+        tm.validate_against(["a", "b", "c"])
+        with pytest.raises(TrafficError, match="not a switch"):
+            tm.validate_against(["a"])
+
+    def test_repr(self):
+        tm = TrafficMatrix(name="x", demands={("a", "b"): 1.0}, num_flows=1)
+        assert "x" in repr(tm)
+
+
+class TestFromServerPairs:
+    def test_aggregation(self):
+        pairs = [
+            (("u", 0), ("v", 0)),
+            (("u", 1), ("v", 1)),
+            (("v", 0), ("u", 0)),
+        ]
+        tm = TrafficMatrix.from_server_pairs(pairs)
+        assert tm.demand("u", "v") == 2.0
+        assert tm.demand("v", "u") == 1.0
+        assert tm.num_flows == 3
+        assert tm.num_local_flows == 0
+        assert tm.server_pairs is not None and len(tm.server_pairs) == 3
+
+    def test_local_flows_counted_not_demanded(self):
+        pairs = [(("u", 0), ("u", 1)), (("u", 0), ("v", 0))]
+        tm = TrafficMatrix.from_server_pairs(pairs)
+        assert tm.num_local_flows == 1
+        assert tm.num_network_flows == 1
+        assert tm.total_demand == 1.0
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(TrafficError, match="itself"):
+            TrafficMatrix.from_server_pairs([(("u", 0), ("u", 0))])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 4), st.integers(0, 3)),
+                st.tuples(st.integers(0, 4), st.integers(0, 3)),
+            ).filter(lambda p: p[0] != p[1]),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_counts_consistent(self, pairs):
+        tm = TrafficMatrix.from_server_pairs(pairs)
+        assert tm.num_flows == len(pairs)
+        assert tm.num_local_flows + tm.num_network_flows == tm.num_flows
+        assert tm.total_demand == pytest.approx(tm.num_network_flows)

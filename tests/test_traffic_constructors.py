@@ -1,0 +1,192 @@
+"""Tests for the workload constructors: permutation, all-to-all, chunky,
+stride, hotspot, gravity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.topology.base import Topology
+from repro.traffic.alltoall import all_to_all_traffic
+from repro.traffic.chunky import chunky_traffic
+from repro.traffic.gravity import gravity_traffic
+from repro.traffic.hotspot import hotspot_traffic
+from repro.traffic.permutation import (
+    random_permutation_traffic,
+    switch_permutation_traffic,
+)
+from repro.traffic.stride import stride_traffic
+
+
+@pytest.fixture
+def four_switches() -> Topology:
+    topo = Topology("four")
+    for v in range(4):
+        topo.add_switch(v, servers=3)
+    topo.add_link(0, 1)
+    topo.add_link(1, 2)
+    topo.add_link(2, 3)
+    topo.add_link(3, 0)
+    return topo
+
+
+class TestRandomPermutation:
+    def test_every_server_sends_and_receives_once(self, four_switches):
+        tm = random_permutation_traffic(four_switches, seed=1)
+        assert tm.num_flows == 12
+        senders = [src for src, _ in tm.server_pairs]
+        receivers = [dst for _, dst in tm.server_pairs]
+        assert len(set(senders)) == 12
+        assert len(set(receivers)) == 12
+
+    def test_no_self_flows(self, four_switches):
+        for seed in range(5):
+            tm = random_permutation_traffic(four_switches, seed=seed)
+            assert all(src != dst for src, dst in tm.server_pairs)
+
+    def test_needs_two_servers(self):
+        topo = Topology("tiny")
+        topo.add_switch(0, servers=1)
+        with pytest.raises(TrafficError, match="at least 2"):
+            random_permutation_traffic(topo)
+
+    def test_deterministic(self, four_switches):
+        a = random_permutation_traffic(four_switches, seed=5)
+        b = random_permutation_traffic(four_switches, seed=5)
+        assert a.server_pairs == b.server_pairs
+
+
+class TestSwitchPermutation:
+    def test_each_switch_targets_one_other(self, four_switches):
+        tm = switch_permutation_traffic(four_switches, seed=2)
+        targets = {}
+        for (src_sw, _), (dst_sw, _) in tm.server_pairs:
+            targets.setdefault(src_sw, set()).add(dst_sw)
+        assert all(len(dsts) == 1 for dsts in targets.values())
+        assert all(src not in dsts for src, dsts in targets.items())
+
+    def test_demand_equals_server_count(self, four_switches):
+        tm = switch_permutation_traffic(four_switches, seed=3)
+        for (u, v), units in tm.demands.items():
+            assert units == four_switches.servers_at(u)
+
+    def test_restricted_participants(self, four_switches):
+        tm = switch_permutation_traffic(four_switches, seed=4, switches=[0, 1, 2])
+        switches = {sw for (sw, _), _ in tm.server_pairs}
+        assert switches <= {0, 1, 2}
+
+    def test_serverless_participant_rejected(self, four_switches):
+        four_switches.set_servers(3, 0)
+        with pytest.raises(TrafficError, match="no servers"):
+            switch_permutation_traffic(four_switches, switches=[0, 3])
+
+
+class TestAllToAll:
+    def test_demand_products(self, four_switches):
+        tm = all_to_all_traffic(four_switches)
+        assert tm.demand(0, 1) == 9.0  # 3 * 3
+        assert tm.num_flows == 12 * 11
+        assert tm.num_local_flows == 4 * 3 * 2
+
+    def test_unequal_server_counts(self):
+        topo = Topology("uneven")
+        topo.add_switch(0, servers=2)
+        topo.add_switch(1, servers=5)
+        topo.add_link(0, 1)
+        tm = all_to_all_traffic(topo)
+        assert tm.demand(0, 1) == 10.0
+        assert tm.demand(1, 0) == 10.0
+
+    def test_needs_servers(self):
+        topo = Topology("empty")
+        topo.add_switch(0)
+        topo.add_switch(1)
+        topo.add_link(0, 1)
+        with pytest.raises(TrafficError, match="at least 2"):
+            all_to_all_traffic(topo)
+
+
+class TestChunky:
+    def test_full_chunky_is_switch_permutation(self, four_switches):
+        tm = chunky_traffic(four_switches, 1.0, seed=5)
+        # Every switch's servers all target one switch.
+        targets = {}
+        for (src_sw, _), (dst_sw, _) in tm.server_pairs:
+            targets.setdefault(src_sw, set()).add(dst_sw)
+        assert all(len(dsts) == 1 for dsts in targets.values())
+
+    def test_zero_chunky_is_server_permutation(self, four_switches):
+        tm = chunky_traffic(four_switches, 0.0, seed=6)
+        assert tm.num_flows == 12
+
+    def test_mixture_flow_count(self, four_switches):
+        tm = chunky_traffic(four_switches, 0.5, seed=7)
+        assert tm.num_flows == 12
+
+    def test_fraction_validated(self, four_switches):
+        with pytest.raises(ValueError, match="chunky_fraction"):
+            chunky_traffic(four_switches, 1.5)
+
+    def test_needs_two_tors(self):
+        topo = Topology("single")
+        topo.add_switch(0, servers=4)
+        topo.add_switch(1, servers=0)
+        topo.add_link(0, 1)
+        with pytest.raises(TrafficError, match="at least 2"):
+            chunky_traffic(topo, 0.5)
+
+
+class TestStride:
+    def test_stride_one(self, four_switches):
+        tm = stride_traffic(four_switches, stride=1)
+        assert tm.num_flows == 12
+        src, dst = tm.server_pairs[0]
+        assert src == (0, 0) and dst == (0, 1)
+
+    def test_stride_crossing_switches(self, four_switches):
+        tm = stride_traffic(four_switches, stride=3)
+        assert tm.num_local_flows == 0
+
+    def test_multiple_of_count_rejected(self, four_switches):
+        with pytest.raises(TrafficError, match="multiple"):
+            stride_traffic(four_switches, stride=12)
+
+
+class TestHotspot:
+    def test_all_send_to_hotspots(self, four_switches):
+        tm = hotspot_traffic(four_switches, num_hotspots=2, seed=8)
+        receivers = {dst for _, dst in tm.server_pairs}
+        assert len(receivers) <= 2
+        assert tm.num_flows == 10  # 12 servers - 2 hotspots
+
+    def test_sender_fraction(self, four_switches):
+        tm = hotspot_traffic(
+            four_switches, num_hotspots=1, sender_fraction=0.5, seed=9
+        )
+        assert tm.num_flows == round(0.5 * 11)
+
+    def test_needs_enough_servers(self):
+        topo = Topology("tiny")
+        topo.add_switch(0, servers=1)
+        topo.add_switch(1, servers=0)
+        topo.add_link(0, 1)
+        with pytest.raises(TrafficError, match="more than"):
+            hotspot_traffic(topo, num_hotspots=1)
+
+
+class TestGravity:
+    def test_per_source_totals(self, four_switches):
+        tm = gravity_traffic(four_switches)
+        by_source: dict = {}
+        for (u, _), units in tm.demands.items():
+            by_source[u] = by_source.get(u, 0.0) + units
+        for u, total in by_source.items():
+            assert total == pytest.approx(four_switches.servers_at(u))
+
+    def test_needs_two_populated_switches(self):
+        topo = Topology("one-sided")
+        topo.add_switch(0, servers=5)
+        topo.add_switch(1, servers=0)
+        topo.add_link(0, 1)
+        with pytest.raises(TrafficError, match="at least 2"):
+            gravity_traffic(topo)

@@ -1,0 +1,109 @@
+"""Tests for two-cluster random networks with cross-link control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.two_cluster import (
+    LARGE,
+    SMALL,
+    cluster_cut_capacity,
+    expected_cross_links,
+    two_cluster_random_topology,
+)
+
+
+class TestExpectedCrossLinks:
+    def test_symmetric(self):
+        assert expected_cross_links(10, 10) == pytest.approx(5.0)
+
+    def test_formula(self):
+        assert expected_cross_links(30, 60) == pytest.approx(20.0)
+
+    def test_zero_side(self):
+        assert expected_cross_links(0, 10) == 0.0
+        assert expected_cross_links(0, 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            expected_cross_links(-1, 5)
+
+
+def _count_cross(topo) -> int:
+    large = set(topo.nodes_in_cluster(LARGE))
+    return sum(
+        1
+        for link in topo.links
+        if (link.u in large) != (link.v in large)
+    )
+
+
+class TestTwoClusterTopology:
+    def test_exact_cross_count(self):
+        for cross in (4, 8, 12):
+            topo = two_cluster_random_topology(
+                4, 6, 8, 3, cross_links=cross, seed=5
+            )
+            assert _count_cross(topo) == cross
+
+    def test_cross_fraction_hits_expectation(self):
+        topo = two_cluster_random_topology(4, 6, 8, 3, cross_fraction=1.0, seed=1)
+        expected = expected_cross_links(24, 24)
+        assert _count_cross(topo) == round(expected)
+
+    def test_port_budgets_respected(self):
+        topo = two_cluster_random_topology(4, 6, 8, 3, cross_fraction=1.0, seed=2)
+        for v in topo.nodes_in_cluster(LARGE):
+            assert topo.degree(v) <= 6
+        for v in topo.nodes_in_cluster(SMALL):
+            assert topo.degree(v) <= 3
+
+    def test_cluster_labels_assigned(self):
+        topo = two_cluster_random_topology(3, 4, 5, 2, seed=3)
+        assert len(topo.nodes_in_cluster(LARGE)) == 3
+        assert len(topo.nodes_in_cluster(SMALL)) == 5
+
+    def test_servers_attached(self):
+        topo = two_cluster_random_topology(
+            3, 4, 5, 2, servers_per_large=7, servers_per_small=2, seed=3
+        )
+        assert topo.num_servers == 3 * 7 + 5 * 2
+
+    def test_infeasible_cross_rejected(self):
+        with pytest.raises(TopologyError, match="feasible maximum"):
+            two_cluster_random_topology(2, 3, 2, 3, cross_links=5, seed=0)
+
+    def test_infeasible_cross_clamped(self):
+        topo = two_cluster_random_topology(
+            2, 3, 2, 3, cross_links=5, clamp_cross=True, seed=0
+        )
+        assert _count_cross(topo) == 4  # num_large * num_small
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(TopologyError, match="cross_fraction"):
+            two_cluster_random_topology(2, 3, 2, 3, cross_fraction=-0.5)
+
+    def test_capacity_applied(self):
+        topo = two_cluster_random_topology(
+            3, 4, 4, 3, cross_fraction=1.0, capacity=2.0, seed=4
+        )
+        assert all(link.capacity == 2.0 for link in topo.links)
+
+    def test_tiny_cross_count_succeeds(self):
+        # Regression: cross=2 once failed when both stubs landed on one pair.
+        for seed in range(10):
+            topo = two_cluster_random_topology(
+                8, 7, 16, 2, cross_links=2, seed=seed
+            )
+            assert _count_cross(topo) == 2
+
+
+class TestClusterCutCapacity:
+    def test_matches_cross_count_for_unit_caps(self):
+        topo = two_cluster_random_topology(4, 6, 8, 3, cross_links=9, seed=6)
+        assert cluster_cut_capacity(topo) == pytest.approx(18.0)  # both dirs
+
+    def test_requires_cluster_labels(self, triangle):
+        with pytest.raises(TopologyError, match="clusters"):
+            cluster_cut_capacity(triangle)

@@ -1,0 +1,110 @@
+"""Tests for RNG plumbing: seeding conventions and derangements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import (
+    as_rng,
+    child_rngs,
+    random_derangement,
+    sample_pairs_without_replacement,
+    spawn_seeds,
+)
+
+
+class TestAsRng:
+    def test_accepts_int(self):
+        rng = as_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_accepts_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_passes_generator_through(self):
+        rng = np.random.default_rng(1)
+        assert as_rng(rng) is rng
+
+    def test_accepts_seed_sequence(self):
+        rng = as_rng(np.random.SeedSequence(5))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = as_rng(9).integers(1_000_000, size=10)
+        b = as_rng(9).integers(1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_deterministic(self):
+        first = [np.random.default_rng(s).integers(1000) for s in spawn_seeds(3, 4)]
+        second = [np.random.default_rng(s).integers(1000) for s in spawn_seeds(3, 4)]
+        assert first == second
+
+    def test_children_differ(self):
+        values = [np.random.default_rng(s).integers(10**9) for s in spawn_seeds(3, 8)]
+        assert len(set(values)) > 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            spawn_seeds(0, -1)
+
+    def test_accepts_generator(self):
+        rng = np.random.default_rng(2)
+        seeds = spawn_seeds(rng, 3)
+        assert len(seeds) == 3
+
+    def test_generator_advances(self):
+        rng = np.random.default_rng(2)
+        first = spawn_seeds(rng, 1)
+        second = spawn_seeds(rng, 1)
+        a = np.random.default_rng(first[0]).integers(10**9)
+        b = np.random.default_rng(second[0]).integers(10**9)
+        assert a != b
+
+    def test_child_rngs_are_generators(self):
+        for rng in child_rngs(11, 3):
+            assert isinstance(rng, np.random.Generator)
+
+
+class TestRandomDerangement:
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_no_fixed_points_and_is_permutation(self, n):
+        perm = random_derangement(np.random.default_rng(0), n)
+        assert not np.any(perm == np.arange(n))
+        assert sorted(perm.tolist()) == list(range(n))
+
+    def test_zero_is_empty(self):
+        assert len(random_derangement(np.random.default_rng(0), 0)) == 0
+
+    def test_one_rejected(self):
+        with pytest.raises(ValueError, match="derangement"):
+            random_derangement(np.random.default_rng(0), 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            random_derangement(np.random.default_rng(0), -2)
+
+
+class TestSamplePairs:
+    def test_even_input_pairs_everything(self):
+        pairs = sample_pairs_without_replacement(
+            np.random.default_rng(1), range(10)
+        )
+        flat = [x for pair in pairs for x in pair]
+        assert sorted(flat) == list(range(10))
+
+    def test_odd_input_drops_one(self):
+        pairs = sample_pairs_without_replacement(
+            np.random.default_rng(1), range(7)
+        )
+        assert len(pairs) == 3
+        flat = [x for pair in pairs for x in pair]
+        assert len(set(flat)) == 6

@@ -1,0 +1,45 @@
+"""Tests for plain-text table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["x", "y"], [[1, 0.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("x")
+        assert "0.5000" in text
+        assert "0.2500" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_non_float_cells_pass_through(self):
+        text = format_table(["k", "v"], [["name", "-"]])
+        assert "name" in text
+        assert "-" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format="{:.2f}")
+        assert "0.12" in text
+        assert "0.1235" not in text
+
+
+class TestFormatSeries:
+    def test_merges_x_axes(self):
+        text = format_series(
+            "x",
+            {"a": {1.0: 0.1, 2.0: 0.2}, "b": {2.0: 0.9}},
+        )
+        lines = text.splitlines()
+        assert lines[0].split()[0] == "x"
+        assert any("-" in line for line in lines[2:])  # missing point marker
+
+    def test_empty_series_render_headers(self):
+        text = format_series("x", {"a": {}})
+        assert "a" in text.splitlines()[0]

@@ -1,0 +1,96 @@
+"""Tests for argument-validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(-3, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError, match="integer"):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError, match="integer"):
+            check_positive_int(True, "x")
+
+    def test_accepts_numpy_like_integral(self):
+        import numpy as np
+
+        assert check_positive_int(np.int64(4), "x") == 4
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative_int(-1, "x")
+
+
+class TestPositive:
+    def test_accepts_float(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive(0.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(math.nan, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(math.inf, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError, match="number"):
+            check_positive(True, "x")
+
+
+class TestNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative(-0.1, "x")
+
+
+class TestProbabilityAndFraction:
+    def test_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError, match="<= 1"):
+            check_probability(1.5, "p")
+
+    def test_fraction_excludes_zero(self):
+        assert check_fraction(1.0, "f") == 1.0
+        with pytest.raises(ValueError, match="positive"):
+            check_fraction(0.0, "f")
+        with pytest.raises(ValueError, match="\\(0, 1\\]"):
+            check_fraction(1.01, "f")

@@ -1,0 +1,116 @@
+"""Tests for VL2 and the rewired VL2 construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.vl2 import (
+    AGG,
+    CORE,
+    TOR,
+    rewired_vl2_topology,
+    vl2_equipment_summary,
+    vl2_topology,
+)
+
+
+class TestVl2:
+    def test_structure_counts(self):
+        topo = vl2_topology(4, 6)
+        summary = vl2_equipment_summary(topo)
+        assert summary[TOR] == 6  # DA*DI/4
+        assert summary[AGG] == 6  # DI
+        assert summary[CORE] == 2  # DA/2
+
+    def test_agg_core_complete_bipartite(self):
+        topo = vl2_topology(4, 4)
+        aggs = topo.nodes_of_type(AGG)
+        cores = topo.nodes_of_type(CORE)
+        for agg in aggs:
+            for core in cores:
+                assert topo.has_link(agg, core)
+
+    def test_tor_has_two_uplinks_to_distinct_aggs(self):
+        topo = vl2_topology(6, 6)
+        for tor in topo.nodes_of_type(TOR):
+            neighbors = topo.neighbors(tor)
+            assert len(neighbors) == 2
+            assert all(topo.switch_type_of(v) == AGG for v in neighbors)
+
+    def test_agg_port_budget(self):
+        da, di = 6, 6
+        topo = vl2_topology(da, di)
+        for agg in topo.nodes_of_type(AGG):
+            assert topo.degree(agg) == da
+
+    def test_core_port_budget(self):
+        da, di = 6, 8
+        topo = vl2_topology(da, di)
+        for core in topo.nodes_of_type(CORE):
+            assert topo.degree(core) == di
+
+    def test_servers_and_capacities(self):
+        topo = vl2_topology(4, 4, servers_per_tor=20, fabric_capacity=10.0)
+        assert topo.num_servers == 4 * 20
+        assert all(link.capacity == 10.0 for link in topo.links)
+
+    def test_odd_degrees_rejected(self):
+        with pytest.raises(TopologyError, match="even"):
+            vl2_topology(3, 4)
+        with pytest.raises(TopologyError, match="even"):
+            vl2_topology(4, 6 + 1)
+
+    def test_reduced_tor_count(self):
+        topo = vl2_topology(4, 4, num_tors=2)
+        assert vl2_equipment_summary(topo)[TOR] == 2
+
+    def test_too_many_tors_rejected(self):
+        with pytest.raises(TopologyError, match="at most"):
+            vl2_topology(4, 4, num_tors=5)
+
+
+class TestRewiredVl2:
+    def test_equipment_preserved(self):
+        topo = rewired_vl2_topology(4, 4, num_tors=4, seed=1)
+        summary = vl2_equipment_summary(topo)
+        assert summary[AGG] == 4
+        assert summary[CORE] == 2
+        assert summary[TOR] == 4
+
+    def test_fabric_port_budgets(self):
+        da, di = 6, 8
+        topo = rewired_vl2_topology(da, di, num_tors=10, seed=2)
+        for agg in topo.nodes_of_type(AGG):
+            assert topo.degree(agg) <= da
+        for core in topo.nodes_of_type(CORE):
+            assert topo.degree(core) <= di
+
+    def test_tor_uplinks(self):
+        topo = rewired_vl2_topology(6, 8, num_tors=10, tor_uplinks=2, seed=3)
+        for tor in topo.nodes_of_type(TOR):
+            assert topo.degree(tor) == 2
+            for neighbor in topo.neighbors(tor):
+                assert topo.switch_type_of(neighbor) in (AGG, CORE)
+
+    def test_tors_can_exceed_vl2_design(self):
+        # VL2(4,4) caps at 4 ToRs; rewiring frees ports for more.
+        topo = rewired_vl2_topology(4, 4, num_tors=9, seed=4)
+        assert vl2_equipment_summary(topo)[TOR] == 9
+
+    def test_port_exhaustion_rejected(self):
+        # fabric ports = di*da + (da/2)*di = 16 + 8 = 24 -> max 12 ToRs.
+        with pytest.raises(TopologyError, match="fabric ports"):
+            rewired_vl2_topology(4, 4, num_tors=13, seed=0)
+
+    def test_connected_at_moderate_size(self):
+        for seed in range(4):
+            topo = rewired_vl2_topology(6, 8, num_tors=8, seed=seed)
+            assert topo.is_connected()
+
+    def test_deterministic(self):
+        a = rewired_vl2_topology(4, 4, num_tors=5, seed=9)
+        b = rewired_vl2_topology(4, 4, num_tors=5, seed=9)
+        ea = sorted(tuple(sorted((l.u, l.v))) for l in a.links)
+        eb = sorted(tuple(sorted((l.u, l.v))) for l in b.links)
+        assert ea == eb
