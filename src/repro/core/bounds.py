@@ -111,6 +111,36 @@ def throughput_upper_bound(
     return total_capacity / (aspl * num_flows)
 
 
+def topology_throughput_upper_bound(
+    topo,
+    num_flows: int,
+    aspl: "float | None" = None,
+) -> float:
+    """Theorem 1's bound charged against a concrete topology's capacity.
+
+    :func:`throughput_upper_bound` assumes exactly ``N * r`` directed
+    capacity, which overstates nothing for a true r-regular graph but is
+    wrong for near-regular graphs: when ``N * r`` is odd the RRG builder
+    leaves one stub unused, so one switch has degree ``r - 1`` while the
+    remaining capacity is still available to flows. Charging the *actual*
+    total directed capacity keeps the bound valid for any topology:
+
+        TH <= C / (<D> * f),   C = sum of directed arc capacities.
+
+    ``aspl`` defaults to the topology's observed ASPL.
+    """
+    num_flows = check_positive_int(num_flows, "num_flows")
+    if aspl is None:
+        from repro.metrics.paths import average_shortest_path_length
+
+        aspl = average_shortest_path_length(topo)
+    aspl = check_positive(aspl, "aspl")
+    total_capacity = float(topo.total_capacity)
+    if total_capacity <= 0:
+        raise BoundError(f"topology {topo.name!r} has no link capacity")
+    return total_capacity / (aspl * num_flows)
+
+
 def rrg_diameter_upper_bound(num_nodes: int, degree: int) -> float:
     """Bollobás & de la Vega style diameter bound for random regular graphs.
 

@@ -14,6 +14,7 @@ from typing import Callable
 from repro.exceptions import ExperimentError
 from repro.experiments import extra, fig01, fig02, fig03, fig04, fig05, fig06
 from repro.experiments import fig07, fig08, fig09, fig10, fig11, fig12, fig13
+from repro.experiments import search_study
 from repro.experiments.common import ExperimentResult
 
 
@@ -290,6 +291,22 @@ _register(
         extra.run_extra_latency,
         "Extension: packet delay percentiles vs offered load",
         {"num_switches": 16, "degree": 6, "loads": (2, 4, 8, 12)},
+    )
+)
+_register(
+    ExperimentSpec(
+        "search1",
+        search_study.run_search_vs_random,
+        "Search: optimized vs random RRG throughput gap",
+        {"points": ((40, 5), (40, 7), (80, 7)), "steps": 4000, "samples": 5},
+    )
+)
+_register(
+    ExperimentSpec(
+        "search2",
+        search_study.run_incremental_speedup,
+        "Search: incremental ASPL speedup over full recomputation",
+        {"num_switches": 1000, "degree": 10, "num_swaps": 30},
     )
 )
 

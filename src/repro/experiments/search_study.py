@@ -1,0 +1,200 @@
+"""Search-engine studies: optimized vs random RRGs, incremental speedup.
+
+Two experiments quantify what the search subsystem adds:
+
+- :func:`run_search_vs_random` turns the paper's "random is near-optimal"
+  claim from an assertion into measured data: anneal RRGs toward lower
+  ASPL and compare LP throughput of the optimized topology against the
+  random samples and the Theorem 1 bound. The observed gap — optimized
+  graphs beating random ones by only a few percent at most — is the
+  paper's §4 story.
+- :func:`run_incremental_speedup` measures the incremental ASPL engine
+  against full recomputation, the optimization that makes long annealing
+  runs affordable.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import fmean
+
+from repro.core.bounds import aspl_lower_bound, throughput_upper_bound
+from repro.experiments.common import ExperimentResult, ExperimentSeries
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.metrics.incremental import IncrementalASPL
+from repro.metrics.paths import average_shortest_path_length
+from repro.search.engine import optimize_topology
+from repro.topology.mutation import (
+    apply_double_edge_swap,
+    sample_double_edge_swap,
+)
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+from repro.util.rng import as_rng, spawn_seeds
+
+
+def run_search_vs_random(
+    points: "tuple[tuple[int, int], ...]" = ((16, 5), (24, 5), (32, 5), (40, 5)),
+    steps: int = 1500,
+    samples: int = 3,
+    servers_per_switch: int = 4,
+    num_runs: int = 1,
+    seed: int = 0,
+    runs: "int | None" = None,
+) -> ExperimentResult:
+    """Throughput of annealed vs random RRGs across ``(N, r)`` points.
+
+    For each point: sample ``samples`` random RRGs and measure exact LP
+    throughput under one fixed random permutation workload; anneal the
+    first sample toward minimum ASPL (``num_runs`` parallel restarts when
+    > 1); measure the optimized topology on the same workload. The
+    ``Gap (%)`` series is ``(optimized - mean random) / optimized``: how
+    much throughput a random graph leaves on the table. ``runs`` is the
+    CLI runner's generic runs-per-point knob and aliases ``samples``.
+
+    With the default size sweep the gap falls from roughly 20% at N=16 to
+    a few percent at N=32-40 (modulo sampling luck across the ``samples``
+    random draws): small random graphs are beatable, but by the paper's
+    N=40 regime random is already near-optimal — the §4 claim as measured
+    data.
+    """
+    if runs is not None:
+        samples = runs
+    result = ExperimentResult(
+        experiment_id="search1",
+        title="Optimized vs random RRG throughput",
+        x_label="Switches N",
+        y_label="Per-flow throughput (LP)",
+    )
+    random_series = ExperimentSeries("Random RRG (mean)")
+    optimized_series = ExperimentSeries("Optimized (annealed ASPL)")
+    bound_series = ExperimentSeries("Theorem 1 bound (d*)")
+    gap_series = ExperimentSeries("Gap (%)")
+    gaps: dict[str, float] = {}
+
+    for point_index, (num_switches, degree) in enumerate(points):
+        point_seeds = spawn_seeds(seed + point_index, samples + 1)
+        topos = [
+            random_regular_topology(
+                num_switches,
+                degree,
+                servers_per_switch=servers_per_switch,
+                seed=point_seeds[i],
+            )
+            for i in range(samples)
+        ]
+        # One workload for every topology of this size: permutations only
+        # depend on the (identical) server maps.
+        traffic = random_permutation_traffic(topos[0], seed=seed + 17)
+        random_throughputs = [
+            max_concurrent_flow(topo, traffic).throughput for topo in topos
+        ]
+        random_mean = fmean(random_throughputs)
+
+        annealed = optimize_topology(
+            topos[0],
+            "aspl",
+            steps=steps,
+            seed=point_seeds[samples],
+            num_runs=num_runs,
+        ).topology
+        optimized = max_concurrent_flow(annealed, traffic).throughput
+        bound = throughput_upper_bound(
+            num_switches, degree, traffic.num_network_flows
+        )
+        gap_pct = 100.0 * (optimized - random_mean) / optimized
+
+        random_series.add(num_switches, random_mean)
+        optimized_series.add(num_switches, optimized)
+        bound_series.add(num_switches, bound)
+        gap_series.add(num_switches, gap_pct)
+        gaps[f"N={num_switches},r={degree}"] = gap_pct
+        result.metadata[f"aspl_random_N{num_switches}_r{degree}"] = (
+            average_shortest_path_length(topos[0])
+        )
+        result.metadata[f"aspl_optimized_N{num_switches}_r{degree}"] = (
+            average_shortest_path_length(annealed)
+        )
+        result.metadata[f"aspl_bound_N{num_switches}_r{degree}"] = (
+            aspl_lower_bound(num_switches, degree)
+        )
+
+    for series in (random_series, optimized_series, bound_series, gap_series):
+        result.add_series(series)
+    result.metadata["points"] = list(points)
+    result.metadata["steps"] = steps
+    result.metadata["samples"] = samples
+    result.metadata["gaps_pct"] = gaps
+    result.metadata["max_gap_pct"] = max(gaps.values())
+    result.metadata["min_gap_pct"] = min(gaps.values())
+    return result
+
+
+def run_incremental_speedup(
+    num_switches: int = 500,
+    degree: int = 8,
+    num_swaps: int = 12,
+    seed: int = 0,
+    runs: "int | None" = None,
+) -> ExperimentResult:
+    """Per-swap incremental ASPL evaluation vs full recomputation.
+
+    ``runs`` is the CLI runner's generic runs-per-point knob and aliases
+    ``num_swaps``.
+
+    Applies a random swap walk; each step is evaluated once with the
+    incremental engine (evaluate + commit) and once by recomputing ASPL
+    from scratch on the mutated topology. Both paths are checked to agree
+    exactly, so the timing comparison cannot quietly trade correctness
+    for speed.
+    """
+    if runs is not None:
+        num_swaps = runs
+    topo = random_regular_topology(num_switches, degree, seed=seed)
+    tracker = IncrementalASPL(topo)
+    rng = as_rng(seed + 1)
+
+    incremental_times: list[float] = []
+    full_times: list[float] = []
+    performed = 0
+    while performed < num_swaps:
+        swap = sample_double_edge_swap(topo, rng=rng)
+        if swap is None:
+            continue
+        start = time.perf_counter()
+        evaluation = tracker.evaluate(swap)
+        if evaluation.connected:
+            tracker.commit(evaluation)
+        incremental_times.append(time.perf_counter() - start)
+        if not evaluation.connected:
+            continue
+        apply_double_edge_swap(topo, swap)
+        start = time.perf_counter()
+        full = average_shortest_path_length(topo)
+        full_times.append(time.perf_counter() - start)
+        if abs(full - evaluation.aspl) > 1e-9:
+            raise AssertionError(
+                f"incremental ASPL {evaluation.aspl} != recomputed {full}"
+            )
+        performed += 1
+
+    incremental_ms = 1e3 * fmean(incremental_times)
+    full_ms = 1e3 * fmean(full_times)
+    result = ExperimentResult(
+        experiment_id="search2",
+        title="Incremental ASPL vs full recomputation",
+        x_label="Swaps applied",
+        y_label="Milliseconds per swap evaluation",
+    )
+    inc_series = ExperimentSeries("Incremental (ms)")
+    full_series = ExperimentSeries("Full recompute (ms)")
+    inc_series.add(num_swaps, incremental_ms)
+    full_series.add(num_swaps, full_ms)
+    result.add_series(inc_series)
+    result.add_series(full_series)
+    result.metadata["num_switches"] = num_switches
+    result.metadata["degree"] = degree
+    result.metadata["incremental_ms"] = incremental_ms
+    result.metadata["full_ms"] = full_ms
+    result.metadata["speedup"] = full_ms / incremental_ms
+    return result

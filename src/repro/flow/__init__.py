@@ -27,6 +27,10 @@ from repro.flow.decomposition import (
     decompose_throughput,
     group_utilization,
 )
+from repro.flow.objective import (
+    available_throughput_solvers,
+    throughput_evaluator,
+)
 from repro.flow.path_decomposition import (
     PathFlow,
     decompose_arc_flows,
@@ -39,6 +43,8 @@ __all__ = [
     "max_concurrent_flow_paths",
     "garg_koenemann_throughput",
     "ecmp_throughput",
+    "available_throughput_solvers",
+    "throughput_evaluator",
     "ThroughputDecomposition",
     "decompose_throughput",
     "group_utilization",

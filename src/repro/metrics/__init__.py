@@ -16,6 +16,7 @@ from repro.metrics.cuts import (
     nonuniform_sparsest_cut,
     uniform_sparsest_cut,
 )
+from repro.metrics.incremental import IncrementalASPL, SwapEvaluation
 from repro.metrics.spectral import (
     adjacency_spectral_gap,
     algebraic_connectivity,
@@ -32,6 +33,8 @@ __all__ = [
     "k_shortest_paths",
     "path_length_histogram",
     "shortest_path_lengths_from",
+    "IncrementalASPL",
+    "SwapEvaluation",
     "bisection_bandwidth",
     "cut_capacity",
     "nonuniform_sparsest_cut",

@@ -1,0 +1,242 @@
+"""Simulated annealing over degree-preserving double edge swaps.
+
+The optimizer walks the space of same-degree-sequence topologies: each
+step proposes one double edge swap, scores it, and accepts with the
+Metropolis rule — always when the score improves, with probability
+``exp(delta / T)`` when it worsens. The temperature ``T`` follows a
+cooling schedule from an (auto-calibrated by default) initial value down
+to near zero, so the walk explores early and greedily polishes late.
+
+Objectives that provide an incremental state (ASPL via
+:class:`~repro.metrics.incremental.IncrementalASPL`) are evaluated in
+O(affected pairs) per candidate; all others fall back to
+apply/score/revert on a working copy of the topology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import ExperimentError
+from repro.search.objectives import Objective, make_objective
+from repro.topology.base import Topology
+from repro.topology.mutation import (
+    apply_double_edge_swap,
+    sample_double_edge_swap,
+)
+from repro.util.rng import as_rng
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class CoolingSchedule:
+    """Temperature as a function of progress through the run.
+
+    ``geometric`` interpolates exponentially between the initial and final
+    temperature (the standard annealing choice); ``linear`` interpolates
+    arithmetically, spending more steps hot.
+    """
+
+    initial_temperature: float
+    final_temperature: float
+    kind: str = "geometric"
+
+    def __post_init__(self) -> None:
+        check_positive(self.initial_temperature, "initial_temperature")
+        check_positive(self.final_temperature, "final_temperature")
+        if self.final_temperature > self.initial_temperature:
+            raise ExperimentError(
+                "final_temperature must not exceed initial_temperature"
+            )
+        if self.kind not in ("geometric", "linear"):
+            raise ExperimentError(
+                f"unknown cooling kind {self.kind!r}; use geometric or linear"
+            )
+
+    def temperature(self, step: int, total_steps: int) -> float:
+        """Temperature at ``step`` of ``total_steps`` (0-based)."""
+        if total_steps <= 1:
+            return self.initial_temperature
+        progress = step / (total_steps - 1)
+        t0, t1 = self.initial_temperature, self.final_temperature
+        if self.kind == "linear":
+            return t0 + (t1 - t0) * progress
+        return t0 * (t1 / t0) ** progress
+
+
+@dataclass
+class AnnealResult:
+    """Outcome of one annealing run.
+
+    ``topology`` is the best topology seen (not necessarily the final
+    state of the walk). ``trace`` records ``(step, temperature,
+    current_score, best_score)`` once per ``trace_every`` steps.
+    """
+
+    topology: Topology
+    objective: str
+    initial_score: float
+    best_score: float
+    final_score: float
+    steps: int
+    accepted: int
+    rejected: int
+    invalid: int
+    trace: list[tuple[int, float, float, float]] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Score gain of the best topology over the starting one."""
+        return self.best_score - self.initial_score
+
+
+def _calibrate_temperature(
+    objective_state, objective, work, rng, samples: int = 16
+) -> float:
+    """Initial temperature from the magnitude of sampled score deltas.
+
+    Samples a handful of valid swaps from the start state and sets ``T0``
+    to twice the mean absolute score change, so early acceptance of
+    typical uphill/downhill moves is likely but not certain.
+    """
+    deltas: list[float] = []
+    if objective_state is not None:
+        base = objective_state.score()
+        for _ in range(samples):
+            swap = sample_double_edge_swap(work, rng=rng)
+            if swap is None:
+                continue
+            result = objective_state.evaluate(swap)
+            if result is None:
+                continue
+            deltas.append(abs(result[0] - base))
+    else:
+        base = objective.evaluate(work)
+        for _ in range(samples):
+            swap = sample_double_edge_swap(work, rng=rng)
+            if swap is None:
+                continue
+            apply_double_edge_swap(work, swap)
+            if work.is_connected():
+                deltas.append(abs(objective.evaluate(work) - base))
+            apply_double_edge_swap(work, swap.inverse())
+    scale = sum(deltas) / len(deltas) if deltas else 0.0
+    return 2.0 * scale if scale > 0 else 1e-3
+
+
+def _rebuild(template: Topology, links: list, name: str) -> Topology:
+    """A copy of ``template`` (switch attributes intact) with ``links``."""
+    topo = template.copy(name=name)
+    for link in topo.links:
+        topo.remove_link(link.u, link.v)
+    for u, v, cap in links:
+        topo.add_link(u, v, capacity=cap)
+    return topo
+
+
+def anneal(
+    topo: Topology,
+    objective: "str | Objective" = "aspl",
+    *,
+    steps: int = 2000,
+    seed=None,
+    schedule: "CoolingSchedule | None" = None,
+    cooling: str = "geometric",
+    temperature_ratio: float = 1e-3,
+    max_tries: int = 32,
+    trace_every: int = 0,
+    **objective_kwargs,
+) -> AnnealResult:
+    """Anneal ``topo`` toward a maximum of ``objective``.
+
+    Parameters
+    ----------
+    objective:
+        An :class:`Objective` or a :func:`make_objective` name; keyword
+        arguments not listed here are forwarded to the objective factory.
+    steps:
+        Swap proposals to evaluate.
+    schedule:
+        Explicit cooling schedule. When omitted, the initial temperature
+        is calibrated from sampled score deltas and cooled by
+        ``temperature_ratio`` with the given ``cooling`` kind.
+    trace_every:
+        Record a trace point every this many steps (0 disables tracing).
+
+    The input topology is never mutated; the best topology seen is
+    returned in the result, named ``"<input-name>+<objective>"``.
+    """
+    check_positive_int(steps, "steps")
+    objective = make_objective(objective, **objective_kwargs)
+    rng = as_rng(seed)
+    work = topo.copy()
+    state = objective.attach(work)
+
+    if schedule is None:
+        t0 = _calibrate_temperature(state, objective, work, rng)
+        schedule = CoolingSchedule(
+            initial_temperature=t0,
+            final_temperature=t0 * temperature_ratio,
+            kind=cooling,
+        )
+
+    current = state.score() if state is not None else objective.evaluate(work)
+    initial = current
+    best = current
+    best_links = [(l.u, l.v, l.capacity) for l in work.links]
+    accepted = rejected = invalid = 0
+    trace: list[tuple[int, float, float, float]] = []
+
+    for step in range(steps):
+        temperature = schedule.temperature(step, steps)
+        swap = sample_double_edge_swap(work, rng=rng, max_tries=max_tries)
+        if swap is None:
+            invalid += 1
+            continue
+
+        if state is not None:
+            result = state.evaluate(swap)
+            if result is None:  # swap would disconnect the network
+                invalid += 1
+                continue
+            candidate, token = result
+        else:
+            apply_double_edge_swap(work, swap)
+            if not work.is_connected():
+                apply_double_edge_swap(work, swap.inverse())
+                invalid += 1
+                continue
+            candidate = objective.evaluate(work)
+
+        delta = candidate - current
+        accept = delta >= 0 or rng.random() < math.exp(delta / temperature)
+        if accept:
+            accepted += 1
+            current = candidate
+            if state is not None:
+                state.commit(token)
+                apply_double_edge_swap(work, swap)
+            if current > best:
+                best = current
+                best_links = [(l.u, l.v, l.capacity) for l in work.links]
+        else:
+            rejected += 1
+            if state is None:
+                apply_double_edge_swap(work, swap.inverse())
+        if trace_every and (step % trace_every == 0 or step == steps - 1):
+            trace.append((step, temperature, current, best))
+
+    best_topo = _rebuild(topo, best_links, f"{topo.name}+{objective.name}")
+    return AnnealResult(
+        topology=best_topo,
+        objective=objective.name,
+        initial_score=initial,
+        best_score=best,
+        final_score=current,
+        steps=steps,
+        accepted=accepted,
+        rejected=rejected,
+        invalid=invalid,
+        trace=trace,
+    )

@@ -42,6 +42,14 @@ from repro.topology.smallworld import small_world_topology
 from repro.topology.bcube import bcube_topology
 from repro.topology.flattened_butterfly import flattened_butterfly_topology
 from repro.topology.dragonfly import dragonfly_topology
+from repro.topology.mutation import (
+    DoubleEdgeSwap,
+    apply_double_edge_swap,
+    double_edge_swap,
+    random_rewire,
+    rewire_link,
+    sample_double_edge_swap,
+)
 from repro.topology.expansion import add_switch_by_link_swaps, expand_topology
 from repro.topology.serialization import (
     load_topology,
@@ -78,6 +86,12 @@ __all__ = [
     "bcube_topology",
     "flattened_butterfly_topology",
     "dragonfly_topology",
+    "DoubleEdgeSwap",
+    "apply_double_edge_swap",
+    "double_edge_swap",
+    "random_rewire",
+    "rewire_link",
+    "sample_double_edge_swap",
     "add_switch_by_link_swaps",
     "expand_topology",
     "load_topology",

@@ -1,0 +1,190 @@
+"""Degree-preserving topology mutation primitives.
+
+The search engine explores the space of r-regular graphs by *double edge
+swaps*: remove two disjoint links ``(a, b)`` and ``(c, d)``, add ``(a, d)``
+and ``(c, b)``. Every node keeps its degree, so the move stays inside the
+paper's RRG(N, k, r) family; a long random sequence of such swaps mixes
+toward the uniform distribution over r-regular graphs, which is why the
+same primitive also serves as an unbiased "re-randomizer".
+
+:func:`rewire_link` is the non-degree-preserving cousin (move one endpoint
+of a link) used by the small-world generator's Watts–Strogatz rewiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import TopologyError
+from repro.topology.base import NodeId, Topology
+from repro.util.rng import as_rng
+from repro.util.validation import check_non_negative_int, check_positive_int
+
+
+@dataclass(frozen=True)
+class DoubleEdgeSwap:
+    """Remove links ``(a, b)`` and ``(c, d)``; add ``(a, d)`` and ``(c, b)``.
+
+    All four switches are distinct, so applying the swap preserves every
+    node's degree. Capacities travel with the node that keeps them:
+    ``(a, d)`` inherits the capacity of ``(a, b)`` and ``(c, b)`` inherits
+    the capacity of ``(c, d)`` (for uniform-capacity networks the choice is
+    immaterial).
+    """
+
+    a: NodeId
+    b: NodeId
+    c: NodeId
+    d: NodeId
+
+    @property
+    def removed(self) -> tuple[tuple[NodeId, NodeId], tuple[NodeId, NodeId]]:
+        """The two links the swap deletes."""
+        return ((self.a, self.b), (self.c, self.d))
+
+    @property
+    def added(self) -> tuple[tuple[NodeId, NodeId], tuple[NodeId, NodeId]]:
+        """The two links the swap creates."""
+        return ((self.a, self.d), (self.c, self.b))
+
+    def inverse(self) -> "DoubleEdgeSwap":
+        """The swap that undoes this one."""
+        return DoubleEdgeSwap(self.a, self.d, self.c, self.b)
+
+    def touched(self) -> tuple[NodeId, NodeId, NodeId, NodeId]:
+        """The four endpoints involved."""
+        return (self.a, self.b, self.c, self.d)
+
+
+def sample_double_edge_swap(
+    topo: Topology, rng=None, max_tries: int = 64
+) -> "DoubleEdgeSwap | None":
+    """Sample a valid double edge swap uniformly-ish from ``topo``.
+
+    Picks two distinct links at random and a random pairing of their
+    endpoints, rejecting candidates that would create self-loops or
+    parallel links. Returns ``None`` when ``max_tries`` rejections occur
+    (e.g. in very dense or very small graphs with few valid swaps).
+    """
+    check_positive_int(max_tries, "max_tries")
+    rng = as_rng(rng)
+    links = topo.links
+    if len(links) < 2:
+        return None
+    for _ in range(max_tries):
+        i, j = rng.integers(len(links), size=2)
+        if i == j:
+            continue
+        first, second = links[int(i)], links[int(j)]
+        a, b = first.u, first.v
+        c, d = second.u, second.v
+        if rng.random() < 0.5:
+            c, d = d, c
+        if len({a, b, c, d}) < 4:
+            continue
+        if topo.has_link(a, d) or topo.has_link(c, b):
+            continue
+        return DoubleEdgeSwap(a, b, c, d)
+    return None
+
+
+def apply_double_edge_swap(topo: Topology, swap: DoubleEdgeSwap) -> None:
+    """Apply ``swap`` to ``topo`` in place.
+
+    Raises :class:`TopologyError` if the swap is invalid for the current
+    graph (a removed link is missing, an added link already exists, or the
+    endpoints are not distinct), leaving the topology untouched.
+    """
+    a, b, c, d = swap.a, swap.b, swap.c, swap.d
+    if len({a, b, c, d}) < 4:
+        raise TopologyError(f"swap endpoints must be distinct: {swap}")
+    for u, v in swap.removed:
+        if not topo.has_link(u, v):
+            raise TopologyError(f"swap removes missing link ({u!r}, {v!r})")
+    for u, v in swap.added:
+        if topo.has_link(u, v):
+            raise TopologyError(f"swap adds existing link ({u!r}, {v!r})")
+    cap_ab = topo.capacity(a, b)
+    cap_cd = topo.capacity(c, d)
+    topo.remove_link(a, b)
+    topo.remove_link(c, d)
+    topo.add_link(a, d, capacity=cap_ab)
+    topo.add_link(c, b, capacity=cap_cd)
+
+
+def double_edge_swap(
+    topo: Topology,
+    rng=None,
+    preserve_connectivity: bool = True,
+    max_tries: int = 64,
+) -> "DoubleEdgeSwap | None":
+    """Perform one random double edge swap in place.
+
+    With ``preserve_connectivity`` (the default) a swap that disconnects
+    the network is rolled back and another candidate is drawn. Returns the
+    swap performed, or ``None`` if no valid swap was found in ``max_tries``
+    attempts.
+    """
+    rng = as_rng(rng)
+    for _ in range(max(1, max_tries)):
+        swap = sample_double_edge_swap(topo, rng=rng, max_tries=max_tries)
+        if swap is None:
+            return None
+        apply_double_edge_swap(topo, swap)
+        if not preserve_connectivity or topo.is_connected():
+            return swap
+        apply_double_edge_swap(topo, swap.inverse())
+    return None
+
+
+def random_rewire(
+    topo: Topology,
+    num_swaps: int,
+    seed=None,
+    preserve_connectivity: bool = True,
+    max_tries: int = 64,
+) -> list[DoubleEdgeSwap]:
+    """Apply up to ``num_swaps`` random double edge swaps in place.
+
+    Returns the swaps actually performed (fewer than requested when the
+    graph offers no further valid moves). The degree sequence — and with
+    ``preserve_connectivity`` the connectivity — is invariant, so this
+    re-randomizes a topology within its RRG family.
+    """
+    check_non_negative_int(num_swaps, "num_swaps")
+    rng = as_rng(seed)
+    performed: list[DoubleEdgeSwap] = []
+    for _ in range(num_swaps):
+        swap = double_edge_swap(
+            topo,
+            rng=rng,
+            preserve_connectivity=preserve_connectivity,
+            max_tries=max_tries,
+        )
+        if swap is None:
+            break
+        performed.append(swap)
+    return performed
+
+
+def rewire_link(
+    topo: Topology, u: NodeId, v: NodeId, new_target: NodeId
+) -> None:
+    """Move the link ``(u, v)`` to ``(u, new_target)``, keeping its capacity.
+
+    The Watts–Strogatz rewiring move: ``u`` keeps its degree while ``v``
+    loses one and ``new_target`` gains one. Raises :class:`TopologyError`
+    when the link is missing, the move would create a self-loop, or the
+    target link already exists.
+    """
+    if new_target == u:
+        raise TopologyError(f"rewiring ({u!r}, {v!r}) onto itself is a self-loop")
+    if not topo.has_link(u, v):
+        raise TopologyError(f"no link between {u!r} and {v!r}")
+    if not topo.has_switch(new_target):
+        raise TopologyError(f"switch {new_target!r} does not exist")
+    if topo.has_link(u, new_target):
+        raise TopologyError(f"link ({u!r}, {new_target!r}) already exists")
+    cap = topo.capacity(u, v)
+    topo.remove_link(u, v)
+    topo.add_link(u, new_target, capacity=cap)

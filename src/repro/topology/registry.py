@@ -27,8 +27,17 @@ from repro.topology.torus import torus_topology
 from repro.topology.two_cluster import two_cluster_random_topology
 from repro.topology.vl2 import rewired_vl2_topology, vl2_topology
 
+def _optimized_topology(**kwargs) -> Topology:
+    # Imported lazily: repro.search depends on the topology package, so a
+    # top-level import here would be circular.
+    from repro.search.engine import optimized_topology
+
+    return optimized_topology(**kwargs)
+
+
 _REGISTRY: dict[str, Callable[..., Topology]] = {
     "rrg": random_regular_topology,
+    "optimized": _optimized_topology,
     "random-regular": random_regular_topology,
     "jellyfish": random_regular_topology,
     "two-cluster": two_cluster_random_topology,

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.exceptions import TopologyError
 from repro.topology.base import Topology
+from repro.topology.mutation import rewire_link
 from repro.util.rng import as_rng
 from repro.util.validation import (
     check_non_negative_int,
@@ -58,16 +59,16 @@ def small_world_topology(
     half = nearest_neighbors // 2
     for v in range(num_switches):
         for offset in range(1, half + 1):
+            topo.add_link(v, (v + offset) % num_switches, capacity=capacity)
+    for v in range(num_switches):
+        for offset in range(1, half + 1):
             u = (v + offset) % num_switches
-            if rng.random() < rewire_probability:
-                # Rewire the clockwise link to a random valid endpoint.
-                for _ in range(num_switches):
-                    candidate = int(rng.integers(num_switches))
-                    if candidate != v and not topo.has_link(v, candidate):
-                        u = candidate
-                        break
-                else:
-                    continue
-            if not topo.has_link(v, u):
-                topo.add_link(v, u, capacity=capacity)
+            if rng.random() >= rewire_probability:
+                continue
+            # Rewire the clockwise ring link to a random valid endpoint.
+            for _ in range(num_switches):
+                candidate = int(rng.integers(num_switches))
+                if candidate != v and not topo.has_link(v, candidate):
+                    rewire_link(topo, v, u, candidate)
+                    break
     return topo

@@ -19,7 +19,13 @@ ALL_FIGURE_IDS = {
     "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c",
     "fig10a", "fig10b", "fig11", "fig12a", "fig12b", "fig12c", "fig13",
 }
-EXTRA_IDS = {"extra-routing", "extra-cabling", "extra-latency"}
+EXTRA_IDS = {
+    "extra-routing",
+    "extra-cabling",
+    "extra-latency",
+    "search1",
+    "search2",
+}
 
 
 class TestRegistry:

@@ -1,0 +1,53 @@
+"""Tests for the search-vs-random experiment module (CI scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.search_study import (
+    run_incremental_speedup,
+    run_search_vs_random,
+)
+
+
+class TestSearchVsRandom:
+    def test_tiny_run_structure(self):
+        result = run_search_vs_random(
+            points=((12, 3),), steps=120, samples=2, seed=0
+        )
+        assert result.experiment_id == "search1"
+        optimized = result.get_series("Optimized (annealed ASPL)").ys()[0]
+        random_mean = result.get_series("Random RRG (mean)").ys()[0]
+        bound = result.get_series("Theorem 1 bound (d*)").ys()[0]
+        # Ordering invariants: the bound caps both measurements, and the
+        # optimizer never returns something worse than its own start.
+        assert optimized <= bound * (1 + 1e-6)
+        assert random_mean <= bound * (1 + 1e-6)
+        assert result.metadata["max_gap_pct"] == pytest.approx(
+            100.0 * (optimized - random_mean) / optimized
+        )
+        assert result.metadata["aspl_optimized_N12_r3"] <= (
+            result.metadata["aspl_random_N12_r3"] + 1e-9
+        )
+        assert "N=12,r=3" in result.metadata["gaps_pct"]
+
+    def test_table_renders(self):
+        result = run_search_vs_random(
+            points=((10, 3),), steps=60, samples=2, seed=1
+        )
+        table = result.to_table()
+        assert "Optimized (annealed ASPL)" in table
+        assert "Gap (%)" in table
+
+
+class TestIncrementalSpeedup:
+    def test_small_graph_agrees_and_reports(self):
+        result = run_incremental_speedup(
+            num_switches=60, degree=4, num_swaps=5, seed=0
+        )
+        assert result.experiment_id == "search2"
+        assert result.metadata["incremental_ms"] > 0
+        assert result.metadata["full_ms"] > 0
+        assert result.metadata["speedup"] == pytest.approx(
+            result.metadata["full_ms"] / result.metadata["incremental_ms"]
+        )

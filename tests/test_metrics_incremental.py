@@ -1,0 +1,155 @@
+"""Tests for the incremental all-pairs shortest-path tracker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.metrics.incremental import IncrementalASPL
+from repro.metrics.paths import (
+    all_pairs_shortest_lengths,
+    average_shortest_path_length,
+)
+from repro.topology.base import Topology
+from repro.topology.mutation import (
+    DoubleEdgeSwap,
+    apply_double_edge_swap,
+    sample_double_edge_swap,
+)
+from repro.topology.random_regular import random_regular_topology
+from repro.util.rng import as_rng
+
+_instances = st.tuples(
+    st.integers(min_value=8, max_value=24),  # switches
+    st.integers(min_value=3, max_value=5),   # degree
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def _cycle(n: int) -> Topology:
+    topo = Topology(f"cycle{n}")
+    for v in range(n):
+        topo.add_switch(v)
+    for v in range(n):
+        topo.add_link(v, (v + 1) % n)
+    return topo
+
+
+class TestConstruction:
+    def test_matches_full_computation(self):
+        topo = random_regular_topology(20, 4, seed=0)
+        tracker = IncrementalASPL(topo)
+        assert tracker.aspl == pytest.approx(
+            average_shortest_path_length(topo), abs=1e-12
+        )
+        assert tracker.distances() == all_pairs_shortest_lengths(topo)
+
+    def test_rejects_disconnected(self):
+        topo = Topology()
+        for v in range(4):
+            topo.add_switch(v)
+        topo.add_link(0, 1)
+        topo.add_link(2, 3)
+        with pytest.raises(TopologyError, match="disconnected"):
+            IncrementalASPL(topo)
+
+    def test_rejects_single_switch(self):
+        topo = Topology()
+        topo.add_switch(0)
+        with pytest.raises(TopologyError, match="at least 2"):
+            IncrementalASPL(topo)
+
+
+class TestSwapSequences:
+    @given(_instances)
+    @settings(max_examples=12, deadline=None)
+    def test_tracks_random_swap_sequences_exactly(self, params):
+        n, r, seed = params
+        topo = random_regular_topology(n, r, seed=seed)
+        tracker = IncrementalASPL(topo)
+        rng = as_rng(seed + 1)
+        applied = 0
+        attempts = 0
+        while applied < 8 and attempts < 50:
+            attempts += 1
+            swap = sample_double_edge_swap(topo, rng=rng)
+            if swap is None:
+                break
+            evaluation = tracker.evaluate(swap)
+            apply_double_edge_swap(topo, swap)
+            if not topo.is_connected():
+                assert not evaluation.connected
+                apply_double_edge_swap(topo, swap.inverse())
+                continue
+            assert evaluation.connected
+            tracker.commit(evaluation)
+            applied += 1
+            assert tracker.aspl == pytest.approx(
+                average_shortest_path_length(topo), abs=1e-12
+            )
+        if applied:
+            assert tracker.distances() == all_pairs_shortest_lengths(topo)
+
+    def test_evaluate_does_not_mutate_state(self):
+        topo = random_regular_topology(16, 4, seed=3)
+        tracker = IncrementalASPL(topo)
+        before = tracker.aspl
+        swap = sample_double_edge_swap(topo, rng=as_rng(4))
+        evaluation = tracker.evaluate(swap)
+        assert tracker.aspl == before
+        assert evaluation.aspl != pytest.approx(before) or True  # may tie
+        # Committing afterwards adopts the evaluated state.
+        if evaluation.connected:
+            tracker.commit(evaluation)
+            assert tracker.total_distance == evaluation.total_distance
+
+    def test_detects_disconnecting_swap(self):
+        # C6 split into two triangles by one swap.
+        topo = _cycle(6)
+        tracker = IncrementalASPL(topo)
+        swap = DoubleEdgeSwap(0, 1, 3, 4)
+        evaluation = tracker.evaluate(swap)
+        assert not evaluation.connected
+        with pytest.raises(TopologyError, match="disconnect"):
+            tracker.commit(evaluation)
+        # State is untouched and still usable.
+        assert tracker.aspl == pytest.approx(
+            average_shortest_path_length(topo), abs=1e-12
+        )
+
+    def test_distance_lookup(self):
+        topo = _cycle(8)
+        tracker = IncrementalASPL(topo)
+        assert tracker.distance(0, 4) == 4
+        assert tracker.distance(0, 7) == 1
+        with pytest.raises(TopologyError):
+            tracker.distance(0, "missing")
+
+
+class TestValidation:
+    def test_rejects_missing_removed_link(self):
+        topo = _cycle(6)
+        tracker = IncrementalASPL(topo)
+        with pytest.raises(TopologyError, match="missing link"):
+            tracker.evaluate(DoubleEdgeSwap(0, 2, 3, 4))
+
+    def test_rejects_existing_added_link(self):
+        topo = _cycle(6)
+        topo.add_link(0, 3)
+        tracker = IncrementalASPL(topo)
+        with pytest.raises(TopologyError, match="existing link"):
+            tracker.evaluate(DoubleEdgeSwap(0, 1, 2, 3))
+
+    def test_rejects_repeated_endpoints(self):
+        topo = _cycle(6)
+        tracker = IncrementalASPL(topo)
+        with pytest.raises(TopologyError, match="distinct"):
+            tracker.evaluate(DoubleEdgeSwap(0, 1, 1, 2))
+
+    def test_rejects_unknown_switch(self):
+        topo = _cycle(6)
+        tracker = IncrementalASPL(topo)
+        with pytest.raises(TopologyError, match="does not exist"):
+            tracker.evaluate(DoubleEdgeSwap(0, 1, 9, 10))

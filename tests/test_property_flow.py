@@ -16,7 +16,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.bounds import throughput_upper_bound
+from repro.core.bounds import (
+    throughput_upper_bound,
+    topology_throughput_upper_bound,
+)
 from repro.flow.approx import garg_koenemann_throughput
 from repro.flow.ecmp import ecmp_throughput
 from repro.flow.edge_lp import max_concurrent_flow
@@ -73,11 +76,12 @@ class TestBoundOrdering:
     @settings(max_examples=15, deadline=None)
     def test_lp_below_theorem1_with_observed_aspl(self, params):
         topo, traffic = _build(params)
-        n, r = topo.num_switches, topo.degree(topo.switches[0])
+        n, r = topo.num_switches, max(topo.degree(v) for v in topo.switches)
         exact = max_concurrent_flow(topo, traffic).throughput
-        bound = throughput_upper_bound(
-            n,
-            r,
+        # Charge the topology's *actual* directed capacity: when n * r is
+        # odd the RRG leaves one stub unused, so N * r misstates capacity.
+        bound = topology_throughput_upper_bound(
+            topo,
             traffic.num_network_flows,
             aspl=average_shortest_path_length(topo),
         )

@@ -1,0 +1,167 @@
+"""Tests for the degree-preserving mutation primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.topology.mutation import (
+    DoubleEdgeSwap,
+    apply_double_edge_swap,
+    double_edge_swap,
+    random_rewire,
+    rewire_link,
+    sample_double_edge_swap,
+)
+from repro.topology.random_regular import random_regular_topology
+from repro.topology.smallworld import small_world_topology
+from repro.util.rng import as_rng
+
+_instances = st.tuples(
+    st.integers(min_value=8, max_value=20),  # switches
+    st.integers(min_value=3, max_value=5),   # degree
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def _edge_set(topo: Topology) -> set[frozenset]:
+    return {frozenset((link.u, link.v)) for link in topo.links}
+
+
+class TestDoubleEdgeSwap:
+    def test_inverse_round_trips(self):
+        swap = DoubleEdgeSwap("a", "b", "c", "d")
+        assert swap.inverse().inverse() == swap
+        assert set(swap.inverse().added) == {("a", "b"), ("c", "d")}
+
+    @given(_instances)
+    @settings(max_examples=12, deadline=None)
+    def test_swap_preserves_structure(self, params):
+        n, r, seed = params
+        topo = random_regular_topology(n, r, seed=seed)
+        degrees_before = {v: topo.degree(v) for v in topo.switches}
+        links_before = topo.num_links
+        capacity_before = topo.total_capacity
+        rng = as_rng(seed + 1)
+        swap = double_edge_swap(topo, rng=rng, preserve_connectivity=True)
+        if swap is None:
+            return
+        assert {v: topo.degree(v) for v in topo.switches} == degrees_before
+        assert topo.num_links == links_before
+        assert topo.total_capacity == pytest.approx(capacity_before)
+        assert topo.is_connected()
+
+    @given(_instances)
+    @settings(max_examples=10, deadline=None)
+    def test_apply_then_inverse_is_identity(self, params):
+        n, r, seed = params
+        topo = random_regular_topology(n, r, seed=seed)
+        before = _edge_set(topo)
+        swap = sample_double_edge_swap(topo, rng=as_rng(seed + 1))
+        if swap is None:
+            return
+        apply_double_edge_swap(topo, swap)
+        assert _edge_set(topo) != before
+        apply_double_edge_swap(topo, swap.inverse())
+        assert _edge_set(topo) == before
+
+    def test_apply_validates_missing_link(self, triangle):
+        triangle.add_switch(3, servers=1)
+        triangle.add_switch(4, servers=1)
+        with pytest.raises(TopologyError, match="missing link"):
+            apply_double_edge_swap(triangle, DoubleEdgeSwap(0, 1, 3, 4))
+
+    def test_apply_validates_existing_link(self):
+        topo = Topology()
+        for v in range(4):
+            topo.add_switch(v)
+        for u, v in ((0, 1), (2, 3), (0, 3)):
+            topo.add_link(u, v)
+        with pytest.raises(TopologyError, match="existing link"):
+            apply_double_edge_swap(topo, DoubleEdgeSwap(0, 1, 2, 3))
+
+    def test_apply_validates_distinct_endpoints(self, triangle):
+        with pytest.raises(TopologyError, match="distinct"):
+            apply_double_edge_swap(triangle, DoubleEdgeSwap(0, 1, 1, 2))
+
+    def test_sample_returns_none_without_valid_swap(self):
+        star = Topology()
+        star.add_switch("hub")
+        for leaf in range(3):
+            star.add_switch(leaf)
+            star.add_link("hub", leaf)
+        assert sample_double_edge_swap(star, rng=as_rng(0)) is None
+
+    def test_sample_returns_none_on_complete_graph(self):
+        from repro.topology.complete import complete_topology
+
+        topo = complete_topology(5)
+        assert sample_double_edge_swap(topo, rng=as_rng(0)) is None
+
+    def test_connectivity_preserved_on_bridge_graphs(self):
+        # Two triangles joined by one bridge: many swaps disconnect; the
+        # preserving variant must never commit one.
+        topo = Topology()
+        for v in range(6):
+            topo.add_switch(v)
+        for u, v in ((0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)):
+            topo.add_link(u, v)
+        rng = as_rng(5)
+        for _ in range(20):
+            double_edge_swap(topo, rng=rng, preserve_connectivity=True)
+            assert topo.is_connected()
+
+
+class TestRandomRewire:
+    def test_preserves_degrees_and_connectivity(self):
+        topo = random_regular_topology(20, 4, seed=0)
+        degrees = {v: topo.degree(v) for v in topo.switches}
+        swaps = random_rewire(topo, 30, seed=1)
+        assert len(swaps) == 30
+        assert {v: topo.degree(v) for v in topo.switches} == degrees
+        assert topo.is_connected()
+
+    def test_deterministic_for_seed(self):
+        a = random_regular_topology(16, 4, seed=0)
+        b = random_regular_topology(16, 4, seed=0)
+        random_rewire(a, 15, seed=9)
+        random_rewire(b, 15, seed=9)
+        assert _edge_set(a) == _edge_set(b)
+
+    def test_zero_swaps_is_noop(self):
+        topo = random_regular_topology(10, 3, seed=0)
+        before = _edge_set(topo)
+        assert random_rewire(topo, 0, seed=1) == []
+        assert _edge_set(topo) == before
+
+
+class TestRewireLink:
+    def test_moves_capacity(self):
+        topo = Topology()
+        for v in range(3):
+            topo.add_switch(v)
+        topo.add_link(0, 1, capacity=2.5)
+        rewire_link(topo, 0, 1, 2)
+        assert not topo.has_link(0, 1)
+        assert topo.capacity(0, 2) == pytest.approx(2.5)
+
+    def test_rejects_self_loop_and_duplicates(self):
+        topo = Topology()
+        for v in range(3):
+            topo.add_switch(v)
+        topo.add_link(0, 1)
+        topo.add_link(0, 2)
+        with pytest.raises(TopologyError, match="self-loop"):
+            rewire_link(topo, 0, 1, 0)
+        with pytest.raises(TopologyError, match="already exists"):
+            rewire_link(topo, 0, 1, 2)
+        with pytest.raises(TopologyError, match="no link"):
+            rewire_link(topo, 1, 2, 0)
+
+    def test_smallworld_keeps_link_count_under_full_rewiring(self):
+        topo = small_world_topology(30, 4, rewire_probability=1.0, seed=0)
+        assert topo.num_links == 30 * 4 // 2
+        assert sum(topo.degree(v) for v in topo.switches) == 30 * 4
