@@ -18,12 +18,12 @@ from repro.flow.decomposition import (
     decompose_throughput,
     group_utilization,
 )
-from repro.flow.edge_lp import max_concurrent_flow
 from repro.flow.result import ThroughputResult
 from repro.metrics.paths import average_shortest_path_length, diameter
+from repro.pipeline.engine import evaluate_throughput
 from repro.topology.base import Topology
 from repro.traffic.base import TrafficMatrix
-from repro.traffic.permutation import random_permutation_traffic
+from repro.traffic.registry import make_traffic
 
 
 @dataclass
@@ -111,9 +111,9 @@ def analyze_network(
     Parameters
     ----------
     traffic:
-        A :class:`TrafficMatrix`, the string ``"permutation"`` (generate a
-        seeded random permutation — requires servers), or ``None`` for a
-        structure-only report.
+        A :class:`TrafficMatrix`, the name of any registered traffic model
+        (see :func:`repro.traffic.registry.available_traffic_models`;
+        most require servers), or ``None`` for a structure-only report.
     result:
         Optionally reuse an already-solved flow result for the given
         traffic instead of re-solving.
@@ -139,15 +139,10 @@ def analyze_network(
         return analysis
 
     if isinstance(traffic, str):
-        if traffic != "permutation":
-            raise ValueError(
-                f"unknown traffic shorthand {traffic!r}; use 'permutation', "
-                "a TrafficMatrix, or None"
-            )
-        traffic = random_permutation_traffic(topo, seed=seed)
+        traffic = make_traffic(traffic, topo, seed=seed)
 
     if result is None:
-        result = max_concurrent_flow(topo, traffic)
+        result = evaluate_throughput(topo, traffic)
     analysis.traffic_name = traffic.name
     analysis.throughput = result.throughput
     if is_regular and degree and traffic.num_network_flows > 0:

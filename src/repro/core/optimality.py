@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 from repro.core.bounds import aspl_lower_bound, throughput_upper_bound
 from repro.exceptions import ExperimentError
-from repro.flow.edge_lp import max_concurrent_flow
 from repro.metrics.paths import average_shortest_path_length
 from repro.topology.random_regular import random_regular_topology
 from repro.traffic.alltoall import all_to_all_traffic
@@ -73,6 +72,8 @@ def measure_optimality_gap(
         Independent topology+workload samples; throughput and ASPL are
         averaged (the paper averages 20 runs with ~1% deviation).
     """
+    from repro.pipeline.engine import evaluate_throughput
+
     if workload not in ("permutation", "all-to-all"):
         raise ExperimentError(f"unknown workload {workload!r}")
     rngs = child_rngs(seed, runs)
@@ -90,7 +91,7 @@ def measure_optimality_gap(
             traffic = random_permutation_traffic(topo, seed=rng)
         else:
             traffic = all_to_all_traffic(topo)
-        result = max_concurrent_flow(topo, traffic)
+        result = evaluate_throughput(topo, traffic)
         throughputs.append(result.throughput)
         aspls.append(average_shortest_path_length(topo))
         # Use network-crossing flows only: co-located server pairs travel

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.exceptions import ExperimentError, TopologyError
-from repro.flow.edge_lp import max_concurrent_flow
+from repro.pipeline.engine import evaluate_throughput
 from repro.topology.base import Topology
 from repro.topology.vl2 import rewired_vl2_topology, vl2_topology
 from repro.traffic.alltoall import all_to_all_traffic
@@ -57,7 +57,7 @@ def supports_full_throughput(
     worst = float("inf")
     for rng in child_rngs(seed, runs):
         traffic = make_traffic(traffic_kind, topo, seed=rng)
-        result = max_concurrent_flow(topo, traffic)
+        result = evaluate_throughput(topo, traffic)
         worst = min(worst, result.throughput)
         if worst < threshold * (1.0 - FULL_THROUGHPUT_TOLERANCE):
             return False, worst
@@ -101,7 +101,7 @@ def max_tors_at_full_throughput(
             except TopologyError:
                 return False
             traffic = make_traffic(traffic_kind, topo, seed=run_rng)
-            result = max_concurrent_flow(topo, traffic)
+            result = evaluate_throughput(topo, traffic)
             if result.throughput < threshold * (1.0 - FULL_THROUGHPUT_TOLERANCE):
                 return False
         return True

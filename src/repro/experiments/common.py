@@ -1,4 +1,12 @@
-"""Shared containers and helpers for the figure-reproduction harness."""
+"""Shared containers and helpers for the figure-reproduction harness.
+
+Beyond the series/result containers, this module hosts the one
+seed-sweep evaluation loop every figure used to hand-roll:
+:func:`mean_throughput_over_seeds` builds a scenario per child seed,
+solves it through the pipeline's cached solver-registry entry point
+(:func:`repro.pipeline.evaluate_throughput`), and aggregates. Setting
+``REPRO_CACHE_DIR`` therefore warms every figure at once.
+"""
 
 from __future__ import annotations
 
@@ -122,3 +130,42 @@ def sweep_average(
 ) -> tuple[float, float]:
     """Run ``measure(seed)`` over seeds; return (mean, std)."""
     return mean_and_std(measure(seed) for seed in seeds)
+
+
+def mean_throughput_over_seeds(
+    build: Callable,
+    runs: int,
+    seed,
+    solver: str = "edge_lp",
+    solver_options: "dict | None" = None,
+    zero_when_disconnected: bool = True,
+) -> tuple[float, float]:
+    """Mean/std throughput over ``runs`` independently seeded scenarios.
+
+    ``build(child_seed)`` returns ``(topology, traffic)`` — or ``None`` to
+    score the sample as zero throughput (e.g. an infeasible construction).
+    Disconnected topologies score zero without solving when
+    ``zero_when_disconnected`` (the LP optimum when some demand cannot be
+    routed, and how a physically stranded cluster behaves); the workload
+    is then never built, which keeps seed consumption identical to the
+    historical per-figure loops.
+    """
+    from repro.pipeline.engine import evaluate_throughput
+    from repro.util.rng import spawn_seeds
+
+    options = solver_options or {}
+    values: list[float] = []
+    for child in spawn_seeds(seed, runs):
+        scenario = build(child)
+        if scenario is None:
+            values.append(0.0)
+            continue
+        topo, traffic = scenario
+        if zero_when_disconnected and not topo.is_connected():
+            values.append(0.0)
+            continue
+        if callable(traffic):
+            traffic = traffic()
+        result = evaluate_throughput(topo, traffic, solver=solver, **options)
+        values.append(result.throughput)
+    return mean_and_std(values)

@@ -15,9 +15,7 @@ from __future__ import annotations
 
 from repro.core.cabling import cable_report, linear_layout
 from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
-from repro.flow.ecmp import ecmp_throughput
-from repro.flow.edge_lp import max_concurrent_flow
-from repro.flow.path_lp import max_concurrent_flow_paths
+from repro.pipeline.engine import evaluate_throughput
 from repro.simulation.simulator import PacketLevelSimulator, SimulationConfig
 from repro.topology.random_regular import random_regular_topology
 from repro.topology.two_cluster import two_cluster_random_topology
@@ -56,14 +54,15 @@ def run_extra_routing(
                 seed=child,
             )
             traffic = random_permutation_traffic(topo, seed=child)
-            exact = max_concurrent_flow(topo, traffic).throughput
+            exact = evaluate_throughput(topo, traffic).throughput
             if exact <= 0:
                 continue
             ratios_path.append(
-                max_concurrent_flow_paths(topo, traffic, k=k).throughput / exact
+                evaluate_throughput(topo, traffic, solver="path_lp", k=k).throughput
+                / exact
             )
             ratios_ecmp.append(
-                ecmp_throughput(topo, traffic).throughput / exact
+                evaluate_throughput(topo, traffic, solver="ecmp").throughput / exact
             )
         optimal.add(degree, 1.0)
         mean, std = mean_and_std(ratios_path)
@@ -118,7 +117,7 @@ def run_extra_cabling(
             if not topo.is_connected():
                 continue
             traffic = random_permutation_traffic(topo, seed=child)
-            throughputs.append(max_concurrent_flow(topo, traffic).throughput)
+            throughputs.append(evaluate_throughput(topo, traffic).throughput)
             layout = linear_layout(topo, group_by_cluster=True, seed=child)
             cables.append(cable_report(topo, layout).mean_length)
         if not throughputs:

@@ -10,15 +10,17 @@ extremes.
 from __future__ import annotations
 
 from repro.exceptions import TopologyError
-from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
-from repro.flow.edge_lp import max_concurrent_flow
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSeries,
+    mean_throughput_over_seeds,
+)
 from repro.topology.heterogeneous import (
     beta_server_distribution,
     heterogeneous_random_topology,
     power_law_ports_with_mean,
 )
 from repro.traffic.permutation import random_permutation_traffic
-from repro.util.rng import spawn_seeds
 
 DEFAULT_BETAS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6)
 DEFAULT_MEAN_PORTS = (6.0, 8.0)
@@ -55,13 +57,13 @@ def run_fig5(
     for mean_index, mean_ports in enumerate(mean_ports_options):
         series = ExperimentSeries(f"Avg port-count {mean_ports:g}")
         for beta_index, beta in enumerate(betas):
-            values = []
             root = (
                 None
                 if seed is None
                 else seed * 11_003 + mean_index * 503 + beta_index
             )
-            for child in spawn_seeds(root, runs):
+
+            def build(child, beta=beta):
                 ports_list = power_law_ports_with_mean(
                     num_switches,
                     target_mean=mean_ports,
@@ -79,14 +81,10 @@ def run_fig5(
                         port_counts, servers, seed=child
                     )
                 except TopologyError:
-                    values.append(0.0)
-                    continue
-                if not topo.is_connected():
-                    values.append(0.0)
-                    continue
-                traffic = random_permutation_traffic(topo, seed=child)
-                values.append(max_concurrent_flow(topo, traffic).throughput)
-            mean, std = mean_and_std(values)
+                    return None  # infeasible construction scores zero
+                return topo, lambda: random_permutation_traffic(topo, seed=child)
+
+            mean, std = mean_throughput_over_seeds(build, runs, root)
             series.add(beta, mean, std)
         result.add_series(series)
     return result

@@ -19,7 +19,7 @@ from repro.experiments.fig04 import DEFAULT_FIG4C_CONFIGS, PAPER_FIG4C_CONFIGS
 from repro.experiments.fig08 import DEFAULT_FIG8_CONFIG, PAPER_FIG8_CONFIG
 from repro.experiments.heterogeneity import TwoTypeConfig
 from repro.flow.decomposition import decompose_throughput
-from repro.flow.edge_lp import max_concurrent_flow
+from repro.pipeline.engine import evaluate_throughput
 from repro.topology.heterogeneous import (
     heterogeneous_random_topology,
     mixed_linespeed_topology,
@@ -39,7 +39,7 @@ def _measure(topo_factory, runs: int, seed) -> "dict[str, float] | None":
         if not topo.is_connected():
             continue
         traffic = random_permutation_traffic(topo, seed=child)
-        result = max_concurrent_flow(topo, traffic)
+        result = evaluate_throughput(topo, traffic)
         if result.throughput <= 0:
             continue
         dec = decompose_throughput(topo, traffic, result)

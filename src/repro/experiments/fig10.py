@@ -14,8 +14,8 @@ from repro.core.placement import proportional_split_for
 from repro.exceptions import ExperimentError
 from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
 from repro.experiments.heterogeneity import TwoTypeConfig
-from repro.flow.edge_lp import max_concurrent_flow
 from repro.metrics.paths import average_shortest_path_length
+from repro.pipeline.engine import evaluate_throughput
 from repro.topology.heterogeneous import mixed_linespeed_topology
 from repro.topology.two_cluster import (
     cluster_cut_capacity,
@@ -78,7 +78,7 @@ def _sweep_case(
             if not topo.is_connected():
                 continue
             traffic = random_permutation_traffic(topo, seed=child)
-            result = max_concurrent_flow(topo, traffic)
+            result = evaluate_throughput(topo, traffic)
             throughputs.append(result.throughput)
             bounds.append(
                 two_part_throughput_bound(

@@ -21,7 +21,7 @@ from repro.core.vl2_improvement import (
 )
 from repro.exceptions import ExperimentError
 from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
-from repro.flow.edge_lp import max_concurrent_flow
+from repro.pipeline.engine import evaluate_throughput
 from repro.topology.vl2 import rewired_vl2_topology
 from repro.util.rng import spawn_seeds
 
@@ -138,7 +138,7 @@ def run_fig12b(
             for child in spawn_seeds(rng_children[1], runs):
                 topo = builder(sized, seed=child)
                 traffic = make_traffic(f"chunky-{pct}", topo, seed=child)
-                values.append(max_concurrent_flow(topo, traffic).throughput)
+                values.append(evaluate_throughput(topo, traffic).throughput)
             mean, std = mean_and_std(values)
             series_by_percent[pct].add(da, min(mean, 1.0), std)
     for pct in chunky_percents:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.core.vl2_improvement import max_tors_at_full_throughput
 from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
-from repro.flow.edge_lp import max_concurrent_flow
+from repro.pipeline.engine import evaluate_throughput
 from repro.simulation.simulator import PacketLevelSimulator, SimulationConfig
 from repro.topology.vl2 import rewired_vl2_topology
 from repro.traffic.permutation import random_permutation_traffic
@@ -110,7 +110,7 @@ def run_fig13(
         for child in spawn_seeds(children[1], runs):
             topo = oversub_builder(num_tors, seed=child)
             traffic = random_permutation_traffic(topo, seed=child)
-            lp = max_concurrent_flow(topo, traffic)
+            lp = evaluate_throughput(topo, traffic)
             flow_values.append(min(lp.throughput, 1.0))
             config = SimulationConfig(
                 duration=duration,

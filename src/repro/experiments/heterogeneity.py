@@ -1,19 +1,24 @@
 """Shared evaluation helpers for the heterogeneous experiments (Figs 4-11).
 
-Each helper builds a randomized topology family, runs random-permutation
-traffic through the exact flow LP over several seeds, and reports
-mean/std per-flow throughput. Disconnected samples score zero throughput
-(the LP optimum when some demand cannot be routed), which is exactly how a
-physically stranded cluster behaves.
+Each helper builds a randomized topology family and evaluates
+random-permutation traffic through the pipeline's cached solver-registry
+entry point over several seeds, reporting mean/std per-flow throughput.
+Disconnected samples score zero throughput (the LP optimum when some
+demand cannot be routed), which is exactly how a physically stranded
+cluster behaves. The seed-sweep loop itself lives in
+:func:`repro.experiments.common.mean_throughput_over_seeds`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import mean_and_std
-from repro.flow.edge_lp import max_concurrent_flow
+from repro.experiments.common import (
+    mean_and_std,
+    mean_throughput_over_seeds,
+)
 from repro.metrics.paths import average_shortest_path_length
+from repro.pipeline.engine import evaluate_throughput
 from repro.topology.heterogeneous import (
     heterogeneous_random_topology,
     mixed_linespeed_topology,
@@ -75,16 +80,11 @@ def unbiased_throughput(
         port_counts[("S", i)] = config.small_ports
         servers[("S", i)] = servers_per_small
 
-    def one(seed_child) -> float:
-        topo = heterogeneous_random_topology(
-            port_counts, servers, seed=seed_child
-        )
-        if not topo.is_connected():
-            return 0.0
-        traffic = random_permutation_traffic(topo, seed=seed_child)
-        return max_concurrent_flow(topo, traffic).throughput
+    def build(child):
+        topo = heterogeneous_random_topology(port_counts, servers, seed=child)
+        return topo, lambda: random_permutation_traffic(topo, seed=child)
 
-    return mean_and_std(one(child) for child in spawn_seeds(seed, runs))
+    return mean_throughput_over_seeds(build, runs, seed)
 
 
 @dataclass(frozen=True)
@@ -129,7 +129,7 @@ def clustered_throughput(
             samples.append(ClusteredSample(0.0, cut, topo.total_capacity, 0.0))
             continue
         traffic = random_permutation_traffic(topo, seed=child)
-        throughput = max_concurrent_flow(topo, traffic).throughput
+        throughput = evaluate_throughput(topo, traffic).throughput
         samples.append(
             ClusteredSample(
                 throughput=throughput,
@@ -160,7 +160,7 @@ def mixed_speed_throughput(
     among large switches is additional equipment (§5.2's setting).
     """
 
-    def one(seed_child) -> float:
+    def build(child):
         topo = mixed_linespeed_topology(
             num_large=config.num_large,
             large_low_ports=config.large_ports - servers_per_large,
@@ -171,11 +171,8 @@ def mixed_speed_throughput(
             high_ports_per_large=high_ports_per_large,
             high_speed=high_speed,
             cross_fraction=cross_fraction,
-            seed=seed_child,
+            seed=child,
         )
-        if not topo.is_connected():
-            return 0.0
-        traffic = random_permutation_traffic(topo, seed=seed_child)
-        return max_concurrent_flow(topo, traffic).throughput
+        return topo, lambda: random_permutation_traffic(topo, seed=child)
 
-    return mean_and_std(one(child) for child in spawn_seeds(seed, runs))
+    return mean_throughput_over_seeds(build, runs, seed)

@@ -6,11 +6,19 @@ Examples::
     repro-experiments run fig1a fig1b --runs 3 --seed 0
     repro-experiments run fig12a --paper
     repro-experiments run all --out results.txt
+    repro-experiments analyze topo.json --traffic gravity
+    repro-experiments sweep --topologies rrg --topo-param network_degree=6 \\
+        --topo-param servers_per_switch=4 --sizes 16,24 \\
+        --traffics permutation,stride --solvers edge_lp,ecmp --seeds 3 \\
+        --workers 4 --cache-dir .sweep-cache --json sweep.json --csv sweep.csv
+    repro-experiments sweep --grid grid.json --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import json
 import sys
 import time
 
@@ -19,6 +27,29 @@ from repro.experiments.registry import (
     describe_experiments,
     run_experiment,
 )
+
+
+def _parse_value(text: str):
+    """Parse a CLI parameter value: int/float/bool/tuple where possible."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_params(entries: "list[str] | None") -> dict:
+    """Parse repeated ``key=value`` flags into a keyword dict."""
+    params: dict = {}
+    for entry in entries or ():
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad parameter {entry!r}; expected key=value")
+        params[key] = _parse_value(value)
+    return params
+
+
+def _split_list(text: "str | None") -> list[str]:
+    return [item for item in (text or "").split(",") if item]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -33,6 +64,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiment ids")
 
+    from repro.traffic.registry import available_traffic_models
+
     analyze = sub.add_parser(
         "analyze", help="analyze a serialized topology (JSON) under a workload"
     )
@@ -40,7 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--traffic",
         default="permutation",
-        choices=["permutation", "none"],
+        choices=[*available_traffic_models(), "none"],
         help="workload to solve (default: random permutation)",
     )
     analyze.add_argument("--seed", type=int, default=0, help="workload seed")
@@ -61,7 +94,163 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--out", type=str, default=None, help="also append tables to this file"
     )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative scenario grid (topologies x traffic x "
+        "solvers x sizes x seeds)",
+    )
+    sweep.add_argument(
+        "--grid",
+        type=str,
+        default=None,
+        help="JSON grid config file (ScenarioGrid.to_dict schema); other "
+        "grid flags are ignored when given",
+    )
+    sweep.add_argument(
+        "--name", type=str, default="sweep", help="grid name for artifacts"
+    )
+    sweep.add_argument(
+        "--topologies",
+        type=str,
+        default="rrg",
+        help="comma-separated topology registry kinds",
+    )
+    sweep.add_argument(
+        "--topo-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="topology constructor parameter, applied to every kind "
+        "(repeatable)",
+    )
+    sweep.add_argument(
+        "--sizes",
+        type=str,
+        default=None,
+        help="comma-separated sizes injected as the topology size parameter",
+    )
+    sweep.add_argument(
+        "--size-param",
+        type=str,
+        default="num_switches",
+        help="topology parameter the sizes map to (default: num_switches)",
+    )
+    sweep.add_argument(
+        "--traffics",
+        type=str,
+        default="permutation",
+        help="comma-separated traffic models",
+    )
+    sweep.add_argument(
+        "--traffic-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="traffic constructor parameter, applied to every model "
+        "(repeatable)",
+    )
+    sweep.add_argument(
+        "--solvers",
+        type=str,
+        default="edge_lp",
+        help="comma-separated solver registry keys",
+    )
+    sweep.add_argument(
+        "--solver-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="solver option, applied to every solver (repeatable)",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=1, help="replicates per combination"
+    )
+    sweep.add_argument(
+        "--base-seed", type=int, default=0, help="root seed for cell seeding"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="content-addressed result cache directory (reused across runs)",
+    )
+    sweep.add_argument(
+        "--json", type=str, default=None, help="write full sweep JSON here"
+    )
+    sweep.add_argument(
+        "--csv", type=str, default=None, help="write per-cell CSV here"
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress"
+    )
     return parser
+
+
+def _grid_from_args(args) -> "object":
+    from repro.flow.solvers import SolverConfig
+    from repro.pipeline.scenario import ScenarioGrid, TopologySpec, TrafficSpec
+
+    if args.grid:
+        with open(args.grid, "r", encoding="utf-8") as handle:
+            return ScenarioGrid.from_dict(json.load(handle))
+
+    topo_params = _parse_params(args.topo_param)
+    traffic_params = _parse_params(args.traffic_param)
+    solver_params = _parse_params(args.solver_param)
+    sizes = (
+        tuple(int(s) for s in _split_list(args.sizes)) if args.sizes else None
+    )
+    return ScenarioGrid(
+        name=args.name,
+        topologies=tuple(
+            TopologySpec.make(kind, **topo_params)
+            for kind in _split_list(args.topologies)
+        ),
+        traffics=tuple(
+            TrafficSpec.make(model, **traffic_params)
+            for model in _split_list(args.traffics)
+        ),
+        solvers=tuple(
+            SolverConfig.make(solver, **solver_params)
+            for solver in _split_list(args.solvers)
+        ),
+        sizes=sizes,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        size_param=args.size_param,
+    )
+
+
+def _run_sweep(args) -> int:
+    from repro.pipeline.engine import run_grid
+
+    grid = _grid_from_args(args)
+    total = len(grid)
+    print(f"sweep {grid.name!r}: {total} cells, {args.workers} worker(s)")
+
+    def progress(done: int, count: int, cell) -> None:
+        if not args.quiet:
+            hit = " [cached]" if cell.cache_hit else ""
+            print(
+                f"  [{done}/{count}] {cell.scenario.label()}: "
+                f"throughput {cell.throughput:.4f}{hit}"
+            )
+
+    sweep = run_grid(
+        grid,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+    print(sweep.to_table())
+    if args.json:
+        sweep.write_json(args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        sweep.write_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -81,6 +270,9 @@ def main(argv: "list[str] | None" = None) -> int:
         analysis = analyze_network(topo, traffic=traffic, seed=args.seed)
         print(analysis.to_text())
         return 0
+
+    if args.command == "sweep":
+        return _run_sweep(args)
 
     ids = list(args.experiments)
     if ids == ["all"]:

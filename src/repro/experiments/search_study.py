@@ -19,8 +19,9 @@ import time
 from statistics import fmean
 
 from repro.core.bounds import aspl_lower_bound, throughput_upper_bound
+from repro.exceptions import ExperimentError
 from repro.experiments.common import ExperimentResult, ExperimentSeries
-from repro.flow.edge_lp import max_concurrent_flow
+from repro.pipeline.engine import evaluate_throughput
 from repro.metrics.incremental import IncrementalASPL
 from repro.metrics.paths import average_shortest_path_length
 from repro.search.engine import optimize_topology
@@ -87,7 +88,7 @@ def run_search_vs_random(
         # depend on the (identical) server maps.
         traffic = random_permutation_traffic(topos[0], seed=seed + 17)
         random_throughputs = [
-            max_concurrent_flow(topo, traffic).throughput for topo in topos
+            evaluate_throughput(topo, traffic).throughput for topo in topos
         ]
         random_mean = fmean(random_throughputs)
 
@@ -98,7 +99,7 @@ def run_search_vs_random(
             seed=point_seeds[samples],
             num_runs=num_runs,
         ).topology
-        optimized = max_concurrent_flow(annealed, traffic).throughput
+        optimized = evaluate_throughput(annealed, traffic).throughput
         bound = throughput_upper_bound(
             num_switches, degree, traffic.num_network_flows
         )
@@ -157,9 +158,18 @@ def run_incremental_speedup(
     incremental_times: list[float] = []
     full_times: list[float] = []
     performed = 0
+    failed_samples = 0
     while performed < num_swaps:
         swap = sample_double_edge_swap(topo, rng=rng)
         if swap is None:
+            # Dense or swap-saturated graphs (e.g. complete graphs) can
+            # reject every candidate; bail out instead of spinning forever.
+            failed_samples += 1
+            if failed_samples > 100 * num_swaps + 1000:
+                raise ExperimentError(
+                    f"could not sample {num_swaps} valid swaps on "
+                    f"{topo.name!r}; the topology admits too few swaps"
+                )
             continue
         start = time.perf_counter()
         evaluation = tracker.evaluate(swap)

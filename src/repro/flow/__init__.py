@@ -31,6 +31,16 @@ from repro.flow.objective import (
     available_throughput_solvers,
     throughput_evaluator,
 )
+from repro.flow.solvers import (
+    SolverBackend,
+    SolverConfig,
+    ThroughputSolver,
+    available_solvers,
+    get_solver,
+    normalize_solver_name,
+    register_solver,
+    solve_throughput,
+)
 from repro.flow.path_decomposition import (
     PathFlow,
     decompose_arc_flows,
@@ -45,6 +55,14 @@ __all__ = [
     "ecmp_throughput",
     "available_throughput_solvers",
     "throughput_evaluator",
+    "SolverBackend",
+    "SolverConfig",
+    "ThroughputSolver",
+    "available_solvers",
+    "get_solver",
+    "normalize_solver_name",
+    "register_solver",
+    "solve_throughput",
     "ThroughputDecomposition",
     "decompose_throughput",
     "group_utilization",

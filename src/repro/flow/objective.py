@@ -1,63 +1,56 @@
 """Throughput evaluators packaged for the topology search engine.
 
 The search subsystem treats an objective as "a number to maximize for a
-topology". These adapters wrap the flow engines behind that one-argument
-shape, fixing the solver, its knobs, and the traffic workload up front so
-search code never needs solver-specific plumbing (and so the resulting
-callables pickle cleanly into worker processes).
+topology". These adapters wrap the solver registry
+(:mod:`repro.flow.solvers`) behind that one-argument shape, fixing the
+backend, its knobs, and the traffic workload up front so search code never
+needs solver-specific plumbing (and so the resulting callables pickle
+cleanly into worker processes).
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.exceptions import FlowError
-from repro.flow.approx import garg_koenemann_throughput
-from repro.flow.ecmp import ecmp_throughput
-from repro.flow.edge_lp import max_concurrent_flow
-from repro.flow.path_lp import max_concurrent_flow_paths
+from repro.flow.solvers import (
+    available_solvers,
+    normalize_solver_name,
+    solve_throughput,
+)
 from repro.topology.base import Topology
 from repro.traffic.base import TrafficMatrix
 
-_SOLVERS: dict[str, Callable] = {
-    "edge-lp": max_concurrent_flow,
-    "path-lp": max_concurrent_flow_paths,
-    "garg-koenemann": garg_koenemann_throughput,
-    "ecmp": ecmp_throughput,
-}
-
 
 def available_throughput_solvers() -> list[str]:
-    """Solver names accepted by :func:`throughput_evaluator`."""
-    return sorted(_SOLVERS)
+    """Solver names accepted by :func:`throughput_evaluator`.
+
+    Includes both the canonical registry keys (``edge_lp``, ...) and the
+    legacy hyphenated labels (``edge-lp``, ``garg-koenemann``, ...).
+    """
+    return available_solvers(include_aliases=True)
 
 
 def throughput_evaluator(
-    solver: str = "edge-lp", **solver_kwargs
+    solver: str = "edge_lp", **solver_kwargs
 ) -> Callable[[Topology, TrafficMatrix], float]:
     """Return ``(topology, traffic) -> throughput`` for a named flow engine.
 
     ``solver_kwargs`` are forwarded to the engine on every call (e.g.
-    ``k=8`` for ``"path-lp"``, ``epsilon=0.1`` for ``"garg-koenemann"``).
+    ``k=8`` for ``"path_lp"``, ``epsilon=0.1`` for ``"approx"``).
     """
-    try:
-        engine = _SOLVERS[solver]
-    except KeyError:
-        known = ", ".join(available_throughput_solvers())
-        raise FlowError(f"unknown solver {solver!r}; known solvers: {known}")
-    return _ThroughputEvaluator(solver, engine, solver_kwargs)
+    return _ThroughputEvaluator(normalize_solver_name(solver), solver_kwargs)
 
 
 class _ThroughputEvaluator:
-    """Picklable closure over one flow engine and its keyword arguments."""
+    """Picklable closure over one registry backend and its keyword arguments."""
 
-    def __init__(self, name: str, engine: Callable, kwargs: dict) -> None:
+    def __init__(self, name: str, kwargs: dict) -> None:
         self.name = name
-        self._engine = engine
         self._kwargs = dict(kwargs)
 
     def __call__(self, topo: Topology, traffic: TrafficMatrix) -> float:
-        return float(self._engine(topo, traffic, **self._kwargs).throughput)
+        result = solve_throughput(topo, traffic, self.name, **self._kwargs)
+        return float(result.throughput)
 
     def __repr__(self) -> str:
         return f"throughput_evaluator({self.name!r}, **{self._kwargs!r})"

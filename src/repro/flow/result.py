@@ -128,6 +128,79 @@ class ThroughputResult:
                     f"arc {arc!r} overloaded: flow {flow:.6f} > capacity {cap:.6f}"
                 )
 
+    def to_dict(self) -> dict:
+        """Convert to a JSON-safe dictionary (exact round trip).
+
+        Arc endpoints are encoded with
+        :func:`repro.topology.serialization.encode_node`; floats survive
+        JSON round trips bit-exactly (``json`` emits ``repr``-shortest
+        forms), so ``from_dict(json.loads(json.dumps(r.to_dict())))``
+        reproduces the result. This is the persistence format the pipeline
+        result cache stores.
+        """
+        from repro.topology.serialization import encode_node
+
+        arcs = [
+            {
+                "u": encode_node(u),
+                "v": encode_node(v),
+                "capacity": capacity,
+                "flow": self.arc_flows.get((u, v), 0.0),
+            }
+            for (u, v), capacity in self.arc_capacities.items()
+        ]
+        payload = {
+            "throughput": self.throughput,
+            "total_demand": self.total_demand,
+            "solver": self.solver,
+            "exact": self.exact,
+            "arcs": arcs,
+        }
+        if self.commodity_flows is not None:
+            payload["commodity_flows"] = [
+                {
+                    "source": encode_node(source),
+                    "flows": [
+                        {"u": encode_node(u), "v": encode_node(v), "flow": flow}
+                        for (u, v), flow in flows.items()
+                    ],
+                }
+                for source, flows in self.commodity_flows.items()
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ThroughputResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        from repro.topology.serialization import decode_node
+
+        arc_flows: dict = {}
+        arc_capacities: dict = {}
+        for entry in payload.get("arcs", ()):
+            arc = (decode_node(entry["u"]), decode_node(entry["v"]))
+            arc_capacities[arc] = float(entry["capacity"])
+            flow = float(entry.get("flow", 0.0))
+            if flow != 0.0:
+                arc_flows[arc] = flow
+        commodity_flows = None
+        if "commodity_flows" in payload:
+            commodity_flows = {
+                decode_node(entry["source"]): {
+                    (decode_node(f["u"]), decode_node(f["v"])): float(f["flow"])
+                    for f in entry["flows"]
+                }
+                for entry in payload["commodity_flows"]
+            }
+        return cls(
+            throughput=float(payload["throughput"]),
+            arc_flows=arc_flows,
+            arc_capacities=arc_capacities,
+            total_demand=float(payload.get("total_demand", 0.0)),
+            solver=str(payload.get("solver", "unknown")),
+            exact=bool(payload.get("exact", True)),
+            commodity_flows=commodity_flows,
+        )
+
     def summary(self) -> "Mapping[str, float]":
         """Headline numbers as a plain dict (for printing/reporting)."""
         return {

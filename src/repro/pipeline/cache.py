@@ -1,0 +1,111 @@
+"""Content-addressed on-disk cache for throughput results.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the SHA-256
+content address of (topology fingerprint, traffic fingerprint, solver
+config) from :mod:`repro.pipeline.fingerprint`. Each entry stores the full
+:class:`~repro.flow.result.ThroughputResult` (via its ``to_dict`` round
+trip) plus provenance metadata.
+
+Writes go through a temp file + :func:`os.replace` so concurrent sweep
+workers never observe half-written entries; since keys are content
+addresses, two workers racing on the same key write identical bytes and
+either winner is correct.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.flow.result import ThroughputResult
+
+#: Bump when the entry payload schema changes; mismatched entries are
+#: treated as misses and rewritten.
+CACHE_SCHEMA_VERSION = 1
+
+
+class ResultCache:
+    """Filesystem-backed, content-addressed throughput-result store."""
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> "ThroughputResult | None":
+        """Return the cached result for ``key``, or ``None`` on a miss.
+
+        Unreadable or schema-mismatched entries count as misses (the sweep
+        recomputes and overwrites them).
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema_version") != CACHE_SCHEMA_VERSION:
+                raise ValueError("cache schema mismatch")
+            result = ThroughputResult.from_dict(payload["result"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: ThroughputResult, meta: "dict | None" = None) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "result": result.to_dict(),
+            "meta": meta or {},
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+#: Environment variable that switches on caching for code paths that do
+#: not thread an explicit cache (e.g. the figure experiments).
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+_DEFAULT_CACHES: dict = {}
+
+
+def default_cache() -> "ResultCache | None":
+    """The process-wide cache configured via ``REPRO_CACHE_DIR``, if any.
+
+    One instance is kept per configured root, so hit/miss counters
+    accumulate across calls instead of resetting on every solve.
+    """
+    root = os.environ.get(CACHE_ENV_VAR)
+    if not root:
+        return None
+    cache = _DEFAULT_CACHES.get(root)
+    if cache is None:
+        cache = _DEFAULT_CACHES[root] = ResultCache(root)
+    return cache

@@ -1,0 +1,325 @@
+"""Sweep execution: cached single solves and process-parallel grid runs.
+
+Two layers:
+
+- :func:`evaluate_throughput` — solve one (topology, traffic, solver)
+  instance through the solver registry with optional content-addressed
+  caching. This is the call every figure experiment routes through; set
+  ``REPRO_CACHE_DIR`` to give the whole experiment harness a warm cache
+  without touching a single call site.
+- :func:`run_grid` — execute a :class:`~repro.pipeline.scenario.ScenarioGrid`
+  cell-by-cell, serially or across worker processes, returning a
+  :class:`SweepResult` that renders as a summary table and serializes to
+  JSON/CSV artifacts.
+
+Cells are independent, so parallelism is a straight process-pool map; the
+shared cache is filesystem-backed and atomic, so workers coordinate only
+through content-addressed files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from statistics import fmean, pstdev
+
+from repro.exceptions import ExperimentError
+from repro.flow.result import ThroughputResult
+from repro.flow.solvers import SolverConfig, solve_throughput
+from repro.pipeline.cache import ResultCache, default_cache
+from repro.pipeline.fingerprint import (
+    result_key,
+    solver_fingerprint,
+    topology_fingerprint,
+    traffic_fingerprint,
+)
+from repro.pipeline.scenario import Scenario, ScenarioGrid
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+from repro.util.tables import format_table
+
+
+def evaluate_throughput(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    solver: str = "edge_lp",
+    cache: "ResultCache | None | bool" = None,
+    **options,
+) -> ThroughputResult:
+    """Solve one instance through the registry, consulting the cache.
+
+    ``cache=None`` (default) and ``cache=True`` use the process-wide
+    cache configured via the ``REPRO_CACHE_DIR`` environment variable
+    when set, and no cache otherwise; pass ``cache=False`` to force a
+    fresh solve; pass a :class:`ResultCache` to use it explicitly.
+    """
+    if cache is None or cache is True:
+        cache = default_cache()
+    elif cache is False:
+        cache = None
+    if cache is None:
+        return solve_throughput(topo, traffic, solver, **options)
+    config = SolverConfig.make(solver, **options)
+    key = result_key(
+        topology_fingerprint(topo),
+        traffic_fingerprint(traffic),
+        solver_fingerprint(config),
+    )
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    result = config.solve(topo, traffic)
+    cache.put(key, result, meta={"solver": config.to_dict()})
+    return result
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one sweep cell (scenario coordinates + solved numbers)."""
+
+    scenario: Scenario
+    throughput: float
+    engine: str
+    exact: bool
+    total_demand: float
+    utilization: float
+    num_switches: int
+    num_servers: int
+    key: str
+    topology_fp: str
+    traffic_fp: str
+    cache_hit: bool
+    elapsed_s: float
+
+    #: Column order shared by CSV artifacts and the summary table.
+    FIELDS = (
+        "topology",
+        "size",
+        "traffic",
+        "solver",
+        "replicate",
+        "seed",
+        "throughput",
+        "engine",
+        "exact",
+        "total_demand",
+        "utilization",
+        "num_switches",
+        "num_servers",
+        "cache_hit",
+        "elapsed_s",
+        "key",
+    )
+
+    def row(self) -> dict:
+        """Flat record for CSV/JSON artifacts."""
+        s = self.scenario
+        return {
+            "topology": s.topology.label(),
+            "size": s.size,
+            "traffic": s.traffic.label(),
+            "solver": s.solver.label(),
+            "replicate": s.replicate,
+            "seed": s.seed,
+            "throughput": self.throughput,
+            "engine": self.engine,
+            "exact": self.exact,
+            "total_demand": self.total_demand,
+            "utilization": self.utilization,
+            "num_switches": self.num_switches,
+            "num_servers": self.num_servers,
+            "cache_hit": self.cache_hit,
+            "elapsed_s": self.elapsed_s,
+            "key": self.key,
+        }
+
+
+def evaluate_cell(
+    scenario: Scenario, cache: "ResultCache | None" = None
+) -> CellResult:
+    """Build and solve one grid cell, consulting the cache by content."""
+    start = time.perf_counter()
+    topo, traffic = scenario.build()
+    topo_fp = topology_fingerprint(topo)
+    traffic_fp = traffic_fingerprint(traffic)
+    key = result_key(topo_fp, traffic_fp, solver_fingerprint(scenario.solver))
+    cached = cache.get(key) if cache is not None else None
+    if cached is not None:
+        result = cached
+        cache_hit = True
+    else:
+        result = scenario.solver.solve(topo, traffic)
+        cache_hit = False
+        if cache is not None:
+            cache.put(key, result, meta={"scenario": scenario.to_dict()})
+    utilization = (
+        result.utilization if result.total_capacity > 0 else 0.0
+    )
+    return CellResult(
+        scenario=scenario,
+        throughput=result.throughput,
+        engine=result.solver,
+        exact=result.exact,
+        total_demand=result.total_demand,
+        utilization=utilization,
+        num_switches=topo.num_switches,
+        num_servers=topo.num_servers,
+        key=key,
+        topology_fp=topo_fp,
+        traffic_fp=traffic_fp,
+        cache_hit=cache_hit,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def _evaluate_cell_task(args: "tuple[Scenario, str | None]") -> CellResult:
+    """Module-level worker entry (must be picklable for process pools)."""
+    scenario, cache_dir = args
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return evaluate_cell(scenario, cache=cache)
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one grid execution, plus run provenance."""
+
+    grid: ScenarioGrid
+    cells: "list[CellResult]" = field(default_factory=list)
+    workers: int = 1
+    cache_dir: "str | None" = None
+    elapsed_s: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.cache_hit)
+
+    def rows(self) -> "list[dict]":
+        return [cell.row() for cell in self.cells]
+
+    def mean_series(self) -> "list[dict]":
+        """Replicate-averaged throughput per (topology, size, traffic, solver)."""
+        groups: dict = {}
+        for cell in self.cells:
+            s = cell.scenario
+            group_key = (
+                s.topology.label(),
+                s.size,
+                s.traffic.label(),
+                s.solver.label(),
+            )
+            groups.setdefault(group_key, []).append(cell.throughput)
+        out = []
+        for (topology, size, traffic, solver), values in sorted(
+            groups.items(), key=lambda item: tuple(map(str, item[0]))
+        ):
+            # Same mean/population-std convention as
+            # experiments.common.mean_and_std (not imported: that package
+            # pulls in every figure module, which import this one).
+            mean, std = fmean(values), pstdev(values)
+            out.append(
+                {
+                    "topology": topology,
+                    "size": size,
+                    "traffic": traffic,
+                    "solver": solver,
+                    "replicates": len(values),
+                    "throughput_mean": mean,
+                    "throughput_std": std,
+                }
+            )
+        return out
+
+    def to_table(self, float_format: str = "{:.4f}") -> str:
+        """Replicate-averaged summary as an aligned text table."""
+        headers = [
+            "topology", "size", "traffic", "solver",
+            "reps", "throughput", "std",
+        ]
+        rows = [
+            [
+                entry["topology"],
+                "-" if entry["size"] is None else entry["size"],
+                entry["traffic"],
+                entry["solver"],
+                entry["replicates"],
+                entry["throughput_mean"],
+                entry["throughput_std"],
+            ]
+            for entry in self.mean_series()
+        ]
+        header = (
+            f"== sweep {self.grid.name!r}: {len(self.cells)} cells, "
+            f"{self.cache_hits} cache hits, {self.workers} worker(s), "
+            f"{self.elapsed_s:.1f}s ==\n"
+        )
+        return header + format_table(headers, rows, float_format=float_format)
+
+    def to_dict(self) -> dict:
+        return {
+            "grid": self.grid.to_dict(),
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "elapsed_s": self.elapsed_s,
+            "cache_hits": self.cache_hits,
+            "cells": self.rows(),
+            "summary": self.mean_series(),
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write the full sweep (cells + summary + grid) as one JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    def write_csv(self, path: str) -> None:
+        """Write one CSV row per cell."""
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(CellResult.FIELDS))
+            writer.writeheader()
+            for row in self.rows():
+                writer.writerow(row)
+
+
+def run_grid(
+    grid: ScenarioGrid,
+    workers: int = 1,
+    cache_dir: "str | None" = None,
+    progress=None,
+) -> SweepResult:
+    """Execute every cell of ``grid``; return the collected results.
+
+    ``workers > 1`` fans cells out over a process pool (cells are
+    independent; results come back in grid order). ``cache_dir`` enables
+    the shared content-addressed result cache. ``progress`` is an optional
+    ``callable(done, total, cell_result)`` invoked as cells finish.
+    """
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    cells = grid.cells()
+    start = time.perf_counter()
+    results: list[CellResult] = []
+    if workers == 1:
+        cache = ResultCache(cache_dir) if cache_dir else None
+        for index, scenario in enumerate(cells):
+            cell_result = evaluate_cell(scenario, cache=cache)
+            results.append(cell_result)
+            if progress is not None:
+                progress(index + 1, len(cells), cell_result)
+    else:
+        tasks = [(scenario, cache_dir) for scenario in cells]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for index, cell_result in enumerate(
+                pool.map(_evaluate_cell_task, tasks)
+            ):
+                results.append(cell_result)
+                if progress is not None:
+                    progress(index + 1, len(cells), cell_result)
+    return SweepResult(
+        grid=grid,
+        cells=results,
+        workers=workers,
+        cache_dir=cache_dir,
+        elapsed_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,318 @@
+"""Declarative scenario grids: topologies x traffic x solvers x sizes x seeds.
+
+A :class:`ScenarioGrid` describes a whole evaluation campaign as data — no
+hand-rolled nested loops. The grid enumerates into :class:`Scenario`
+cells, each carrying everything needed to build and solve one instance:
+
+- a :class:`TopologySpec` (registry kind + constructor params),
+- a :class:`TrafficSpec` (traffic-model name + params),
+- a :class:`~repro.flow.solvers.SolverConfig`,
+- an optional size (injected into the topology params), and
+- a *replicate index* with a deterministic per-cell seed.
+
+Per-cell seeds are derived by content (SHA-256 of the cell's coordinates,
+see :func:`repro.util.hashing.stable_seed`), not by enumeration order —
+slicing the grid differently, filtering cells, or distributing them across
+processes never changes what any individual cell computes. The solver is
+deliberately *excluded* from the seed, so every solver column sees the
+same sampled topology and workload and columns stay comparable.
+
+Specs are plain frozen dataclasses: hashable, picklable (for worker
+processes), and JSON round-trippable (for config-file-driven sweeps).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.flow.solvers import SolverConfig
+from repro.topology.base import Topology
+from repro.topology.registry import make_topology
+from repro.traffic.base import TrafficMatrix
+from repro.traffic.registry import make_traffic
+from repro.util.hashing import stable_seed
+
+
+def _freeze_params(params) -> tuple:
+    if isinstance(params, Mapping):
+        items = params.items()
+    else:
+        items = tuple(params)
+    return tuple(sorted((str(k), _freeze_value(v)) for k, v in items))
+
+
+def _freeze_value(value):
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A topology family: registry ``kind`` plus constructor params."""
+
+    kind: str
+    params: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    @classmethod
+    def make(cls, kind: str, **params) -> "TopologySpec":
+        return cls(kind=kind, params=tuple(params.items()))
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def label(self) -> str:
+        if not self.params:
+            return self.kind
+        inner = ",".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.kind}({inner})"
+
+    def build(
+        self,
+        seed=None,
+        size: "int | None" = None,
+        size_param: str = "num_switches",
+    ) -> Topology:
+        """Construct the topology, injecting ``size`` and ``seed`` if given.
+
+        ``seed`` is passed only when the factory accepts one (structured
+        families like hypercube are deterministic and take no seed).
+        """
+        kwargs = self.params_dict()
+        if size is not None:
+            kwargs[size_param] = size
+        if seed is not None and _factory_accepts_seed(self.kind):
+            kwargs.setdefault("seed", seed)
+        return make_topology(self.kind, **kwargs)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": self.params_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TopologySpec":
+        return cls.make(payload["kind"], **dict(payload.get("params") or {}))
+
+
+def _factory_accepts_seed(kind: str) -> bool:
+    from repro.topology.registry import _REGISTRY as _TOPO_REGISTRY
+
+    factory = _TOPO_REGISTRY.get(kind)
+    if factory is None:
+        return True  # unknown kinds fail in make_topology with a clear error
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return True
+    if "seed" in signature.parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in signature.parameters.values()
+    )
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A workload family: traffic-registry ``model`` plus params."""
+
+    model: str
+    params: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    @classmethod
+    def make(cls, model: str, **params) -> "TrafficSpec":
+        return cls(model=model, params=tuple(params.items()))
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def label(self) -> str:
+        if not self.params:
+            return self.model
+        inner = ",".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.model}({inner})"
+
+    def build(self, topo: Topology, seed=None) -> TrafficMatrix:
+        return make_traffic(self.model, topo, seed=seed, **self.params_dict())
+
+    def to_dict(self) -> dict:
+        return {"model": self.model, "params": self.params_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TrafficSpec":
+        return cls.make(payload["model"], **dict(payload.get("params") or {}))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One grid cell: a fully specified (topology, traffic, solver) solve."""
+
+    topology: TopologySpec
+    traffic: TrafficSpec
+    solver: SolverConfig
+    size: "int | None"
+    replicate: int
+    seed: int
+    size_param: str = "num_switches"
+
+    def instance_seeds(self) -> "tuple[np.random.SeedSequence, np.random.SeedSequence]":
+        """Independent (topology, traffic) seed sequences for this cell."""
+        root = np.random.SeedSequence(self.seed)
+        topo_ss, traffic_ss = root.spawn(2)
+        return topo_ss, traffic_ss
+
+    def build(self) -> "tuple[Topology, TrafficMatrix]":
+        """Materialize the cell's topology and workload."""
+        topo_ss, traffic_ss = self.instance_seeds()
+        topo = self.topology.build(
+            seed=topo_ss, size=self.size, size_param=self.size_param
+        )
+        traffic = self.traffic.build(topo, seed=traffic_ss)
+        return topo, traffic
+
+    def label(self) -> str:
+        size = f" N={self.size}" if self.size is not None else ""
+        return (
+            f"{self.topology.label()}{size} / {self.traffic.label()} / "
+            f"{self.solver.label()} / rep{self.replicate}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "solver": self.solver.to_dict(),
+            "size": self.size,
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "size_param": self.size_param,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """The declarative cross product a sweep executes.
+
+    ``sizes`` is optional: when given, each size is injected into every
+    topology's params under ``size_param``; when ``None``, topologies run
+    with their own params as-is (one "size" column of ``None``).
+    ``seeds`` is the number of independent replicates per
+    (topology, traffic, size) combination.
+    """
+
+    name: str = "sweep"
+    topologies: "tuple[TopologySpec, ...]" = ()
+    traffics: "tuple[TrafficSpec, ...]" = ()
+    solvers: "tuple[SolverConfig, ...]" = (SolverConfig("edge_lp"),)
+    sizes: "tuple[int, ...] | None" = None
+    seeds: int = 1
+    base_seed: int = 0
+    size_param: str = "num_switches"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "topologies", tuple(self.topologies))
+        object.__setattr__(self, "traffics", tuple(self.traffics))
+        object.__setattr__(self, "solvers", tuple(self.solvers))
+        if self.sizes is not None:
+            object.__setattr__(
+                self, "sizes", tuple(int(s) for s in self.sizes)
+            )
+        if not self.topologies:
+            raise ExperimentError("grid needs at least one topology spec")
+        if not self.traffics:
+            raise ExperimentError("grid needs at least one traffic spec")
+        if not self.solvers:
+            raise ExperimentError("grid needs at least one solver config")
+        if self.seeds < 1:
+            raise ExperimentError(f"seeds must be >= 1, got {self.seeds}")
+
+    def _size_axis(self) -> "tuple[int | None, ...]":
+        return self.sizes if self.sizes is not None else (None,)
+
+    def __len__(self) -> int:
+        return (
+            len(self.topologies)
+            * len(self.traffics)
+            * len(self.solvers)
+            * len(self._size_axis())
+            * self.seeds
+        )
+
+    def cells(self) -> "list[Scenario]":
+        """Enumerate every cell with its deterministic content-derived seed."""
+        out: list[Scenario] = []
+        for topo_spec in self.topologies:
+            for size in self._size_axis():
+                for traffic_spec in self.traffics:
+                    for replicate in range(self.seeds):
+                        seed = stable_seed(
+                            {
+                                "base": self.base_seed,
+                                "topology": topo_spec.to_dict(),
+                                "traffic": traffic_spec.to_dict(),
+                                "size": size,
+                                "replicate": replicate,
+                            }
+                        )
+                        for solver in self.solvers:
+                            out.append(
+                                Scenario(
+                                    topology=topo_spec,
+                                    traffic=traffic_spec,
+                                    solver=solver,
+                                    size=size,
+                                    replicate=replicate,
+                                    seed=seed,
+                                    size_param=self.size_param,
+                                )
+                            )
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "topologies": [spec.to_dict() for spec in self.topologies],
+            "traffics": [spec.to_dict() for spec in self.traffics],
+            "solvers": [config.to_dict() for config in self.solvers],
+            "sizes": list(self.sizes) if self.sizes is not None else None,
+            "seeds": self.seeds,
+            "base_seed": self.base_seed,
+            "size_param": self.size_param,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ScenarioGrid":
+        """Rebuild a grid from :meth:`to_dict` output (or a config file)."""
+        solvers: Iterable = payload.get("solvers") or [{"name": "edge_lp"}]
+        return cls(
+            name=payload.get("name", "sweep"),
+            topologies=tuple(
+                TopologySpec.from_dict(entry)
+                for entry in payload.get("topologies", ())
+            ),
+            traffics=tuple(
+                TrafficSpec.from_dict(entry)
+                for entry in payload.get("traffics", ())
+            ),
+            solvers=tuple(
+                SolverConfig.from_dict(entry) for entry in solvers
+            ),
+            sizes=(
+                tuple(payload["sizes"])
+                if payload.get("sizes") is not None
+                else None
+            ),
+            seeds=int(payload.get("seeds", 1)),
+            base_seed=int(payload.get("base_seed", 0)),
+            size_param=payload.get("size_param", "num_switches"),
+        )

@@ -11,10 +11,12 @@ Objectives come in two speed classes:
   estimate. ASPL additionally supports *incremental* evaluation through
   :class:`repro.metrics.incremental.IncrementalASPL`, which is what makes
   long annealing runs cheap.
-- **Direct throughput** — the flow engines via
-  :func:`repro.flow.objective.throughput_evaluator`. Exact but orders of
-  magnitude slower per evaluation; best used to *score* final candidates
-  or for short polishing runs.
+- **Direct throughput** — any backend of the solver registry
+  (:mod:`repro.flow.solvers`) via
+  :func:`repro.flow.objective.throughput_evaluator`; canonical keys
+  (``edge_lp``) and legacy labels (``edge-lp``) both resolve. Exact but
+  orders of magnitude slower per evaluation; best used to *score* final
+  candidates or for short polishing runs.
 
 All objectives are picklable so the parallel engine can ship them to
 worker processes.

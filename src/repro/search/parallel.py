@@ -109,12 +109,17 @@ def parallel_anneal(
     specs = []
     for index, child in enumerate(spawn_seeds(seed, num_runs)):
         schedule = None
+        anneal_kwargs = dict(kwargs)
         if temperatures is not None:
             t0 = float(temperatures[index])
             schedule = CoolingSchedule(
                 initial_temperature=t0,
                 final_temperature=t0 * temperature_ratio,
             )
+        else:
+            # Auto-calibrated runs must honor the ratio too, not just the
+            # explicit-temperatures branch.
+            anneal_kwargs.setdefault("temperature_ratio", temperature_ratio)
         specs.append(
             _RunSpec(
                 topo=topo,
@@ -122,7 +127,7 @@ def parallel_anneal(
                 steps=steps,
                 seed=child,
                 schedule=schedule,
-                anneal_kwargs=dict(kwargs),
+                anneal_kwargs=anneal_kwargs,
             )
         )
 

@@ -17,23 +17,38 @@ from repro.topology.base import Topology
 SCHEMA_VERSION = 1
 
 
+def encode_node(node):
+    """Encode a switch id as a JSON-safe value.
+
+    int and str ids are preserved natively; tuple ids become tagged lists
+    so :func:`decode_node` can round-trip them. Other id types raise.
+    Shared by topology serialization, flow-result serialization, and the
+    pipeline's content fingerprints.
+    """
+    if isinstance(node, (int, str)):
+        return node
+    if isinstance(node, tuple):
+        return {"tuple": [encode_node(part) for part in node]}
+    raise TopologyError(
+        f"cannot serialize switch id of type {type(node).__name__}: {node!r}"
+    )
+
+
+def decode_node(value):
+    """Invert :func:`encode_node`."""
+    if isinstance(value, dict) and "tuple" in value:
+        return tuple(decode_node(part) for part in value["tuple"])
+    return value
+
+
 def topology_to_dict(topo: Topology) -> dict:
     """Convert a topology to a JSON-safe dictionary.
 
-    Node ids are stringified via ``repr`` round-trippable JSON forms where
-    possible: int and str ids are preserved natively; tuple ids become
-    lists. Other id types raise.
+    Node ids are encoded via :func:`encode_node`: int and str ids are
+    preserved natively; tuple ids become tagged lists. Other id types
+    raise.
     """
-
-    def encode(node):
-        if isinstance(node, (int, str)):
-            return node
-        if isinstance(node, tuple):
-            return {"tuple": [encode(part) for part in node]}
-        raise TopologyError(
-            f"cannot serialize switch id of type {type(node).__name__}: {node!r}"
-        )
-
+    encode = encode_node
     switches = []
     for node in topo.switches:
         switches.append(
@@ -64,11 +79,7 @@ def topology_from_dict(payload: dict) -> Topology:
             f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
         )
 
-    def decode(value):
-        if isinstance(value, dict) and "tuple" in value:
-            return tuple(decode(part) for part in value["tuple"])
-        return value
-
+    decode = decode_node
     topo = Topology(payload.get("name", "topology"))
     for entry in payload["switches"]:
         topo.add_switch(

@@ -17,6 +17,11 @@ from repro.traffic.stride import stride_traffic
 from repro.traffic.hotspot import hotspot_traffic
 from repro.traffic.gravity import gravity_traffic
 from repro.traffic.adversarial import longest_matching_traffic
+from repro.traffic.registry import (
+    available_traffic_models,
+    make_traffic,
+    register_traffic_model,
+)
 
 __all__ = [
     "TrafficMatrix",
@@ -29,4 +34,7 @@ __all__ = [
     "hotspot_traffic",
     "gravity_traffic",
     "longest_matching_traffic",
+    "available_traffic_models",
+    "make_traffic",
+    "register_traffic_model",
 ]

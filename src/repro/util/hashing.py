@@ -1,0 +1,43 @@
+"""Stable content hashing for cache keys and deterministic seeding.
+
+The pipeline's result cache is content-addressed: two sweep cells that
+build byte-identical inputs must map to the same key, across processes and
+Python versions. That rules out ``hash()`` (salted per process) and
+``pickle`` (protocol-dependent); instead values are serialized to a
+canonical JSON form (sorted keys, no whitespace) and digested with
+SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_json(value) -> str:
+    """Serialize ``value`` to canonical JSON text.
+
+    Keys are sorted and separators minimized so logically equal inputs
+    produce identical text. Floats rely on ``repr``-shortest emission,
+    which is deterministic and round-trip exact.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def stable_digest(value, length: int = 64) -> str:
+    """Hex SHA-256 digest of the canonical JSON form, truncated to ``length``."""
+    digest = hashlib.sha256(canonical_json(value).encode("ascii")).hexdigest()
+    return digest[:length]
+
+
+def stable_seed(value, bits: int = 63) -> int:
+    """Deterministic non-negative integer seed derived from ``value``.
+
+    Unlike Python's salted ``hash``, the result is identical across
+    processes and sessions, so sweep cells seeded this way are reproducible
+    no matter how the grid is sliced across workers.
+    """
+    digest = hashlib.sha256(canonical_json(value).encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << bits)

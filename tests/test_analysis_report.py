@@ -66,8 +66,15 @@ class TestWithWorkload:
         assert "<-- bottleneck" in text
 
     def test_unknown_shorthand_rejected(self, small_rrg):
-        with pytest.raises(ValueError, match="shorthand"):
+        from repro.exceptions import TrafficError
+
+        with pytest.raises(TrafficError, match="unknown traffic model"):
             analyze_network(small_rrg, traffic="all-the-things")
+
+    def test_registry_shorthands(self, small_rrg):
+        analysis = analyze_network(small_rrg, traffic="gravity")
+        assert analysis.traffic_name == "gravity"
+        assert analysis.throughput is not None
 
 
 class TestCliIntegration:

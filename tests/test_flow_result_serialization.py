@@ -1,0 +1,79 @@
+"""ThroughputResult.to_dict/from_dict round trips (the cache's format)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.flow.result import ThroughputResult
+
+
+def _round_trip(result: ThroughputResult) -> ThroughputResult:
+    # Through actual JSON text, as the on-disk cache does.
+    return ThroughputResult.from_dict(json.loads(json.dumps(result.to_dict())))
+
+
+class TestRoundTrip:
+    def test_solved_result(self, small_rrg, small_rrg_traffic):
+        original = max_concurrent_flow(small_rrg, small_rrg_traffic)
+        restored = _round_trip(original)
+        assert restored.throughput == original.throughput
+        assert restored.total_demand == original.total_demand
+        assert restored.solver == original.solver
+        assert restored.exact == original.exact
+        assert restored.arc_capacities == original.arc_capacities
+        for arc, flow in original.arc_flows.items():
+            assert restored.arc_flows.get(arc, 0.0) == flow
+
+    def test_derived_quantities_survive(self, small_rrg, small_rrg_traffic):
+        original = max_concurrent_flow(small_rrg, small_rrg_traffic)
+        restored = _round_trip(original)
+        assert restored.utilization == pytest.approx(original.utilization)
+        assert restored.total_capacity == pytest.approx(original.total_capacity)
+        assert restored.max_utilization() == pytest.approx(
+            original.max_utilization()
+        )
+        restored.validate_feasibility()
+
+    def test_commodity_flows(self, small_rrg, small_rrg_traffic):
+        original = max_concurrent_flow(
+            small_rrg, small_rrg_traffic, keep_commodity_flows=True
+        )
+        assert original.commodity_flows is not None
+        restored = _round_trip(original)
+        assert restored.commodity_flows is not None
+        assert set(restored.commodity_flows) == set(original.commodity_flows)
+        for source, flows in original.commodity_flows.items():
+            assert restored.commodity_flows[source] == flows
+
+    def test_commodity_flows_absent_stays_none(self):
+        result = ThroughputResult(throughput=1.0)
+        assert _round_trip(result).commodity_flows is None
+
+    def test_tuple_node_ids(self):
+        # Heterogeneous topologies key switches as ("L", 0)-style tuples.
+        result = ThroughputResult(
+            throughput=0.5,
+            arc_flows={(("L", 0), ("S", 1)): 0.25},
+            arc_capacities={(("L", 0), ("S", 1)): 1.0, (("S", 1), ("L", 0)): 1.0},
+            total_demand=2.0,
+            solver="edge-lp",
+        )
+        restored = _round_trip(result)
+        assert restored.arc_flows == {(("L", 0), ("S", 1)): 0.25}
+        assert restored.arc_capacities == result.arc_capacities
+
+    def test_floats_bit_exact(self):
+        value = 1.0 / 3.0
+        result = ThroughputResult(
+            throughput=value,
+            arc_flows={(0, 1): value * 7},
+            arc_capacities={(0, 1): 1.0},
+            total_demand=value * 13,
+        )
+        restored = _round_trip(result)
+        assert restored.throughput == value
+        assert restored.arc_flows[(0, 1)] == value * 7
+        assert restored.total_demand == value * 13

@@ -1,0 +1,149 @@
+"""Content fingerprints and the on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.flow.solvers import SolverConfig
+from repro.pipeline.cache import CACHE_ENV_VAR, ResultCache, default_cache
+from repro.pipeline.fingerprint import (
+    result_key,
+    solver_fingerprint,
+    topology_fingerprint,
+    traffic_fingerprint,
+)
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+from repro.traffic.stride import stride_traffic
+
+
+@pytest.fixture
+def instance():
+    topo = random_regular_topology(10, 4, servers_per_switch=2, seed=3)
+    traffic = random_permutation_traffic(topo, seed=4)
+    return topo, traffic
+
+
+class TestFingerprints:
+    def test_topology_fingerprint_stable(self, instance):
+        topo, _ = instance
+        assert topology_fingerprint(topo) == topology_fingerprint(topo)
+
+    def test_same_content_same_fingerprint(self):
+        a = random_regular_topology(10, 4, servers_per_switch=2, seed=3)
+        b = random_regular_topology(10, 4, servers_per_switch=2, seed=3)
+        assert topology_fingerprint(a) == topology_fingerprint(b)
+
+    def test_name_excluded(self):
+        a = random_regular_topology(10, 4, seed=3, name="alpha")
+        b = random_regular_topology(10, 4, seed=3, name="beta")
+        assert topology_fingerprint(a) == topology_fingerprint(b)
+
+    def test_different_graph_different_fingerprint(self):
+        a = random_regular_topology(10, 4, seed=3)
+        b = random_regular_topology(10, 4, seed=4)
+        assert topology_fingerprint(a) != topology_fingerprint(b)
+
+    def test_capacity_matters(self, instance):
+        topo, _ = instance
+        before = topology_fingerprint(topo)
+        link = topo.links[0]
+        topo.remove_link(link.u, link.v)
+        topo.add_link(link.u, link.v, capacity=2.5)
+        assert topology_fingerprint(topo) != before
+
+    def test_traffic_fingerprint(self, instance):
+        topo, traffic = instance
+        same = random_permutation_traffic(topo, seed=4)
+        other = random_permutation_traffic(topo, seed=5)
+        assert traffic_fingerprint(traffic) == traffic_fingerprint(same)
+        assert traffic_fingerprint(traffic) != traffic_fingerprint(other)
+
+    def test_traffic_name_excluded(self, instance):
+        topo, _ = instance
+        a = stride_traffic(topo, stride=1, name="x")
+        b = stride_traffic(topo, stride=1, name="y")
+        assert traffic_fingerprint(a) == traffic_fingerprint(b)
+
+    def test_solver_fingerprint_includes_options(self):
+        a = solver_fingerprint(SolverConfig.make("path_lp", k=4))
+        b = solver_fingerprint(SolverConfig.make("path_lp", k=8))
+        c = solver_fingerprint(SolverConfig.make("path_lp", k=4))
+        assert a != b
+        assert a == c
+
+    def test_result_key_composition(self):
+        key = result_key("t" * 64, "m" * 64, "s" * 64)
+        assert len(key) == 64
+        assert key != result_key("t" * 64, "m" * 64, "x" * 64)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path, instance):
+        topo, traffic = instance
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        result = max_concurrent_flow(topo, traffic)
+        cache.put(key, result, meta={"note": "test"})
+        assert key in cache
+        restored = cache.get(key)
+        assert restored is not None
+        assert restored.throughput == result.throughput
+        assert restored.arc_capacities == result.arc_capacities
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        from repro.flow.result import ThroughputResult
+
+        cache.put("aa" + "0" * 62, ThroughputResult(throughput=1.0))
+        cache.put("bb" + "0" * 62, ThroughputResult(throughput=2.0))
+        assert len(cache) == 2
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cc" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_schema_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "dd" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"schema_version": -1, "result": {}}), encoding="utf-8"
+        )
+        assert cache.get(key) is None
+
+    def test_valid_json_wrong_shape_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ee" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"schema_version": 1, "unexpected": True}),
+            encoding="utf-8",
+        )
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_default_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert default_cache() is None
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        cache = default_cache()
+        assert cache is not None
+        assert cache.root == tmp_path
+
+    def test_default_cache_memoized_per_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        assert default_cache() is default_cache()

@@ -1,0 +1,178 @@
+"""Sweep engine: cached evaluation, serial/parallel equivalence, artifacts."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.flow.solvers import SolverConfig
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.engine import evaluate_cell, evaluate_throughput, run_grid
+from repro.pipeline.scenario import ScenarioGrid, TopologySpec, TrafficSpec
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+
+def small_grid(**overrides) -> ScenarioGrid:
+    kwargs = dict(
+        name="engine-test",
+        topologies=(
+            TopologySpec.make("rrg", network_degree=4, servers_per_switch=2),
+        ),
+        traffics=(TrafficSpec.make("permutation"),),
+        solvers=(SolverConfig("edge_lp"), SolverConfig("ecmp")),
+        sizes=(8, 10),
+        seeds=2,
+    )
+    kwargs.update(overrides)
+    return ScenarioGrid(**kwargs)
+
+
+@pytest.fixture
+def instance():
+    topo = random_regular_topology(10, 4, servers_per_switch=2, seed=3)
+    traffic = random_permutation_traffic(topo, seed=4)
+    return topo, traffic
+
+
+class TestEvaluateThroughput:
+    def test_matches_direct_solve(self, instance):
+        topo, traffic = instance
+        direct = max_concurrent_flow(topo, traffic)
+        via = evaluate_throughput(topo, traffic, cache=False)
+        assert via.throughput == pytest.approx(direct.throughput)
+
+    def test_cache_round_trip(self, tmp_path, instance):
+        topo, traffic = instance
+        cache = ResultCache(tmp_path)
+        first = evaluate_throughput(topo, traffic, cache=cache)
+        assert cache.misses == 1
+        second = evaluate_throughput(topo, traffic, cache=cache)
+        assert cache.hits == 1
+        assert second.throughput == first.throughput
+        assert second.arc_capacities == first.arc_capacities
+
+    def test_cache_distinguishes_solver_options(self, tmp_path, instance):
+        topo, traffic = instance
+        cache = ResultCache(tmp_path)
+        k1 = evaluate_throughput(topo, traffic, solver="path_lp", cache=cache, k=1)
+        k8 = evaluate_throughput(topo, traffic, solver="path_lp", cache=cache, k=8)
+        assert cache.hits == 0
+        assert k1.throughput <= k8.throughput + 1e-9
+
+    def test_env_default_cache(self, tmp_path, monkeypatch, instance):
+        topo, traffic = instance
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        evaluate_throughput(topo, traffic)
+        assert len(ResultCache(tmp_path)) == 1
+
+    def test_cache_true_uses_env_default(self, tmp_path, monkeypatch, instance):
+        topo, traffic = instance
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        evaluate_throughput(topo, traffic, cache=True)
+        assert len(ResultCache(tmp_path)) == 1
+        # With no env var, cache=True degrades to an uncached solve.
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        result = evaluate_throughput(topo, traffic, cache=True)
+        assert result.throughput > 0
+
+
+class TestEvaluateCell:
+    def test_cell_result_fields(self, tmp_path):
+        cell = small_grid().cells()[0]
+        result = evaluate_cell(cell, cache=ResultCache(tmp_path))
+        assert result.throughput > 0
+        assert result.num_switches == 8
+        assert not result.cache_hit
+        assert len(result.key) == 64
+        again = evaluate_cell(cell, cache=ResultCache(tmp_path))
+        assert again.cache_hit
+        assert again.throughput == result.throughput
+
+    def test_row_is_flat(self):
+        cell = small_grid().cells()[0]
+        result = evaluate_cell(cell)
+        row = result.row()
+        assert set(row) == set(result.FIELDS)
+
+
+class TestRunGrid:
+    def test_serial_results_deterministic(self):
+        a = run_grid(small_grid())
+        b = run_grid(small_grid())
+        assert [c.throughput for c in a.cells] == [c.throughput for c in b.cells]
+
+    def test_parallel_matches_serial(self):
+        serial = run_grid(small_grid(), workers=1)
+        parallel = run_grid(small_grid(), workers=2)
+        assert [c.throughput for c in serial.cells] == [
+            c.throughput for c in parallel.cells
+        ]
+
+    def test_warm_cache_hits_every_cell(self, tmp_path):
+        cold = run_grid(small_grid(), cache_dir=str(tmp_path))
+        warm = run_grid(small_grid(), cache_dir=str(tmp_path))
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(warm.cells)
+        assert [c.throughput for c in cold.cells] == [
+            c.throughput for c in warm.cells
+        ]
+
+    def test_cache_shared_across_solver_agnostic_axes(self, tmp_path):
+        # Same (topology, traffic, solver) content from a differently
+        # *named* grid still hits: the cache is content-addressed.
+        run_grid(small_grid(), cache_dir=str(tmp_path))
+        renamed = run_grid(
+            small_grid(name="other-name"), cache_dir=str(tmp_path)
+        )
+        assert renamed.cache_hits == len(renamed.cells)
+
+    def test_progress_callback(self):
+        seen = []
+        run_grid(
+            small_grid(seeds=1, sizes=(8,)),
+            progress=lambda done, total, cell: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_workers_validated(self):
+        with pytest.raises(Exception):
+            run_grid(small_grid(), workers=0)
+
+
+class TestArtifacts:
+    def test_json_artifact(self, tmp_path):
+        sweep = run_grid(small_grid(seeds=1))
+        path = tmp_path / "sweep.json"
+        sweep.write_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["grid"]["name"] == "engine-test"
+        assert len(payload["cells"]) == len(sweep.cells)
+        assert payload["summary"]
+        restored = ScenarioGrid.from_dict(payload["grid"])
+        assert restored == sweep.grid
+
+    def test_csv_artifact(self, tmp_path):
+        sweep = run_grid(small_grid(seeds=1))
+        path = tmp_path / "sweep.csv"
+        sweep.write_csv(str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(sweep.cells)
+        assert float(rows[0]["throughput"]) == pytest.approx(
+            sweep.cells[0].throughput
+        )
+
+    def test_summary_table_renders(self):
+        sweep = run_grid(small_grid(seeds=1))
+        table = sweep.to_table()
+        assert "engine-test" in table
+        assert "edge_lp" in table
+
+    def test_mean_series_aggregates_replicates(self):
+        sweep = run_grid(small_grid())
+        for entry in sweep.mean_series():
+            assert entry["replicates"] == 2

@@ -1,0 +1,155 @@
+"""ScenarioGrid enumeration, deterministic seeding, spec round trips."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.flow.solvers import SolverConfig
+from repro.pipeline.scenario import Scenario, ScenarioGrid, TopologySpec, TrafficSpec
+
+
+def small_grid(**overrides) -> ScenarioGrid:
+    kwargs = dict(
+        name="t",
+        topologies=(TopologySpec.make("rrg", network_degree=4, servers_per_switch=2),),
+        traffics=(TrafficSpec.make("permutation"),),
+        solvers=(SolverConfig("edge_lp"),),
+        sizes=(8, 10),
+        seeds=2,
+    )
+    kwargs.update(overrides)
+    return ScenarioGrid(**kwargs)
+
+
+class TestSpecs:
+    def test_topology_spec_roundtrip(self):
+        spec = TopologySpec.make("rrg", network_degree=6, servers_per_switch=4)
+        assert TopologySpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_traffic_spec_roundtrip(self):
+        spec = TrafficSpec.make("stride", stride=3)
+        assert TrafficSpec.from_dict(spec.to_dict()) == spec
+
+    def test_param_order_irrelevant(self):
+        a = TopologySpec.make("rrg", network_degree=6, servers_per_switch=4)
+        b = TopologySpec(
+            "rrg", params=(("servers_per_switch", 4), ("network_degree", 6))
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_build_injects_size_and_seed(self):
+        spec = TopologySpec.make("rrg", network_degree=4)
+        topo = spec.build(seed=3, size=9)
+        assert topo.num_switches == 9
+
+    def test_seedless_factory_supported(self):
+        spec = TopologySpec.make("hypercube", dimension=3)
+        topo = spec.build(seed=42)  # hypercube takes no seed; must not raise
+        assert topo.num_switches == 8
+
+    def test_traffic_spec_build(self):
+        topo = TopologySpec.make(
+            "rrg", network_degree=4, servers_per_switch=2
+        ).build(seed=1, size=8)
+        tm = TrafficSpec.make("stride", stride=2).build(topo)
+        assert tm.total_demand > 0
+
+
+class TestGrid:
+    def test_cell_count(self):
+        grid = small_grid(
+            traffics=(TrafficSpec.make("permutation"), TrafficSpec.make("gravity")),
+            solvers=(SolverConfig("edge_lp"), SolverConfig("ecmp")),
+        )
+        # 1 topology x 2 sizes x 2 traffics x 2 seeds x 2 solvers
+        assert len(grid) == 16
+        assert len(grid.cells()) == 16
+
+    def test_no_sizes_axis(self):
+        grid = small_grid(sizes=None)
+        assert len(grid.cells()) == 2
+        assert all(cell.size is None for cell in grid.cells())
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            small_grid(topologies=())
+        with pytest.raises(ExperimentError):
+            small_grid(seeds=0)
+        with pytest.raises(ExperimentError):
+            small_grid(solvers=())
+
+    def test_dict_roundtrip(self):
+        grid = small_grid(
+            solvers=(SolverConfig.make("path_lp", k=4),),
+            base_seed=9,
+        )
+        restored = ScenarioGrid.from_dict(json.loads(json.dumps(grid.to_dict())))
+        assert restored == grid
+
+    def test_cells_picklable(self):
+        cells = small_grid().cells()
+        assert pickle.loads(pickle.dumps(cells)) == cells
+
+
+class TestDeterministicSeeding:
+    def test_seeds_stable_across_enumerations(self):
+        a = {c.label(): c.seed for c in small_grid().cells()}
+        b = {c.label(): c.seed for c in small_grid().cells()}
+        assert a == b
+
+    def test_seed_independent_of_other_axes(self):
+        """Adding a solver column must not change any cell's seed."""
+        base = small_grid()
+        wider = small_grid(solvers=(SolverConfig("edge_lp"), SolverConfig("ecmp")))
+        base_seeds = {
+            (c.topology, c.traffic, c.size, c.replicate): c.seed
+            for c in base.cells()
+        }
+        for cell in wider.cells():
+            key = (cell.topology, cell.traffic, cell.size, cell.replicate)
+            assert cell.seed == base_seeds[key]
+
+    def test_solver_columns_share_instances(self):
+        grid = small_grid(
+            solvers=(SolverConfig("edge_lp"), SolverConfig("ecmp")), seeds=1
+        )
+        by_solver: dict = {}
+        for cell in grid.cells():
+            if cell.size != 8:
+                continue
+            topo, traffic = cell.build()
+            by_solver[cell.solver.name] = (
+                sorted((link.u, link.v) for link in topo.links),
+                traffic.demands,
+            )
+        assert by_solver["edge_lp"] == by_solver["ecmp"]
+
+    def test_replicates_differ(self):
+        grid = small_grid()
+        seeds = {c.seed for c in grid.cells()}
+        assert len(seeds) == 4  # 2 sizes x 2 replicates, all distinct
+
+    def test_base_seed_changes_cells(self):
+        a = {c.seed for c in small_grid().cells()}
+        b = {c.seed for c in small_grid(base_seed=1).cells()}
+        assert a != b
+
+    def test_build_deterministic(self):
+        cell = small_grid().cells()[0]
+        topo_a, traffic_a = cell.build()
+        topo_b, traffic_b = cell.build()
+        assert sorted((l.u, l.v) for l in topo_a.links) == sorted(
+            (l.u, l.v) for l in topo_b.links
+        )
+        assert traffic_a.demands == traffic_b.demands
+
+    def test_scenario_to_dict_is_jsonable(self):
+        cell = small_grid().cells()[0]
+        payload = json.loads(json.dumps(cell.to_dict()))
+        assert payload["seed"] == cell.seed
+        assert isinstance(cell, Scenario)

@@ -1,0 +1,92 @@
+"""The ``repro-experiments sweep`` CLI: flags, grid files, artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+BASE_FLAGS = [
+    "sweep",
+    "--topologies", "rrg",
+    "--topo-param", "network_degree=4",
+    "--topo-param", "servers_per_switch=2",
+    "--sizes", "8,10",
+    "--traffics", "permutation",
+    "--solvers", "edge_lp,ecmp",
+    "--seeds", "1",
+    "--quiet",
+]
+
+
+class TestSweepCommand:
+    def test_basic_sweep(self, capsys):
+        assert main(BASE_FLAGS) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out  # 2 sizes x 2 solvers x 1 seed
+        assert "edge_lp" in out and "ecmp" in out
+
+    def test_artifacts_written(self, tmp_path, capsys):
+        json_path = tmp_path / "sweep.json"
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            BASE_FLAGS + ["--json", str(json_path), "--csv", str(csv_path)]
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert len(payload["cells"]) == 4
+        assert csv_path.read_text().count("\n") == 5  # header + 4 cells
+
+    def test_cache_reuse(self, tmp_path, capsys):
+        cache_flags = BASE_FLAGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(cache_flags) == 0
+        assert main(cache_flags) == 0
+        out = capsys.readouterr().out
+        assert "4 cache hits" in out
+
+    def test_grid_config_file(self, tmp_path, capsys):
+        grid = {
+            "name": "from-file",
+            "topologies": [
+                {"kind": "rrg", "params": {"network_degree": 4,
+                                           "servers_per_switch": 2}}
+            ],
+            "traffics": [{"model": "stride", "params": {"stride": 2}}],
+            "solvers": [{"name": "ecmp"}],
+            "sizes": [8],
+            "seeds": 2,
+        }
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(grid))
+        assert main(["sweep", "--grid", str(path), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "from-file" in out
+        assert "2 cells" in out
+
+    def test_deterministic_across_invocations(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(BASE_FLAGS + ["--json", str(a)]) == 0
+        assert main(BASE_FLAGS + ["--json", str(b)]) == 0
+        cells_a = json.loads(a.read_text())["cells"]
+        cells_b = json.loads(b.read_text())["cells"]
+        assert [c["throughput"] for c in cells_a] == [
+            c["throughput"] for c in cells_b
+        ]
+
+    def test_bad_param_flag(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--topo-param", "notkeyvalue"])
+
+    def test_analyze_accepts_registry_models(self, tmp_path, capsys):
+        from repro.topology.random_regular import random_regular_topology
+        from repro.topology.serialization import save_topology
+
+        topo = random_regular_topology(8, 3, servers_per_switch=2, seed=1)
+        path = str(tmp_path / "topo.json")
+        save_topology(topo, path)
+        assert main(["analyze", path, "--traffic", "gravity"]) == 0
+        out = capsys.readouterr().out
+        assert "gravity" in out
