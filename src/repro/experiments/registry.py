@@ -14,7 +14,7 @@ from typing import Callable
 from repro.exceptions import ExperimentError
 from repro.experiments import extra, fig01, fig02, fig03, fig04, fig05, fig06
 from repro.experiments import fig07, fig08, fig09, fig10, fig11, fig12, fig13
-from repro.experiments import search_study
+from repro.experiments import resilience, search_study
 from repro.experiments.common import ExperimentResult
 
 
@@ -291,6 +291,18 @@ _register(
         extra.run_extra_latency,
         "Extension: packet delay percentiles vs offered load",
         {"num_switches": 16, "degree": 6, "loads": (2, 4, 8, 12)},
+    )
+)
+_register(
+    ExperimentSpec(
+        "resilience",
+        resilience.run_resilience,
+        "Extension: throughput retained under failures, RRG vs fat-tree vs VL2",
+        {
+            "k": 6,
+            "rates": (0.0, 0.02, 0.05, 0.1, 0.2, 0.3),
+            "runs": 5,
+        },
     )
 )
 _register(

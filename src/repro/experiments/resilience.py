@@ -1,0 +1,147 @@
+"""Degraded-fabric study: throughput retained under equipment failures.
+
+The paper argues for random-graph fabrics on intact-network throughput;
+the companion throughput-measurement line of work (Jyothi et al.) and
+the topology surveys weight *fault tolerance* just as heavily when
+comparing structured designs against random graphs. This experiment
+measures the comparison directly: throughput versus failure rate for a
+random graph, a fat-tree, and a VL2 built from matched equipment, each
+curve normalized to its own intact-fabric throughput ("fraction of
+intact throughput retained").
+
+Equipment matching: a k-ary fat-tree has ``5k^2/4`` switches of ``k``
+ports hosting ``k^3/4`` servers. The random fabric gets *exactly* that
+equipment — same switch count, same per-switch port budget, servers
+spread as evenly as the counts allow, every remaining port wired into a
+uniform-random interconnect (the §5.1 construction). VL2 is built at the
+same server count with ``DA = DI = k`` (its own design point uses
+10-GbE aggregation links, so its switch count differs; the comparison is
+servers-for-servers, which is how VL2 is deployed).
+
+Degraded fabrics are solved with ``unreachable="drop"``: if a failure
+pattern strands demand, the throughput concerns the served pairs and the
+run also reports the mean served fraction in the result metadata.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSeries,
+    mean_and_std,
+)
+from repro.pipeline.engine import evaluate_throughput
+from repro.resilience import FailureSpec, apply_failures, failure_seed
+from repro.topology.base import Topology
+from repro.topology.fattree import fat_tree_topology
+from repro.topology.heterogeneous import heterogeneous_random_topology
+from repro.topology.vl2 import vl2_topology
+from repro.traffic.permutation import random_permutation_traffic
+from repro.util.rng import spawn_seeds
+
+
+def matched_random_topology(k: int, seed=None) -> Topology:
+    """Random fabric from exactly a k-ary fat-tree's equipment.
+
+    ``5k^2/4`` switches of ``k`` ports each; ``k^3/4`` servers spread as
+    evenly as possible; all remaining ports in a uniform-random
+    interconnect.
+    """
+    num_switches = 5 * k * k // 4
+    num_servers = k * k * k // 4
+    base, remainder = divmod(num_servers, num_switches)
+    port_counts = {f"s{i}": k for i in range(num_switches)}
+    servers = {
+        f"s{i}": base + (1 if i < remainder else 0)
+        for i in range(num_switches)
+    }
+    return heterogeneous_random_topology(
+        port_counts, servers, seed=seed, name=f"matched-random(k={k})"
+    )
+
+
+def _families(k: int):
+    """(label, builder(child_seed) -> topology) for the three designs."""
+    return (
+        ("Random (matched equipment)", lambda child: matched_random_topology(k, seed=child)),
+        (f"Fat-tree (k={k})", lambda child: fat_tree_topology(k)),
+        (f"VL2 (DA=DI={k})", lambda child: vl2_topology(k, k, servers_per_tor=k)),
+    )
+
+
+def run_resilience(
+    k: int = 4,
+    rates: "tuple[float, ...]" = (0.0, 0.05, 0.1, 0.2),
+    failure_model: str = "random_links",
+    solver: str = "edge_lp",
+    runs: int = 3,
+    seed: "int | None" = 0,
+) -> ExperimentResult:
+    """Fraction of intact throughput retained vs failure rate.
+
+    Per run: build each family's fabric (the random fabric re-samples per
+    run; fat-tree and VL2 are deterministic), offer one random
+    permutation workload generated on the *intact* fabric, then degrade
+    with nested failure sets (rate ``a``'s failures are a subset of rate
+    ``b > a``'s for one run) and re-solve with ``unreachable="drop"``.
+    """
+    result = ExperimentResult(
+        experiment_id="resilience",
+        title="Throughput retained under failures (matched equipment)",
+        x_label=f"{failure_model} failure rate",
+        y_label="throughput (fraction of intact)",
+        metadata={
+            "k": k,
+            "solver": solver,
+            "failure_model": failure_model,
+            "runs": runs,
+            "seed": seed,
+        },
+    )
+    served_fractions: dict[str, dict[float, list[float]]] = {}
+    for family_index, (label, build) in enumerate(_families(k)):
+        series = ExperimentSeries(label)
+        ratios_by_rate: dict[float, list[float]] = {rate: [] for rate in rates}
+        fractions_by_rate: dict[float, list[float]] = {}
+        root = None if seed is None else seed * 86_243 + family_index
+        for child in spawn_seeds(root, runs):
+            topo = build(child)
+            traffic = random_permutation_traffic(topo, seed=child)
+            intact = evaluate_throughput(topo, traffic, solver=solver)
+            if intact.throughput <= 0:
+                continue
+            draw_seed = int(child.generate_state(1, dtype="uint64")[0])
+            for rate in rates:
+                spec = FailureSpec.make(failure_model, rate=rate)
+                if spec.is_null():
+                    ratios_by_rate[rate].append(1.0)
+                    continue
+                degraded = apply_failures(
+                    topo, spec, seed=failure_seed(draw_seed, spec)
+                )
+                outcome = evaluate_throughput(
+                    degraded, traffic, solver=solver, unreachable="drop"
+                )
+                ratios_by_rate[rate].append(
+                    outcome.throughput / intact.throughput
+                )
+                fractions_by_rate.setdefault(rate, []).append(
+                    outcome.served_fraction
+                )
+        for rate in rates:
+            mean, std = mean_and_std(ratios_by_rate[rate])
+            series.add(rate, mean, std)
+        served_fractions[label] = fractions_by_rate
+        result.add_series(series)
+    # Served fraction per family *per rate* (intact cells excluded: they
+    # serve everything by definition and would only dilute the signal).
+    # Throughput ratios must be read alongside this — a partitioned
+    # fabric can post a high rate over little traffic.
+    result.metadata["mean_served_fraction"] = {
+        label: {
+            rate: mean_and_std(values)[0]
+            for rate, values in sorted(by_rate.items())
+        }
+        for label, by_rate in served_fractions.items()
+    }
+    return result

@@ -12,6 +12,9 @@ Examples::
         --traffics permutation,stride --solvers edge_lp,ecmp --seeds 3 \\
         --workers 4 --cache-dir .sweep-cache --json sweep.json --csv sweep.csv
     repro-experiments sweep --grid grid.json --workers 4
+    repro-experiments sweep --topologies rrg --topo-param network_degree=6 \\
+        --topo-param servers_per_switch=4 --sizes 24 --seeds 3 \\
+        --failure-rates 0 0.02 0.05 0.1 --failure-model random_links
 """
 
 from __future__ import annotations
@@ -105,7 +108,8 @@ def _build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="JSON grid config file (ScenarioGrid.to_dict schema); other "
-        "grid flags are ignored when given",
+        "grid flags are ignored when given, except the failure flags, "
+        "which apply on top",
     )
     sweep.add_argument(
         "--name", type=str, default="sweep", help="grid name for artifacts"
@@ -161,6 +165,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="solver option, applied to every solver (repeatable)",
     )
     sweep.add_argument(
+        "--failure-rates",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="RATE",
+        help="failure axis: one grid column per rate (0 means the intact "
+        "fabric; its cells share seeds and cache entries with "
+        "failure-free sweeps)",
+    )
+    sweep.add_argument(
+        "--failure-model",
+        type=str,
+        default="random_links",
+        help="failure model for --failure-rates: random_links, "
+        "random_switches, or correlated (default: random_links)",
+    )
+    sweep.add_argument(
+        "--failure-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="failure-model parameter, e.g. cluster=small for correlated "
+        "failures (repeatable)",
+    )
+    sweep.add_argument(
+        "--unreachable",
+        type=str,
+        choices=("error", "drop"),
+        default=None,
+        help="demand policy on partitioned fabrics; failure cells default "
+        "to 'drop', intact cells to 'error'",
+    )
+    sweep.add_argument(
         "--seeds", type=int, default=1, help="replicates per combination"
     )
     sweep.add_argument(
@@ -187,17 +223,52 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _failure_axis(args) -> "tuple | None":
+    """Build the failure axis from --failure-* flags (None when absent)."""
+    if not args.failure_rates:
+        return None
+    from repro.resilience import FailureSpec
+
+    params = _parse_params(args.failure_param)
+    return tuple(
+        FailureSpec.make(args.failure_model, rate=rate, **params)
+        for rate in args.failure_rates
+    )
+
+
 def _grid_from_args(args) -> "object":
+    from dataclasses import replace
+
     from repro.flow.solvers import SolverConfig
     from repro.pipeline.scenario import ScenarioGrid, TopologySpec, TrafficSpec
 
+    failures = _failure_axis(args)
     if args.grid:
         with open(args.grid, "r", encoding="utf-8") as handle:
-            return ScenarioGrid.from_dict(json.load(handle))
+            grid = ScenarioGrid.from_dict(json.load(handle))
+        if failures is not None:
+            grid = replace(grid, failures=failures)
+        if args.unreachable is not None:
+            grid = replace(
+                grid,
+                solvers=tuple(
+                    SolverConfig.make(
+                        config.name,
+                        **{
+                            **config.options_dict(),
+                            "unreachable": args.unreachable,
+                        },
+                    )
+                    for config in grid.solvers
+                ),
+            )
+        return grid
 
     topo_params = _parse_params(args.topo_param)
     traffic_params = _parse_params(args.traffic_param)
     solver_params = _parse_params(args.solver_param)
+    if args.unreachable is not None:
+        solver_params["unreachable"] = args.unreachable
     sizes = (
         tuple(int(s) for s in _split_list(args.sizes)) if args.sizes else None
     )
@@ -219,6 +290,7 @@ def _grid_from_args(args) -> "object":
         seeds=args.seeds,
         base_seed=args.base_seed,
         size_param=args.size_param,
+        failures=failures,
     )
 
 

@@ -18,6 +18,10 @@ Three engines are provided:
 """
 
 from repro.flow.result import ThroughputResult
+from repro.flow.reachability import (
+    UNREACHABLE_POLICIES,
+    split_unreachable_demands,
+)
 from repro.flow.edge_lp import max_concurrent_flow
 from repro.flow.path_lp import max_concurrent_flow_paths
 from repro.flow.approx import garg_koenemann_throughput
@@ -49,6 +53,8 @@ from repro.flow.path_decomposition import (
 
 __all__ = [
     "ThroughputResult",
+    "UNREACHABLE_POLICIES",
+    "split_unreachable_demands",
     "max_concurrent_flow",
     "max_concurrent_flow_paths",
     "garg_koenemann_throughput",

@@ -22,13 +22,17 @@ graphs — the Jellyfish finding that motivated MPTCP over k-shortest paths).
 from __future__ import annotations
 
 from repro.exceptions import FlowError
+from repro.flow.reachability import resolve_unreachable, unserved_result
 from repro.flow.result import ThroughputResult
 from repro.metrics.paths import all_shortest_paths, shortest_path_lengths_from
 from repro.topology.base import Topology
 from repro.traffic.base import TrafficMatrix
+from repro.util.validation import check_positive_int
 
-#: Cap on enumerated paths per pair in per-path mode (shortest-path counts
-#: can grow combinatorially).
+#: Default cap on enumerated paths per pair in per-path mode
+#: (shortest-path counts can grow combinatorially). Pairs that hit the
+#: cap split over the enumerated subset only — a bias the result reports
+#: via :attr:`~repro.flow.result.ThroughputResult.truncated_pairs`.
 MAX_PATHS_PER_PAIR = 256
 
 
@@ -36,15 +40,31 @@ def ecmp_throughput(
     topo: Topology,
     traffic: TrafficMatrix,
     mode: str = "per-hop",
+    unreachable: str = "error",
+    max_paths: int = MAX_PATHS_PER_PAIR,
 ) -> ThroughputResult:
     """Fluid ECMP throughput for a traffic matrix.
 
     Returns a :class:`ThroughputResult` whose arc flows are the ECMP loads
     scaled by the achieved ``t`` (so utilization/decomposition helpers work
     unchanged). ``exact=False``: ECMP is a restricted routing policy.
+
+    ``unreachable`` chooses the degraded-fabric policy (``"error"`` raises
+    on unroutable demands, ``"drop"`` serves what it can — see
+    :mod:`repro.flow.reachability`). ``max_paths`` caps per-pair path
+    enumeration in per-path mode; pairs that hit it are counted in
+    ``result.truncated_pairs`` instead of being truncated silently.
     """
     if mode not in ("per-hop", "per-path"):
         raise FlowError(f"unknown ECMP mode {mode!r}")
+    check_positive_int(max_paths, "max_paths")
+    traffic, dropped, dropped_demand = resolve_unreachable(
+        topo, traffic, unreachable
+    )
+    if dropped and not traffic.demands:
+        return unserved_result(
+            topo, f"ecmp-{mode}", dropped, dropped_demand, exact=False
+        )
     traffic.validate_against(topo.switches)
     if not traffic.demands:
         raise FlowError("traffic matrix has no network demands")
@@ -53,10 +73,11 @@ def ecmp_throughput(
     loads = {(u, v): 0.0 for u, v, _ in arcs}
     caps = {(u, v): float(cap) for u, v, cap in arcs}
 
+    truncated = 0
     if mode == "per-hop":
         _accumulate_per_hop(topo, traffic, loads)
     else:
-        _accumulate_per_path(topo, traffic, loads)
+        truncated = _accumulate_per_path(topo, traffic, loads, max_paths)
 
     throughput = float("inf")
     for arc, load in loads.items():
@@ -72,6 +93,9 @@ def ecmp_throughput(
         total_demand=traffic.total_demand,
         solver=f"ecmp-{mode}",
         exact=False,
+        dropped_pairs=tuple(dropped),
+        dropped_demand=dropped_demand,
+        truncated_pairs=truncated,
     )
 
 
@@ -112,14 +136,24 @@ def _accumulate_per_hop(
 
 
 def _accumulate_per_path(
-    topo: Topology, traffic: TrafficMatrix, loads: dict
-) -> None:
-    """Equal split over the enumerated shortest-path set of each pair."""
+    topo: Topology, traffic: TrafficMatrix, loads: dict, max_paths: int
+) -> int:
+    """Equal split over the enumerated shortest-path set of each pair.
+
+    Enumerates one path past the cap to detect truncation; returns the
+    number of pairs whose shortest-path set exceeded ``max_paths`` (their
+    demand splits over the first ``max_paths`` enumerated paths only).
+    """
+    truncated = 0
     for (u, v), units in traffic.demands.items():
-        paths = list(all_shortest_paths(topo, u, v, limit=MAX_PATHS_PER_PAIR))
+        paths = list(all_shortest_paths(topo, u, v, limit=max_paths + 1))
         if not paths:
             raise FlowError(f"demand {u!r}->{v!r} has no path")
+        if len(paths) > max_paths:
+            truncated += 1
+            paths = paths[:max_paths]
         share = float(units) / len(paths)
         for path in paths:
             for a, b in zip(path[:-1], path[1:]):
                 loads[(a, b)] += share
+    return truncated

@@ -23,6 +23,7 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.exceptions import FlowError, SolverError
+from repro.flow.reachability import resolve_unreachable, unserved_result
 from repro.flow.result import ThroughputResult
 from repro.topology.base import Topology
 from repro.traffic.base import TrafficMatrix
@@ -33,6 +34,7 @@ def max_concurrent_flow(
     traffic: TrafficMatrix,
     aggregate_by_source: bool = True,
     keep_commodity_flows: bool = False,
+    unreachable: str = "error",
 ) -> ThroughputResult:
     """Solve the exact max concurrent flow problem.
 
@@ -52,12 +54,24 @@ def max_concurrent_flow(
         switch). Required by exact path decomposition
         (:mod:`repro.flow.path_decomposition`); costs O(commodities x arcs)
         memory.
+    unreachable:
+        Policy for demands with no path (degraded fabrics): ``"error"``
+        raises, ``"drop"`` solves over the served demand set and records
+        the dropped pairs on the result. See
+        :mod:`repro.flow.reachability`.
 
     Returns
     -------
     ThroughputResult
         With per-arc flows summed over commodities; ``exact=True``.
     """
+    traffic, dropped, dropped_demand = resolve_unreachable(
+        topo, traffic, unreachable
+    )
+    if dropped and not traffic.demands:
+        return unserved_result(
+            topo, "edge-lp", dropped, dropped_demand, exact=True
+        )
     traffic.validate_against(topo.switches)
     if not traffic.demands:
         raise FlowError("traffic matrix has no network demands")
@@ -73,7 +87,7 @@ def max_concurrent_flow(
                 traffic.demands.items(), key=lambda kv: (repr(kv[0][0]), repr(kv[0][1]))
             )
         ]
-    return _solve(
+    result = _solve(
         topo,
         arcs,
         commodities,
@@ -81,6 +95,9 @@ def max_concurrent_flow(
         solver_label="edge-lp",
         keep_commodity_flows=keep_commodity_flows,
     )
+    result.dropped_pairs = tuple(dropped)
+    result.dropped_demand = dropped_demand
+    return result
 
 
 def _aggregate_by_source(traffic: TrafficMatrix) -> list[tuple]:

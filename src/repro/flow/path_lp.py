@@ -15,6 +15,7 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.exceptions import FlowError, SolverError
+from repro.flow.reachability import resolve_unreachable, unserved_result
 from repro.flow.result import ThroughputResult
 from repro.metrics.paths import k_shortest_paths
 from repro.topology.base import Topology
@@ -27,6 +28,7 @@ def max_concurrent_flow_paths(
     traffic: TrafficMatrix,
     k: int = 8,
     paths_by_pair: "dict | None" = None,
+    unreachable: str = "error",
 ) -> ThroughputResult:
     """Solve concurrent flow over the k shortest paths of every pair.
 
@@ -39,6 +41,11 @@ def max_concurrent_flow_paths(
         Optional precomputed mapping ``(u, v) -> list of node paths``;
         overrides ``k`` and skips path enumeration. Each path must run from
         ``u`` to ``v`` along existing links.
+    unreachable:
+        Policy for demands with no path (degraded fabrics): ``"error"``
+        raises, ``"drop"`` solves over the served demand set and records
+        the dropped pairs on the result. See
+        :mod:`repro.flow.reachability`.
 
     Returns
     -------
@@ -46,6 +53,13 @@ def max_concurrent_flow_paths(
         ``exact=False`` — the value lower-bounds the unrestricted optimum.
     """
     check_positive_int(k, "k")
+    traffic, dropped, dropped_demand = resolve_unreachable(
+        topo, traffic, unreachable
+    )
+    if dropped and not traffic.demands:
+        return unserved_result(
+            topo, "path-lp", dropped, dropped_demand, exact=False
+        )
     traffic.validate_against(topo.switches)
     if not traffic.demands:
         raise FlowError("traffic matrix has no network demands")
@@ -127,6 +141,8 @@ def max_concurrent_flow_paths(
         total_demand=traffic.total_demand,
         solver="path-lp",
         exact=False,
+        dropped_pairs=tuple(dropped),
+        dropped_demand=dropped_demand,
     )
 
 

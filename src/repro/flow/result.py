@@ -42,6 +42,16 @@ class ThroughputResult:
     #: populated when the solver is asked to keep them (needed for exact
     #: path decomposition); ``None`` otherwise.
     commodity_flows: "dict | None" = None
+    #: Demand pairs removed before the solve under ``unreachable="drop"``
+    #: (endpoint failed or fabric partitioned); empty on intact fabrics.
+    #: ``throughput`` and ``total_demand`` concern the served pairs only.
+    dropped_pairs: tuple = ()
+    #: Demand units carried by :attr:`dropped_pairs`.
+    dropped_demand: float = 0.0
+    #: Demand pairs whose enumerated path set hit the per-pair cap
+    #: (``ecmp`` per-path mode); their loads are biased toward the
+    #: enumerated subset. 0 everywhere else.
+    truncated_pairs: int = 0
 
     @property
     def total_capacity(self) -> float:
@@ -65,6 +75,28 @@ class ThroughputResult:
     def delivered_rate(self) -> float:
         """Aggregate delivered traffic, ``t * total_demand``."""
         return self.throughput * self.total_demand
+
+    @property
+    def num_dropped_pairs(self) -> int:
+        """Demand pairs dropped as unroutable before the solve."""
+        return len(self.dropped_pairs)
+
+    @property
+    def offered_demand(self) -> float:
+        """Demand units offered before any drop: served plus dropped."""
+        return self.total_demand + self.dropped_demand
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of offered demand units the solve actually served.
+
+        1.0 on intact fabrics; undefined (raises) when nothing was
+        offered at all.
+        """
+        offered = self.offered_demand
+        if offered <= 0:
+            raise FlowError("no demand offered; served fraction undefined")
+        return self.total_demand / offered
 
     @property
     def mean_routed_path_length(self) -> float:
@@ -156,6 +188,16 @@ class ThroughputResult:
             "exact": self.exact,
             "arcs": arcs,
         }
+        # Degraded-fabric and truncation fields are emitted only when set,
+        # so intact-fabric payloads (and the cache entries PR 2 wrote)
+        # remain byte-identical.
+        if self.dropped_pairs:
+            payload["dropped_pairs"] = [
+                [encode_node(u), encode_node(v)] for u, v in self.dropped_pairs
+            ]
+            payload["dropped_demand"] = self.dropped_demand
+        if self.truncated_pairs:
+            payload["truncated_pairs"] = self.truncated_pairs
         if self.commodity_flows is not None:
             payload["commodity_flows"] = [
                 {
@@ -191,6 +233,10 @@ class ThroughputResult:
                 }
                 for entry in payload["commodity_flows"]
             }
+        dropped_pairs = tuple(
+            (decode_node(u), decode_node(v))
+            for u, v in payload.get("dropped_pairs", ())
+        )
         return cls(
             throughput=float(payload["throughput"]),
             arc_flows=arc_flows,
@@ -199,6 +245,9 @@ class ThroughputResult:
             solver=str(payload.get("solver", "unknown")),
             exact=bool(payload.get("exact", True)),
             commodity_flows=commodity_flows,
+            dropped_pairs=dropped_pairs,
+            dropped_demand=float(payload.get("dropped_demand", 0.0)),
+            truncated_pairs=int(payload.get("truncated_pairs", 0)),
         )
 
     def summary(self) -> "Mapping[str, float]":

@@ -40,21 +40,45 @@ class ResultCache:
     def get(self, key: str) -> "ThroughputResult | None":
         """Return the cached result for ``key``, or ``None`` on a miss.
 
-        Unreadable or schema-mismatched entries count as misses (the sweep
-        recomputes and overwrites them).
+        Unreadable or schema-mismatched entries count as misses *and are
+        deleted on the spot*: a recompute is only guaranteed to overwrite
+        them if its ``put`` actually happens, and a worker crash between
+        the miss and the ``put`` would otherwise leave the stale file to
+        be re-parsed (and re-missed) on every future read.
         """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # UnicodeDecodeError: non-UTF-8 garbage fails before the JSON
+            # parser even sees it.
+            self.misses += 1
+            self._evict(path)
+            return None
+        try:
             if payload.get("schema_version") != CACHE_SCHEMA_VERSION:
                 raise ValueError("cache schema mismatch")
             result = ThroughputResult.from_dict(payload["result"])
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        except (AttributeError, KeyError, TypeError, ValueError):
             self.misses += 1
+            self._evict(path)
             return None
         self.hits += 1
         return result
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        """Best-effort removal of a stale entry (races with writers are
+        benign: content-addressed keys make any concurrent rewrite
+        equivalent)."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, result: ThroughputResult, meta: "dict | None" = None) -> None:
         """Store ``result`` under ``key`` atomically."""

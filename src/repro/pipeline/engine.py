@@ -78,7 +78,12 @@ def evaluate_throughput(
 
 @dataclass(frozen=True)
 class CellResult:
-    """Outcome of one sweep cell (scenario coordinates + solved numbers)."""
+    """Outcome of one sweep cell (scenario coordinates + solved numbers).
+
+    ``dropped_pairs``/``dropped_demand`` are non-zero only for failure
+    cells solved with ``unreachable="drop"`` whose fabric partitioned:
+    ``throughput`` then concerns the served demand set only.
+    """
 
     scenario: Scenario
     throughput: float
@@ -93,6 +98,8 @@ class CellResult:
     traffic_fp: str
     cache_hit: bool
     elapsed_s: float
+    dropped_pairs: int = 0
+    dropped_demand: float = 0.0
 
     #: Column order shared by CSV artifacts and the summary table.
     FIELDS = (
@@ -100,12 +107,15 @@ class CellResult:
         "size",
         "traffic",
         "solver",
+        "failure",
         "replicate",
         "seed",
         "throughput",
         "engine",
         "exact",
         "total_demand",
+        "dropped_pairs",
+        "dropped_demand",
         "utilization",
         "num_switches",
         "num_servers",
@@ -122,12 +132,15 @@ class CellResult:
             "size": s.size,
             "traffic": s.traffic.label(),
             "solver": s.solver.label(),
+            "failure": s.failure.label() if s.failure is not None else "none",
             "replicate": s.replicate,
             "seed": s.seed,
             "throughput": self.throughput,
             "engine": self.engine,
             "exact": self.exact,
             "total_demand": self.total_demand,
+            "dropped_pairs": self.dropped_pairs,
+            "dropped_demand": self.dropped_demand,
             "utilization": self.utilization,
             "num_switches": self.num_switches,
             "num_servers": self.num_servers,
@@ -140,18 +153,25 @@ class CellResult:
 def evaluate_cell(
     scenario: Scenario, cache: "ResultCache | None" = None
 ) -> CellResult:
-    """Build and solve one grid cell, consulting the cache by content."""
+    """Build and solve one grid cell, consulting the cache by content.
+
+    Failure cells solve the degraded topology with the scenario's
+    *effective* solver config (``unreachable="drop"`` defaulted in) —
+    both the degraded links and the policy enter the cache key, so
+    degraded and intact solves never collide.
+    """
     start = time.perf_counter()
     topo, traffic = scenario.build()
+    solver_config = scenario.effective_solver()
     topo_fp = topology_fingerprint(topo)
     traffic_fp = traffic_fingerprint(traffic)
-    key = result_key(topo_fp, traffic_fp, solver_fingerprint(scenario.solver))
+    key = result_key(topo_fp, traffic_fp, solver_fingerprint(solver_config))
     cached = cache.get(key) if cache is not None else None
     if cached is not None:
         result = cached
         cache_hit = True
     else:
-        result = scenario.solver.solve(topo, traffic)
+        result = solver_config.solve(topo, traffic)
         cache_hit = False
         if cache is not None:
             cache.put(key, result, meta={"scenario": scenario.to_dict()})
@@ -172,6 +192,8 @@ def evaluate_cell(
         traffic_fp=traffic_fp,
         cache_hit=cache_hit,
         elapsed_s=time.perf_counter() - start,
+        dropped_pairs=result.num_dropped_pairs,
+        dropped_demand=result.dropped_demand,
     )
 
 
@@ -200,7 +222,8 @@ class SweepResult:
         return [cell.row() for cell in self.cells]
 
     def mean_series(self) -> "list[dict]":
-        """Replicate-averaged throughput per (topology, size, traffic, solver)."""
+        """Replicate-averaged throughput per
+        (topology, size, traffic, solver, failure)."""
         groups: dict = {}
         for cell in self.cells:
             s = cell.scenario
@@ -209,12 +232,14 @@ class SweepResult:
                 s.size,
                 s.traffic.label(),
                 s.solver.label(),
+                s.failure.label() if s.failure is not None else "none",
             )
-            groups.setdefault(group_key, []).append(cell.throughput)
+            groups.setdefault(group_key, []).append(cell)
         out = []
-        for (topology, size, traffic, solver), values in sorted(
+        for (topology, size, traffic, solver, failure), cells in sorted(
             groups.items(), key=lambda item: tuple(map(str, item[0]))
         ):
+            values = [cell.throughput for cell in cells]
             # Same mean/population-std convention as
             # experiments.common.mean_and_std (not imported: that package
             # pulls in every figure module, which import this one).
@@ -225,9 +250,13 @@ class SweepResult:
                     "size": size,
                     "traffic": traffic,
                     "solver": solver,
+                    "failure": failure,
                     "replicates": len(values),
                     "throughput_mean": mean,
                     "throughput_std": std,
+                    "dropped_pairs_mean": fmean(
+                        cell.dropped_pairs for cell in cells
+                    ),
                 }
             )
         return out
@@ -235,8 +264,8 @@ class SweepResult:
     def to_table(self, float_format: str = "{:.4f}") -> str:
         """Replicate-averaged summary as an aligned text table."""
         headers = [
-            "topology", "size", "traffic", "solver",
-            "reps", "throughput", "std",
+            "topology", "size", "traffic", "solver", "failure",
+            "reps", "throughput", "std", "dropped",
         ]
         rows = [
             [
@@ -244,9 +273,11 @@ class SweepResult:
                 "-" if entry["size"] is None else entry["size"],
                 entry["traffic"],
                 entry["solver"],
+                entry["failure"],
                 entry["replicates"],
                 entry["throughput_mean"],
                 entry["throughput_std"],
+                entry["dropped_pairs_mean"],
             ]
             for entry in self.mean_series()
         ]

@@ -17,6 +17,17 @@ processes never changes what any individual cell computes. The solver is
 deliberately *excluded* from the seed, so every solver column sees the
 same sampled topology and workload and columns stay comparable.
 
+The optional **failure axis** (:class:`~repro.resilience.FailureSpec`
+entries) degrades each cell's topology after construction. Like the
+solver axis it is excluded from the cell seed — every failure column
+degrades the *same* sampled topology and offers the *same* workload, so
+throughput-vs-failure-rate curves are paired. The failure draw itself is
+seeded from the cell seed plus the spec's model (rate excluded, see
+:func:`repro.resilience.failure_seed`), which keeps failed sets nested
+across rates. Cells with no failure derive byte-identical seeds and
+fingerprints to grids that never mention failures, so warm caches from
+failure-free sweeps survive unchanged.
+
 Specs are plain frozen dataclasses: hashable, picklable (for worker
 processes), and JSON round-trippable (for config-file-driven sweeps).
 """
@@ -31,6 +42,7 @@ import numpy as np
 
 from repro.exceptions import ExperimentError
 from repro.flow.solvers import SolverConfig
+from repro.resilience import FailureSpec, apply_failures, failure_seed
 from repro.topology.base import Topology
 from repro.topology.registry import make_topology
 from repro.traffic.base import TrafficMatrix
@@ -155,7 +167,14 @@ class TrafficSpec:
 
 @dataclass(frozen=True)
 class Scenario:
-    """One grid cell: a fully specified (topology, traffic, solver) solve."""
+    """One grid cell: a fully specified (topology, traffic, solver) solve.
+
+    ``failure`` (when set) degrades the built topology: the workload is
+    generated against the *intact* fabric — servers on failed equipment
+    still offer traffic — and the degraded view is what gets solved, so
+    pass ``unreachable="drop"`` to the solver (which
+    :meth:`effective_solver` defaults for failure cells).
+    """
 
     topology: TopologySpec
     traffic: TrafficSpec
@@ -164,6 +183,7 @@ class Scenario:
     replicate: int
     seed: int
     size_param: str = "num_switches"
+    failure: "FailureSpec | None" = None
 
     def instance_seeds(self) -> "tuple[np.random.SeedSequence, np.random.SeedSequence]":
         """Independent (topology, traffic) seed sequences for this cell."""
@@ -172,23 +192,53 @@ class Scenario:
         return topo_ss, traffic_ss
 
     def build(self) -> "tuple[Topology, TrafficMatrix]":
-        """Materialize the cell's topology and workload."""
+        """Materialize the cell's (possibly degraded) topology and workload.
+
+        The failure draw is seeded by cell seed + failure model (rate
+        excluded), so a rate sweep degrades one random order of the same
+        sampled fabric: failed sets are nested across rates.
+        """
         topo_ss, traffic_ss = self.instance_seeds()
         topo = self.topology.build(
             seed=topo_ss, size=self.size, size_param=self.size_param
         )
         traffic = self.traffic.build(topo, seed=traffic_ss)
+        if self.failure is not None and not self.failure.is_null():
+            topo = apply_failures(
+                topo, self.failure, seed=failure_seed(self.seed, self.failure)
+            )
         return topo, traffic
+
+    def effective_solver(self) -> SolverConfig:
+        """The solver config actually run for this cell.
+
+        Failure cells default ``unreachable="drop"`` (degraded fabrics
+        may partition); an explicit ``unreachable`` option on the grid's
+        solver config wins. Failure-free cells return the config as-is,
+        keeping their fingerprints identical to failure-unaware sweeps.
+        """
+        if self.failure is None or self.failure.is_null():
+            return self.solver
+        options = self.solver.options_dict()
+        if "unreachable" in options:
+            return self.solver
+        options["unreachable"] = "drop"
+        return SolverConfig.make(self.solver.name, **options)
 
     def label(self) -> str:
         size = f" N={self.size}" if self.size is not None else ""
+        failure = (
+            f" / fail[{self.failure.label()}]"
+            if self.failure is not None
+            else ""
+        )
         return (
             f"{self.topology.label()}{size} / {self.traffic.label()} / "
-            f"{self.solver.label()} / rep{self.replicate}"
+            f"{self.solver.label()} / rep{self.replicate}{failure}"
         )
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "topology": self.topology.to_dict(),
             "traffic": self.traffic.to_dict(),
             "solver": self.solver.to_dict(),
@@ -197,6 +247,9 @@ class Scenario:
             "seed": self.seed,
             "size_param": self.size_param,
         }
+        if self.failure is not None:
+            payload["failure"] = self.failure.to_dict()
+        return payload
 
 
 @dataclass(frozen=True)
@@ -208,6 +261,12 @@ class ScenarioGrid:
     with their own params as-is (one "size" column of ``None``).
     ``seeds`` is the number of independent replicates per
     (topology, traffic, size) combination.
+
+    ``failures`` is the optional failure axis: a tuple of
+    :class:`~repro.resilience.FailureSpec` entries applied to every
+    (topology, traffic, size, replicate) combination. Null specs (model
+    ``none`` or rate 0) normalize to ``None`` so the failure-free column
+    computes — and caches — exactly what a failure-unaware grid does.
     """
 
     name: str = "sweep"
@@ -218,6 +277,7 @@ class ScenarioGrid:
     seeds: int = 1
     base_seed: int = 0
     size_param: str = "num_switches"
+    failures: "tuple[FailureSpec | None, ...] | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "topologies", tuple(self.topologies))
@@ -227,6 +287,16 @@ class ScenarioGrid:
             object.__setattr__(
                 self, "sizes", tuple(int(s) for s in self.sizes)
             )
+        if self.failures is not None:
+            normalized = tuple(
+                None if spec is None or spec.is_null() else spec
+                for spec in self.failures
+            )
+            object.__setattr__(self, "failures", normalized)
+            if not normalized:
+                raise ExperimentError(
+                    "failures axis must have at least one entry (or be None)"
+                )
         if not self.topologies:
             raise ExperimentError("grid needs at least one topology spec")
         if not self.traffics:
@@ -239,17 +309,27 @@ class ScenarioGrid:
     def _size_axis(self) -> "tuple[int | None, ...]":
         return self.sizes if self.sizes is not None else (None,)
 
+    def _failure_axis(self) -> "tuple[FailureSpec | None, ...]":
+        return self.failures if self.failures is not None else (None,)
+
     def __len__(self) -> int:
         return (
             len(self.topologies)
             * len(self.traffics)
             * len(self.solvers)
             * len(self._size_axis())
+            * len(self._failure_axis())
             * self.seeds
         )
 
     def cells(self) -> "list[Scenario]":
-        """Enumerate every cell with its deterministic content-derived seed."""
+        """Enumerate every cell with its deterministic content-derived seed.
+
+        The cell seed hashes (base, topology, traffic, size, replicate)
+        only: solver and failure columns share one sampled instance, so
+        comparisons along either axis are paired. Failure-free cells
+        therefore keep the exact seeds a failure-unaware grid derives.
+        """
         out: list[Scenario] = []
         for topo_spec in self.topologies:
             for size in self._size_axis():
@@ -264,18 +344,20 @@ class ScenarioGrid:
                                 "replicate": replicate,
                             }
                         )
-                        for solver in self.solvers:
-                            out.append(
-                                Scenario(
-                                    topology=topo_spec,
-                                    traffic=traffic_spec,
-                                    solver=solver,
-                                    size=size,
-                                    replicate=replicate,
-                                    seed=seed,
-                                    size_param=self.size_param,
+                        for failure in self._failure_axis():
+                            for solver in self.solvers:
+                                out.append(
+                                    Scenario(
+                                        topology=topo_spec,
+                                        traffic=traffic_spec,
+                                        solver=solver,
+                                        size=size,
+                                        replicate=replicate,
+                                        seed=seed,
+                                        size_param=self.size_param,
+                                        failure=failure,
+                                    )
                                 )
-                            )
         return out
 
     def to_dict(self) -> dict:
@@ -288,6 +370,14 @@ class ScenarioGrid:
             "seeds": self.seeds,
             "base_seed": self.base_seed,
             "size_param": self.size_param,
+            "failures": (
+                [
+                    (spec if spec is not None else FailureSpec.none()).to_dict()
+                    for spec in self.failures
+                ]
+                if self.failures is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -315,4 +405,12 @@ class ScenarioGrid:
             seeds=int(payload.get("seeds", 1)),
             base_seed=int(payload.get("base_seed", 0)),
             size_param=payload.get("size_param", "num_switches"),
+            failures=(
+                tuple(
+                    FailureSpec.from_dict(entry)
+                    for entry in payload["failures"]
+                )
+                if payload.get("failures") is not None
+                else None
+            ),
         )

@@ -1,0 +1,107 @@
+"""Declarative failure models.
+
+A :class:`FailureSpec` names *what fails and how much* — it carries no
+randomness of its own. Sampling happens in :mod:`repro.resilience.inject`
+from an explicit seed, so the same spec replayed against the same
+topology and seed always fails the same equipment.
+
+Like :class:`~repro.pipeline.scenario.TopologySpec`, specs are frozen,
+hashable, picklable, and JSON round-trippable, which is what lets the
+scenario pipeline enumerate a failure axis and put the spec into sweep
+artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import ExperimentError
+
+#: Recognized failure models. ``none`` is the canonical null spec (the
+#: intact fabric); any model at rate 0 behaves identically to it.
+FAILURE_MODELS = ("none", "random_links", "random_switches", "correlated")
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """A failure model plus its rate and model-specific parameters.
+
+    Attributes
+    ----------
+    model:
+        One of :data:`FAILURE_MODELS`. Hyphens normalize to underscores.
+    rate:
+        Fraction of equipment to fail, in ``[0, 1]``: links for
+        ``random_links``/``correlated``, switches for ``random_switches``.
+        The failed count is ``round(rate * population)``.
+    params:
+        Model-specific options as sorted ``(key, value)`` pairs (e.g.
+        ``cluster="small"`` restricts a correlated failure's epicenter to
+        a named cluster).
+    """
+
+    model: str = "none"
+    rate: float = 0.0
+    params: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        model = str(self.model).strip().lower().replace("-", "_")
+        if model not in FAILURE_MODELS:
+            known = ", ".join(FAILURE_MODELS)
+            raise ExperimentError(
+                f"unknown failure model {self.model!r}; known models: {known}"
+            )
+        rate = float(self.rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ExperimentError(
+                f"failure rate must be in [0, 1], got {self.rate!r}"
+            )
+        if isinstance(self.params, Mapping):
+            items = self.params.items()
+        else:
+            items = tuple(self.params)
+        object.__setattr__(self, "model", model)
+        object.__setattr__(self, "rate", rate)
+        object.__setattr__(
+            self, "params", tuple(sorted((str(k), v) for k, v in items))
+        )
+
+    @classmethod
+    def make(cls, model: str, rate: float = 0.0, **params) -> "FailureSpec":
+        """Build a spec from keyword parameters."""
+        return cls(model=model, rate=rate, params=tuple(params.items()))
+
+    @classmethod
+    def none(cls) -> "FailureSpec":
+        """The canonical null spec (intact fabric)."""
+        return cls()
+
+    def is_null(self) -> bool:
+        """Whether this spec degrades nothing (``none`` model or rate 0)."""
+        return self.model == "none" or self.rate == 0.0
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``random_links@0.05``."""
+        if self.is_null():
+            return "none"
+        extra = "".join(f",{k}={v!r}" for k, v in self.params)
+        return f"{self.model}@{self.rate:g}{extra}"
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "rate": self.rate,
+            "params": self.params_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FailureSpec":
+        return cls.make(
+            payload.get("model", "none"),
+            rate=float(payload.get("rate", 0.0)),
+            **dict(payload.get("params") or {}),
+        )

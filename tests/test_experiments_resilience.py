@@ -1,0 +1,53 @@
+"""Integration tests for the degraded-fabric resilience experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.resilience import matched_random_topology, run_resilience
+from repro.topology.fattree import fat_tree_topology
+
+
+class TestMatchedEquipment:
+    def test_random_fabric_matches_fat_tree_budget(self):
+        k = 4
+        fat_tree = fat_tree_topology(k)
+        random_fabric = matched_random_topology(k, seed=0)
+        assert random_fabric.num_switches == fat_tree.num_switches
+        assert random_fabric.num_servers == fat_tree.num_servers
+        # Per-switch port budget is k: servers + network degree <= k.
+        for node in random_fabric.switches:
+            used = random_fabric.servers_at(node) + random_fabric.degree(node)
+            assert used <= k
+
+    def test_seeded_rebuild_identical(self):
+        a = matched_random_topology(4, seed=7)
+        b = matched_random_topology(4, seed=7)
+        assert sorted((repr(l.u), repr(l.v)) for l in a.links) == sorted(
+            (repr(l.u), repr(l.v)) for l in b.links
+        )
+
+
+@pytest.mark.slow
+class TestResilienceExperiment:
+    def test_curves_normalized_and_decreasing(self):
+        result = run_resilience(
+            k=4, rates=(0.0, 0.1, 0.2), runs=2, seed=0
+        )
+        assert len(result.series) == 3
+        for series in result.series:
+            assert series.y_at(0.0) == pytest.approx(1.0)
+            # Retained throughput never exceeds intact by more than the
+            # served-set shrinkage allows on these small instances.
+            ys = series.ys()
+            assert ys[-1] <= ys[0] + 1e-9
+
+    def test_metadata_reports_served_fraction_per_rate(self):
+        result = run_resilience(k=4, rates=(0.0, 0.1, 0.2), runs=1, seed=0)
+        fractions = result.metadata["mean_served_fraction"]
+        assert set(fractions) == {s.name for s in result.series}
+        for by_rate in fractions.values():
+            # Intact cells are excluded: only degraded rates appear.
+            assert set(by_rate) == {0.1, 0.2}
+            for value in by_rate.values():
+                assert 0.0 <= value <= 1.0

@@ -73,3 +73,87 @@ class TestGargKoenemann:
         result = garg_koenemann_throughput(triangle, tm)
         assert not result.exact
         assert result.solver == "garg-koenemann"
+
+
+class TestIncrementalLengthSum:
+    """The arc-length sum is maintained incrementally (O(1) per routed
+    chunk instead of a full O(m) rescan); the result must stay
+    bit-identical to the rescanning reference."""
+
+    @staticmethod
+    def _reference_throughput(topo, traffic, epsilon=0.1, max_phases=10_000):
+        """The pre-optimization algorithm: rescan sum(c*l) per chunk."""
+        from repro.flow.approx import _shortest_path_arcs
+
+        arcs = topo.arcs()
+        num_arcs = len(arcs)
+        capacity = [cap for _, _, cap in arcs]
+        adjacency = {v: [] for v in topo.switches}
+        for i, (u, v, _) in enumerate(arcs):
+            adjacency[u].append((v, i))
+        delta = (num_arcs / (1.0 - epsilon)) ** (-1.0 / epsilon)
+        lengths = [delta / c for c in capacity]
+        flows = [0.0] * num_arcs
+        commodities = sorted(
+            traffic.demands.items(),
+            key=lambda kv: (repr(kv[0][0]), repr(kv[0][1])),
+        )
+
+        def total_length():
+            return sum(c * l for c, l in zip(capacity, lengths))
+
+        phases = 0
+        flows_at_last_complete = list(flows)
+        while phases < max_phases:
+            if total_length() >= 1.0:
+                break
+            complete = True
+            for (src, dst), demand in commodities:
+                remaining = float(demand)
+                while remaining > 1e-15:
+                    if total_length() >= 1.0:
+                        complete = False
+                        break
+                    path_arcs = _shortest_path_arcs(
+                        adjacency, lengths, src, dst
+                    )
+                    bottleneck = min(capacity[a] for a in path_arcs)
+                    amount = min(remaining, bottleneck)
+                    for a in path_arcs:
+                        flows[a] += amount
+                        lengths[a] *= 1.0 + epsilon * amount / capacity[a]
+                    remaining -= amount
+                if not complete:
+                    break
+            if not complete:
+                break
+            phases += 1
+            flows_at_last_complete = list(flows)
+        flows = flows_at_last_complete
+        overload = max(
+            (flows[a] / capacity[a] for a in range(num_arcs)), default=0.0
+        )
+        return phases * (1.0 / overload)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bit_identical_to_rescan_reference(self, seed):
+        topo = random_regular_topology(
+            14, 4, servers_per_switch=3, seed=seed
+        )
+        traffic = random_permutation_traffic(topo, seed=seed + 100)
+        reference = self._reference_throughput(topo, traffic, epsilon=0.2)
+        incremental = garg_koenemann_throughput(
+            topo, traffic, epsilon=0.2
+        ).throughput
+        assert incremental == reference  # exact float equality, no approx
+
+    def test_bit_identical_nonuniform_capacities(self, triangle):
+        topo = triangle.copy()
+        topo.remove_link(0, 1)
+        topo.add_link(0, 1, capacity=3.5)
+        tm = TrafficMatrix(
+            name="x", demands={(0, 1): 2.0, (1, 2): 1.0}, num_flows=3
+        )
+        assert garg_koenemann_throughput(
+            topo, tm, epsilon=0.15
+        ).throughput == self._reference_throughput(topo, tm, epsilon=0.15)

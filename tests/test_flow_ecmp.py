@@ -130,3 +130,66 @@ class TestValidation:
         result = ecmp_throughput(triangle, tm)
         assert not result.exact
         assert result.solver == "ecmp-per-hop"
+
+
+class TestPerPathTruncation:
+    """Per-path mode caps enumerated paths; the cap is a parameter and
+    hitting it is reported, never silent."""
+
+    def _k33_pair(self):
+        # Complete bipartite K(3,3): a same-side pair has 3 two-hop
+        # shortest paths, one per opposite-side switch.
+        topo = Topology("k33")
+        left = ["l0", "l1", "l2"]
+        right = ["r0", "r1", "r2"]
+        for v in left + right:
+            topo.add_switch(v, servers=1)
+        for u in left:
+            for v in right:
+                topo.add_link(u, v)
+        tm = TrafficMatrix(
+            name="pair", demands={("l0", "l1"): 1.0}, num_flows=1
+        )
+        return topo, tm
+
+    def test_truncation_counted(self):
+        topo, tm = self._k33_pair()
+        result = ecmp_throughput(topo, tm, mode="per-path", max_paths=2)
+        assert result.truncated_pairs == 1
+        # Demand split over 2 of the 3 shortest paths.
+        assert result.throughput == pytest.approx(2.0)
+
+    def test_no_truncation_at_exact_count(self):
+        topo, tm = self._k33_pair()
+        result = ecmp_throughput(topo, tm, mode="per-path", max_paths=3)
+        assert result.truncated_pairs == 0
+        assert result.throughput == pytest.approx(3.0)
+
+    def test_default_cap_not_truncated_on_small_graphs(
+        self, small_rrg, small_rrg_traffic
+    ):
+        result = ecmp_throughput(
+            small_rrg, small_rrg_traffic, mode="per-path"
+        )
+        assert result.truncated_pairs == 0
+
+    def test_per_hop_never_truncates(self, small_rrg, small_rrg_traffic):
+        result = ecmp_throughput(small_rrg, small_rrg_traffic, mode="per-hop")
+        assert result.truncated_pairs == 0
+
+    def test_invalid_cap_rejected(self, triangle):
+        tm = TrafficMatrix(name="x", demands={(0, 1): 1.0}, num_flows=1)
+        with pytest.raises(ValueError, match="max_paths"):
+            ecmp_throughput(triangle, tm, mode="per-path", max_paths=0)
+
+    def test_truncated_pairs_serialized(self):
+        import json
+
+        topo, tm = self._k33_pair()
+        result = ecmp_throughput(topo, tm, mode="per-path", max_paths=2)
+        from repro.flow.result import ThroughputResult
+
+        restored = ThroughputResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert restored.truncated_pairs == 1

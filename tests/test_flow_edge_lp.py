@@ -94,15 +94,22 @@ class TestStructure:
         )
         assert agg.throughput == pytest.approx(per_pair.throughput, rel=1e-6)
 
-    def test_unreachable_demand_gives_zero(self):
+    def test_unreachable_demand_raises_by_default(self):
+        # Historically edge_lp silently returned t=0 here while every
+        # other backend raised; the unified unreachable policy makes
+        # "error" raise everywhere and "drop" serve what it can.
         topo = Topology("split")
         for v in range(4):
             topo.add_switch(v, servers=1)
         topo.add_link(0, 1)
         topo.add_link(2, 3)
         tm = TrafficMatrix(name="cross", demands={(0, 2): 1.0}, num_flows=1)
-        result = max_concurrent_flow(topo, tm)
+        with pytest.raises(FlowError, match="no path"):
+            max_concurrent_flow(topo, tm)
+        result = max_concurrent_flow(topo, tm, unreachable="drop")
         assert result.throughput == pytest.approx(0.0)
+        assert result.dropped_pairs == ((0, 2),)
+        assert result.dropped_demand == pytest.approx(1.0)
 
     def test_empty_traffic_rejected(self, triangle):
         tm = TrafficMatrix(name="none", demands={}, num_flows=0)
@@ -114,7 +121,7 @@ class TestStructure:
         topo.add_switch(0, servers=1)
         topo.add_switch(1, servers=1)
         tm = TrafficMatrix(name="x", demands={(0, 1): 1.0}, num_flows=1)
-        with pytest.raises(FlowError, match="no links"):
+        with pytest.raises(FlowError, match="no path"):
             max_concurrent_flow(topo, tm)
 
     def test_unknown_endpoint_rejected(self, triangle):

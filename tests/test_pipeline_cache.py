@@ -147,3 +147,66 @@ class TestResultCache:
     def test_default_cache_memoized_per_root(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
         assert default_cache() is default_cache()
+
+
+class TestStaleEntryEviction:
+    """Unreadable/mismatched entries are deleted at read time: a miss
+    whose recompute never gets ``put`` (worker crash) must not leave the
+    stale file behind to be re-parsed forever."""
+
+    def test_corrupt_entry_deleted_on_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ff" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_schema_mismatch_deleted_on_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"schema_version": -1, "result": {}}), encoding="utf-8"
+        )
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert key not in cache
+
+    def test_wrong_shape_deleted_on_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"schema_version": 1, "unexpected": True}),
+            encoding="utf-8",
+        )
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_plain_miss_leaves_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "0" * 62
+        assert cache.get(key) is None
+        assert not cache._path(key).exists()
+
+    def test_good_entry_survives_read(self, tmp_path):
+        from repro.flow.result import ThroughputResult
+
+        cache = ResultCache(tmp_path)
+        key = "aa" + "1" * 62
+        cache.put(key, ThroughputResult(throughput=1.5))
+        assert cache.get(key) is not None
+        assert cache._path(key).exists()
+
+    def test_non_utf8_entry_deleted_on_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ba" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"\xff\xfe not utf-8")
+        assert cache.get(key) is None
+        assert not path.exists()

@@ -1,0 +1,210 @@
+"""The failure axis of the scenario pipeline.
+
+Covers the stability contracts the warm cache depends on: failure-free
+cells derive the exact seeds and fingerprints a failure-unaware grid
+derives, failure draws are deterministic from the cell seed, and
+degraded solves get their own content addresses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.flow.solvers import SolverConfig
+from repro.pipeline.engine import evaluate_cell, run_grid
+from repro.pipeline.scenario import ScenarioGrid, TopologySpec, TrafficSpec
+from repro.resilience import DegradedTopology, FailureSpec
+
+RATES = (0.0, 0.1, 0.3)
+
+
+def small_grid(**overrides) -> ScenarioGrid:
+    kwargs = dict(
+        name="t",
+        topologies=(
+            TopologySpec.make("rrg", network_degree=4, servers_per_switch=2),
+        ),
+        traffics=(TrafficSpec.make("permutation"),),
+        solvers=(SolverConfig("edge_lp"),),
+        sizes=(10,),
+        seeds=2,
+    )
+    kwargs.update(overrides)
+    return ScenarioGrid(**kwargs)
+
+
+def failure_axis(model: str = "random_links") -> tuple:
+    return tuple(FailureSpec.make(model, rate=rate) for rate in RATES)
+
+
+class TestGridAxis:
+    def test_cell_count_multiplies(self):
+        grid = small_grid(failures=failure_axis())
+        assert len(grid) == 2 * 3  # 2 replicates x 3 failure levels
+        assert len(grid.cells()) == len(grid)
+
+    def test_rate_zero_normalizes_to_none(self):
+        grid = small_grid(failures=failure_axis())
+        assert grid.failures[0] is None
+        assert all(spec is not None for spec in grid.failures[1:])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(Exception, match="at least one entry"):
+            small_grid(failures=())
+
+    def test_dict_roundtrip(self):
+        grid = small_grid(failures=failure_axis("random_switches"))
+        restored = ScenarioGrid.from_dict(
+            json.loads(json.dumps(grid.to_dict()))
+        )
+        assert restored == grid
+
+    def test_failure_free_grid_dict_roundtrip_unchanged(self):
+        grid = small_grid()
+        assert grid.to_dict()["failures"] is None
+        assert ScenarioGrid.from_dict(grid.to_dict()) == grid
+
+
+class TestSeedStability:
+    def test_failure_axis_keeps_existing_seeds(self):
+        """Adding a failure axis must not change any cell's seed — the
+        same contract the solver axis honors."""
+        plain = {
+            (c.size, c.replicate): c.seed for c in small_grid().cells()
+        }
+        for cell in small_grid(failures=failure_axis()).cells():
+            assert cell.seed == plain[(cell.size, cell.replicate)]
+
+    def test_failure_columns_share_instances(self):
+        """Every failure level degrades the same sampled topology and
+        offers the same workload."""
+        grid = small_grid(failures=failure_axis(), seeds=1)
+        demands = set()
+        base_links = set()
+        for cell in grid.cells():
+            topo, traffic = cell.build()
+            base = topo.base if isinstance(topo, DegradedTopology) else topo
+            base_links.add(
+                tuple(sorted((repr(l.u), repr(l.v)) for l in base.links))
+            )
+            demands.add(tuple(sorted(map(repr, traffic.demands.items()))))
+        assert len(base_links) == 1
+        assert len(demands) == 1
+
+    def test_failed_sets_nested_across_rates(self):
+        grid = small_grid(failures=failure_axis(), seeds=1)
+        by_rate = {}
+        for cell in grid.cells():
+            topo, _ = cell.build()
+            rate = cell.failure.rate if cell.failure is not None else 0.0
+            by_rate[rate] = (
+                set(topo.failed_links)
+                if isinstance(topo, DegradedTopology)
+                else set()
+            )
+        assert by_rate[0.0] <= by_rate[0.1] <= by_rate[0.3]
+        assert by_rate[0.3]
+
+    def test_build_deterministic(self):
+        grid = small_grid(failures=failure_axis(), seeds=1)
+        cell = [c for c in grid.cells() if c.failure is not None][0]
+        a, _ = cell.build()
+        b, _ = cell.build()
+        assert a.failed_links == b.failed_links
+
+
+class TestEffectiveSolver:
+    def test_failure_cell_defaults_drop(self):
+        grid = small_grid(failures=failure_axis())
+        for cell in grid.cells():
+            config = cell.effective_solver()
+            if cell.failure is None:
+                assert config == cell.solver
+                assert "unreachable" not in config.options_dict()
+            else:
+                assert config.options_dict()["unreachable"] == "drop"
+
+    def test_explicit_policy_wins(self):
+        grid = small_grid(
+            failures=failure_axis(),
+            solvers=(SolverConfig.make("edge_lp", unreachable="error"),),
+        )
+        cell = [c for c in grid.cells() if c.failure is not None][0]
+        assert cell.effective_solver().options_dict()["unreachable"] == "error"
+
+    def test_label_includes_failure(self):
+        grid = small_grid(failures=failure_axis())
+        labels = {c.label() for c in grid.cells()}
+        assert any("random_links@0.3" in label for label in labels)
+
+
+class TestEngine:
+    def test_degraded_and_intact_keys_differ(self, tmp_path):
+        grid = small_grid(failures=failure_axis(), seeds=1)
+        keys = {evaluate_cell(c).key for c in grid.cells()}
+        assert len(keys) == 3
+
+    def test_failure_free_column_reuses_plain_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_grid(small_grid(), cache_dir=cache_dir)
+        sweep = run_grid(small_grid(failures=failure_axis()), cache_dir=cache_dir)
+        rate0 = [c for c in sweep.cells if c.scenario.failure is None]
+        assert rate0 and all(c.cache_hit for c in rate0)
+
+    def test_warm_rerun_identical(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        grid = small_grid(failures=failure_axis("random_switches"))
+        cold = run_grid(grid, cache_dir=cache_dir)
+        warm = run_grid(grid, cache_dir=cache_dir)
+        assert warm.cache_hits == len(warm.cells)
+        assert [c.throughput for c in warm.cells] == [
+            c.throughput for c in cold.cells
+        ]
+        assert [c.dropped_pairs for c in warm.cells] == [
+            c.dropped_pairs for c in cold.cells
+        ]
+
+    def test_rows_and_summary_carry_failure(self, tmp_path):
+        sweep = run_grid(small_grid(failures=failure_axis()))
+        rows = sweep.rows()
+        assert {row["failure"] for row in rows} == {
+            "none",
+            "random_links@0.1",
+            "random_links@0.3",
+        }
+        summary = sweep.mean_series()
+        assert {entry["failure"] for entry in summary} == {
+            "none",
+            "random_links@0.1",
+            "random_links@0.3",
+        }
+        assert all("dropped_pairs" in row for row in rows)
+
+    def test_mean_throughput_monotone_in_rate(self):
+        """Nested link failures on one sampled fabric: throughput cannot
+        rise with the failure rate while nothing is dropped."""
+        sweep = run_grid(small_grid(failures=failure_axis(), seeds=3))
+        by_rate: dict = {}
+        for cell in sweep.cells:
+            rate = (
+                cell.scenario.failure.rate
+                if cell.scenario.failure is not None
+                else 0.0
+            )
+            by_rate.setdefault(rate, []).append(cell.throughput)
+        curve = [
+            sum(by_rate[rate]) / len(by_rate[rate])
+            for rate in sorted(by_rate)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_csv_includes_failure_column(self, tmp_path):
+        sweep = run_grid(small_grid(failures=failure_axis()))
+        path = tmp_path / "cells.csv"
+        sweep.write_csv(str(path))
+        header = path.read_text().splitlines()[0]
+        assert "failure" in header.split(",")
+        assert "dropped_pairs" in header.split(",")

@@ -90,3 +90,69 @@ class TestSweepCommand:
         assert main(["analyze", path, "--traffic", "gravity"]) == 0
         out = capsys.readouterr().out
         assert "gravity" in out
+
+
+class TestFailureFlags:
+    FAILURE_FLAGS = [
+        "sweep",
+        "--topologies", "rrg",
+        "--topo-param", "network_degree=4",
+        "--topo-param", "servers_per_switch=2",
+        "--sizes", "10",
+        "--traffics", "permutation",
+        "--solvers", "edge_lp",
+        "--seeds", "1",
+        "--failure-rates", "0", "0.1", "0.3",
+        "--quiet",
+    ]
+
+    def test_failure_axis_expands_cells(self, capsys):
+        assert main(self.FAILURE_FLAGS) == 0
+        out = capsys.readouterr().out
+        assert "3 cells" in out  # 1 size x 1 solver x 3 failure levels
+        assert "random_links@0.1" in out
+        assert "random_links@0.3" in out
+
+    def test_rate_zero_shares_cache_with_plain_sweep(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        plain = [flag for flag in self.FAILURE_FLAGS if flag not in
+                 ("--failure-rates", "0", "0.1", "0.3")]
+        assert main(plain + cache) == 0
+        capsys.readouterr()
+        assert main(self.FAILURE_FLAGS + cache) == 0
+        out = capsys.readouterr().out
+        assert "1 cache hits" in out  # the rate-0 column
+
+    def test_failure_model_flag(self, capsys):
+        flags = self.FAILURE_FLAGS + ["--failure-model", "random_switches"]
+        assert main(flags) == 0
+        assert "random_switches@0.3" in capsys.readouterr().out
+
+    def test_unreachable_flag_applies_to_solvers(self, capsys):
+        flags = self.FAILURE_FLAGS + ["--unreachable", "drop"]
+        assert main(flags) == 0
+        assert "unreachable='drop'" in capsys.readouterr().out
+
+    def test_failure_flags_compose_with_grid_file(self, tmp_path, capsys):
+        grid = {
+            "name": "grid-failures",
+            "topologies": [
+                {"kind": "rrg", "params": {"network_degree": 4,
+                                           "servers_per_switch": 2,
+                                           "num_switches": 10}},
+                {"kind": "fat-tree", "params": {"k": 4}},
+            ],
+            "traffics": [{"model": "permutation"}],
+            "solvers": [{"name": "edge_lp"}, {"name": "ecmp"}],
+            "seeds": 1,
+        }
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps(grid), encoding="utf-8")
+        code = main([
+            "sweep", "--grid", str(grid_path),
+            "--failure-rates", "0", "0.2", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 cells" in out  # 2 topologies x 2 solvers x 2 failure levels
+        assert "fat-tree" in out and "random_links@0.2" in out
