@@ -12,6 +12,9 @@ Singla, Godfrey, Kolla (NSDI 2014). The library provides:
   and a Garg-Koenemann approximation, with the §6.1 throughput
   decomposition,
 - :mod:`repro.metrics` — path lengths, cuts, and spectral expansion,
+- :mod:`repro.estimate` — calibrated throughput estimators that take
+  sweeps to N = 10,000 (capacity-charging bound, sampled cuts, spectral,
+  sampled LP) with per-family error bands,
 - :mod:`repro.core` — the paper's bounds, design rules, two-regime theory,
   and the VL2 improvement pipeline,
 - :mod:`repro.simulation` — a packet-level MPTCP simulator,

@@ -141,6 +141,27 @@ def topology_throughput_upper_bound(
     return total_capacity / (aspl * num_flows)
 
 
+def demand_throughput_upper_bound(
+    total_capacity: float, demand_hop_sum: float
+) -> float:
+    """Theorem 1's capacity-charging argument for an arbitrary demand matrix.
+
+    Delivering ``t * units`` for a pair at shortest-path distance ``d``
+    consumes at least ``t * units * d`` units of directed capacity, so
+
+        t <= C / sum_pairs(units * d).
+
+    ``demand_hop_sum`` is that sum (see
+    :func:`repro.metrics.paths.demand_hop_sum`); for the paper's uniform
+    workloads it reduces to ``<D> * f`` and this matches
+    :func:`topology_throughput_upper_bound`. This is the quantity the
+    ``estimate_bound`` solver backend reports.
+    """
+    total_capacity = check_positive(total_capacity, "total_capacity")
+    demand_hop_sum = check_positive(demand_hop_sum, "demand_hop_sum")
+    return total_capacity / demand_hop_sum
+
+
 def rrg_diameter_upper_bound(num_nodes: int, degree: int) -> float:
     """Bollobás & de la Vega style diameter bound for random regular graphs.
 

@@ -1,0 +1,60 @@
+"""Scalable throughput estimation.
+
+Exact multicommodity-flow solves stop being practical around a few
+hundred switches; the paper's claims are about networks two orders of
+magnitude larger. This package provides throughput *estimators* that are
+registered as first-class solver backends (see :mod:`repro.flow.solvers`)
+so the whole pipeline — scenario grids, the result cache, the sweep CLI,
+experiments — can take sweeps to N = 10,000:
+
+- ``estimate_bound`` — Theorem 1's capacity-charging bound with observed
+  demand-weighted path lengths (true upper bound, tight on expanders),
+- ``estimate_cut`` — minimum over sparse sampled cuts (Fiedler sweep,
+  random bipartitions, single-switch cuts; true upper bound),
+- ``estimate_spectral`` — algebraic-connectivity expansion certificate
+  (cheapest; coarse, order-of-magnitude),
+- ``estimate_sampled_lp`` — exact LP on a scaled demand sample
+  (mid-scale; concentrates on exchangeable workloads).
+
+:mod:`repro.estimate.calibrate` measures each estimator's offset against
+exact LPs at small N and produces per-family error bands that travel on
+the results. See ``docs/estimation.md`` for the taxonomy and when to
+trust which estimator.
+"""
+
+from repro.estimate.bound import estimate_bound
+from repro.estimate.cut import estimate_cut
+from repro.estimate.sampled_lp import estimate_sampled_lp
+from repro.estimate.spectral import estimate_spectral
+from repro.estimate.calibrate import (
+    DEFAULT_FAMILIES,
+    DEFAULT_MARGIN,
+    CalibrationRecord,
+    CalibrationTable,
+    calibrate_estimators,
+    calibration_pairs,
+    within_band,
+)
+
+#: Canonical registry keys of every estimator backend, in registration order.
+ESTIMATOR_BACKENDS = (
+    "estimate_bound",
+    "estimate_cut",
+    "estimate_spectral",
+    "estimate_sampled_lp",
+)
+
+__all__ = [
+    "ESTIMATOR_BACKENDS",
+    "DEFAULT_FAMILIES",
+    "DEFAULT_MARGIN",
+    "CalibrationRecord",
+    "CalibrationTable",
+    "calibrate_estimators",
+    "calibration_pairs",
+    "estimate_bound",
+    "estimate_cut",
+    "estimate_sampled_lp",
+    "estimate_spectral",
+    "within_band",
+]

@@ -1,0 +1,316 @@
+"""Estimator calibration: fit per-family error bands against exact LPs.
+
+An estimator is only useful at N = 10,000 if its systematic offset is
+known, and the offset can only be measured where the exact LP is still
+tractable. Calibration runs estimator-vs-exact pairs on small instances
+of each topology *family* and records the observed estimate/exact ratio
+range, widened by a safety margin:
+
+    band = (ratio_min / (1 + margin), ratio_max * (1 + margin))
+
+The band travels with every estimate: pass it as the backend's
+``error_band`` option (see :meth:`CalibrationTable.config_for`) and the
+pipeline stores it on the :class:`~repro.flow.result.ThroughputResult`
+and in sweep CSVs, so downstream consumers can recover the implied
+exact-throughput interval ``[estimate / hi, estimate / lo]``.
+
+Calibration instances are seeded by content (family, size, replicate) —
+re-running calibration is deterministic, and fresh replicates drawn with
+a different base seed give honest held-out coverage checks (the
+differential test matrix and ``benchmarks/bench_estimate.py`` gate on
+exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from statistics import fmean
+from typing import Mapping
+
+from repro.exceptions import ExperimentError
+from repro.util.hashing import stable_seed
+
+#: Default safety margin applied on both sides of the observed ratio range.
+DEFAULT_MARGIN = 0.25
+
+#: Families the scale experiment and benchmarks calibrate by default.
+DEFAULT_FAMILIES: "dict[str, dict]" = {
+    "rrg": {
+        "kind": "rrg",
+        "params": {"network_degree": 6, "servers_per_switch": 3},
+        "size_param": "num_switches",
+        "sizes": (16, 24),
+    },
+    "fat-tree": {
+        "kind": "fat-tree",
+        "params": {},
+        "size_param": "k",
+        "sizes": (4, 6),
+    },
+    "vl2": {
+        "kind": "vl2",
+        "params": {"servers_per_tor": 4},
+        "size_params": ("da", "di"),
+        "sizes": (4, 6),
+    },
+}
+
+
+@dataclass(frozen=True)
+class CalibrationRecord:
+    """Observed estimate/exact ratio statistics for one (family, estimator)."""
+
+    family: str
+    estimator: str
+    samples: int
+    ratio_min: float
+    ratio_mean: float
+    ratio_max: float
+    margin: float = DEFAULT_MARGIN
+
+    def band(self) -> "tuple[float, float]":
+        """The calibrated ``(lo, hi)`` multiplicative error band."""
+        return (
+            self.ratio_min / (1.0 + self.margin),
+            self.ratio_max * (1.0 + self.margin),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "estimator": self.estimator,
+            "samples": self.samples,
+            "ratio_min": self.ratio_min,
+            "ratio_mean": self.ratio_mean,
+            "ratio_max": self.ratio_max,
+            "margin": self.margin,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CalibrationRecord":
+        return cls(
+            family=str(payload["family"]),
+            estimator=str(payload["estimator"]),
+            samples=int(payload["samples"]),
+            ratio_min=float(payload["ratio_min"]),
+            ratio_mean=float(payload["ratio_mean"]),
+            ratio_max=float(payload["ratio_max"]),
+            margin=float(payload.get("margin", DEFAULT_MARGIN)),
+        )
+
+
+def within_band(
+    estimate: float, exact: float, band: "tuple[float, float]",
+    rel_tolerance: float = 1e-9,
+) -> bool:
+    """Whether ``estimate`` lies inside ``band`` relative to ``exact``."""
+    lo, hi = band
+    slack = rel_tolerance * max(abs(exact), 1.0)
+    return lo * exact - slack <= estimate <= hi * exact + slack
+
+
+class CalibrationTable:
+    """All calibration records of one run, keyed by (family, estimator)."""
+
+    def __init__(self, records: "list[CalibrationRecord] | None" = None) -> None:
+        self._records: "dict[tuple[str, str], CalibrationRecord]" = {}
+        for record in records or ():
+            self.add(record)
+
+    def add(self, record: CalibrationRecord) -> None:
+        self._records[(record.family, record.estimator)] = record
+
+    def get(self, family: str, estimator: str) -> CalibrationRecord:
+        key = (family, self._canonical(estimator))
+        if key not in self._records:
+            known = ", ".join(
+                f"{f}/{e}" for f, e in sorted(self._records)
+            ) or "(empty table)"
+            raise ExperimentError(
+                f"no calibration for family {family!r} estimator "
+                f"{estimator!r}; have: {known}"
+            )
+        return self._records[key]
+
+    def band(self, family: str, estimator: str) -> "tuple[float, float]":
+        return self.get(family, estimator).band()
+
+    def records(self) -> "list[CalibrationRecord]":
+        return [self._records[key] for key in sorted(self._records)]
+
+    def config_for(self, family: str, estimator: str, **options):
+        """A :class:`~repro.flow.solvers.SolverConfig` carrying the band.
+
+        The returned config runs the estimator with its calibrated
+        ``error_band`` attached, so every result it produces (and every
+        cache entry / sweep row derived from it) records the band.
+        """
+        from repro.flow.solvers import SolverConfig
+
+        return SolverConfig.make(
+            self._canonical(estimator),
+            error_band=self.band(family, estimator),
+            **options,
+        )
+
+    @staticmethod
+    def _canonical(estimator: str) -> str:
+        from repro.flow.solvers import normalize_solver_name
+
+        return normalize_solver_name(estimator)
+
+    def to_dict(self) -> dict:
+        return {"records": [record.to_dict() for record in self.records()]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CalibrationTable":
+        return cls(
+            [
+                CalibrationRecord.from_dict(entry)
+                for entry in payload.get("records", ())
+            ]
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path) -> "CalibrationTable":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def calibration_pairs(
+    family: str,
+    spec: Mapping,
+    sizes: "tuple | None" = None,
+    replicates: int = 2,
+    traffic: str = "permutation",
+    traffic_params: "Mapping | None" = None,
+    base_seed: int = 0,
+):
+    """Yield deterministic (topology, traffic matrix) calibration instances.
+
+    Instance seeds hash (family, size, replicate, base_seed) by content,
+    mirroring the pipeline's cell seeding: the same coordinates always
+    build the same instance, and a different ``base_seed`` draws honest
+    held-out replicates.
+
+    The spec's ``size_params`` (default: ``(size_param,)``, default
+    ``("num_switches",)``) lists every constructor parameter the size is
+    injected into — VL2 calibrates with ``("da", "di")`` so both degrees
+    sweep together.
+    """
+    import numpy as np
+
+    from repro.topology.registry import factory_accepts_seed, make_topology
+    from repro.traffic.registry import make_traffic
+
+    size_params = tuple(
+        spec.get("size_params", (spec.get("size_param", "num_switches"),))
+    )
+    params = dict(spec.get("params") or {})
+    takes_seed = factory_accepts_seed(spec["kind"])
+    for size in sizes if sizes is not None else spec.get("sizes", (16, 24)):
+        for replicate in range(replicates):
+            seed = stable_seed(
+                {
+                    "calibration": family,
+                    "size": size,
+                    "replicate": replicate,
+                    "base": base_seed,
+                }
+            )
+            topo_ss, traffic_ss = np.random.SeedSequence(seed).spawn(2)
+            kwargs = dict(params)
+            for name in size_params:
+                kwargs[name] = size
+            if takes_seed:
+                kwargs["seed"] = topo_ss
+            topo = make_topology(spec["kind"], **kwargs)
+            tm = make_traffic(
+                traffic, topo, seed=traffic_ss, **dict(traffic_params or {})
+            )
+            yield topo, tm
+
+
+def calibrate_estimators(
+    estimators: "tuple[str, ...]",
+    families: "Mapping[str, Mapping] | None" = None,
+    sizes: "tuple | None" = None,
+    replicates: int = 2,
+    traffic: str = "permutation",
+    traffic_params: "Mapping | None" = None,
+    margin: float = DEFAULT_MARGIN,
+    base_seed: int = 0,
+    exact_solver: str = "edge_lp",
+    estimator_options: "Mapping[str, Mapping] | None" = None,
+) -> CalibrationTable:
+    """Run estimator-vs-exact pairs and fit the per-family ratio bands.
+
+    ``families`` maps a family label to a spec dict with keys ``kind``
+    (topology registry name), ``params``, ``size_param`` and ``sizes``
+    (defaults: :data:`DEFAULT_FAMILIES`); ``sizes`` given here overrides
+    every family's own list. ``estimator_options`` maps estimator names
+    to the keyword options to calibrate them under (a band only describes
+    the configuration it was fit with — e.g. the sampled-LP estimator
+    must validate with the same ``sample_fraction`` it calibrated with).
+    Instances whose exact throughput is zero are skipped (nothing to
+    take a ratio against).
+    """
+    from repro.flow.solvers import normalize_solver_name, solve_throughput
+
+    if margin < 0:
+        raise ExperimentError(f"margin must be >= 0, got {margin}")
+    if replicates < 1:
+        raise ExperimentError(f"replicates must be >= 1, got {replicates}")
+    estimator_keys = [normalize_solver_name(name) for name in estimators]
+    if not estimator_keys:
+        raise ExperimentError("need at least one estimator to calibrate")
+    options_by_key = {
+        normalize_solver_name(name): dict(opts)
+        for name, opts in (estimator_options or {}).items()
+    }
+    table = CalibrationTable()
+    for family, spec in (families or DEFAULT_FAMILIES).items():
+        ratios: "dict[str, list[float]]" = {key: [] for key in estimator_keys}
+        for topo, tm in calibration_pairs(
+            family,
+            spec,
+            sizes=sizes,
+            replicates=replicates,
+            traffic=traffic,
+            traffic_params=traffic_params,
+            base_seed=base_seed,
+        ):
+            exact = solve_throughput(topo, tm, exact_solver).throughput
+            if exact <= 0:
+                continue
+            for key in estimator_keys:
+                estimate = solve_throughput(
+                    topo, tm, key, **options_by_key.get(key, {})
+                ).throughput
+                ratios[key].append(estimate / exact)
+        for key, observed in ratios.items():
+            if not observed:
+                raise ExperimentError(
+                    f"family {family!r} produced no calibration pairs "
+                    f"(every exact solve returned zero throughput?)"
+                )
+            table.add(
+                CalibrationRecord(
+                    family=family,
+                    estimator=key,
+                    samples=len(observed),
+                    ratio_min=min(observed),
+                    ratio_mean=fmean(observed),
+                    ratio_max=max(observed),
+                    margin=margin,
+                )
+            )
+    return table

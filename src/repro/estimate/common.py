@@ -1,0 +1,90 @@
+"""Shared scaffolding for the throughput estimators.
+
+Every estimator backend follows the same contract as the exact engines:
+``fn(topo, traffic, unreachable=..., **options) -> ThroughputResult``.
+The helpers here centralize the two pieces that must behave *identically*
+to the exact solvers — the unreachable-demand policy (see
+:mod:`repro.flow.reachability`) and the result bookkeeping — so the
+differential test matrix can hold estimators and LPs to the same rules.
+
+Estimates carry no per-arc flow data (``arc_flows``/``arc_capacities``
+empty) unless an estimator actually computed a feasible flow; callers
+reading ``utilization`` from an estimate get 0.0 by convention.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FlowError
+from repro.flow.reachability import resolve_unreachable, unserved_result
+from repro.flow.result import ThroughputResult
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+
+
+def check_error_band(error_band) -> "tuple[float, float] | None":
+    """Validate and normalize an ``error_band`` option to ``(lo, hi)``."""
+    if error_band is None:
+        return None
+    band = tuple(float(b) for b in error_band)
+    if len(band) != 2:
+        raise FlowError(
+            f"error_band must be a (lo, hi) pair, got {error_band!r}"
+        )
+    lo, hi = band
+    if not 0 < lo <= hi:
+        raise FlowError(
+            f"error_band must satisfy 0 < lo <= hi, got ({lo}, {hi})"
+        )
+    return band
+
+
+def prepare_estimate(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    unreachable: str,
+    solver_label: str,
+) -> "tuple[TrafficMatrix, tuple, float, ThroughputResult | None]":
+    """Apply the unreachable policy exactly as the exact backends do.
+
+    Returns ``(served traffic, dropped pairs, dropped demand, short)``
+    where ``short`` is a ready zero-throughput result when the served set
+    is empty (the estimator then returns it unchanged).
+    """
+    served, dropped, dropped_demand = resolve_unreachable(
+        topo, traffic, unreachable
+    )
+    if dropped and not served.demands:
+        short = unserved_result(
+            topo, solver_label, dropped, dropped_demand, exact=False
+        )
+        short.is_estimate = True
+        return served, dropped, dropped_demand, short
+    if not served.demands:
+        raise FlowError("traffic matrix has no network demands")
+    served.validate_against(topo.switches)
+    return served, dropped, dropped_demand, None
+
+
+def finish_estimate(
+    throughput: float,
+    traffic: TrafficMatrix,
+    solver_label: str,
+    dropped: tuple,
+    dropped_demand: float,
+    error_band: "tuple | None",
+    arc_flows: "dict | None" = None,
+    arc_capacities: "dict | None" = None,
+) -> ThroughputResult:
+    """Assemble the estimator's :class:`ThroughputResult`."""
+    return ThroughputResult(
+        throughput=float(throughput),
+        arc_flows=arc_flows or {},
+        arc_capacities=arc_capacities or {},
+        total_demand=traffic.total_demand,
+        solver=solver_label,
+        exact=False,
+        dropped_pairs=tuple(dropped),
+        dropped_demand=dropped_demand,
+        is_estimate=True,
+        error_band=error_band,
+    )

@@ -1,0 +1,62 @@
+"""Expansion-based throughput estimate.
+
+The paper's Theorem 2 ties random-graph throughput to expansion; the
+algebraic connectivity ``lambda_2`` of the capacity-weighted Laplacian
+certifies expansion spectrally (Cheeger / expander mixing, see
+:mod:`repro.metrics.spectral`). This estimator converts that certificate
+into a throughput figure for roughly uniformly spread demand:
+
+- a cut S separates about ``2 D |S||S~| / n^2`` demand units when total
+  demand ``D`` is spread evenly over node pairs,
+- the uniform sparsest-cut density ``min cap(S)/(|S||S~|)`` is bounded
+  below by ``lambda_2 / n`` (Fiedler),
+
+giving ``t_est = lambda_2 * n / (2 D)``. It is the coarsest of the
+estimators — Cheeger-style arguments are loose by up to O(log n) — but it
+is also the cheapest (one sparse eigensolve, no BFS, no LP) and its
+systematic offset is stable within a topology family, which is exactly
+what the calibration bands of :mod:`repro.estimate.calibrate` absorb.
+"""
+
+from __future__ import annotations
+
+from repro.estimate.common import (
+    check_error_band,
+    finish_estimate,
+    prepare_estimate,
+)
+from repro.flow.result import ThroughputResult
+from repro.metrics.spectral import sparse_algebraic_connectivity
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+
+SOLVER_LABEL = "estimate-spectral"
+
+
+def estimate_spectral(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    unreachable: str = "error",
+    error_band=None,
+    weighted: bool = True,
+) -> ThroughputResult:
+    """Algebraic-connectivity throughput estimate.
+
+    ``weighted`` uses link capacities as Laplacian weights (default);
+    ``False`` treats the graph as unit-capacity, matching the adjacency
+    spectral measures of the Theorem 2 checks.
+    """
+    band = check_error_band(error_band)
+    served, dropped, dropped_demand, short = prepare_estimate(
+        topo, traffic, unreachable, SOLVER_LABEL
+    )
+    if short is not None:
+        short.error_band = band
+        return short
+    lambda2 = sparse_algebraic_connectivity(topo, weighted=weighted)
+    throughput = (
+        lambda2 * topo.num_switches / (2.0 * served.total_demand)
+    )
+    return finish_estimate(
+        throughput, served, SOLVER_LABEL, dropped, dropped_demand, band
+    )

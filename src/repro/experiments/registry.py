@@ -14,7 +14,7 @@ from typing import Callable
 from repro.exceptions import ExperimentError
 from repro.experiments import extra, fig01, fig02, fig03, fig04, fig05, fig06
 from repro.experiments import fig07, fig08, fig09, fig10, fig11, fig12, fig13
-from repro.experiments import resilience, search_study
+from repro.experiments import resilience, scale, search_study
 from repro.experiments.common import ExperimentResult
 
 
@@ -302,6 +302,19 @@ _register(
             "k": 6,
             "rates": (0.0, 0.02, 0.05, 0.1, 0.2, 0.3),
             "runs": 5,
+        },
+    )
+)
+_register(
+    ExperimentSpec(
+        "scale",
+        scale.run_scale,
+        "Extension: calibrated estimator sweep to N=10k, RRG vs fat-tree vs VL2",
+        {
+            "sizes": (1000, 5000, 10000),
+            "estimators": ("estimate_bound", "estimate_cut"),
+            "exact_limit": 0,
+            "runs": 1,
         },
     )
 )

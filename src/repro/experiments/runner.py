@@ -15,6 +15,9 @@ Examples::
     repro-experiments sweep --topologies rrg --topo-param network_degree=6 \\
         --topo-param servers_per_switch=4 --sizes 24 --seeds 3 \\
         --failure-rates 0 0.02 0.05 0.1 --failure-model random_links
+    repro-experiments sweep --topologies rrg --topo-param network_degree=8 \\
+        --topo-param servers_per_switch=1 --sizes 1000,5000,10000 \\
+        --traffics permutation --solvers estimate_bound,estimate_cut
 """
 
 from __future__ import annotations

@@ -52,6 +52,16 @@ class ThroughputResult:
     #: (``ecmp`` per-path mode); their loads are biased toward the
     #: enumerated subset. 0 everywhere else.
     truncated_pairs: int = 0
+    #: True when ``throughput`` is a scalable *estimate* (see
+    #: :mod:`repro.estimate`) rather than the value of an optimizing
+    #: solve. Estimates usually carry no per-arc flow data.
+    is_estimate: bool = False
+    #: Calibrated multiplicative error band ``(lo, hi)`` for an estimate:
+    #: the exact LP throughput is expected to satisfy
+    #: ``throughput / hi <= exact <= throughput / lo`` (band fit by
+    #: :mod:`repro.estimate.calibrate` on estimator-vs-exact pairs at
+    #: small N). ``None`` when unknown or not an estimate.
+    error_band: "tuple | None" = None
 
     @property
     def total_capacity(self) -> float:
@@ -198,6 +208,13 @@ class ThroughputResult:
             payload["dropped_demand"] = self.dropped_demand
         if self.truncated_pairs:
             payload["truncated_pairs"] = self.truncated_pairs
+        # Estimator fields are emitted only when set, so payloads (and
+        # cache entries) written by exact solves stay byte-identical to
+        # the PR2/PR3 schema — pinned by the golden-file tests.
+        if self.is_estimate:
+            payload["is_estimate"] = True
+        if self.error_band is not None:
+            payload["error_band"] = [float(b) for b in self.error_band]
         if self.commodity_flows is not None:
             payload["commodity_flows"] = [
                 {
@@ -248,6 +265,12 @@ class ThroughputResult:
             dropped_pairs=dropped_pairs,
             dropped_demand=float(payload.get("dropped_demand", 0.0)),
             truncated_pairs=int(payload.get("truncated_pairs", 0)),
+            is_estimate=bool(payload.get("is_estimate", False)),
+            error_band=(
+                tuple(float(b) for b in payload["error_band"])
+                if payload.get("error_band") is not None
+                else None
+            ),
         )
 
     def summary(self) -> "Mapping[str, float]":

@@ -10,8 +10,11 @@ options uniformly:
 >>> result = solve_throughput(topo, traffic, solver="path_lp", k=8)
 
 Canonical backend keys are ``edge_lp`` (exact arc LP), ``path_lp``
-(k-shortest-path LP), ``approx`` (Garg–Könemann) and ``ecmp`` (fluid ECMP);
-the legacy hyphenated labels (``edge-lp``, ``garg-koenemann``, ...) are
+(k-shortest-path LP), ``approx`` (Garg–Könemann), ``ecmp`` (fluid ECMP),
+and the scalable estimators of :mod:`repro.estimate` (``estimate_bound``,
+``estimate_cut``, ``estimate_spectral``, ``estimate_sampled_lp`` —
+flagged ``estimate=True`` on their :class:`SolverBackend` entries); the
+legacy hyphenated labels (``edge-lp``, ``garg-koenemann``, ...) are
 accepted as aliases. New backends register via :func:`register_solver`.
 
 :class:`SolverConfig` captures a backend choice *plus its options* as an
@@ -49,7 +52,12 @@ class SolverBackend:
 
     ``exact`` mirrors :attr:`ThroughputResult.exact` for the backend's
     default options: whether it returns the true optimum rather than a
-    lower bound.
+    lower bound. ``estimate`` marks the scalable estimators of
+    :mod:`repro.estimate`, whose output is neither an optimum nor a
+    guaranteed lower bound and should be read against a calibrated error
+    band — the differential test matrix keys its assertions off these
+    two flags, so future backends are auto-enrolled by registering with
+    the right combination.
     """
 
     name: str
@@ -57,6 +65,7 @@ class SolverBackend:
     description: str = ""
     exact: bool = True
     aliases: tuple = ()
+    estimate: bool = False
 
 
 _REGISTRY: dict[str, SolverBackend] = {}
@@ -85,6 +94,7 @@ def register_solver(
     description: str = "",
     exact: bool = True,
     aliases: "tuple | list" = (),
+    estimate: bool = False,
 ) -> SolverBackend:
     """Register a throughput backend under a canonical key.
 
@@ -100,6 +110,7 @@ def register_solver(
         description=description,
         exact=exact,
         aliases=tuple(aliases),
+        estimate=estimate,
     )
     _REGISTRY[key] = backend
     for alias in backend.aliases:
@@ -177,7 +188,9 @@ class SolverConfig:
 
     ``options`` is stored as a sorted tuple of ``(key, value)`` pairs so
     equal configurations compare (and hash) equal regardless of the keyword
-    order they were built with.
+    order they were built with. List values (e.g. an ``error_band`` read
+    back from a JSON grid file) are normalized to tuples so the config
+    stays hashable and JSON round trips compare equal.
     """
 
     name: str
@@ -191,7 +204,14 @@ class SolverConfig:
         else:
             items = tuple(self.options)
         object.__setattr__(
-            self, "options", tuple(sorted((str(k), v) for k, v in items))
+            self,
+            "options",
+            tuple(
+                sorted(
+                    (str(k), tuple(v) if isinstance(v, list) else v)
+                    for k, v in items
+                )
+            ),
         )
 
     @classmethod
@@ -219,3 +239,42 @@ class SolverConfig:
     @classmethod
     def from_dict(cls, payload: Mapping) -> "SolverConfig":
         return cls.make(payload["name"], **dict(payload.get("options") or {}))
+
+
+# Estimator backends live in repro.estimate (imported last: the estimators
+# depend on flow.result/flow.reachability but never on this module, while
+# repro.estimate.calibrate reads this module's registry lazily — keeping
+# this import below every definition breaks the remaining cycle risk).
+from repro.estimate.bound import estimate_bound  # noqa: E402
+from repro.estimate.cut import estimate_cut  # noqa: E402
+from repro.estimate.sampled_lp import estimate_sampled_lp  # noqa: E402
+from repro.estimate.spectral import estimate_spectral  # noqa: E402
+
+register_solver(
+    "estimate_bound",
+    estimate_bound,
+    description="capacity-charging ASPL bound estimate (sparse BFS, N=10k)",
+    exact=False,
+    estimate=True,
+)
+register_solver(
+    "estimate_cut",
+    estimate_cut,
+    description="min over sparse sampled cuts (Fiedler sweep + random + ToR)",
+    exact=False,
+    estimate=True,
+)
+register_solver(
+    "estimate_spectral",
+    estimate_spectral,
+    description="algebraic-connectivity expansion estimate (one eigensolve)",
+    exact=False,
+    estimate=True,
+)
+register_solver(
+    "estimate_sampled_lp",
+    estimate_sampled_lp,
+    description="exact LP on a scaled demand sample (mid-scale)",
+    exact=False,
+    estimate=True,
+)

@@ -4,6 +4,7 @@ from repro.metrics.paths import (
     all_pairs_shortest_lengths,
     all_shortest_paths,
     average_shortest_path_length,
+    demand_hop_sum,
     demand_weighted_aspl,
     diameter,
     k_shortest_paths,
@@ -22,12 +23,15 @@ from repro.metrics.spectral import (
     algebraic_connectivity,
     cheeger_bounds,
     expander_mixing_deviation,
+    sparse_algebraic_connectivity,
+    sparse_fiedler_vector,
 )
 
 __all__ = [
     "all_pairs_shortest_lengths",
     "all_shortest_paths",
     "average_shortest_path_length",
+    "demand_hop_sum",
     "demand_weighted_aspl",
     "diameter",
     "k_shortest_paths",
@@ -43,4 +47,6 @@ __all__ = [
     "algebraic_connectivity",
     "cheeger_bounds",
     "expander_mixing_deviation",
+    "sparse_algebraic_connectivity",
+    "sparse_fiedler_vector",
 ]

@@ -100,6 +100,13 @@ class CellResult:
     elapsed_s: float
     dropped_pairs: int = 0
     dropped_demand: float = 0.0
+    #: True for estimator backends (see :mod:`repro.estimate`); the
+    #: throughput column is then a calibrated estimate, not a solve.
+    is_estimate: bool = False
+    #: Calibrated error band bounds carried by the estimate (``None``
+    #: when absent — exact solves, or uncalibrated estimator runs).
+    error_lo: "float | None" = None
+    error_hi: "float | None" = None
 
     #: Column order shared by CSV artifacts and the summary table.
     FIELDS = (
@@ -113,6 +120,9 @@ class CellResult:
         "throughput",
         "engine",
         "exact",
+        "is_estimate",
+        "error_lo",
+        "error_hi",
         "total_demand",
         "dropped_pairs",
         "dropped_demand",
@@ -138,6 +148,9 @@ class CellResult:
             "throughput": self.throughput,
             "engine": self.engine,
             "exact": self.exact,
+            "is_estimate": self.is_estimate,
+            "error_lo": self.error_lo,
+            "error_hi": self.error_hi,
             "total_demand": self.total_demand,
             "dropped_pairs": self.dropped_pairs,
             "dropped_demand": self.dropped_demand,
@@ -194,6 +207,13 @@ def evaluate_cell(
         elapsed_s=time.perf_counter() - start,
         dropped_pairs=result.num_dropped_pairs,
         dropped_demand=result.dropped_demand,
+        is_estimate=result.is_estimate,
+        error_lo=(
+            result.error_band[0] if result.error_band is not None else None
+        ),
+        error_hi=(
+            result.error_band[1] if result.error_band is not None else None
+        ),
     )
 
 

@@ -34,7 +34,6 @@ processes), and JSON round-trippable (for config-file-driven sweeps).
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -114,21 +113,9 @@ class TopologySpec:
 
 
 def _factory_accepts_seed(kind: str) -> bool:
-    from repro.topology.registry import _REGISTRY as _TOPO_REGISTRY
+    from repro.topology.registry import factory_accepts_seed
 
-    factory = _TOPO_REGISTRY.get(kind)
-    if factory is None:
-        return True  # unknown kinds fail in make_topology with a clear error
-    try:
-        signature = inspect.signature(factory)
-    except (TypeError, ValueError):
-        return True
-    if "seed" in signature.parameters:
-        return True
-    return any(
-        p.kind is inspect.Parameter.VAR_KEYWORD
-        for p in signature.parameters.values()
-    )
+    return factory_accepts_seed(kind)
 
 
 @dataclass(frozen=True)

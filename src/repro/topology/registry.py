@@ -6,6 +6,7 @@ names, e.g. ``make_topology("rrg", num_switches=40, network_degree=10)``.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.exceptions import TopologyError
@@ -76,6 +77,29 @@ def make_topology(kind: str, **kwargs) -> Topology:
         known = ", ".join(available_topologies())
         raise TopologyError(f"unknown topology {kind!r}; known kinds: {known}")
     return factory(**kwargs)
+
+
+def factory_accepts_seed(kind: str) -> bool:
+    """Whether ``kind``'s factory takes a ``seed`` keyword.
+
+    Structured families (fat-tree, VL2, hypercube, ...) are deterministic
+    and accept no seed; randomized families take one directly or via
+    ``**kwargs``. Unknown kinds return ``True`` so the real error
+    surfaces in :func:`make_topology` with its clear message.
+    """
+    factory = _REGISTRY.get(kind)
+    if factory is None:
+        return True
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return True
+    if "seed" in signature.parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in signature.parameters.values()
+    )
 
 
 def register_topology(kind: str, factory: Callable[..., Topology]) -> None:

@@ -3,11 +3,27 @@
 Fixtures build deliberately small instances: every LP here solves in
 milliseconds so the full suite stays fast while still exercising the real
 solvers.
+
+Hypothesis profiles: ``dev`` (default) keeps the library defaults except
+for the wall-clock deadline, which is disabled — property tests here
+build topologies and solve LPs, whose first-call import/JIT costs trip
+per-example deadlines spuriously. ``ci`` additionally derandomizes so CI
+failures reproduce locally, and caps examples to keep `-n auto` workers
+balanced. Select with ``HYPOTHESIS_PROFILE=ci`` (the CI workflow does).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.register_profile(
+    "ci", deadline=None, derandomize=True, max_examples=25
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.topology.base import Topology
 from repro.topology.random_regular import random_regular_topology

@@ -1,0 +1,134 @@
+"""Differential solver matrix: every registered backend vs the exact LP.
+
+One parametrized module covers *all* registered backends — tests iterate
+:func:`repro.flow.solvers.available_solvers` and key their assertions off
+the backend's registry flags, so a future backend is auto-enrolled the
+moment it registers:
+
+- ``exact=True`` backends must reproduce ``edge_lp`` within 1e-6;
+- ``estimate=True`` backends must land inside their calibrated error
+  band (fit on separate instances of the same family);
+- remaining backends are optimizing-but-restricted engines and must
+  never exceed the exact optimum.
+
+Backend-specific guarantees ride alongside: ``path_lp`` with a saturating
+path budget matches the exact LP, ``approx`` honors its (1 - eps)
+factor, ``ecmp`` is a lower bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimate import calibrate_estimators, within_band
+from repro.flow.solvers import available_solvers, get_solver, solve_throughput
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+#: Instances small enough that every backend (including path_lp with a
+#: saturating k) solves in milliseconds. (num_switches, degree, seed)
+#: All instances share the calibration family's degree — estimator
+#: offsets are family-specific, so the band only claims coverage there.
+INSTANCES = [(8, 4, 0), (8, 4, 5), (10, 4, 1), (12, 4, 2)]
+
+#: Options needed for a backend's *tight* guarantee to apply on these
+#: instances. Unknown/future backends run with their defaults.
+TIGHT_OPTIONS = {
+    "path_lp": {"k": 64},  # saturates the simple-path sets at this size
+}
+
+#: Family spec matching INSTANCES, used to calibrate estimator bands on
+#: disjoint (different-seed) instances of the same sizes.
+CALIBRATION_FAMILY = {
+    "rrg": {
+        "kind": "rrg",
+        "params": {"network_degree": 4, "servers_per_switch": 2},
+        "size_param": "num_switches",
+        "sizes": (8, 12),
+    }
+}
+
+
+def _build(num_switches: int, degree: int, seed: int):
+    topo = random_regular_topology(
+        num_switches, degree, servers_per_switch=2, seed=seed
+    )
+    traffic = random_permutation_traffic(topo, seed=seed + 1)
+    return topo, traffic
+
+
+@pytest.fixture(scope="module")
+def estimator_bands():
+    """Calibrated bands for every registered estimator backend."""
+    estimators = tuple(
+        name for name in available_solvers() if get_solver(name).estimate
+    )
+    if not estimators:
+        return {}
+    table = calibrate_estimators(
+        estimators, families=CALIBRATION_FAMILY, replicates=2
+    )
+    return {name: table.band("rrg", name) for name in estimators}
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Exact LP throughput per instance."""
+    return {
+        coords: solve_throughput(*_build(*coords), "edge_lp").throughput
+        for coords in INSTANCES
+    }
+
+
+@pytest.mark.parametrize("name", available_solvers())
+@pytest.mark.parametrize("coords", INSTANCES)
+def test_backend_against_exact_lp(name, coords, references, estimator_bands):
+    """The one assertion matrix every registered backend must pass."""
+    backend = get_solver(name)
+    topo, traffic = _build(*coords)
+    exact = references[coords]
+    options = TIGHT_OPTIONS.get(name, {})
+    result = solve_throughput(topo, traffic, name, **options)
+    if backend.estimate:
+        assert within_band(result.throughput, exact, estimator_bands[name]), (
+            name, coords, result.throughput, exact, estimator_bands[name],
+        )
+    elif backend.exact:
+        assert result.throughput == pytest.approx(exact, abs=1e-6)
+    else:
+        assert result.throughput <= exact * (1 + 1e-6)
+
+
+@pytest.mark.parametrize("coords", INSTANCES)
+def test_path_lp_matches_edge_lp_with_saturating_k(coords, references):
+    topo, traffic = _build(*coords)
+    restricted = solve_throughput(topo, traffic, "path_lp", k=64).throughput
+    assert restricted == pytest.approx(references[coords], abs=1e-6)
+
+
+@pytest.mark.parametrize("coords", INSTANCES)
+@pytest.mark.parametrize("epsilon", [0.05, 0.1])
+def test_approx_within_its_guarantee(coords, references, epsilon):
+    topo, traffic = _build(*coords)
+    approx = solve_throughput(
+        topo, traffic, "approx", epsilon=epsilon
+    ).throughput
+    exact = references[coords]
+    assert approx <= exact * (1 + 1e-6)
+    assert approx >= (1 - epsilon) * exact * (1 - 1e-6)
+
+
+@pytest.mark.parametrize("coords", INSTANCES)
+def test_ecmp_lower_bounds_exact(coords, references):
+    topo, traffic = _build(*coords)
+    ecmp = solve_throughput(topo, traffic, "ecmp").throughput
+    assert 0 < ecmp <= references[coords] * (1 + 1e-6)
+
+
+def test_matrix_covers_every_registered_backend():
+    """Guard: the parametrization source really is the live registry."""
+    assert set(available_solvers()) >= {
+        "edge_lp", "path_lp", "approx", "ecmp",
+        "estimate_bound", "estimate_cut", "estimate_spectral",
+        "estimate_sampled_lp",
+    }

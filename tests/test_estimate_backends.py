@@ -1,0 +1,163 @@
+"""Estimator backends: registry wiring, bound properties, result fields."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.estimate import ESTIMATOR_BACKENDS, estimate_sampled_lp
+from repro.exceptions import FlowError
+from repro.flow.result import ThroughputResult
+from repro.flow.solvers import (
+    SolverConfig,
+    available_solvers,
+    get_solver,
+    solve_throughput,
+)
+
+
+class TestRegistryWiring:
+    def test_every_estimator_registered(self):
+        names = available_solvers()
+        for key in ESTIMATOR_BACKENDS:
+            assert key in names
+
+    def test_estimate_flag_set_only_on_estimators(self):
+        for name in available_solvers():
+            backend = get_solver(name)
+            assert backend.estimate == (name in ESTIMATOR_BACKENDS)
+
+    def test_estimators_are_inexact(self):
+        for key in ESTIMATOR_BACKENDS:
+            assert not get_solver(key).exact
+
+    def test_solver_config_builds_estimators(self, small_rrg, small_rrg_traffic):
+        config = SolverConfig.make("estimate-bound")
+        assert config.name == "estimate_bound"
+        result = config.solve(small_rrg, small_rrg_traffic)
+        assert result.is_estimate
+
+
+class TestEstimateResults:
+    @pytest.mark.parametrize("name", ESTIMATOR_BACKENDS)
+    def test_marks_result_as_estimate(self, small_rrg, small_rrg_traffic, name):
+        result = solve_throughput(small_rrg, small_rrg_traffic, name)
+        assert result.is_estimate
+        assert not result.exact
+        assert result.solver == name.replace("_", "-")
+        assert result.throughput > 0
+        assert result.total_demand == small_rrg_traffic.total_demand
+
+    @pytest.mark.parametrize("name", ESTIMATOR_BACKENDS)
+    def test_error_band_recorded_and_serialized(
+        self, small_rrg, small_rrg_traffic, name
+    ):
+        result = solve_throughput(
+            small_rrg, small_rrg_traffic, name, error_band=(0.8, 1.5)
+        )
+        assert result.error_band == (0.8, 1.5)
+        payload = json.loads(json.dumps(result.to_dict()))
+        back = ThroughputResult.from_dict(payload)
+        assert back.error_band == (0.8, 1.5)
+        assert back.is_estimate
+        assert back.throughput == result.throughput
+
+    @pytest.mark.parametrize("name", ESTIMATOR_BACKENDS)
+    def test_bad_error_band_rejected(self, small_rrg, small_rrg_traffic, name):
+        with pytest.raises(FlowError):
+            solve_throughput(
+                small_rrg, small_rrg_traffic, name, error_band=(1.5, 0.8)
+            )
+        with pytest.raises(FlowError):
+            solve_throughput(
+                small_rrg, small_rrg_traffic, name, error_band=(0.0, 1.0)
+            )
+
+    def test_exact_solver_results_unchanged(self, small_rrg, small_rrg_traffic):
+        result = solve_throughput(small_rrg, small_rrg_traffic, "edge_lp")
+        assert not result.is_estimate
+        assert result.error_band is None
+        payload = result.to_dict()
+        assert "is_estimate" not in payload
+        assert "error_band" not in payload
+
+
+class TestUpperBoundEstimators:
+    @pytest.mark.parametrize("name", ["estimate_bound", "estimate_cut"])
+    def test_never_below_exact(self, small_rrg, small_rrg_traffic, name):
+        exact = solve_throughput(
+            small_rrg, small_rrg_traffic, "edge_lp"
+        ).throughput
+        estimate = solve_throughput(
+            small_rrg, small_rrg_traffic, name
+        ).throughput
+        assert estimate >= exact * (1 - 1e-9)
+
+    def test_cut_no_looser_than_trivial_single_node(self, small_rrg, small_rrg_traffic):
+        # The single-switch candidate set alone implies est <= min over
+        # switches of cap(v)/dem(v); the sampled estimator includes it.
+        result = solve_throughput(small_rrg, small_rrg_traffic, "estimate_cut")
+        best_single = float("inf")
+        for v in small_rrg.switches:
+            cap = 2.0 * sum(
+                small_rrg.capacity(v, w) for w in small_rrg.neighbors(v)
+            )
+            dem = sum(
+                units
+                for (a, b), units in small_rrg_traffic.demands.items()
+                if v in (a, b)
+            )
+            if dem > 0:
+                best_single = min(best_single, cap / dem)
+        assert result.throughput <= best_single + 1e-9
+
+
+class TestSampledLP:
+    def test_full_solve_when_sample_covers_demand(
+        self, small_rrg, small_rrg_traffic
+    ):
+        exact = solve_throughput(
+            small_rrg, small_rrg_traffic, "edge_lp"
+        ).throughput
+        estimate = solve_throughput(
+            small_rrg,
+            small_rrg_traffic,
+            "estimate_sampled_lp",
+            max_pairs=10_000,
+        )
+        assert estimate.throughput == pytest.approx(exact, rel=1e-9)
+        assert estimate.is_estimate
+
+    def test_sampling_is_deterministic_per_seed(self, small_rrg, small_rrg_traffic):
+        a = estimate_sampled_lp(
+            small_rrg, small_rrg_traffic, max_pairs=4, seed=7
+        ).throughput
+        b = estimate_sampled_lp(
+            small_rrg, small_rrg_traffic, max_pairs=4, seed=7
+        ).throughput
+        assert a == b
+
+    def test_sample_fraction_clamps_against_max_and_min(
+        self, small_rrg, small_rrg_traffic
+    ):
+        # fraction * pairs below min_pairs -> min_pairs wins (full solve
+        # here because the workload has few pairs anyway).
+        result = estimate_sampled_lp(
+            small_rrg,
+            small_rrg_traffic,
+            sample_fraction=0.01,
+            min_pairs=1000,
+        )
+        exact = solve_throughput(
+            small_rrg, small_rrg_traffic, "edge_lp"
+        ).throughput
+        assert result.throughput == pytest.approx(exact, rel=1e-9)
+        with pytest.raises(ValueError):
+            estimate_sampled_lp(
+                small_rrg, small_rrg_traffic, sample_fraction=1.5
+            )
+
+    def test_result_flows_feasible(self, small_rrg, small_rrg_traffic):
+        result = estimate_sampled_lp(small_rrg, small_rrg_traffic, max_pairs=6)
+        result.validate_feasibility()

@@ -1,0 +1,154 @@
+"""Calibration: band fitting, persistence, and config injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimate import (
+    CalibrationRecord,
+    CalibrationTable,
+    calibrate_estimators,
+    calibration_pairs,
+    within_band,
+)
+from repro.exceptions import ExperimentError
+from repro.flow.solvers import solve_throughput
+
+#: One small family, sized so every LP solves in milliseconds.
+TINY_FAMILIES = {
+    "rrg": {
+        "kind": "rrg",
+        "params": {"network_degree": 4, "servers_per_switch": 2},
+        "size_param": "num_switches",
+        "sizes": (10, 14),
+    }
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_table() -> CalibrationTable:
+    return calibrate_estimators(
+        ("estimate_bound", "estimate_cut"),
+        families=TINY_FAMILIES,
+        replicates=2,
+    )
+
+
+class TestCalibrationFit:
+    def test_records_cover_every_estimator(self, tiny_table):
+        assert len(tiny_table) == 2
+        for name in ("estimate_bound", "estimate_cut"):
+            record = tiny_table.get("rrg", name)
+            assert record.samples == 4
+            assert 0 < record.ratio_min <= record.ratio_mean <= record.ratio_max
+
+    def test_band_widens_ratio_range_by_margin(self, tiny_table):
+        record = tiny_table.get("rrg", "estimate_bound")
+        lo, hi = record.band()
+        assert lo == pytest.approx(record.ratio_min / (1 + record.margin))
+        assert hi == pytest.approx(record.ratio_max * (1 + record.margin))
+
+    def test_calibration_pairs_are_inside_their_own_band(self, tiny_table):
+        # The fit pairs must land inside the recorded band (margin > 0).
+        for name in ("estimate_bound", "estimate_cut"):
+            band = tiny_table.band("rrg", name)
+            for topo, tm in calibration_pairs(
+                "rrg", TINY_FAMILIES["rrg"], replicates=2
+            ):
+                exact = solve_throughput(topo, tm, "edge_lp").throughput
+                estimate = solve_throughput(topo, tm, name).throughput
+                assert within_band(estimate, exact, band)
+
+    def test_held_out_replicates_inside_band(self, tiny_table):
+        # Fresh base seed -> instances never seen by the fit.
+        band = tiny_table.band("rrg", "estimate_bound")
+        for topo, tm in calibration_pairs(
+            "rrg", TINY_FAMILIES["rrg"], replicates=1, base_seed=99
+        ):
+            exact = solve_throughput(topo, tm, "edge_lp").throughput
+            estimate = solve_throughput(topo, tm, "estimate_bound").throughput
+            assert within_band(estimate, exact, band)
+
+    def test_alias_lookup_normalizes(self, tiny_table):
+        assert tiny_table.get("rrg", "estimate-bound").estimator == (
+            "estimate_bound"
+        )
+
+    def test_unknown_lookup_raises(self, tiny_table):
+        with pytest.raises(ExperimentError):
+            tiny_table.get("rrg", "edge_lp")
+        with pytest.raises(ExperimentError):
+            tiny_table.get("nope", "estimate_bound")
+
+
+class TestCalibrationPersistence:
+    def test_json_round_trip(self, tiny_table, tmp_path):
+        path = tmp_path / "calibration.json"
+        tiny_table.save(path)
+        loaded = CalibrationTable.load(path)
+        assert loaded.to_dict() == tiny_table.to_dict()
+        assert loaded.band("rrg", "estimate_cut") == tiny_table.band(
+            "rrg", "estimate_cut"
+        )
+
+    def test_record_round_trip(self):
+        record = CalibrationRecord(
+            family="rrg",
+            estimator="estimate_bound",
+            samples=3,
+            ratio_min=1.01,
+            ratio_mean=1.1,
+            ratio_max=1.2,
+            margin=0.5,
+        )
+        assert CalibrationRecord.from_dict(record.to_dict()) == record
+
+
+class TestConfigInjection:
+    def test_config_for_carries_band_onto_results(
+        self, tiny_table, small_rrg, small_rrg_traffic
+    ):
+        config = tiny_table.config_for("rrg", "estimate_bound")
+        result = config.solve(small_rrg, small_rrg_traffic)
+        assert result.error_band == pytest.approx(
+            tiny_table.band("rrg", "estimate_bound")
+        )
+
+    def test_config_for_merges_extra_options(self, tiny_table):
+        config = tiny_table.config_for("rrg", "estimate_cut", seed=5)
+        options = config.options_dict()
+        assert options["seed"] == 5
+        assert "error_band" in options
+
+
+class TestEstimatorOptions:
+    def test_options_applied_during_calibration(self):
+        # A tiny max_pairs forces real sampling; the fitted band must then
+        # differ from the trivially exact ratio-1.0 band.
+        table = calibrate_estimators(
+            ("estimate_sampled_lp",),
+            families=TINY_FAMILIES,
+            replicates=1,
+            traffic="gravity",
+            estimator_options={"estimate_sampled_lp": {"max_pairs": 6}},
+        )
+        record = table.get("rrg", "estimate_sampled_lp")
+        assert record.ratio_min != pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_empty_estimators(self):
+        with pytest.raises(ExperimentError):
+            calibrate_estimators((), families=TINY_FAMILIES)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ExperimentError):
+            calibrate_estimators(
+                ("estimate_bound",), families=TINY_FAMILIES, margin=-0.1
+            )
+
+    def test_rejects_bad_replicates(self):
+        with pytest.raises(ExperimentError):
+            calibrate_estimators(
+                ("estimate_bound",), families=TINY_FAMILIES, replicates=0
+            )

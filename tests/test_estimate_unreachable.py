@@ -1,0 +1,135 @@
+"""Estimators honor the unreachable-demand policy exactly like exact solvers.
+
+Satellite regression for the reachability/estimator interaction: on a
+partitioned fabric, every estimator must (a) raise under
+``unreachable="error"`` with the same exception type as the LPs, and
+(b) under ``unreachable="drop"`` report dropped_pairs / dropped_demand /
+served_fraction *identical* to the exact backend's bookkeeping — the
+served set is a policy decision, not a solver detail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimate import ESTIMATOR_BACKENDS
+from repro.exceptions import FlowError
+from repro.flow.solvers import solve_throughput
+from repro.resilience import FailureSpec, apply_failures
+from repro.topology.base import Topology
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.base import TrafficMatrix
+from repro.traffic.permutation import random_permutation_traffic
+
+
+@pytest.fixture
+def partitioned():
+    """Two disjoint 2-cliques plus demand crossing the partition."""
+    topo = Topology("partitioned")
+    for v in range(4):
+        topo.add_switch(v, servers=1)
+    topo.add_link(0, 1)
+    topo.add_link(2, 3)
+    traffic = TrafficMatrix(
+        name="cross",
+        demands={(0, 1): 1.0, (0, 2): 2.0, (3, 1): 1.5, (2, 3): 1.0},
+        num_flows=5,
+        num_local_flows=0,
+    )
+    return topo, traffic
+
+
+@pytest.fixture
+def missing_endpoint():
+    """Demand whose endpoint switch is not in the topology at all."""
+    topo = Topology("short")
+    topo.add_switch("a", servers=1)
+    topo.add_switch("b", servers=1)
+    topo.add_link("a", "b")
+    traffic = TrafficMatrix(
+        name="ghost",
+        demands={("a", "b"): 1.0, ("a", "ghost"): 1.0},
+        num_flows=2,
+    )
+    return topo, traffic
+
+
+@pytest.mark.parametrize("name", ESTIMATOR_BACKENDS)
+class TestErrorPolicy:
+    def test_partition_raises(self, partitioned, name):
+        topo, traffic = partitioned
+        with pytest.raises(FlowError):
+            solve_throughput(topo, traffic, name)
+
+    def test_missing_endpoint_raises(self, missing_endpoint, name):
+        topo, traffic = missing_endpoint
+        with pytest.raises(FlowError):
+            solve_throughput(topo, traffic, name, unreachable="error")
+
+    def test_unknown_policy_rejected(self, partitioned, name):
+        topo, traffic = partitioned
+        with pytest.raises(FlowError):
+            solve_throughput(topo, traffic, name, unreachable="maybe")
+
+
+@pytest.mark.parametrize("name", ESTIMATOR_BACKENDS)
+class TestDropBookkeepingParity:
+    def test_matches_exact_backend_on_partition(self, partitioned, name):
+        topo, traffic = partitioned
+        reference = solve_throughput(
+            topo, traffic, "edge_lp", unreachable="drop"
+        )
+        result = solve_throughput(topo, traffic, name, unreachable="drop")
+        assert result.dropped_pairs == reference.dropped_pairs
+        assert result.dropped_demand == reference.dropped_demand
+        assert result.total_demand == reference.total_demand
+        assert result.served_fraction == reference.served_fraction
+        assert result.is_estimate
+
+    def test_matches_exact_backend_on_missing_endpoint(
+        self, missing_endpoint, name
+    ):
+        topo, traffic = missing_endpoint
+        reference = solve_throughput(
+            topo, traffic, "edge_lp", unreachable="drop"
+        )
+        result = solve_throughput(topo, traffic, name, unreachable="drop")
+        assert result.dropped_pairs == reference.dropped_pairs
+        assert result.dropped_demand == reference.dropped_demand
+        assert result.served_fraction == reference.served_fraction
+
+    def test_fully_unserved_returns_zero_estimate(self, name):
+        topo = Topology("islands")
+        for v in range(4):
+            topo.add_switch(v, servers=1)
+        topo.add_link(0, 1)
+        topo.add_link(2, 3)
+        traffic = TrafficMatrix(
+            name="all-cross", demands={(0, 2): 1.0, (1, 3): 1.0}, num_flows=2
+        )
+        result = solve_throughput(topo, traffic, name, unreachable="drop")
+        assert result.throughput == 0.0
+        assert result.num_dropped_pairs == 2
+        assert result.dropped_demand == 2.0
+        assert result.is_estimate
+        assert result.served_fraction == 0.0
+
+
+@pytest.mark.parametrize("name", ESTIMATOR_BACKENDS)
+def test_degraded_fabric_regression(name):
+    """Estimators agree with the exact backend's served set on a fabric
+    degraded enough to partition (switch failures at a high rate)."""
+    topo = random_regular_topology(12, 3, servers_per_switch=2, seed=11)
+    traffic = random_permutation_traffic(topo, seed=12)
+    degraded = apply_failures(
+        topo, FailureSpec.make("random_switches", rate=0.4), seed=5
+    )
+    reference = solve_throughput(
+        degraded, traffic, "edge_lp", unreachable="drop"
+    )
+    result = solve_throughput(degraded, traffic, name, unreachable="drop")
+    assert result.dropped_pairs == reference.dropped_pairs
+    assert result.dropped_demand == reference.dropped_demand
+    assert result.total_demand == reference.total_demand
+    if reference.offered_demand > 0:
+        assert result.served_fraction == reference.served_fraction

@@ -24,6 +24,7 @@ EXTRA_IDS = {
     "extra-cabling",
     "extra-latency",
     "resilience",
+    "scale",
     "search1",
     "search2",
 }

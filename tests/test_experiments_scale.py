@@ -1,0 +1,85 @@
+"""Scale experiment: registry wiring, series shape, band bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import available_experiments, run_experiment
+from repro.experiments.scale import (
+    fat_tree_arity_for,
+    run_scale,
+    scale_families,
+    vl2_degrees_for,
+)
+
+
+class TestSizing:
+    def test_fat_tree_arity_is_even_and_tracks_n(self):
+        for n in (20, 100, 500, 1000, 5000, 10000):
+            k = fat_tree_arity_for(n)
+            assert k % 2 == 0 and k >= 4
+            assert abs(5 * k * k / 4 - n) / n < 0.35
+
+    def test_vl2_degrees_even_and_track_n(self):
+        for n in (50, 200, 1000, 10000):
+            da, di = vl2_degrees_for(n)
+            assert da == di and da % 2 == 0
+            assert abs((da * di / 4 + di + da / 2) - n) / n < 0.35
+
+    def test_families_cover_three_designs(self):
+        labels = [label for label, _, _ in scale_families(100)]
+        assert labels == ["rrg", "fat-tree", "vl2"]
+
+
+class TestRunScale:
+    @pytest.fixture(scope="class")
+    def tiny_result(self):
+        return run_scale(
+            sizes=(24, 40),
+            exact_limit=40,
+            runs=1,
+            network_degree=4,
+            servers_per_switch=2,
+        )
+
+    def test_series_per_family_and_solver(self, tiny_result):
+        names = {s.name for s in tiny_result.series}
+        for family in ("rrg", "fat-tree", "vl2"):
+            for solver in ("estimate_bound", "estimate_cut", "edge_lp"):
+                assert f"{family}/{solver}" in names
+
+    def test_every_series_has_both_sizes(self, tiny_result):
+        for series in tiny_result.series:
+            assert series.xs() == [24.0, 40.0]
+            assert all(y > 0 for y in series.ys())
+
+    def test_band_checks_recorded_and_clean(self, tiny_result):
+        assert tiny_result.metadata["band_checks"] > 0
+        assert tiny_result.metadata["band_violations"] == 0
+
+    def test_calibration_table_in_metadata(self, tiny_result):
+        records = tiny_result.metadata["calibration"]["records"]
+        keys = {(r["family"], r["estimator"]) for r in records}
+        assert ("rrg", "estimate_bound") in keys
+        assert ("vl2", "estimate_cut") in keys
+
+    def test_estimates_above_exact_where_paired(self, tiny_result):
+        # Both default estimators are upper bounds: at every size where
+        # the exact LP also ran, the estimate series sits at or above it.
+        for family in ("rrg", "fat-tree", "vl2"):
+            exact = tiny_result.get_series(f"{family}/edge_lp")
+            for estimator in ("estimate_bound", "estimate_cut"):
+                est = tiny_result.get_series(f"{family}/{estimator}")
+                for x in exact.xs():
+                    assert est.y_at(x) >= exact.y_at(x) * (1 - 1e-9)
+
+
+class TestRegistryWiring:
+    def test_scale_registered(self):
+        assert "scale" in available_experiments()
+
+    def test_rejects_empty_sizes(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_experiment("scale", sizes=())

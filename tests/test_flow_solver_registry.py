@@ -84,7 +84,12 @@ class TestSolveThroughput:
         exact = solve_throughput(small_rrg, small_rrg_traffic).throughput
         for name in available_solvers():
             result = solve_throughput(small_rrg, small_rrg_traffic, name)
-            assert 0 < result.throughput <= exact * (1 + 1e-6)
+            assert result.throughput > 0
+            if not get_solver(name).estimate:
+                # Optimizing backends are the optimum or a lower bound;
+                # estimators may legitimately sit above it (the bound and
+                # cut estimates are upper bounds by construction).
+                assert result.throughput <= exact * (1 + 1e-6)
 
 
 class TestSolverConfig:

@@ -1,0 +1,175 @@
+"""Golden-file schema pins: PR2/PR3-era payloads and the sweep CSV.
+
+The estimator fields added to :class:`ThroughputResult` must never break
+cache entries (or sweep artifacts) written by earlier code. These tests
+load payloads frozen in ``tests/golden/`` — hand-written in exactly the
+schema PR 2 (intact results) and PR 3 (degraded-fabric fields) emitted —
+and pin three guarantees:
+
+- old payloads still parse, with the new fields defaulting off;
+- re-serializing an old payload reproduces it byte-for-byte (canonical
+  JSON equality), i.e. exact solves never emit the estimator fields;
+- a PR3-era on-disk cache entry is still a cache *hit*.
+
+The CSV golden pins the current artifact schema so future column changes
+are a deliberate, reviewed diff instead of an accident.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import shutil
+from pathlib import Path
+
+from repro.flow.result import ThroughputResult
+from repro.flow.solvers import SolverConfig
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.engine import CellResult, run_grid
+from repro.pipeline.scenario import ScenarioGrid, TopologySpec, TrafficSpec
+from repro.util.hashing import canonical_json
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def _load(name: str) -> dict:
+    with open(GOLDEN / name, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestIntactPR2Payload:
+    def test_parses_with_new_fields_defaulted(self):
+        result = ThroughputResult.from_dict(_load(
+            "throughput_result_intact_pr2.json"
+        ))
+        assert result.throughput == 0.75
+        assert result.total_demand == 4.0
+        assert result.solver == "edge-lp"
+        assert result.exact
+        assert result.is_estimate is False
+        assert result.error_band is None
+        assert result.dropped_pairs == ()
+        assert result.truncated_pairs == 0
+        assert result.total_capacity == 9.0
+
+    def test_round_trips_byte_identically(self):
+        payload = _load("throughput_result_intact_pr2.json")
+        result = ThroughputResult.from_dict(payload)
+        assert canonical_json(result.to_dict()) == canonical_json(payload)
+
+    def test_zero_flow_arcs_survive(self):
+        # from_dict drops zero flows from the sparse arc_flows dict but
+        # to_dict must still emit every arc with its 0.0 flow.
+        payload = _load("throughput_result_intact_pr2.json")
+        result = ThroughputResult.from_dict(payload)
+        emitted = {(e["u"], e["v"]): e["flow"] for e in result.to_dict()["arcs"]}
+        assert emitted[(2, 1)] == 0.0
+
+
+class TestDegradedPR3Payload:
+    def test_parses_with_degraded_bookkeeping(self):
+        result = ThroughputResult.from_dict(_load(
+            "throughput_result_degraded_pr3.json"
+        ))
+        assert result.dropped_pairs == (("a", "z"), ("z", "b"))
+        assert result.dropped_demand == 2.5
+        assert result.truncated_pairs == 3
+        assert result.served_fraction == 3.0 / 5.5
+        assert result.is_estimate is False
+        assert result.error_band is None
+
+    def test_round_trips_byte_identically(self):
+        payload = _load("throughput_result_degraded_pr3.json")
+        result = ThroughputResult.from_dict(payload)
+        assert canonical_json(result.to_dict()) == canonical_json(payload)
+
+
+class TestNewFieldsStayOptIn:
+    def test_estimate_fields_absent_unless_set(self):
+        result = ThroughputResult(throughput=1.0, total_demand=1.0)
+        payload = result.to_dict()
+        assert "is_estimate" not in payload
+        assert "error_band" not in payload
+
+    def test_estimate_fields_emitted_when_set(self):
+        result = ThroughputResult(
+            throughput=1.0,
+            total_demand=1.0,
+            is_estimate=True,
+            error_band=(0.9, 1.2),
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        back = ThroughputResult.from_dict(payload)
+        assert back.is_estimate
+        assert back.error_band == (0.9, 1.2)
+
+
+class TestPR3CacheEntryStillHits:
+    def test_old_entry_is_a_hit(self, tmp_path):
+        entry = _load("cache_entry_pr3.json")
+        key = entry["key"]
+        cache = ResultCache(tmp_path)
+        target = tmp_path / key[:2] / f"{key}.json"
+        target.parent.mkdir(parents=True)
+        shutil.copy(GOLDEN / "cache_entry_pr3.json", target)
+        result = cache.get(key)
+        assert result is not None
+        assert cache.hits == 1
+        assert result.throughput == 0.625
+        assert result.is_estimate is False
+
+
+#: The grid CSV column schema as of this PR (estimator columns included).
+EXPECTED_CSV_HEADER = (
+    "topology,size,traffic,solver,failure,replicate,seed,throughput,"
+    "engine,exact,is_estimate,error_lo,error_hi,total_demand,"
+    "dropped_pairs,dropped_demand,utilization,num_switches,num_servers,"
+    "cache_hit,elapsed_s,key"
+)
+
+
+class TestGridCSVSchema:
+    def test_fields_constant_matches_golden_header(self):
+        assert ",".join(CellResult.FIELDS) == EXPECTED_CSV_HEADER
+
+    def test_written_csv_uses_golden_header(self, tmp_path):
+        grid = ScenarioGrid(
+            name="golden",
+            topologies=(TopologySpec.make("complete", num_switches=3,
+                                          servers_per_switch=1),),
+            traffics=(TrafficSpec.make("all-to-all"),),
+            solvers=(SolverConfig("ecmp"), SolverConfig("estimate_bound")),
+        )
+        sweep = run_grid(grid)
+        path = tmp_path / "cells.csv"
+        sweep.write_csv(path)
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            reader = csv.DictReader(handle)
+            assert ",".join(reader.fieldnames) == EXPECTED_CSV_HEADER
+            rows = list(reader)
+        by_solver = {row["solver"]: row for row in rows}
+        assert by_solver["ecmp"]["is_estimate"] == "False"
+        assert by_solver["ecmp"]["error_lo"] == ""
+        assert by_solver["estimate_bound"]["is_estimate"] == "True"
+
+    def test_estimator_band_lands_in_csv(self, tmp_path):
+        grid = ScenarioGrid(
+            name="banded",
+            topologies=(TopologySpec.make("complete", num_switches=3,
+                                          servers_per_switch=1),),
+            traffics=(TrafficSpec.make("all-to-all"),),
+            solvers=(
+                SolverConfig.make("estimate_bound", error_band=(0.9, 1.3)),
+            ),
+        )
+        sweep = run_grid(grid)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(CellResult.FIELDS))
+        writer.writeheader()
+        for row in sweep.rows():
+            writer.writerow(row)
+        reader = csv.DictReader(io.StringIO(buffer.getvalue()))
+        row = next(iter(reader))
+        assert float(row["error_lo"]) == 0.9
+        assert float(row["error_hi"]) == 1.3

@@ -1,0 +1,355 @@
+"""Hypothesis property tests for every topology builder.
+
+Each family gets a randomized-constructor strategy and asserts the four
+invariant groups the builders promise:
+
+- **declared-vs-actual counts** — the closed-form switch/server counts
+  each family's docstring states;
+- **port-budget conservation** — no switch exceeds its network-port
+  budget (degree) or its declared server attachment;
+- **handshake parity** — the degree sum equals twice the link count
+  (the graph stayed simple and consistent after any collapsing);
+- **connectivity or documented exception** — families that guarantee a
+  connected fabric must deliver one on every sampled input; families
+  that explicitly do not (small-world rewiring, two-cluster with
+  arbitrary cross wiring) assert their weaker documented invariants
+  instead.
+
+Structural validity (positive capacities, no self-loops, non-negative
+server counts) is asserted through ``Topology.validate`` on every sample.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.base import Topology
+from repro.topology.bcube import bcube_topology
+from repro.topology.clos import folded_clos_topology, leaf_spine_topology
+from repro.topology.complete import (
+    complete_bipartite_topology,
+    complete_topology,
+)
+from repro.topology.dragonfly import dragonfly_topology
+from repro.topology.fattree import fat_tree_topology
+from repro.topology.flattened_butterfly import flattened_butterfly_topology
+from repro.topology.heterogeneous import (
+    heterogeneous_random_topology,
+    mixed_linespeed_topology,
+)
+from repro.topology.hypercube import hypercube_topology
+from repro.topology.random_regular import random_regular_topology
+from repro.topology.smallworld import small_world_topology
+from repro.topology.torus import torus_topology
+from repro.topology.two_cluster import two_cluster_random_topology
+from repro.topology.vl2 import rewired_vl2_topology, vl2_topology
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def check_common(topo: Topology) -> None:
+    """Invariants every builder must satisfy on every output."""
+    topo.validate()
+    degree_sum = sum(topo.degree(v) for v in topo.switches)
+    assert degree_sum == 2 * topo.num_links, "handshake parity violated"
+
+
+class TestRandomRegular:
+    @given(
+        st.integers(5, 18), st.integers(2, 5), st.integers(0, 3), seeds
+    )
+    @SETTINGS
+    def test_invariants(self, n, r, servers, seed):
+        r = min(r, n - 1)
+        topo = random_regular_topology(
+            n, r, servers_per_switch=servers, seed=seed
+        )
+        check_common(topo)
+        assert topo.num_switches == n
+        assert topo.num_servers == n * servers
+        assert all(topo.degree(v) <= r for v in topo.switches)
+        # Stub accounting: at most one stub per switch plus the global
+        # odd-parity stub can go unused.
+        assert sum(topo.degree(v) for v in topo.switches) >= n * r - n - 1
+        assert topo.is_connected()
+
+
+class TestFatTree:
+    @given(st.sampled_from([2, 4, 6]))
+    @SETTINGS
+    def test_invariants(self, k):
+        topo = fat_tree_topology(k)
+        check_common(topo)
+        assert topo.num_switches == 5 * k * k // 4
+        assert topo.num_servers == k ** 3 // 4
+        for v in topo.switches:
+            assert topo.degree(v) + topo.servers_at(v) <= k
+        assert topo.is_connected()
+
+
+class TestVL2:
+    @given(
+        st.sampled_from([2, 4, 6, 8]),
+        st.sampled_from([2, 4, 6]),
+        st.integers(1, 4),
+    )
+    @SETTINGS
+    def test_invariants(self, da, di, servers_per_tor):
+        topo = vl2_topology(da, di, servers_per_tor=servers_per_tor)
+        check_common(topo)
+        num_tors = da * di // 4
+        assert topo.num_switches == num_tors + di + da // 2
+        assert topo.num_servers == num_tors * servers_per_tor
+        for tor in topo.nodes_of_type("tor"):
+            assert topo.degree(tor) <= 2
+        for agg in topo.nodes_of_type("agg"):
+            assert topo.degree(agg) <= da
+        for core in topo.nodes_of_type("core"):
+            assert topo.degree(core) <= di
+        assert topo.is_connected()
+
+    @given(
+        st.sampled_from([4, 6, 8]),
+        st.sampled_from([4, 6]),
+        st.sampled_from(["max", "max-1", "half"]),
+        seeds,
+    )
+    @SETTINGS
+    def test_rewired_invariants(self, da, di, tor_choice, seed):
+        # Too few ToRs make the aggregate degree budgets ungraphical
+        # (documented feasibility constraint), so sample the designed
+        # operating range: full, one removed, and half the ToR count.
+        max_tors = da * di // 4
+        num_tors = {
+            "max": max_tors,
+            "max-1": max(2, max_tors - 1),
+            "half": max(2, max_tors // 2),
+        }[tor_choice]
+        topo = rewired_vl2_topology(da, di, num_tors=num_tors, seed=seed)
+        check_common(topo)
+        assert len(topo.nodes_of_type("tor")) == num_tors
+
+
+class TestHypercube:
+    @given(st.integers(1, 6), st.integers(0, 3))
+    @SETTINGS
+    def test_invariants(self, dim, servers):
+        topo = hypercube_topology(dim, servers_per_switch=servers)
+        check_common(topo)
+        assert topo.num_switches == 2 ** dim
+        assert all(topo.degree(v) == dim for v in topo.switches)
+        assert topo.num_servers == servers * 2 ** dim
+        assert topo.is_connected()
+
+
+class TestTorus:
+    @given(st.lists(st.integers(3, 5), min_size=2, max_size=3))
+    @SETTINGS
+    def test_invariants(self, dims):
+        # Documented constraint: every dimension >= 3 (wrap links would
+        # otherwise duplicate grid links); each dimension adds 2 ports.
+        topo = torus_topology(tuple(dims))
+        check_common(topo)
+        expected = 1
+        for d in dims:
+            expected *= d
+        assert topo.num_switches == expected
+        assert all(
+            topo.degree(v) == 2 * len(dims) for v in topo.switches
+        )
+        assert topo.is_connected()
+
+
+class TestComplete:
+    @given(st.integers(2, 12), st.integers(0, 3))
+    @SETTINGS
+    def test_complete(self, n, servers):
+        topo = complete_topology(n, servers_per_switch=servers)
+        check_common(topo)
+        assert topo.num_switches == n
+        assert topo.num_links == n * (n - 1) // 2
+        assert all(topo.degree(v) == n - 1 for v in topo.switches)
+        assert topo.is_connected()
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @SETTINGS
+    def test_complete_bipartite(self, left, right):
+        topo = complete_bipartite_topology(left, right)
+        check_common(topo)
+        assert topo.num_switches == left + right
+        assert topo.num_links == left * right
+        assert topo.is_connected()
+
+
+class TestClos:
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 4),
+           st.integers(1, 3))
+    @SETTINGS
+    def test_leaf_spine(self, leaves, spines, servers, links_per_pair):
+        topo = leaf_spine_topology(
+            leaves, spines, servers, links_per_pair=links_per_pair
+        )
+        check_common(topo)
+        assert topo.num_switches == leaves + spines
+        assert topo.num_links == leaves * spines
+        for leaf in topo.nodes_of_type("leaf"):
+            assert topo.degree(leaf) == spines
+        for spine in topo.nodes_of_type("spine"):
+            assert topo.degree(spine) == leaves
+        assert topo.is_connected()
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 4))
+    @SETTINGS
+    def test_folded_clos(self, leaves, spines, servers):
+        topo = folded_clos_topology(leaves, spines, servers)
+        check_common(topo)
+        assert topo.num_switches == leaves + spines
+        assert topo.num_servers == leaves * servers
+        assert topo.is_connected()
+
+
+class TestBCube:
+    @given(st.integers(2, 3), st.integers(1, 2))
+    @SETTINGS
+    def test_invariants(self, n, k):
+        topo = bcube_topology(n, k)
+        check_common(topo)
+        hosts = n ** (k + 1)
+        assert topo.num_switches == hosts + (k + 1) * n ** k
+        assert topo.num_servers == hosts
+        for v in topo.nodes_of_type("server"):
+            assert topo.degree(v) == k + 1
+        for v in topo.nodes_of_type("switch"):
+            assert topo.degree(v) == n
+        assert topo.is_connected()
+
+
+class TestFlattenedButterfly:
+    @given(st.integers(2, 4), st.integers(2, 3))
+    @SETTINGS
+    def test_invariants(self, k, dims):
+        topo = flattened_butterfly_topology(k, dimensions=dims)
+        check_common(topo)
+        assert topo.num_switches == k ** dims
+        assert all(
+            topo.degree(v) == (k - 1) * dims for v in topo.switches
+        )
+        assert topo.is_connected()
+
+
+class TestDragonfly:
+    @given(st.integers(2, 4), st.integers(0, 2), st.integers(1, 2))
+    @SETTINGS
+    def test_invariants(self, a, p, h):
+        topo = dragonfly_topology(
+            a, servers_per_router=p, global_ports_per_router=h
+        )
+        check_common(topo)
+        groups = a * h + 1
+        assert topo.num_switches == groups * a
+        assert topo.num_servers == groups * a * p
+        # Port budget: a-1 intra-group + h global ports per router.
+        assert all(
+            topo.degree(v) <= (a - 1) + h for v in topo.switches
+        )
+        assert topo.is_connected()
+
+
+class TestSmallWorld:
+    """Documented exception: rewiring may disconnect the ring, so
+    connectivity is not asserted; the link count and simplicity are."""
+
+    @given(
+        st.integers(6, 18),
+        st.sampled_from([2, 4]),
+        st.floats(0.0, 1.0),
+        seeds,
+    )
+    @SETTINGS
+    def test_invariants(self, n, nn, p, seed):
+        topo = small_world_topology(
+            n, nn, rewire_probability=p, seed=seed
+        )
+        check_common(topo)
+        assert topo.num_switches == n
+        # Every rewire replaces a link one-for-one (or keeps it when no
+        # valid endpoint exists), so the ring-lattice count is preserved.
+        assert topo.num_links == n * nn // 2
+        if p == 0.0:
+            assert topo.is_connected()
+
+
+class TestTwoCluster:
+    """Documented exception: the cross-wiring budget is exact, so extreme
+    parameter draws can legally disconnect a cluster from the other;
+    connectivity is only guaranteed in the paper's operating regime."""
+
+    @given(
+        st.integers(2, 5),
+        st.integers(2, 6),
+        st.integers(2, 6),
+        st.integers(2, 4),
+        seeds,
+    )
+    @SETTINGS
+    def test_invariants(self, num_large, large_ports, num_small,
+                        small_ports, seed):
+        topo = two_cluster_random_topology(
+            num_large=num_large,
+            large_network_ports=large_ports,
+            num_small=num_small,
+            small_network_ports=small_ports,
+            servers_per_large=2,
+            servers_per_small=1,
+            seed=seed,
+        )
+        check_common(topo)
+        assert topo.num_switches == num_large + num_small
+        assert topo.num_servers == 2 * num_large + num_small
+        assert len(topo.nodes_in_cluster("large")) == num_large
+        assert len(topo.nodes_in_cluster("small")) == num_small
+        for v in topo.nodes_in_cluster("large"):
+            assert topo.degree(v) <= large_ports
+        for v in topo.nodes_in_cluster("small"):
+            assert topo.degree(v) <= small_ports
+
+
+class TestHeterogeneous:
+    @given(
+        st.lists(st.integers(2, 6), min_size=4, max_size=10),
+        seeds,
+    )
+    @SETTINGS
+    def test_invariants(self, ports, seed):
+        port_counts = {f"s{i}": p for i, p in enumerate(ports)}
+        servers = {f"s{i}": 1 for i in range(len(ports))}
+        topo = heterogeneous_random_topology(port_counts, servers, seed=seed)
+        check_common(topo)
+        assert topo.num_switches == len(ports)
+        assert topo.num_servers == len(ports)
+        for node, budget in port_counts.items():
+            assert topo.degree(node) <= budget
+
+    @given(st.integers(2, 4), st.integers(2, 5), st.integers(1, 3), seeds)
+    @SETTINGS
+    def test_mixed_linespeed(self, num_large, num_small, high_ports, seed):
+        # Documented constraint: the high-speed mesh needs more large
+        # switches than high ports per switch.
+        high_ports = min(high_ports, num_large - 1)
+        topo = mixed_linespeed_topology(
+            num_large=num_large,
+            large_low_ports=4,
+            num_small=num_small,
+            small_low_ports=3,
+            servers_per_large=2,
+            servers_per_small=1,
+            high_ports_per_large=high_ports,
+            high_speed=4.0,
+            seed=seed,
+        )
+        check_common(topo)
+        assert topo.num_switches == num_large + num_small
+        assert topo.num_servers == 2 * num_large + num_small
