@@ -1,0 +1,151 @@
+"""Growth acceptance benchmarks: the expansion claims, measured.
+
+Claims measured:
+
+- **Cheap incremental churn.** Swap growth touches ~``r/2`` links per
+  arriving switch (net gain exactly ``r/2``), an order less than a
+  fresh rebuild of the fabric, and its cumulative cabling bill stays a
+  small fraction of the rebuild strategy's.
+- **Throughput survives growth.** A fabric grown by link swaps across
+  several stages lands within a few percent of a same-equipment RRG
+  sampled from scratch — the Jellyfish property that makes incremental
+  growth *free* rather than merely cheap.
+- **The ladder steps, the random graph glides.** Along one equipment
+  timeline at matched budgets, the fat-tree ladder repeats rungs (zero
+  upgrade, idle switches) while the random fabric deploys every switch
+  and server at every stage.
+- **Warm-cache identity.** Re-running a growth campaign against a warm
+  cache hits every stage cell and reproduces identical numbers.
+
+Like the other wall-clock benchmarks these run on demand, not in CI
+(see .github/workflows/ci.yml); CI runs the same shape end-to-end
+through the ``repro-experiments grow`` cold/warm gate.
+"""
+
+from __future__ import annotations
+
+from statistics import fmean
+
+from conftest import run_once
+
+from repro.experiments.growth import run_growth_study
+from repro.growth.plan import GrowthSchedule
+from repro.growth.trajectory import run_growth, run_growth_sweep
+
+SCHEDULE = GrowthSchedule.from_targets(
+    (16, 24, 32, 48),
+    name="bench-growth",
+    network_degree=4,
+    servers_per_switch=2,
+)
+
+
+def test_swap_churn_is_incremental(benchmark):
+    trajectory = run_once(
+        benchmark, run_growth, SCHEDULE, "swap", cache=False
+    )
+    half_degree = SCHEDULE.network_degree // 2
+    for previous, record in zip(trajectory.records, trajectory.records[1:]):
+        added = record.num_switches - previous.num_switches
+        print(
+            f"\nstage {record.index}: +{added} switches, "
+            f"{record.links_removed} removed / {record.links_added} added"
+        )
+        assert record.links_added - record.links_removed == added * half_degree
+        assert record.links_removed <= added * half_degree
+
+
+def test_swap_churn_beats_rebuild(benchmark):
+    def both():
+        swap = run_growth(SCHEDULE, "swap", cache=False)
+        rebuild = run_growth(SCHEDULE, "rebuild", cache=False)
+        return swap, rebuild
+
+    swap, rebuild = run_once(benchmark, both)
+    swap_links = sum(r.links_touched for r in swap.records[1:])
+    rebuild_links = sum(r.links_touched for r in rebuild.records[1:])
+    swap_cable = sum(
+        r.cables_added_length + r.cables_removed_length
+        for r in swap.records[1:]
+    )
+    rebuild_cable = sum(
+        r.cables_added_length + r.cables_removed_length
+        for r in rebuild.records[1:]
+    )
+    print(
+        f"\nlinks touched: swap {swap_links} vs rebuild {rebuild_links}; "
+        f"cable length: swap {swap_cable:.0f} vs rebuild {rebuild_cable:.0f}"
+    )
+    # Rebuilding resamples nearly every link each stage; swaps touch a
+    # small multiple of the arriving equipment.
+    assert swap_links < 0.75 * rebuild_links
+    assert swap_cable < rebuild_cable
+
+
+def test_grown_throughput_matches_fresh_rrg(benchmark):
+    """Jellyfish's claim: growing by swaps costs (almost) no throughput
+    versus re-sampling the random graph from scratch at final size."""
+    sweep = run_once(
+        benchmark,
+        run_growth_sweep,
+        SCHEDULE,
+        ("swap", "rebuild"),
+        seeds=3,
+        cache=False,
+    )
+    finals: dict = {}
+    for trajectory in sweep.trajectories:
+        finals.setdefault(trajectory.strategy, []).append(
+            trajectory.final().throughput
+        )
+    grown = fmean(finals["swap"])
+    fresh = fmean(finals["rebuild"])
+    print(f"\nfinal throughput: grown {grown:.4f} vs fresh {fresh:.4f}")
+    assert grown >= 0.9 * fresh
+
+
+def test_ladder_steps_while_random_glides(benchmark):
+    result = run_once(
+        benchmark,
+        run_growth_study,
+        start=12,
+        target=32,
+        num_stages=2,
+        network_degree=4,
+        servers_per_switch=2,
+        strategies=("swap", "fattree_upgrade"),
+        runs=2,
+        seed=0,
+    )
+    print()
+    print(result.to_table())
+    rrg_servers = result.get_series("swap/servers").ys()
+    ladder_servers = result.get_series("fattree_upgrade/servers").ys()
+    # Smooth: every budget deploys strictly more servers than the last.
+    assert all(b > a for a, b in zip(rrg_servers, rrg_servers[1:]))
+    # Step function: at least one budget increase deploys nothing new.
+    assert any(b == a for a, b in zip(ladder_servers, ladder_servers[1:]))
+    ladder_churn = result.metadata["churn"]["fattree_upgrade"]
+    assert any(cell["idle_switches"] > 0 for cell in ladder_churn.values())
+    assert any(
+        cell["links_touched"] == 0 for cell in ladder_churn.values()
+    )
+
+
+def test_growth_warm_cache_identical(benchmark, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = run_growth_sweep(
+        SCHEDULE, ("swap", "fattree_upgrade"), seeds=2, cache_dir=cache_dir
+    )
+    warm = run_once(
+        benchmark,
+        run_growth_sweep,
+        SCHEDULE,
+        ("swap", "fattree_upgrade"),
+        seeds=2,
+        cache_dir=cache_dir,
+    )
+    assert warm.cache_hits == warm.num_cells
+    assert [t.throughputs() for t in warm.trajectories] == [
+        t.throughputs() for t in cold.trajectories
+    ]

@@ -15,6 +15,9 @@ Singla, Godfrey, Kolla (NSDI 2014). The library provides:
 - :mod:`repro.estimate` — calibrated throughput estimators that take
   sweeps to N = 10,000 (capacity-charging bound, sampled cuts, spectral,
   sampled LP) with per-family error bands,
+- :mod:`repro.growth` — multi-stage incremental expansion planning and
+  throughput-trajectory evaluation (swap growth vs the fat-tree upgrade
+  ladder),
 - :mod:`repro.core` — the paper's bounds, design rules, two-regime theory,
   and the VL2 improvement pipeline,
 - :mod:`repro.simulation` — a packet-level MPTCP simulator,

@@ -123,6 +123,83 @@ def cable_report(
     )
 
 
+@dataclass(frozen=True)
+class CableChurn:
+    """Physical rewiring cost of moving one topology to another.
+
+    Counts the cables an operator must *pull out* and *install* (links
+    present in exactly one of the two topologies, plus links whose trunk
+    capacity changed, which require re-provisioning), with lengths taken
+    from a shared layout. This is the §5.1 cabling story applied to
+    expansion: a link-swap growth step touches ``O(r)`` cables while a
+    structured upgrade rewires a large fraction of the fabric.
+    """
+
+    cables_removed: int
+    cables_added: int
+    removed_length: float
+    added_length: float
+
+    @property
+    def cables_touched(self) -> int:
+        """Total cables handled (removed + installed)."""
+        return self.cables_removed + self.cables_added
+
+    @property
+    def length_touched(self) -> float:
+        """Total cable length handled (removed + installed)."""
+        return self.removed_length + self.added_length
+
+
+def _link_map(topo: Topology) -> dict:
+    return {
+        frozenset((link.u, link.v)): link.capacity for link in topo.links
+    }
+
+
+def cable_churn(
+    before: Topology,
+    after: Topology,
+    positions: dict,
+) -> CableChurn:
+    """Cables to remove and install when rewiring ``before`` into ``after``.
+
+    ``positions`` must place every switch of *both* topologies (e.g. a
+    :func:`linear_layout` over the union, with new racks appended at the
+    end of the row). A link counts as churn when it exists in exactly one
+    topology or changed capacity (a re-trunked pair removes the old cable
+    bundle and installs the new one).
+    """
+    missing = [
+        v
+        for topo in (before, after)
+        for v in topo.switches
+        if v not in positions
+    ]
+    if missing:
+        raise TopologyError(f"layout misses switches: {missing[:4]!r}...")
+    old = _link_map(before)
+    new = _link_map(after)
+    removed = added = 0
+    removed_length = added_length = 0.0
+    for pair, capacity in old.items():
+        if new.get(pair) != capacity:
+            u, v = tuple(pair)
+            removed += 1
+            removed_length += _distance(positions[u], positions[v])
+    for pair, capacity in new.items():
+        if old.get(pair) != capacity:
+            u, v = tuple(pair)
+            added += 1
+            added_length += _distance(positions[u], positions[v])
+    return CableChurn(
+        cables_removed=removed,
+        cables_added=added,
+        removed_length=removed_length,
+        added_length=added_length,
+    )
+
+
 def compare_layouts(
     topo: Topology,
     seed=None,

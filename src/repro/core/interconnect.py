@@ -36,7 +36,7 @@ def feasible_cross_fractions(
     check_positive_int(points, "points")
     if min_fraction <= 0 or max_fraction <= min_fraction:
         raise ExperimentError(
-            f"need 0 < min_fraction < max_fraction, got "
+            "need 0 < min_fraction < max_fraction, got "
             f"({min_fraction}, {max_fraction})"
         )
     stubs_large = num_large * large_network_ports

@@ -300,7 +300,7 @@ def calibrate_estimators(
             if not observed:
                 raise ExperimentError(
                     f"family {family!r} produced no calibration pairs "
-                    f"(every exact solve returned zero throughput?)"
+                    "(every exact solve returned zero throughput?)"
                 )
             table.add(
                 CalibrationRecord(

@@ -15,8 +15,16 @@ from repro.core.interconnect import feasible_cross_fractions
 from repro.core.placement import feasible_server_splits, proportional_split_for
 from repro.exceptions import ExperimentError
 from repro.experiments.common import ExperimentResult, ExperimentSeries, mean_and_std
-from repro.experiments.fig04 import DEFAULT_FIG4C_CONFIGS, PAPER_FIG4C_CONFIGS
-from repro.experiments.fig08 import DEFAULT_FIG8_CONFIG, PAPER_FIG8_CONFIG
+# The PAPER_* tables are re-exported for the experiment registry, which
+# reads them as fig09 attributes when building paper-scale overrides.
+from repro.experiments.fig04 import (  # noqa: F401
+    DEFAULT_FIG4C_CONFIGS,
+    PAPER_FIG4C_CONFIGS,
+)
+from repro.experiments.fig08 import (  # noqa: F401
+    DEFAULT_FIG8_CONFIG,
+    PAPER_FIG8_CONFIG,
+)
 from repro.experiments.heterogeneity import TwoTypeConfig
 from repro.flow.decomposition import decompose_throughput
 from repro.pipeline.engine import evaluate_throughput

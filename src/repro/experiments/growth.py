@@ -1,0 +1,217 @@
+"""Growth study: incremental random-graph expansion vs the fat-tree ladder.
+
+The paper's operational argument for random graphs is *expandability*:
+a Jellyfish-style fabric absorbs any number of new switches by cheap
+link swaps, while a fat-tree upgrades only at the discrete rungs of its
+``5k^2/4`` ladder — between rungs, new equipment sits idle, and crossing
+a rung rewires a large fraction of the fabric. This experiment grows
+both designs along the *same* equipment timeline and measures, at every
+stage, throughput (exact LP while small, calibrated estimators at
+scale), servers actually deployed, idle switches, and rewiring/cabling
+churn.
+
+Default parameters keep CI fast (tens of switches, exact LP
+everywhere); paper scale (``--paper``) runs the headline trajectory —
+an RRG grown 64 -> 2048 in five doublings against the fat-tree upgrade
+ladder — entirely on estimator backends beyond the exact limit.
+"""
+
+from __future__ import annotations
+
+from repro.estimate import calibrate_estimators
+from repro.exceptions import ExperimentError
+from repro.experiments.common import ExperimentResult, ExperimentSeries
+from repro.flow.solvers import get_solver
+from repro.growth.plan import GrowthSchedule
+from repro.growth.trajectory import (
+    DEFAULT_ESTIMATOR,
+    DEFAULT_EXACT_LIMIT,
+    run_growth_sweep,
+)
+
+#: Strategies the study compares by default.
+DEFAULT_STRATEGIES = ("swap", "swap_anneal", "rebuild", "fattree_upgrade")
+
+#: Strategies that show the granularity gap (series ``<name>/servers``).
+GRANULARITY_STRATEGIES = ("swap", "fattree_upgrade")
+
+
+def _family_for(strategy: str) -> str:
+    """Calibration family an estimator band is fit against."""
+    return "fat-tree" if strategy.startswith("fattree") else "rrg"
+
+
+def _calibration_families(
+    network_degree: int, servers_per_switch: int
+) -> "dict[str, dict]":
+    """Small-N calibration specs matching the study's own equipment."""
+    return {
+        "rrg": {
+            "kind": "rrg",
+            "params": {
+                "network_degree": network_degree,
+                "servers_per_switch": servers_per_switch,
+            },
+            "size_param": "num_switches",
+            "sizes": (16, 24, 40),
+        },
+        "fat-tree": {
+            "kind": "fat-tree",
+            "params": {},
+            "size_param": "k",
+            "sizes": (4, 6),
+        },
+    }
+
+
+def run_growth_study(
+    start: int = 12,
+    target: int = 32,
+    num_stages: int = 2,
+    network_degree: int = 4,
+    servers_per_switch: int = 2,
+    strategies: "tuple[str, ...]" = DEFAULT_STRATEGIES,
+    traffic: str = "permutation",
+    solver: str = "auto",
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+    estimator: str = DEFAULT_ESTIMATOR,
+    calibration_margin: float = 0.25,
+    anneal_steps: int = 150,
+    runs: int = 2,
+    seed: int = 0,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Throughput and granularity along one shared equipment timeline.
+
+    One throughput series per strategy (x = the stage's switch budget),
+    plus ``<strategy>/servers`` series for the granularity pair (random
+    vs fat-tree): the random fabric's server count climbs smoothly with
+    the budget while the ladder's is a step function. Metadata records
+    per-strategy churn tables (links touched, cable length, idle
+    switches per stage) and, when estimators are in play, the
+    calibration table their error bands came from.
+    """
+    if not strategies:
+        raise ExperimentError("growth study needs at least one strategy")
+    schedule = GrowthSchedule.geometric(
+        start,
+        target,
+        num_stages,
+        name="growth-study",
+        network_degree=network_degree,
+        servers_per_switch=servers_per_switch,
+    )
+
+    # Calibrate only when some stage will actually run an estimator: the
+    # bands are fit against exact LPs at small N, under this study's own
+    # equipment parameters and workload.
+    estimator_bands: "dict[str, tuple]" = {}
+    calibration_dict = None
+    uses_estimator = (
+        solver == "auto" and schedule.final_switches > exact_limit
+    ) or (solver != "auto" and get_solver(solver).estimate)
+    if uses_estimator:
+        estimator_key = estimator if solver == "auto" else solver
+        table = calibrate_estimators(
+            (estimator_key,),
+            families=_calibration_families(
+                network_degree, servers_per_switch
+            ),
+            traffic=traffic,
+            margin=calibration_margin,
+        )
+        calibration_dict = table.to_dict()
+        estimator_bands = {
+            strategy: table.band(_family_for(strategy), estimator_key)
+            for strategy in strategies
+        }
+
+    # The ladder upgrades with the same fixed-radix switches the random
+    # fabric deploys (network ports + server ports), so it steps between
+    # rungs *and* saturates at its top rung while the random graph keeps
+    # absorbing equipment — both halves of the paper's granularity
+    # argument in one comparison.
+    sweep = run_growth_sweep(
+        schedule,
+        strategies,
+        seeds=runs,
+        base_seed=seed,
+        workers=workers,
+        strategy_options={
+            "swap_anneal": {"steps": anneal_steps},
+            "fattree_upgrade": {
+                "max_arity": network_degree + servers_per_switch
+            },
+        },
+        estimator_bands=estimator_bands,
+        traffic=traffic,
+        solver=solver,
+        exact_limit=exact_limit,
+        estimator=estimator,
+    )
+
+    result = ExperimentResult(
+        experiment_id="growth",
+        title="Incremental growth vs the fat-tree upgrade ladder",
+        x_label="equipment budget (switches)",
+        y_label="throughput per flow (servers series: servers deployed)",
+        metadata={
+            "schedule": schedule.to_dict(),
+            "strategies": list(strategies),
+            "traffic": traffic,
+            "solver": solver,
+            "exact_limit": exact_limit,
+            "estimator": estimator,
+            "runs": runs,
+            "seed": seed,
+            "calibration": calibration_dict,
+        },
+    )
+
+    summary = sweep.mean_series()
+    labels: "dict[str, str]" = {}
+    for trajectory in sweep.trajectories:
+        # Map the sweep's option-decorated labels (e.g.
+        # ``swap_anneal(steps=150,...)``) back to plain strategy names.
+        for name in strategies:
+            if trajectory.strategy == name or trajectory.strategy.startswith(
+                f"{name}("
+            ):
+                labels[trajectory.strategy] = name
+    series: "dict[str, ExperimentSeries]" = {}
+    for entry in summary:
+        name = labels.get(entry["strategy"], entry["strategy"])
+        if name not in series:
+            series[name] = ExperimentSeries(name)
+            result.add_series(series[name])
+        series[name].add(
+            entry["target_switches"],
+            entry["throughput_mean"],
+            entry["throughput_std"],
+        )
+    for entry in summary:
+        name = labels.get(entry["strategy"], entry["strategy"])
+        if name not in GRANULARITY_STRATEGIES:
+            continue
+        key = f"{name}/servers"
+        if key not in series:
+            series[key] = ExperimentSeries(key)
+            result.add_series(series[key])
+        series[key].add(entry["target_switches"], entry["num_servers_mean"])
+
+    result.metadata["stage_summary"] = summary
+    result.metadata["churn"] = {
+        labels.get(entry["strategy"], entry["strategy"]): {}
+        for entry in summary
+    }
+    for entry in summary:
+        name = labels.get(entry["strategy"], entry["strategy"])
+        result.metadata["churn"][name][entry["target_switches"]] = {
+            "links_touched": entry["links_touched_mean"],
+            "cable_length": entry["cable_length_mean"],
+            "idle_switches": entry["idle_switches_mean"],
+            "cumulative_links_touched": entry[
+                "cumulative_links_touched_mean"
+            ],
+        }
+    return result

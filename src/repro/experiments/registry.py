@@ -14,7 +14,7 @@ from typing import Callable
 from repro.exceptions import ExperimentError
 from repro.experiments import extra, fig01, fig02, fig03, fig04, fig05, fig06
 from repro.experiments import fig07, fig08, fig09, fig10, fig11, fig12, fig13
-from repro.experiments import resilience, scale, search_study
+from repro.experiments import growth, resilience, scale, search_study
 from repro.experiments.common import ExperimentResult
 
 
@@ -315,6 +315,22 @@ _register(
             "estimators": ("estimate_bound", "estimate_cut"),
             "exact_limit": 0,
             "runs": 1,
+        },
+    )
+)
+_register(
+    ExperimentSpec(
+        "growth",
+        growth.run_growth_study,
+        "Extension: incremental growth vs the fat-tree upgrade ladder",
+        {
+            "start": 64,
+            "target": 2048,
+            "num_stages": 5,
+            "network_degree": 8,
+            "servers_per_switch": 4,
+            "strategies": ("swap", "rebuild", "fattree_upgrade"),
+            "runs": 2,
         },
     )
 )

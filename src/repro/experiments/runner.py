@@ -18,6 +18,10 @@ Examples::
     repro-experiments sweep --topologies rrg --topo-param network_degree=8 \\
         --topo-param servers_per_switch=1 --sizes 1000,5000,10000 \\
         --traffics permutation --solvers estimate_bound,estimate_cut
+    repro-experiments grow --start 64 --target 2048 --stages 5 \\
+        --degree 8 --servers-per-switch 4 \\
+        --strategies swap,rebuild,fattree_upgrade --seeds 2 \\
+        --workers 4 --cache-dir .sweep-cache --json growth.json
 """
 
 from __future__ import annotations
@@ -223,6 +227,100 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress"
     )
+
+    grow = sub.add_parser(
+        "grow",
+        help="run a multi-stage growth campaign (strategies x seeds over "
+        "one equipment schedule)",
+    )
+    grow.add_argument(
+        "--schedule",
+        type=str,
+        default=None,
+        help="JSON growth schedule file (GrowthSchedule.to_dict schema); "
+        "--start/--target/--stages/--degree/--servers-per-switch are "
+        "ignored when given",
+    )
+    grow.add_argument(
+        "--name", type=str, default="growth", help="schedule name for artifacts"
+    )
+    grow.add_argument(
+        "--start", type=int, default=64, help="initial switch budget"
+    )
+    grow.add_argument(
+        "--target", type=int, default=2048, help="final switch budget"
+    )
+    grow.add_argument(
+        "--stages",
+        type=int,
+        default=5,
+        help="growth stages after the initial build (geometric spacing)",
+    )
+    grow.add_argument(
+        "--degree", type=int, default=8, help="network ports per switch"
+    )
+    grow.add_argument(
+        "--servers-per-switch", type=int, default=4, help="servers per switch"
+    )
+    grow.add_argument(
+        "--strategies",
+        type=str,
+        default="swap,fattree_upgrade",
+        help="comma-separated growth strategies (swap, swap_anneal, "
+        "rebuild, fattree_upgrade)",
+    )
+    grow.add_argument(
+        "--traffic", type=str, default="permutation", help="traffic model"
+    )
+    grow.add_argument(
+        "--solver",
+        type=str,
+        default="auto",
+        help="throughput solver; 'auto' uses the exact LP up to "
+        "--exact-limit switches and --estimator beyond it",
+    )
+    grow.add_argument(
+        "--exact-limit",
+        type=int,
+        default=80,
+        help="largest fabric the auto policy solves exactly",
+    )
+    grow.add_argument(
+        "--estimator",
+        type=str,
+        default="estimate_bound",
+        help="estimator backend the auto policy scales with",
+    )
+    grow.add_argument(
+        "--anneal-steps",
+        type=int,
+        default=150,
+        help="annealing budget per stage for the swap_anneal strategy",
+    )
+    grow.add_argument(
+        "--seeds", type=int, default=1, help="replicates per strategy"
+    )
+    grow.add_argument(
+        "--base-seed", type=int, default=0, help="root seed for replicates"
+    )
+    grow.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    grow.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="content-addressed result cache directory (reused across runs)",
+    )
+    grow.add_argument(
+        "--json", type=str, default=None, help="write full campaign JSON here"
+    )
+    grow.add_argument(
+        "--csv", type=str, default=None, help="write per-stage CSV here"
+    )
+    grow.add_argument(
+        "--quiet", action="store_true", help="suppress per-trajectory progress"
+    )
     return parser
 
 
@@ -328,6 +426,65 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _run_grow(args) -> int:
+    from repro.growth.plan import GrowthSchedule
+    from repro.growth.trajectory import run_growth_sweep
+
+    if args.schedule:
+        with open(args.schedule, "r", encoding="utf-8") as handle:
+            schedule = GrowthSchedule.from_dict(json.load(handle))
+    else:
+        schedule = GrowthSchedule.geometric(
+            args.start,
+            args.target,
+            args.stages,
+            name=args.name,
+            network_degree=args.degree,
+            servers_per_switch=args.servers_per_switch,
+        )
+    strategies = tuple(_split_list(args.strategies))
+    print(
+        f"growth {schedule.name!r}: {len(schedule)} stages to "
+        f"N={schedule.final_switches}, {len(strategies)} strategies x "
+        f"{args.seeds} seed(s), {args.workers} worker(s)"
+    )
+
+    def progress(done: int, count: int, trajectory) -> None:
+        if not args.quiet:
+            final = trajectory.final()
+            hits = sum(1 for r in trajectory.records if r.cache_hit)
+            print(
+                f"  [{done}/{count}] {trajectory.strategy} rep"
+                f"{trajectory.replicate}: final throughput "
+                f"{final.throughput:.4f} at N={final.num_switches}, "
+                f"{final.cumulative_links_touched} links touched "
+                f"({hits}/{len(trajectory.records)} cached)"
+            )
+
+    sweep = run_growth_sweep(
+        schedule,
+        strategies,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        strategy_options={"swap_anneal": {"steps": args.anneal_steps}},
+        traffic=args.traffic,
+        solver=args.solver,
+        exact_limit=args.exact_limit,
+        estimator=args.estimator,
+        progress=progress,
+    )
+    print(sweep.to_table())
+    if args.json:
+        sweep.write_json(args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        sweep.write_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -348,6 +505,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "grow":
+        return _run_grow(args)
 
     ids = list(args.experiments)
     if ids == ["all"]:

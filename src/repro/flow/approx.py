@@ -94,7 +94,7 @@ def garg_koenemann_throughput(
     # The arc-length sum sum(c * l) gates every routed chunk; it is
     # maintained incrementally (lengths change only on the routed path's
     # arcs) instead of rescanned, keeping the gate O(1) per chunk.
-    total_length = sum(c * l for c, l in zip(capacity, lengths))
+    total_length = sum(c * length for c, length in zip(capacity, lengths))
 
     phases = 0
     flows_at_last_complete = list(flows)

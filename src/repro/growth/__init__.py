@@ -1,0 +1,70 @@
+"""Multi-stage incremental expansion planning and trajectory evaluation.
+
+The paper's operational pillar: random-graph fabrics grow incrementally
+at arbitrary granularity, while structured (Clos) designs upgrade in
+coarse, expensive steps. This package turns that claim into a measured
+subsystem:
+
+- :mod:`repro.growth.plan` — declarative :class:`GrowthSchedule` /
+  :class:`GrowthStage` deployment timelines (JSON round-trippable,
+  optionally heterogeneous per-stage equipment arrivals),
+- :mod:`repro.growth.strategies` — registry-keyed execution strategies
+  (``swap``, ``swap_anneal``, ``rebuild``, ``fattree_upgrade``),
+- :mod:`repro.growth.trajectory` — stage-by-stage throughput
+  trajectories (exact LP small, calibrated estimators large) with
+  rewiring and cabling churn accounting, cached and fingerprinted
+  through the evaluation pipeline, parallel across strategies and
+  replicate seeds,
+- :mod:`repro.growth.factory` — the ``"grown"`` topology-registry kind.
+
+See ``docs/growth.md`` for the model and the granularity comparison.
+"""
+
+from repro.growth.factory import grown_topology
+from repro.growth.plan import GrowthSchedule, GrowthStage
+from repro.growth.strategies import (
+    FatTreeUpgrade,
+    GrowthStrategy,
+    RebuildGrowth,
+    SwapAnnealGrowth,
+    SwapGrowth,
+    available_strategies,
+    fat_tree_ladder_arity,
+    grow_stages,
+    make_strategy,
+    register_strategy,
+)
+from repro.growth.trajectory import (
+    DEFAULT_ESTIMATOR,
+    DEFAULT_EXACT_LIMIT,
+    GrowthSweepResult,
+    GrowthTrajectory,
+    StageRecord,
+    run_growth,
+    run_growth_sweep,
+    solver_for_size,
+)
+
+__all__ = [
+    "DEFAULT_ESTIMATOR",
+    "DEFAULT_EXACT_LIMIT",
+    "FatTreeUpgrade",
+    "GrowthSchedule",
+    "GrowthStage",
+    "GrowthStrategy",
+    "GrowthSweepResult",
+    "GrowthTrajectory",
+    "RebuildGrowth",
+    "StageRecord",
+    "SwapAnnealGrowth",
+    "SwapGrowth",
+    "available_strategies",
+    "fat_tree_ladder_arity",
+    "grow_stages",
+    "grown_topology",
+    "make_strategy",
+    "register_strategy",
+    "run_growth",
+    "run_growth_sweep",
+    "solver_for_size",
+]

@@ -1,0 +1,77 @@
+"""The ``"grown"`` topology-registry kind: a fabric built by growing.
+
+Exposes the growth chain behind the standard topology-factory signature
+so grown fabrics are first-class citizens of the evaluation pipeline:
+sweepable by :class:`~repro.pipeline.scenario.ScenarioGrid`
+(``TopologySpec.make("grown", ...)``), fingerprint-stable (the whole
+chain derives from one seed), and constructible from the CLI next to
+``"rrg"`` and ``"optimized"``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TopologyError
+from repro.growth.plan import GrowthSchedule
+from repro.growth.strategies import grow_stages
+from repro.topology.base import Topology
+from repro.util.validation import check_non_negative_int, check_positive_int
+
+
+def grown_topology(
+    num_switches: int,
+    network_degree: int,
+    servers_per_switch: int = 0,
+    capacity: float = 1.0,
+    start_switches: "int | None" = None,
+    num_stages: int = 3,
+    strategy: str = "swap",
+    seed=None,
+    name: "str | None" = None,
+    **strategy_options,
+) -> Topology:
+    """An RRG-equipment fabric grown to ``num_switches`` — the ``"grown"`` kind.
+
+    Builds a geometric :class:`~repro.growth.plan.GrowthSchedule` from
+    ``start_switches`` (default: an eighth of the target, floored at
+    ``network_degree + 1`` so the initial RRG is legal) up to
+    ``num_switches`` in ``num_stages`` steps, then runs ``strategy``
+    along it and returns the final fabric. Both the initial sample and
+    every growth step derive from ``seed``, so the construction is
+    reproducible — and cache/fingerprint stable — from one integer.
+    """
+    num_switches = check_positive_int(num_switches, "num_switches")
+    check_positive_int(network_degree, "network_degree")
+    check_non_negative_int(servers_per_switch, "servers_per_switch")
+    if start_switches is None:
+        start_switches = max(network_degree + 1, num_switches // 8)
+    start_switches = check_positive_int(start_switches, "start_switches")
+    if start_switches > num_switches:
+        raise TopologyError(
+            f"start_switches {start_switches} exceeds num_switches "
+            f"{num_switches}"
+        )
+    if start_switches <= network_degree:
+        raise TopologyError(
+            f"start_switches {start_switches} must exceed network_degree "
+            f"{network_degree} (the initial fabric is an RRG)"
+        )
+    schedule = GrowthSchedule.geometric(
+        start_switches,
+        num_switches,
+        num_stages,
+        name="grown",
+        network_degree=network_degree,
+        servers_per_switch=servers_per_switch,
+        capacity=capacity,
+    )
+    topo: "Topology | None" = None
+    for _, _, topo in grow_stages(
+        schedule, strategy, seed=seed, **strategy_options
+    ):
+        pass
+    assert topo is not None  # schedules always have >= 1 stage
+    topo.name = name or (
+        f"grown(N={num_switches},r={network_degree},strategy={strategy},"
+        f"stages={len(schedule) - 1})"
+    )
+    return topo

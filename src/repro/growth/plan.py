@@ -1,0 +1,229 @@
+"""Declarative multi-stage expansion plans.
+
+The paper's operational pillar — random graphs grow incrementally at
+arbitrary granularity while Clos designs upgrade in coarse, expensive
+steps — needs a vocabulary for *what the operator deploys when*. A
+:class:`GrowthSchedule` is that vocabulary: an ordered sequence of
+:class:`GrowthStage` entries, each naming the equipment available at
+that point in time (target switch count, and optionally per-stage
+overrides for network degree and servers per switch to model
+heterogeneous equipment arrivals).
+
+The first stage is the initial build; every later stage is an upgrade
+step executed by a growth *strategy* (see
+:mod:`repro.growth.strategies`). Schedules are plain frozen dataclasses:
+hashable, picklable for worker processes, and JSON round-trippable so
+the CLI and config files can describe growth campaigns declaratively,
+exactly like :class:`~repro.pipeline.scenario.ScenarioGrid` does for
+sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import ExperimentError
+from repro.util.validation import (
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class GrowthStage:
+    """One point of the deployment timeline.
+
+    ``target_switches`` is the *equipment budget*: how many switches the
+    operator owns at this stage. Strategies that cannot use an arbitrary
+    budget (the fat-tree ladder) deploy the largest legal design inside
+    it and leave the remainder idle — that gap is the granularity cost
+    the growth experiment measures.
+
+    ``network_degree`` / ``servers_per_switch`` override the schedule
+    defaults for equipment arriving *at this stage* (heterogeneous
+    arrivals: a later tranche of switches may carry more ports).
+    """
+
+    target_switches: int
+    network_degree: "int | None" = None
+    servers_per_switch: "int | None" = None
+    label: "str | None" = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.target_switches, "target_switches")
+        if self.network_degree is not None:
+            check_positive_int(self.network_degree, "network_degree")
+        if self.servers_per_switch is not None:
+            check_non_negative_int(self.servers_per_switch, "servers_per_switch")
+
+    def degree(self, schedule: "GrowthSchedule") -> int:
+        """Network degree of switches arriving at this stage."""
+        if self.network_degree is not None:
+            return self.network_degree
+        return schedule.network_degree
+
+    def servers(self, schedule: "GrowthSchedule") -> int:
+        """Servers attached to each switch arriving at this stage."""
+        if self.servers_per_switch is not None:
+            return self.servers_per_switch
+        return schedule.servers_per_switch
+
+    def name(self, index: int) -> str:
+        """Display label (explicit label, or ``stage<i>@N=<target>``)."""
+        if self.label:
+            return self.label
+        return f"stage{index}@N={self.target_switches}"
+
+    def to_dict(self) -> dict:
+        payload: dict = {"target_switches": self.target_switches}
+        if self.network_degree is not None:
+            payload["network_degree"] = self.network_degree
+        if self.servers_per_switch is not None:
+            payload["servers_per_switch"] = self.servers_per_switch
+        if self.label is not None:
+            payload["label"] = self.label
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "GrowthStage":
+        return cls(
+            target_switches=int(payload["target_switches"]),
+            network_degree=(
+                int(payload["network_degree"])
+                if payload.get("network_degree") is not None
+                else None
+            ),
+            servers_per_switch=(
+                int(payload["servers_per_switch"])
+                if payload.get("servers_per_switch") is not None
+                else None
+            ),
+            label=payload.get("label"),
+        )
+
+
+@dataclass(frozen=True)
+class GrowthSchedule:
+    """A whole deployment timeline: initial build plus upgrade stages.
+
+    ``network_degree`` / ``servers_per_switch`` / ``capacity`` are the
+    default equipment parameters; individual stages may override the
+    first two for their own arrivals. Stage targets must be strictly
+    increasing — a schedule describes growth, never shrinkage.
+    """
+
+    name: str = "growth"
+    network_degree: int = 8
+    servers_per_switch: int = 0
+    capacity: float = 1.0
+    stages: "tuple[GrowthStage, ...]" = field(default=())
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.network_degree, "network_degree")
+        check_non_negative_int(self.servers_per_switch, "servers_per_switch")
+        check_positive(self.capacity, "capacity")
+        stages = tuple(
+            stage if isinstance(stage, GrowthStage) else GrowthStage(int(stage))
+            for stage in self.stages
+        )
+        object.__setattr__(self, "stages", stages)
+        if not stages:
+            raise ExperimentError("growth schedule needs at least one stage")
+        targets = [stage.target_switches for stage in stages]
+        for previous, current in zip(targets, targets[1:]):
+            if current <= previous:
+                raise ExperimentError(
+                    "stage targets must be strictly increasing, got "
+                    f"{previous} -> {current} in {targets}"
+                )
+        if targets[0] <= self.initial_stage.degree(self):
+            raise ExperimentError(
+                f"initial stage target {targets[0]} must exceed its network "
+                f"degree {self.initial_stage.degree(self)}"
+            )
+
+    @property
+    def initial_stage(self) -> GrowthStage:
+        """The stage describing the initial build."""
+        return self.stages[0]
+
+    @property
+    def growth_stages(self) -> "tuple[GrowthStage, ...]":
+        """Every stage after the initial build, in order."""
+        return self.stages[1:]
+
+    @property
+    def final_switches(self) -> int:
+        """Equipment budget of the last stage."""
+        return self.stages[-1].target_switches
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    @classmethod
+    def from_targets(
+        cls, targets: Iterable[int], **kwargs
+    ) -> "GrowthSchedule":
+        """Build a schedule from a plain sequence of switch budgets."""
+        return cls(
+            stages=tuple(GrowthStage(int(target)) for target in targets),
+            **kwargs,
+        )
+
+    @classmethod
+    def geometric(
+        cls,
+        start_switches: int,
+        target_switches: int,
+        num_stages: int,
+        **kwargs,
+    ) -> "GrowthSchedule":
+        """Geometrically spaced budgets from ``start`` to ``target``.
+
+        ``num_stages`` counts the *growth* steps after the initial build
+        (the Jellyfish deployment story: start small, multiply capacity
+        each budget cycle); duplicate rounded targets collapse, so tiny
+        ranges may produce fewer steps. ``num_stages=0`` is the trivial
+        one-stage schedule.
+        """
+        start_switches = check_positive_int(start_switches, "start_switches")
+        target_switches = check_positive_int(target_switches, "target_switches")
+        check_non_negative_int(num_stages, "num_stages")
+        if target_switches < start_switches:
+            raise ExperimentError(
+                f"target_switches {target_switches} must be >= start_switches "
+                f"{start_switches}"
+            )
+        targets = [start_switches]
+        if num_stages > 0 and target_switches > start_switches:
+            ratio = target_switches / start_switches
+            for step in range(1, num_stages + 1):
+                value = round(start_switches * ratio ** (step / num_stages))
+                if value > targets[-1]:
+                    targets.append(value)
+            targets[-1] = target_switches
+        return cls.from_targets(targets, **kwargs)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "network_degree": self.network_degree,
+            "servers_per_switch": self.servers_per_switch,
+            "capacity": self.capacity,
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "GrowthSchedule":
+        return cls(
+            name=payload.get("name", "growth"),
+            network_degree=int(payload.get("network_degree", 8)),
+            servers_per_switch=int(payload.get("servers_per_switch", 0)),
+            capacity=float(payload.get("capacity", 1.0)),
+            stages=tuple(
+                GrowthStage.from_dict(entry)
+                for entry in payload.get("stages", ())
+            ),
+        )

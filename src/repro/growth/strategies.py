@@ -1,0 +1,328 @@
+"""Pluggable growth strategies: how a fabric moves between stages.
+
+A strategy answers two questions — what to deploy at the initial stage,
+and how to reach the next stage's equipment budget from the current
+fabric. Strategies are registered under string keys (mirroring the
+solver and topology registries) so schedules stay declarative and the
+CLI/pipeline can enumerate them:
+
+- ``swap`` — Jellyfish incremental growth: every arriving switch splits
+  ``r/2`` random existing links (:mod:`repro.topology.expansion`); the
+  rest of the fabric is untouched.
+- ``swap_anneal`` — ``swap`` followed by a budgeted
+  :mod:`repro.search` annealing pass per stage, modelling an operator
+  who spends a little optimization effort on each upgrade window.
+- ``rebuild`` — a fresh matched RRG at every stage: the throughput
+  gold standard, and the churn *worst case* (nearly every cable moves).
+- ``fattree_upgrade`` — the structured comparison: deploy the largest
+  complete fat-tree inside the stage budget. Upgrades happen only when
+  the budget crosses the next rung of the ``5k^2/4`` ladder, and the
+  switches beyond the rung sit idle — the coarse-granularity cost the
+  paper (and Solnushkin's automated fat-tree design line) attributes to
+  Clos designs.
+
+Every strategy is deterministic given its per-stage seed, so grown
+topologies fingerprint stably and trajectory caches survive re-runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator
+
+from repro.exceptions import TopologyError
+from repro.growth.plan import GrowthSchedule, GrowthStage
+from repro.topology.base import Topology
+from repro.topology.expansion import expand_topology
+from repro.topology.fattree import fat_tree_topology
+from repro.topology.random_regular import random_regular_topology
+from repro.util.rng import spawn_seeds
+from repro.util.validation import check_positive_int
+
+
+class GrowthStrategy:
+    """Base strategy: matched-RRG initial build, abstract growth step."""
+
+    #: Registry key; subclasses override.
+    name = "base"
+
+    def label(self) -> str:
+        """Display label including any option state."""
+        return self.name
+
+    def initial(self, schedule: GrowthSchedule, seed=None) -> Topology:
+        """The stage-0 fabric (default: an RRG matching the stage)."""
+        stage = schedule.initial_stage
+        return random_regular_topology(
+            stage.target_switches,
+            stage.degree(schedule),
+            servers_per_switch=stage.servers(schedule),
+            capacity=schedule.capacity,
+            seed=seed,
+            name=f"{schedule.name}/{self.name}@N={stage.target_switches}",
+        )
+
+    def grow(
+        self,
+        topo: Topology,
+        stage: GrowthStage,
+        schedule: GrowthSchedule,
+        seed=None,
+    ) -> Topology:
+        """Return the fabric for ``stage`` (never mutates ``topo``)."""
+        raise NotImplementedError
+
+
+class SwapGrowth(GrowthStrategy):
+    """Incremental link-swap growth (the Jellyfish procedure)."""
+
+    name = "swap"
+
+    def grow(
+        self,
+        topo: Topology,
+        stage: GrowthStage,
+        schedule: GrowthSchedule,
+        seed=None,
+    ) -> Topology:
+        work = topo.copy(
+            name=f"{schedule.name}/{self.name}@N={stage.target_switches}"
+        )
+        new_ids = _new_switch_ids(work, stage.target_switches)
+        degree = stage.degree(schedule)
+        servers = stage.servers(schedule)
+        expand_topology(
+            work,
+            {node: degree for node in new_ids},
+            servers={node: servers for node in new_ids},
+            seed=seed,
+        )
+        return work
+
+
+class SwapAnnealGrowth(SwapGrowth):
+    """Link-swap growth plus a budgeted annealing refinement per stage."""
+
+    name = "swap_anneal"
+
+    def __init__(self, steps: int = 200, objective: str = "aspl") -> None:
+        self.steps = check_positive_int(steps, "steps")
+        self.objective = objective
+
+    def label(self) -> str:
+        return f"{self.name}(steps={self.steps},objective={self.objective})"
+
+    def grow(
+        self,
+        topo: Topology,
+        stage: GrowthStage,
+        schedule: GrowthSchedule,
+        seed=None,
+    ) -> Topology:
+        # Imported lazily: repro.search itself builds on the topology
+        # package, and the other strategies must not pay the import.
+        from repro.search.annealing import anneal
+
+        swap_seed, anneal_seed = spawn_seeds(seed, 2)
+        grown = super().grow(topo, stage, schedule, seed=swap_seed)
+        result = anneal(
+            grown, self.objective, steps=self.steps, seed=anneal_seed
+        )
+        refined = result.topology
+        refined.name = (
+            f"{schedule.name}/{self.name}@N={stage.target_switches}"
+        )
+        return refined
+
+
+class RebuildGrowth(GrowthStrategy):
+    """Fresh matched RRG at every stage (throughput ideal, churn worst case)."""
+
+    name = "rebuild"
+
+    def grow(
+        self,
+        topo: Topology,
+        stage: GrowthStage,
+        schedule: GrowthSchedule,
+        seed=None,
+    ) -> Topology:
+        return random_regular_topology(
+            stage.target_switches,
+            stage.degree(schedule),
+            servers_per_switch=stage.servers(schedule),
+            capacity=schedule.capacity,
+            seed=seed,
+            name=f"{schedule.name}/{self.name}@N={stage.target_switches}",
+        )
+
+
+def fat_tree_ladder_arity(budget_switches: int) -> int:
+    """Largest even arity ``k`` whose fat-tree (``5k^2/4`` switches) fits.
+
+    The rungs of the upgrade ladder: a complete three-tier k-ary fat-tree
+    deploys exactly ``5k^2/4`` switches, so a budget between rungs leaves
+    equipment idle. Budgets below the smallest rung (k=2, five switches)
+    raise.
+    """
+    check_positive_int(budget_switches, "budget_switches")
+    k = int(math.sqrt(4 * budget_switches / 5))
+    k -= k % 2
+    while 5 * (k + 2) * (k + 2) // 4 <= budget_switches:
+        k += 2
+    if k < 2:
+        raise TopologyError(
+            f"no complete fat-tree fits a budget of {budget_switches} "
+            "switches (the smallest, k=2, needs 5)"
+        )
+    return k
+
+
+class FatTreeUpgrade(GrowthStrategy):
+    """Coarse structured upgrades: the largest fat-tree inside each budget.
+
+    ``max_arity`` models fixed-radix switches: a three-tier fat-tree of
+    k-port switches cannot grow past ``k`` (Jellyfish's §1 example —
+    64-port switches cap a fat-tree at 65,536 servers while the random
+    graph keeps absorbing equipment), so with the cap set to the random
+    fabric's port count the ladder both *steps* between rungs and
+    *saturates* at the top rung. ``servers_per_edge`` stays at the
+    full-bisection ``k/2`` default; the schedule's
+    ``servers_per_switch``/``network_degree`` describe the random
+    fabric's equipment and are ignored here — the comparison is
+    budget-for-budget, which is how the upgrade-granularity question is
+    posed operationally.
+    """
+
+    name = "fattree_upgrade"
+
+    def __init__(self, max_arity: "int | None" = None) -> None:
+        if max_arity is not None:
+            check_positive_int(max_arity, "max_arity")
+            max_arity -= max_arity % 2
+            if max_arity < 2:
+                raise TopologyError("max_arity must be at least 2")
+        self.max_arity = max_arity
+
+    def label(self) -> str:
+        if self.max_arity is None:
+            return self.name
+        return f"{self.name}(max_arity={self.max_arity})"
+
+    def initial(self, schedule: GrowthSchedule, seed=None) -> Topology:
+        return self._deploy(schedule.initial_stage, schedule)
+
+    def grow(
+        self,
+        topo: Topology,
+        stage: GrowthStage,
+        schedule: GrowthSchedule,
+        seed=None,
+    ) -> Topology:
+        return self._deploy(stage, schedule)
+
+    def _deploy(self, stage: GrowthStage, schedule: GrowthSchedule) -> Topology:
+        k = fat_tree_ladder_arity(stage.target_switches)
+        if self.max_arity is not None:
+            k = min(k, self.max_arity)
+        return fat_tree_topology(
+            k,
+            capacity=schedule.capacity,
+            name=f"{schedule.name}/{self.name}@N={stage.target_switches}"
+            f"(k={k})",
+        )
+
+
+_STRATEGIES: "dict[str, Callable[..., GrowthStrategy]]" = {
+    SwapGrowth.name: SwapGrowth,
+    SwapAnnealGrowth.name: SwapAnnealGrowth,
+    RebuildGrowth.name: RebuildGrowth,
+    FatTreeUpgrade.name: FatTreeUpgrade,
+}
+
+
+def available_strategies() -> "list[str]":
+    """Sorted names accepted by :func:`make_strategy`."""
+    return sorted(_STRATEGIES)
+
+
+def make_strategy(name: str, **options) -> GrowthStrategy:
+    """Construct a growth strategy by registry name.
+
+    An already-constructed strategy passes through unchanged — but only
+    without ``options``, which would otherwise be dropped silently and
+    leave results labeled with a configuration that never ran.
+    """
+    if isinstance(name, GrowthStrategy):
+        if options:
+            raise TopologyError(
+                f"cannot apply options {sorted(options)} to an "
+                f"already-constructed strategy {name.label()!r}; pass the "
+                f"registry name instead"
+            )
+        return name
+    try:
+        factory = _STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(available_strategies())
+        raise TopologyError(
+            f"unknown growth strategy {name!r}; known strategies: {known}"
+        )
+    return factory(**options)
+
+
+def register_strategy(
+    name: str, factory: "Callable[..., GrowthStrategy]"
+) -> None:
+    """Register a custom growth strategy under ``name``.
+
+    Existing names cannot be overwritten (raise instead of silently
+    shadowing a built-in).
+    """
+    if name in _STRATEGIES:
+        raise TopologyError(f"growth strategy {name!r} is already registered")
+    _STRATEGIES[name] = factory
+
+
+def _new_switch_ids(topo: Topology, target: int) -> "list":
+    """Fresh integer switch ids taking ``topo`` up to ``target`` switches.
+
+    Continues the integer id sequence used by the RRG builders, skipping
+    any ids already present so repeated growth never collides.
+    """
+    current = topo.num_switches
+    if target <= current:
+        raise TopologyError(
+            f"growth target {target} does not exceed current size {current}"
+        )
+    taken = set(topo.switches)
+    out: list = []
+    candidate = current
+    while len(out) < target - current:
+        if candidate not in taken:
+            out.append(candidate)
+        candidate += 1
+    return out
+
+
+def grow_stages(
+    schedule: GrowthSchedule,
+    strategy: "str | GrowthStrategy",
+    seed=None,
+    **strategy_options,
+) -> "Iterator[tuple[int, GrowthStage, Topology]]":
+    """Yield ``(index, stage, topology)`` along one deterministic chain.
+
+    The shared execution core of the trajectory runner and the
+    ``"grown"`` topology-registry factory: one per-stage child seed is
+    drawn up front from ``seed``, so the whole chain is reproducible
+    from a single integer and any prefix of it is byte-identical to a
+    shorter schedule's chain.
+    """
+    strategy = make_strategy(strategy, **strategy_options)
+    stage_seeds = spawn_seeds(seed, len(schedule))
+    topo = strategy.initial(schedule, seed=stage_seeds[0])
+    yield 0, schedule.initial_stage, topo
+    for index, stage in enumerate(schedule.growth_stages, start=1):
+        topo = strategy.grow(topo, stage, schedule, seed=stage_seeds[index])
+        yield index, stage, topo

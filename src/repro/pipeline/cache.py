@@ -27,12 +27,30 @@ CACHE_SCHEMA_VERSION = 1
 
 
 class ResultCache:
-    """Filesystem-backed, content-addressed throughput-result store."""
+    """Filesystem-backed, content-addressed throughput-result store.
 
-    def __init__(self, root: "str | os.PathLike") -> None:
+    ``max_entries`` opts in to an LRU bound: every ``put`` beyond the cap
+    evicts the least-recently-used entries (recency is file mtime, which
+    hits refresh), so long sweep campaigns can keep a cache from growing
+    without limit. The default stays unbounded — existing callers see no
+    behavior change, and unbounded caches skip the per-hit ``utime`` and
+    the per-put directory scan entirely.
+    """
+
+    def __init__(
+        self,
+        root: "str | os.PathLike",
+        max_entries: "int | None" = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self.root = Path(root)
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -68,6 +86,12 @@ class ResultCache:
             self._evict(path)
             return None
         self.hits += 1
+        if self.max_entries is not None:
+            # Refresh recency so hot entries survive LRU eviction.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         return result
 
     @staticmethod
@@ -103,6 +127,30 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_entries is not None:
+            self._enforce_limit()
+
+    def _enforce_limit(self) -> None:
+        """Drop least-recently-used entries beyond ``max_entries``.
+
+        Recency is file mtime (ties broken by name for determinism);
+        concurrent-writer races are benign — the worst case re-evicts an
+        entry another worker just rewrote, which the content address
+        makes equivalent to never having cached it.
+        """
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path.name, path))
+            except OSError:
+                continue
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _, _, path in entries[:excess]:
+            self._evict(path)
+            self.evictions += 1
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).is_file()

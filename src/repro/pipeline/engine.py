@@ -42,6 +42,41 @@ from repro.traffic.base import TrafficMatrix
 from repro.util.tables import format_table
 
 
+def cached_solve(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    config: SolverConfig,
+    cache: "ResultCache | None",
+    key: "str | None" = None,
+    meta: "dict | None" = None,
+) -> "tuple[ThroughputResult, bool]":
+    """One cached solve; returns ``(result, cache_hit)``.
+
+    The single implementation of the get-or-solve-and-put convention —
+    :func:`evaluate_throughput`, :func:`evaluate_cell`, and the growth
+    trajectory runner all route through it, so the key derivation and
+    entry metadata cannot drift between callers. ``key`` may be passed
+    when the caller already derived the fingerprints (the cell path
+    records them); ``meta`` defaults to the solver config.
+    """
+    if cache is None:
+        return config.solve(topo, traffic), False
+    if key is None:
+        key = result_key(
+            topology_fingerprint(topo),
+            traffic_fingerprint(traffic),
+            solver_fingerprint(config),
+        )
+    cached = cache.get(key)
+    if cached is not None:
+        return cached, True
+    result = config.solve(topo, traffic)
+    cache.put(
+        key, result, meta=meta if meta is not None else {"solver": config.to_dict()}
+    )
+    return result, False
+
+
 def evaluate_throughput(
     topo: Topology,
     traffic: TrafficMatrix,
@@ -62,17 +97,7 @@ def evaluate_throughput(
         cache = None
     if cache is None:
         return solve_throughput(topo, traffic, solver, **options)
-    config = SolverConfig.make(solver, **options)
-    key = result_key(
-        topology_fingerprint(topo),
-        traffic_fingerprint(traffic),
-        solver_fingerprint(config),
-    )
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    result = config.solve(topo, traffic)
-    cache.put(key, result, meta={"solver": config.to_dict()})
+    result, _ = cached_solve(topo, traffic, SolverConfig.make(solver, **options), cache)
     return result
 
 
@@ -179,15 +204,14 @@ def evaluate_cell(
     topo_fp = topology_fingerprint(topo)
     traffic_fp = traffic_fingerprint(traffic)
     key = result_key(topo_fp, traffic_fp, solver_fingerprint(solver_config))
-    cached = cache.get(key) if cache is not None else None
-    if cached is not None:
-        result = cached
-        cache_hit = True
-    else:
-        result = solver_config.solve(topo, traffic)
-        cache_hit = False
-        if cache is not None:
-            cache.put(key, result, meta={"scenario": scenario.to_dict()})
+    result, cache_hit = cached_solve(
+        topo,
+        traffic,
+        solver_config,
+        cache,
+        key=key,
+        meta={"scenario": scenario.to_dict()},
+    )
     utilization = (
         result.utilization if result.total_capacity > 0 else 0.0
     )

@@ -184,7 +184,7 @@ def anneal(
     current = state.score() if state is not None else objective.evaluate(work)
     initial = current
     best = current
-    best_links = [(l.u, l.v, l.capacity) for l in work.links]
+    best_links = [(link.u, link.v, link.capacity) for link in work.links]
     accepted = rejected = invalid = 0
     trace: list[tuple[int, float, float, float]] = []
 
@@ -219,7 +219,7 @@ def anneal(
                 apply_double_edge_swap(work, swap)
             if current > best:
                 best = current
-                best_links = [(l.u, l.v, l.capacity) for l in work.links]
+                best_links = [(link.u, link.v, link.capacity) for link in work.links]
         else:
             rejected += 1
             if state is None:

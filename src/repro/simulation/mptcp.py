@@ -23,7 +23,7 @@ throughput, not flow completion times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import SimulationError
 from repro.simulation.events import EventQueue

@@ -19,7 +19,7 @@ from repro.exceptions import SimulationError
 from repro.simulation.events import EventQueue
 from repro.simulation.links import LinkQueue
 from repro.simulation.mptcp import MptcpFlow
-from repro.simulation.routing import host_id, host_paths_for_pair
+from repro.simulation.routing import host_paths_for_pair
 from repro.topology.base import Topology
 from repro.traffic.base import TrafficMatrix
 from repro.util.rng import as_rng

@@ -57,24 +57,29 @@ def add_switch_by_link_swaps(
     rng = as_rng(seed)
 
     topo.add_switch(new_switch, servers=servers)
+    # Candidate links are maintained as a mutable list instead of being
+    # re-enumerated from the topology on every draw: removed links are
+    # swap-popped, and links created here always touch the new switch so
+    # they can never become candidates. This keeps each accepted swap
+    # O(1) amortized, which is what lets growth schedules reach thousands
+    # of switches (re-listing was O(links) per draw).
+    candidates = list(topo.links)
     removed = 0
     added = 0
     remaining = network_ports
     attempts = 0
     while remaining >= 2:
-        links = [
-            link
-            for link in topo.links
-            if link.u != new_switch and link.v != new_switch
-        ]
-        if not links:
+        if not candidates:
             break
-        link = links[int(rng.integers(len(links)))]
+        index = int(rng.integers(len(candidates)))
+        link = candidates[index]
         attempts += 1
         if topo.has_link(new_switch, link.u) or topo.has_link(new_switch, link.v):
             if attempts > max_attempts:
                 break
             continue
+        candidates[index] = candidates[-1]
+        candidates.pop()
         topo.remove_link(link.u, link.v)
         # Preserve the split link's capacity on both new links so the new
         # switch's ports match the fabric's line speed.

@@ -24,7 +24,7 @@ import numpy as np
 from repro.exceptions import TopologyError
 from repro.topology.base import Topology
 from repro.topology.builders import random_graph_from_degrees
-from repro.topology.two_cluster import LARGE, SMALL, two_cluster_random_topology
+from repro.topology.two_cluster import LARGE, two_cluster_random_topology
 from repro.util.rng import as_rng
 from repro.util.validation import (
     check_non_negative,

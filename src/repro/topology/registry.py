@@ -36,9 +36,18 @@ def _optimized_topology(**kwargs) -> Topology:
     return optimized_topology(**kwargs)
 
 
+def _grown_topology(**kwargs) -> Topology:
+    # Imported lazily for the same reason: repro.growth builds on the
+    # topology package (expansion, RRG, fat-tree).
+    from repro.growth.factory import grown_topology
+
+    return grown_topology(**kwargs)
+
+
 _REGISTRY: dict[str, Callable[..., Topology]] = {
     "rrg": random_regular_topology,
     "optimized": _optimized_topology,
+    "grown": _grown_topology,
     "random-regular": random_regular_topology,
     "jellyfish": random_regular_topology,
     "two-cluster": two_cluster_random_topology,

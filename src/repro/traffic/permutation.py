@@ -27,7 +27,7 @@ def random_permutation_traffic(
     servers = servers_of(topo.server_map())
     if len(servers) < 2:
         raise TrafficError(
-            f"need at least 2 servers for a permutation, topology has "
+            "need at least 2 servers for a permutation, topology has "
             f"{len(servers)}"
         )
     rng = as_rng(seed)

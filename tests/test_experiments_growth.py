@@ -1,0 +1,159 @@
+"""The growth experiment and the ``repro-experiments grow`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.growth import run_growth_study
+from repro.experiments.registry import available_experiments, run_experiment
+from repro.experiments.runner import main
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_growth_study(
+        start=12,
+        target=32,
+        num_stages=2,
+        network_degree=4,
+        servers_per_switch=2,
+        strategies=("swap", "fattree_upgrade"),
+        runs=2,
+        seed=0,
+    )
+
+
+class TestGrowthStudy:
+    def test_registered(self):
+        assert "growth" in available_experiments()
+
+    def test_series_per_strategy_plus_granularity(self, study):
+        names = {s.name for s in study.series}
+        assert names == {
+            "swap",
+            "fattree_upgrade",
+            "swap/servers",
+            "fattree_upgrade/servers",
+        }
+        for series in study.series:
+            assert [p.x for p in series.sorted_points()] == [12.0, 20.0, 32.0]
+
+    def test_granularity_gap(self, study):
+        """The paper's claim at matched budgets: the random fabric's
+        server count climbs smoothly, the ladder's is a step function."""
+        rrg = study.get_series("swap/servers").ys()
+        ladder = study.get_series("fattree_upgrade/servers").ys()
+        assert rrg == sorted(rrg)
+        assert len(set(rrg)) == len(rrg)  # strictly increasing
+        assert len(set(ladder)) < len(ladder)  # a repeated rung
+        idle = study.metadata["churn"]["fattree_upgrade"]
+        assert any(cell["idle_switches"] > 0 for cell in idle.values())
+        assert all(
+            cell["idle_switches"] == 0
+            for cell in study.metadata["churn"]["swap"].values()
+        )
+
+    def test_churn_metadata(self, study):
+        swap_churn = study.metadata["churn"]["swap"]
+        assert set(swap_churn) == {12, 20, 32}
+        final = swap_churn[32]
+        assert final["links_touched"] > 0
+        assert final["cumulative_links_touched"] >= final["links_touched"]
+        assert final["cable_length"] > 0
+
+    def test_estimator_path_calibrates(self):
+        result = run_growth_study(
+            start=12,
+            target=32,
+            num_stages=1,
+            network_degree=4,
+            servers_per_switch=2,
+            strategies=("swap",),
+            exact_limit=16,
+            runs=1,
+        )
+        assert result.metadata["calibration"] is not None
+        summary = result.metadata["stage_summary"]
+        assert summary[0]["target_switches"] == 12
+        # Beyond the exact limit the throughput column is an estimate.
+        assert result.get_series("swap").y_at(32) > 0
+
+    def test_exact_path_skips_calibration(self, study):
+        assert study.metadata["calibration"] is None
+
+    def test_runs_via_registry(self):
+        result = run_experiment(
+            "growth",
+            start=12,
+            target=20,
+            num_stages=1,
+            network_degree=4,
+            servers_per_switch=2,
+            strategies=("swap",),
+            runs=1,
+        )
+        assert result.experiment_id == "growth"
+
+    def test_rejects_empty_strategies(self):
+        with pytest.raises(Exception, match="at least one strategy"):
+            run_growth_study(strategies=())
+
+
+class TestGrowCli:
+    def test_grow_writes_artifacts(self, tmp_path, capsys):
+        json_path = tmp_path / "g.json"
+        csv_path = tmp_path / "g.csv"
+        code = main(
+            [
+                "grow",
+                "--name", "cli-growth",
+                "--start", "12",
+                "--target", "20",
+                "--stages", "1",
+                "--degree", "4",
+                "--servers-per-switch", "2",
+                "--strategies", "swap",
+                "--seeds", "1",
+                "--json", str(json_path),
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "growth 'cli-growth'" in out
+        assert "final throughput" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["schedule"]["name"] == "cli-growth"
+        assert len(payload["trajectories"]) == 1
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 3  # header + 2 stages
+
+    def test_grow_schedule_file(self, tmp_path, capsys):
+        from repro.growth.plan import GrowthSchedule
+
+        schedule = GrowthSchedule.from_targets(
+            (12, 16), name="from-file", network_degree=4,
+            servers_per_switch=1,
+        )
+        path = tmp_path / "schedule.json"
+        path.write_text(json.dumps(schedule.to_dict()))
+        code = main(
+            ["grow", "--schedule", str(path), "--strategies", "swap",
+             "--quiet"]
+        )
+        assert code == 0
+        assert "'from-file'" in capsys.readouterr().out
+
+    def test_grow_warm_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "grow", "--start", "12", "--target", "16", "--stages", "1",
+            "--degree", "4", "--servers-per-switch", "1",
+            "--strategies", "swap", "--cache-dir", cache_dir, "--quiet",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "2 cache hits" in capsys.readouterr().out

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.fig04 import _subsample
 from repro.experiments.fig07 import _spread_splits

@@ -25,6 +25,7 @@ EXTRA_IDS = {
     "extra-latency",
     "resilience",
     "scale",
+    "growth",
     "search1",
     "search2",
 }

@@ -100,7 +100,7 @@ class TestIncrementalLengthSum:
         )
 
         def total_length():
-            return sum(c * l for c, l in zip(capacity, lengths))
+            return sum(c * length for c, length in zip(capacity, lengths))
 
         phases = 0
         flows_at_last_complete = list(flows)

@@ -7,7 +7,6 @@ import pytest
 from repro.exceptions import FlowError
 from repro.flow.edge_lp import max_concurrent_flow
 from repro.flow.path_lp import max_concurrent_flow_paths
-from repro.topology.base import Topology
 from repro.traffic.base import TrafficMatrix
 
 

@@ -1,0 +1,114 @@
+"""Growth schedules and stages: validation, helpers, JSON round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.growth.plan import GrowthSchedule, GrowthStage
+
+
+class TestGrowthStage:
+    def test_defaults_resolve_to_schedule(self):
+        schedule = GrowthSchedule.from_targets(
+            (10, 20), network_degree=6, servers_per_switch=3
+        )
+        stage = schedule.stages[1]
+        assert stage.degree(schedule) == 6
+        assert stage.servers(schedule) == 3
+
+    def test_overrides_win(self):
+        stage = GrowthStage(20, network_degree=4, servers_per_switch=1)
+        schedule = GrowthSchedule(
+            stages=(GrowthStage(10), stage),
+            network_degree=6,
+            servers_per_switch=3,
+        )
+        assert stage.degree(schedule) == 4
+        assert stage.servers(schedule) == 1
+
+    def test_name_uses_label_when_given(self):
+        assert GrowthStage(10, label="q3-upgrade").name(2) == "q3-upgrade"
+        assert GrowthStage(10).name(2) == "stage2@N=10"
+
+    def test_rejects_bad_targets(self):
+        with pytest.raises(Exception):
+            GrowthStage(0)
+
+    def test_dict_round_trip(self):
+        stage = GrowthStage(
+            32, network_degree=10, servers_per_switch=2, label="x"
+        )
+        assert GrowthStage.from_dict(stage.to_dict()) == stage
+        bare = GrowthStage(32)
+        assert GrowthStage.from_dict(bare.to_dict()) == bare
+        assert bare.to_dict() == {"target_switches": 32}
+
+
+class TestGrowthSchedule:
+    def test_requires_stages(self):
+        with pytest.raises(ExperimentError, match="at least one stage"):
+            GrowthSchedule(stages=())
+
+    def test_requires_strictly_increasing(self):
+        with pytest.raises(ExperimentError, match="strictly increasing"):
+            GrowthSchedule.from_targets((10, 10), network_degree=4)
+        with pytest.raises(ExperimentError, match="strictly increasing"):
+            GrowthSchedule.from_targets((20, 10), network_degree=4)
+
+    def test_initial_must_exceed_degree(self):
+        with pytest.raises(ExperimentError, match="exceed"):
+            GrowthSchedule.from_targets((4, 10), network_degree=4)
+
+    def test_int_stages_coerced(self):
+        schedule = GrowthSchedule(stages=(10, 20), network_degree=4)
+        assert all(isinstance(s, GrowthStage) for s in schedule.stages)
+        assert schedule.final_switches == 20
+        assert len(schedule) == 2
+
+    def test_geometric_spacing(self):
+        schedule = GrowthSchedule.geometric(64, 2048, 5, network_degree=8)
+        targets = [s.target_switches for s in schedule.stages]
+        assert targets == [64, 128, 256, 512, 1024, 2048]
+
+    def test_geometric_collapses_duplicates(self):
+        schedule = GrowthSchedule.geometric(12, 14, 6, network_degree=4)
+        targets = [s.target_switches for s in schedule.stages]
+        assert targets[0] == 12
+        assert targets[-1] == 14
+        assert targets == sorted(set(targets))
+
+    def test_geometric_zero_stages(self):
+        schedule = GrowthSchedule.geometric(16, 16, 0, network_degree=4)
+        assert [s.target_switches for s in schedule.stages] == [16]
+
+    def test_geometric_rejects_shrink(self):
+        with pytest.raises(ExperimentError, match=">= start"):
+            GrowthSchedule.geometric(32, 16, 2, network_degree=4)
+
+    def test_growth_stages_property(self):
+        schedule = GrowthSchedule.from_targets((10, 20, 40), network_degree=4)
+        assert schedule.initial_stage.target_switches == 10
+        assert [s.target_switches for s in schedule.growth_stages] == [20, 40]
+
+    def test_dict_round_trip(self):
+        schedule = GrowthSchedule(
+            name="plan",
+            network_degree=6,
+            servers_per_switch=2,
+            capacity=2.5,
+            stages=(
+                GrowthStage(10),
+                GrowthStage(20, network_degree=8, label="arrival"),
+            ),
+        )
+        assert GrowthSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_hashable_and_picklable(self):
+        import pickle
+
+        schedule = GrowthSchedule.from_targets((10, 20), network_degree=4)
+        assert hash(schedule) == hash(
+            GrowthSchedule.from_targets((10, 20), network_degree=4)
+        )
+        assert pickle.loads(pickle.dumps(schedule)) == schedule

@@ -1,0 +1,233 @@
+"""Growth strategies: registry, per-strategy semantics, the grown kind."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.growth.factory import grown_topology
+from repro.growth.plan import GrowthSchedule, GrowthStage
+from repro.growth.strategies import (
+    FatTreeUpgrade,
+    GrowthStrategy,
+    available_strategies,
+    fat_tree_ladder_arity,
+    grow_stages,
+    make_strategy,
+    register_strategy,
+)
+from repro.pipeline.fingerprint import topology_fingerprint
+from repro.topology.registry import factory_accepts_seed, make_topology
+
+
+@pytest.fixture
+def schedule() -> GrowthSchedule:
+    return GrowthSchedule.from_targets(
+        (12, 20, 32), name="t", network_degree=4, servers_per_switch=2
+    )
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert available_strategies() == [
+            "fattree_upgrade", "rebuild", "swap", "swap_anneal",
+        ]
+
+    def test_unknown_raises(self):
+        with pytest.raises(TopologyError, match="unknown growth strategy"):
+            make_strategy("forklift")
+
+    def test_options_forwarded(self):
+        strategy = make_strategy("swap_anneal", steps=7, objective="spectral")
+        assert strategy.steps == 7
+        assert "steps=7" in strategy.label()
+
+    def test_strategy_instance_passes_through(self):
+        strategy = make_strategy("swap")
+        assert make_strategy(strategy) is strategy
+
+    def test_instance_plus_options_raises(self):
+        # Options alongside a built instance would be dropped silently.
+        strategy = make_strategy("swap_anneal", steps=10)
+        with pytest.raises(TopologyError, match="already-constructed"):
+            make_strategy(strategy, steps=500)
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(TopologyError, match="already registered"):
+            register_strategy("swap", GrowthStrategy)
+
+    def test_register_custom(self):
+        class Custom(GrowthStrategy):
+            name = "custom-test-strategy"
+
+            def grow(self, topo, stage, schedule, seed=None):
+                return topo.copy()
+
+        register_strategy(Custom.name, Custom)
+        try:
+            assert isinstance(make_strategy(Custom.name), Custom)
+        finally:
+            from repro.growth import strategies
+
+            strategies._STRATEGIES.pop(Custom.name)
+
+
+class TestSwapGrowth:
+    def test_chain_reaches_targets(self, schedule):
+        sizes = [
+            topo.num_switches
+            for _, _, topo in grow_stages(schedule, "swap", seed=0)
+        ]
+        assert sizes == [12, 20, 32]
+
+    def test_existing_switches_keep_degree(self, schedule):
+        chain = list(grow_stages(schedule, "swap", seed=1))
+        _, _, first = chain[0]
+        _, _, last = chain[-1]
+        for node in last.switches:
+            assert last.degree(node) == 4
+        assert last.num_servers == 64
+        assert last.is_connected()
+        assert set(first.switches) <= set(last.switches)
+
+    def test_deterministic_per_seed(self, schedule):
+        def final(seed):
+            *_, (_, _, topo) = grow_stages(schedule, "swap", seed=seed)
+            return topo
+
+        assert topology_fingerprint(final(3)) == topology_fingerprint(final(3))
+        assert topology_fingerprint(final(3)) != topology_fingerprint(final(4))
+
+    def test_heterogeneous_arrivals(self):
+        schedule = GrowthSchedule(
+            name="hetero",
+            network_degree=4,
+            servers_per_switch=2,
+            stages=(
+                GrowthStage(12),
+                GrowthStage(16, network_degree=6, servers_per_switch=5),
+            ),
+        )
+        *_, (_, _, topo) = grow_stages(schedule, "swap", seed=5)
+        originals = [v for v in topo.switches if isinstance(v, int) and v < 12]
+        arrivals = [v for v in topo.switches if isinstance(v, int) and v >= 12]
+        assert all(topo.degree(v) == 4 for v in originals)
+        assert all(topo.degree(v) == 6 for v in arrivals)
+        assert all(topo.servers_at(v) == 5 for v in arrivals)
+
+
+class TestSwapAnneal:
+    def test_preserves_degrees_and_size(self, schedule):
+        *_, (_, _, topo) = grow_stages(
+            schedule, "swap_anneal", seed=2, steps=25
+        )
+        assert topo.num_switches == 32
+        assert all(topo.degree(v) == 4 for v in topo.switches)
+        assert topo.is_connected()
+
+    def test_shares_initial_build_with_swap(self, schedule):
+        (_, _, plain), *_ = grow_stages(schedule, "swap", seed=9)
+        (_, _, annealed), *_ = grow_stages(
+            schedule, "swap_anneal", seed=9, steps=25
+        )
+        assert topology_fingerprint(plain) == topology_fingerprint(annealed)
+
+
+class TestRebuild:
+    def test_resamples_whole_fabric(self, schedule):
+        chain = list(grow_stages(schedule, "rebuild", seed=3))
+        _, _, last = chain[-1]
+        assert last.num_switches == 32
+        assert all(last.degree(v) == 4 for v in last.switches)
+
+
+class TestFatTreeLadder:
+    def test_ladder_arities(self):
+        assert [
+            fat_tree_ladder_arity(b) for b in (5, 19, 20, 45, 80, 2000, 2048)
+        ] == [2, 2, 4, 6, 8, 40, 40]
+
+    def test_budget_below_smallest_rung_raises(self):
+        with pytest.raises(TopologyError, match="no complete fat-tree"):
+            fat_tree_ladder_arity(4)
+
+    def test_step_function(self, schedule):
+        chain = list(grow_stages(schedule, "fattree_upgrade"))
+        sizes = [topo.num_switches for _, _, topo in chain]
+        assert sizes == [5, 20, 20]  # budget 32 still deploys the k=4 rung
+        _, stage, topo = chain[-1]
+        assert stage.target_switches - topo.num_switches == 12  # idle budget
+
+    def test_max_arity_saturates(self):
+        strategy = FatTreeUpgrade(max_arity=4)
+        schedule = GrowthSchedule.from_targets(
+            (20, 45, 80), network_degree=4
+        )
+        sizes = [
+            topo.num_switches
+            for _, _, topo in grow_stages(schedule, strategy)
+        ]
+        assert sizes == [20, 20, 20]
+
+    def test_odd_max_arity_rounds_down(self):
+        assert FatTreeUpgrade(max_arity=7).max_arity == 6
+        with pytest.raises(TopologyError):
+            FatTreeUpgrade(max_arity=1)
+
+
+class TestGrownKind:
+    def test_registry_builds_and_accepts_seed(self):
+        topo = make_topology(
+            "grown", num_switches=40, network_degree=4,
+            servers_per_switch=1, seed=7,
+        )
+        assert topo.num_switches == 40
+        assert topo.num_servers == 40
+        assert factory_accepts_seed("grown")
+
+    def test_fingerprint_stable(self):
+        fps = {
+            topology_fingerprint(
+                grown_topology(40, 4, servers_per_switch=1, seed=11)
+            )
+            for _ in range(2)
+        }
+        assert len(fps) == 1
+
+    def test_start_defaults_legal(self):
+        # num_switches // 8 would undercut the RRG requirement r < N.
+        topo = grown_topology(24, 10, seed=0)
+        assert topo.num_switches == 24
+        assert all(topo.degree(v) == 10 for v in topo.switches)
+
+    def test_bad_start_raises(self):
+        with pytest.raises(TopologyError, match="exceeds num_switches"):
+            grown_topology(16, 4, start_switches=32, seed=0)
+        with pytest.raises(TopologyError, match="must exceed network_degree"):
+            grown_topology(16, 4, start_switches=3, seed=0)
+
+    def test_strategy_option_flows_through(self):
+        topo = grown_topology(
+            24, 4, strategy="swap_anneal", steps=10, seed=1
+        )
+        assert topo.num_switches == 24
+
+    def test_sweepable_in_scenario_grid(self):
+        from repro.pipeline.scenario import ScenarioGrid, TopologySpec, TrafficSpec
+
+        grid = ScenarioGrid(
+            name="grown-grid",
+            topologies=(
+                TopologySpec.make(
+                    "grown", network_degree=4, servers_per_switch=1,
+                    num_stages=2,
+                ),
+            ),
+            traffics=(TrafficSpec.make("permutation"),),
+            sizes=(16, 24),
+        )
+        cells = grid.cells()
+        assert len(cells) == 2
+        topo, traffic = cells[0].build()
+        assert topo.num_switches == 16
+        assert traffic.num_flows > 0

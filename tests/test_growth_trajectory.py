@@ -1,0 +1,208 @@
+"""Trajectory execution: churn accounting, caching, pairing, sweeps."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.growth.plan import GrowthSchedule
+from repro.growth.trajectory import (
+    run_growth,
+    run_growth_sweep,
+    solver_for_size,
+)
+from repro.pipeline.cache import ResultCache
+
+
+@pytest.fixture
+def schedule() -> GrowthSchedule:
+    return GrowthSchedule.from_targets(
+        (12, 20, 32), name="t", network_degree=4, servers_per_switch=2
+    )
+
+
+class TestSolverPolicy:
+    def test_auto_switches_at_limit(self):
+        assert solver_for_size(40, exact_limit=80) == "edge_lp"
+        assert solver_for_size(81, exact_limit=80) == "estimate_bound"
+        assert (
+            solver_for_size(81, exact_limit=80, estimator="estimate_cut")
+            == "estimate_cut"
+        )
+
+    def test_explicit_solver_wins(self):
+        assert solver_for_size(5, solver="ecmp") == "ecmp"
+        assert solver_for_size(5000, solver="edge_lp") == "edge_lp"
+
+
+class TestRunGrowth:
+    def test_records_cover_every_stage(self, schedule):
+        trajectory = run_growth(schedule, "swap", cache=False)
+        assert [r.index for r in trajectory.records] == [0, 1, 2]
+        assert [r.num_switches for r in trajectory.records] == [12, 20, 32]
+        assert all(r.throughput > 0 for r in trajectory.records)
+        assert trajectory.final().num_servers == 64
+
+    def test_initial_stage_installs_everything(self, schedule):
+        record = run_growth(schedule, "swap", cache=False).records[0]
+        assert record.links_removed == 0
+        assert record.links_added == record.num_links
+        assert record.cables_removed_length == 0.0
+        assert record.cables_added_length > 0
+
+    def test_swap_churn_accounting(self, schedule):
+        trajectory = run_growth(schedule, "swap", cache=False)
+        half_degree = schedule.network_degree // 2
+        previous = None
+        for record in trajectory.records:
+            if previous is not None:
+                added_switches = record.num_switches - previous.num_switches
+                # The link diff nets out links added by one arriving
+                # switch and split again by a later one, so the net gain
+                # is exact and the gross counts are bounded by the
+                # ExpansionReport-level r/2 swaps per switch.
+                assert (
+                    record.links_added - record.links_removed
+                    == added_switches * half_degree
+                )
+                assert record.links_removed <= added_switches * half_degree
+                assert record.links_touched >= added_switches * half_degree
+            previous = record
+        final = trajectory.final()
+        assert final.cumulative_links_touched == sum(
+            r.links_touched for r in trajectory.records
+        )
+        assert final.cumulative_cable_length == pytest.approx(
+            sum(
+                r.cables_added_length + r.cables_removed_length
+                for r in trajectory.records
+            )
+        )
+
+    def test_swap_churn_far_below_rebuild(self, schedule):
+        swap = run_growth(schedule, "swap", cache=False)
+        rebuild = run_growth(schedule, "rebuild", cache=False)
+        swap_touched = sum(r.links_touched for r in swap.records[1:])
+        rebuild_touched = sum(r.links_touched for r in rebuild.records[1:])
+        assert swap_touched < rebuild_touched
+
+    def test_strategies_share_initial_stage(self, schedule):
+        swap = run_growth(schedule, "swap", cache=False)
+        rebuild = run_growth(schedule, "rebuild", cache=False)
+        assert (
+            swap.records[0].throughput == rebuild.records[0].throughput
+        )
+        assert swap.seed == rebuild.seed
+
+    def test_estimator_beyond_exact_limit(self, schedule):
+        trajectory = run_growth(
+            schedule,
+            "swap",
+            exact_limit=20,
+            estimator_band=(0.8, 1.4),
+            cache=False,
+        )
+        kinds = [(r.solver.split("(")[0], r.is_estimate) for r in trajectory.records]
+        assert kinds[0] == ("edge_lp", False)
+        assert kinds[-1][0] == "estimate_bound"
+        assert kinds[-1][1] is True
+        assert trajectory.records[-1].error_lo == pytest.approx(0.8)
+        assert trajectory.records[-1].error_hi == pytest.approx(1.4)
+        assert trajectory.records[0].error_lo is None
+
+    def test_cache_round_trip_identical(self, schedule, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_growth(schedule, "swap", cache=cache)
+        assert not any(r.cache_hit for r in cold.records)
+        warm = run_growth(schedule, "swap", cache=cache)
+        assert all(r.cache_hit for r in warm.records)
+        assert warm.throughputs() == cold.throughputs()
+
+    def test_explicit_seed_reproducible(self, schedule):
+        a = run_growth(schedule, "swap", seed=123, cache=False)
+        b = run_growth(schedule, "swap", seed=123, cache=False)
+        assert a.throughputs() == b.throughputs()
+
+        def stable(rows):
+            return [
+                {k: v for k, v in row.items() if k != "elapsed_s"}
+                for row in rows
+            ]
+
+        assert stable(a.rows()) == stable(b.rows())
+
+    def test_replicates_differ(self, schedule):
+        a = run_growth(schedule, "swap", replicate=0, cache=False)
+        b = run_growth(schedule, "swap", replicate=1, cache=False)
+        assert a.seed != b.seed
+
+    def test_fattree_idle_budget_reported(self, schedule):
+        trajectory = run_growth(schedule, "fattree_upgrade", cache=False)
+        assert [r.idle_switches for r in trajectory.records] == [7, 0, 12]
+        # No upgrade between equal rungs: zero churn at the last stage.
+        assert trajectory.records[2].links_touched == 0
+
+
+class TestSweep:
+    def test_sweep_shapes_and_artifacts(self, schedule, tmp_path):
+        sweep = run_growth_sweep(
+            schedule, ("swap", "fattree_upgrade"), seeds=2
+        )
+        assert len(sweep.trajectories) == 4
+        assert sweep.num_cells == 12
+        summary = sweep.mean_series()
+        assert len(summary) == 6  # 2 strategies x 3 stages
+        assert all(entry["replicates"] == 2 for entry in summary)
+        table = sweep.to_table()
+        assert "swap" in table and "fattree_upgrade" in table
+
+        json_path = tmp_path / "growth.json"
+        csv_path = tmp_path / "growth.csv"
+        sweep.write_json(json_path)
+        sweep.write_csv(csv_path)
+        payload = json.loads(json_path.read_text())
+        assert len(payload["trajectories"]) == 4
+        assert payload["summary"]
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("strategy,replicate,seed,stage")
+        assert len(csv_path.read_text().splitlines()) == 13  # header + 12
+
+    def test_parallel_matches_serial(self, schedule):
+        serial = run_growth_sweep(schedule, ("swap",), seeds=2, workers=1)
+        parallel = run_growth_sweep(schedule, ("swap",), seeds=2, workers=2)
+        assert [t.throughputs() for t in serial.trajectories] == [
+            t.throughputs() for t in parallel.trajectories
+        ]
+
+    def test_shared_cache_dir_warm_hits(self, schedule, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_growth_sweep(
+            schedule, ("swap",), seeds=1, cache_dir=cache_dir
+        )
+        warm = run_growth_sweep(
+            schedule, ("swap",), seeds=1, cache_dir=cache_dir
+        )
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == warm.num_cells
+        assert [t.throughputs() for t in warm.trajectories] == [
+            t.throughputs() for t in cold.trajectories
+        ]
+
+    def test_progress_and_bands(self, schedule):
+        seen = []
+        run_growth_sweep(
+            schedule,
+            ("swap",),
+            seeds=1,
+            exact_limit=20,
+            estimator_bands={"swap": (0.5, 2.0)},
+            progress=lambda done, total, t: seen.append((done, total)),
+        )
+        assert seen == [(1, 1)]
+
+    def test_rejects_bad_counts(self, schedule):
+        with pytest.raises(Exception):
+            run_growth_sweep(schedule, ("swap",), seeds=0)
+        with pytest.raises(Exception):
+            run_growth_sweep(schedule, ("swap",), workers=0)

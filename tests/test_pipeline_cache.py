@@ -210,3 +210,85 @@ class TestStaleEntryEviction:
         path.write_bytes(b"\xff\xfe not utf-8")
         assert cache.get(key) is None
         assert not path.exists()
+
+
+class TestLruCap:
+    """Opt-in ``max_entries`` bound: puts beyond the cap evict the
+    least-recently-used entries; the default stays unbounded."""
+
+    @staticmethod
+    def _key(index: int) -> str:
+        return f"{index:02x}" * 32
+
+    @staticmethod
+    def _age(cache, key, seconds):
+        """Backdate an entry's mtime so recency ordering is deterministic
+        (sub-second writes can otherwise tie)."""
+        import os
+        import time
+
+        path = cache._path(key)
+        stamp = time.time() - seconds
+        os.utime(path, (stamp, stamp))
+
+    def _fill(self, cache, count):
+        from repro.flow.result import ThroughputResult
+
+        for index in range(count):
+            cache.put(self._key(index), ThroughputResult(throughput=index))
+            self._age(cache, self._key(index), seconds=100 - index)
+
+    def test_default_stays_unbounded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.max_entries is None
+        self._fill(cache, 5)
+        assert len(cache) == 5
+        assert cache.evictions == 0
+
+    def test_put_evicts_oldest_beyond_cap(self, tmp_path):
+        from repro.flow.result import ThroughputResult
+
+        cache = ResultCache(tmp_path, max_entries=2)
+        self._fill(cache, 2)
+        cache.put(self._key(2), ThroughputResult(throughput=2.0))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(self._key(0)) is None  # the oldest went
+        assert cache.get(self._key(1)) is not None
+        assert cache.get(self._key(2)) is not None
+
+    def test_get_refreshes_recency(self, tmp_path):
+        from repro.flow.result import ThroughputResult
+
+        cache = ResultCache(tmp_path, max_entries=2)
+        self._fill(cache, 2)
+        assert cache.get(self._key(0)) is not None  # touch the oldest
+        cache.put(self._key(2), ThroughputResult(throughput=2.0))
+        # Entry 1 is now the least recently used, not entry 0.
+        assert cache.get(self._key(0)) is not None
+        assert cache.get(self._key(1)) is None
+
+    def test_overfull_pre_existing_dir_trimmed(self, tmp_path):
+        from repro.flow.result import ThroughputResult
+
+        unbounded = ResultCache(tmp_path)
+        self._fill(unbounded, 4)
+        bounded = ResultCache(tmp_path, max_entries=2)
+        bounded.put(self._key(4), ThroughputResult(throughput=4.0))
+        assert len(bounded) == 2
+        assert bounded.evictions == 3
+        assert bounded.get(self._key(4)) is not None
+
+    def test_bounded_cache_still_round_trips(self, tmp_path, instance):
+        topo, traffic = instance
+        cache = ResultCache(tmp_path, max_entries=8)
+        result = max_concurrent_flow(topo, traffic)
+        key = self._key(7)
+        cache.put(key, result)
+        restored = cache.get(key)
+        assert restored is not None
+        assert restored.throughput == result.throughput
+
+    def test_rejects_non_positive_cap(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(tmp_path, max_entries=0)

@@ -9,7 +9,6 @@ degraded solves get their own content addresses.
 from __future__ import annotations
 
 import json
-from dataclasses import replace
 
 import pytest
 

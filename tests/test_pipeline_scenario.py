@@ -143,8 +143,8 @@ class TestDeterministicSeeding:
         cell = small_grid().cells()[0]
         topo_a, traffic_a = cell.build()
         topo_b, traffic_b = cell.build()
-        assert sorted((l.u, l.v) for l in topo_a.links) == sorted(
-            (l.u, l.v) for l in topo_b.links
+        assert sorted((link.u, link.v) for link in topo_a.links) == sorted(
+            (link.u, link.v) for link in topo_b.links
         )
         assert traffic_a.demands == traffic_b.demands
 

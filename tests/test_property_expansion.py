@@ -1,0 +1,103 @@
+"""Property tests for incremental expansion (`topology.expansion`).
+
+The growth subsystem leans on the link-swap procedure's invariants —
+port budgets, degree preservation, churn accounting — so they are
+pinned here across randomized fabrics, port counts, and seeds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+
+from repro.pipeline.fingerprint import topology_fingerprint
+from repro.topology.expansion import add_switch_by_link_swaps, expand_topology
+from repro.topology.random_regular import random_regular_topology
+
+seeds = st.integers(0, 2**32 - 1)
+
+
+def base_topology(num_switches: int, degree: int, seed: int):
+    return random_regular_topology(
+        num_switches, degree, servers_per_switch=2, seed=seed
+    )
+
+
+@given(
+    st.integers(10, 24),
+    st.integers(3, 6),
+    st.integers(0, 8),
+    st.integers(0, 3),
+    seeds,
+)
+def test_port_budget_and_degrees(num_switches, degree, ports, servers, seed):
+    degree = min(degree, num_switches - 1)
+    topo = base_topology(num_switches, degree, seed)
+    before_degrees = {v: topo.degree(v) for v in topo.switches}
+    before_links = topo.num_links
+
+    try:
+        report = add_switch_by_link_swaps(
+            topo, "new", network_ports=ports, servers=servers, seed=seed + 1
+        )
+    except TopologyError:
+        # Documented exception: a port budget approaching the fabric size
+        # can exhaust valid swaps (every remaining link touches a switch
+        # already adjacent to the new one). Reject, don't fail.
+        assume(False)
+
+    # The new switch consumes exactly the even part of its port budget.
+    assert topo.degree("new") == ports - report.leftover_ports
+    assert report.leftover_ports == ports % 2
+    # Non-endpoint switches keep their degrees: swaps split links, they
+    # never change anyone else's port usage.
+    for node, degree_before in before_degrees.items():
+        assert topo.degree(node) == degree_before
+    assert topo.servers_at("new") == servers
+    # Accounting consistency: every swap removes one link and adds two.
+    assert report.links_added == 2 * report.links_removed
+    assert report.links_removed == (ports - report.leftover_ports) // 2
+    assert topo.num_links == before_links + report.links_removed
+    # Handshake: total degree equals twice the link count.
+    assert sum(topo.degree(v) for v in topo.switches) == 2 * topo.num_links
+
+
+@given(st.integers(10, 20), st.integers(3, 5), seeds)
+def test_per_seed_determinism(num_switches, degree, seed):
+    degree = min(degree, num_switches - 1)
+
+    def grown():
+        topo = base_topology(num_switches, degree, seed)
+        add_switch_by_link_swaps(
+            topo, "new", network_ports=degree, seed=seed * 7 + 1
+        )
+        return topo
+
+    assert topology_fingerprint(grown()) == topology_fingerprint(grown())
+
+
+@given(st.integers(12, 20), seeds)
+def test_connectivity_preserved(num_switches, seed):
+    topo = base_topology(num_switches, 4, seed)
+    add_switch_by_link_swaps(topo, "new", network_ports=4, seed=seed)
+    assert topo.is_connected()
+    topo.validate()
+
+
+@given(st.integers(12, 20), st.integers(2, 4), seeds)
+def test_expand_topology_accounting(num_switches, extra, seed):
+    topo = base_topology(num_switches, 4, seed)
+    before_links = topo.num_links
+    new_switches = {f"n{i}": 4 for i in range(extra)}
+
+    reports = expand_topology(topo, new_switches, seed=seed)
+
+    assert len(reports) == extra
+    assert [r.added_switch for r in reports] == list(new_switches)
+    assert all(r.leftover_ports == 0 for r in reports)
+    assert topo.num_switches == num_switches + extra
+    # Net links gained is half the arriving port budget, exactly.
+    assert topo.num_links == before_links + extra * 2
+    assert all(topo.degree(f"n{i}") == 4 for i in range(extra))

@@ -63,9 +63,9 @@ class TestAnneal:
         assert optimized.server_map() == topo.server_map()
 
     def test_input_topology_unchanged(self, ring):
-        edges = {frozenset((l.u, l.v)) for l in ring.links}
+        edges = {frozenset((link.u, link.v)) for link in ring.links}
         anneal(ring, "aspl", steps=200, seed=4)
-        assert {frozenset((l.u, l.v)) for l in ring.links} == edges
+        assert {frozenset((link.u, link.v)) for link in ring.links} == edges
 
     def test_deterministic_for_seed(self, ring):
         a = anneal(ring, "aspl", steps=300, seed=7, trace_every=50)
@@ -73,8 +73,8 @@ class TestAnneal:
         assert a.best_score == b.best_score
         assert a.accepted == b.accepted
         assert a.trace == b.trace
-        assert {frozenset((l.u, l.v)) for l in a.topology.links} == {
-            frozenset((l.u, l.v)) for l in b.topology.links
+        assert {frozenset((link.u, link.v)) for link in a.topology.links} == {
+            frozenset((link.u, link.v)) for link in b.topology.links
         }
 
     def test_best_trace_is_monotone(self, ring):

@@ -14,7 +14,6 @@ from repro.simulation.simulator import (
     SimulationConfig,
     SimulationReport,
 )
-from repro.topology.base import Topology
 from repro.topology.random_regular import random_regular_topology
 from repro.traffic.base import TrafficMatrix
 from repro.traffic.permutation import random_permutation_traffic

@@ -70,7 +70,7 @@ class TestClos:
     def test_folded_clos_oversubscription(self):
         topo = folded_clos_topology(4, 4, servers_per_leaf=8, oversubscription=2.0)
         # Each leaf's uplink capacity = servers / oversubscription = 4.
-        up = sum(topo.capacity(f"leaf0", f"spine{i}") for i in range(4))
+        up = sum(topo.capacity("leaf0", f"spine{i}") for i in range(4))
         assert up == pytest.approx(4.0)
 
     def test_nonblocking_closes_permutation(self):
