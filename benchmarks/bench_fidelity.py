@@ -1,0 +1,164 @@
+"""Fidelity subsystem benchmarks: route precompute, sim scale, sim vs LP.
+
+Three claims, each appended as a machine-readable record to
+``BENCH_fidelity.json`` (the ROADMAP perf trajectory):
+
+- Route-set precomputation handles an N=1000 RRG in seconds, and the
+  warm path (in-process memo) is orders of magnitude faster — so
+  annealing/growth inner loops never pay for routes twice.
+- ``sim_ecmp`` / ``sim_mptcp`` solve N=1000 cells through ``run_grid``
+  (the packet simulator caps out around N≈50), and a warm
+  content-addressed cache serves the same grid with zero route
+  recomputation.
+- At small N the fluid simulators respect the differential contract
+  (sim ≤ exact LP) at a fraction of the LP's cost.
+
+Like the other wall-clock benchmarks, these run on demand rather than as
+a required CI check (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import append_record, run_once
+
+from repro.fidelity.routes import reset_route_stats, route_set_for, route_stats
+from repro.flow.solvers import SolverConfig, solve_throughput
+from repro.pipeline.engine import run_grid
+from repro.pipeline.scenario import ScenarioGrid, TopologySpec, TrafficSpec
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+ARTIFACT = "BENCH_fidelity.json"
+
+#: Scale target from the tentpole: well past the packet simulator's N≈50.
+LARGE_N = 1000
+LARGE_DEGREE = 10
+
+#: N=1000 grid solved by both fluid mechanisms through the pipeline.
+LARGE_GRID = ScenarioGrid(
+    name="bench-fidelity",
+    topologies=(
+        TopologySpec.make("rrg", network_degree=LARGE_DEGREE, servers_per_switch=1),
+    ),
+    traffics=(TrafficSpec.make("permutation"),),
+    solvers=(
+        SolverConfig.make("sim_ecmp", paths=8),
+        SolverConfig.make("sim_mptcp", subflows=8),
+    ),
+    sizes=(LARGE_N,),
+    seeds=1,
+)
+
+
+def _large_instance():
+    topo = random_regular_topology(
+        LARGE_N, LARGE_DEGREE, servers_per_switch=1, seed=0
+    )
+    traffic = random_permutation_traffic(topo, seed=1)
+    return topo, traffic
+
+
+def test_route_precompute_n1000(benchmark):
+    """Cold k-shortest-path route sets at N=1000; warm memo is ~free."""
+    topo, traffic = _large_instance()
+    pairs = tuple(traffic.demands)
+    reset_route_stats()
+    start = time.perf_counter()
+    cold = run_once(benchmark, route_set_for, topo, pairs, mode="ksp", k=8)
+    cold_s = time.perf_counter() - start
+    assert route_stats()["computed"] == 1
+    assert len(cold.pairs) == len(pairs)
+
+    start = time.perf_counter()
+    warm = route_set_for(topo, pairs, mode="ksp", k=8)
+    warm_s = time.perf_counter() - start
+    assert warm is cold  # memo hit
+    assert route_stats()["memo_hits"] == 1
+    speedup = cold_s / max(warm_s, 1e-9)
+    print(f"\ncold {cold_s:.2f}s -> warm {warm_s:.4f}s ({speedup:.0f}x)")
+    assert cold_s < 60.0, f"route precompute too slow: {cold_s:.1f}s"
+    assert speedup >= 20.0, f"warm route set only {speedup:.1f}x faster"
+    append_record(
+        ARTIFACT,
+        "route_precompute_n1000",
+        num_switches=LARGE_N,
+        degree=LARGE_DEGREE,
+        mode="ksp",
+        k=8,
+        pairs=len(pairs),
+        cold_seconds=round(cold_s, 4),
+        warm_seconds=round(warm_s, 6),
+        speedup=round(speedup, 1),
+    )
+
+
+def test_sim_grid_n1000_cold_warm(benchmark, tmp_path):
+    """Both fluid mechanisms solve N=1000 grid cells; warm cache replays
+    them with zero route recomputation."""
+    cache_dir = str(tmp_path / "cache")
+    reset_route_stats()
+    cold = run_once(benchmark, run_grid, LARGE_GRID, workers=1, cache_dir=cache_dir)
+    cold_s = cold.elapsed_s
+    assert cold.cache_hits == 0
+    assert all(cell.throughput > 0 for cell in cold.cells)
+    cold_routes = route_stats()["computed"]
+
+    reset_route_stats()
+    start = time.perf_counter()
+    warm = run_grid(LARGE_GRID, workers=1, cache_dir=cache_dir)
+    warm_s = time.perf_counter() - start
+    assert warm.cache_hits == len(warm.cells)
+    assert route_stats()["computed"] == 0
+    assert [c.throughput for c in warm.cells] == [
+        c.throughput for c in cold.cells
+    ]
+    print(f"\ncold {cold_s:.2f}s ({cold_routes} route sets) -> warm {warm_s:.3f}s")
+    append_record(
+        ARTIFACT,
+        "sim_grid_n1000_cold_warm",
+        num_switches=LARGE_N,
+        degree=LARGE_DEGREE,
+        solvers=["sim_ecmp(paths=8)", "sim_mptcp(subflows=8)"],
+        cells=len(cold.cells),
+        cold_seconds=round(cold_s, 4),
+        warm_seconds=round(warm_s, 4),
+        route_sets_computed=cold_routes,
+    )
+
+
+def test_small_n_sim_under_exact_lp(benchmark):
+    """Differential contract at N=32: sim ≤ exact LP, and cheaper."""
+    topo = random_regular_topology(32, 4, servers_per_switch=2, seed=0)
+    traffic = random_permutation_traffic(topo, seed=1)
+
+    start = time.perf_counter()
+    exact = solve_throughput(topo, traffic, "edge_lp").throughput
+    lp_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ecmp = run_once(benchmark, solve_throughput, topo, traffic, "sim_ecmp", paths=8)
+    ecmp_s = time.perf_counter() - start
+    start = time.perf_counter()
+    mptcp = solve_throughput(topo, traffic, "sim_mptcp", subflows=8)
+    mptcp_s = time.perf_counter() - start
+
+    assert 0 < ecmp.throughput <= exact * (1 + 1e-6)
+    assert 0 < mptcp.throughput <= exact * (1 + 1e-6)
+    print(
+        f"\nedge_lp {lp_s:.2f}s -> sim_ecmp {ecmp_s:.3f}s, "
+        f"sim_mptcp {mptcp_s:.3f}s "
+        f"(ratios {ecmp.throughput / exact:.3f}, {mptcp.throughput / exact:.3f})"
+    )
+    append_record(
+        ARTIFACT,
+        "small_n_sim_under_exact_lp",
+        num_switches=32,
+        degree=4,
+        edge_lp_seconds=round(lp_s, 4),
+        sim_ecmp_seconds=round(ecmp_s, 4),
+        sim_mptcp_seconds=round(mptcp_s, 4),
+        ecmp_ratio=round(ecmp.throughput / exact, 4),
+        mptcp_ratio=round(mptcp.throughput / exact, 4),
+    )

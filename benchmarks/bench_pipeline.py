@@ -21,7 +21,7 @@ import os
 import time
 
 import pytest
-from conftest import run_once
+from conftest import append_record, run_once
 
 from repro.flow.solvers import SolverConfig
 from repro.pipeline.engine import run_grid
@@ -64,6 +64,14 @@ def test_warm_cache_at_least_10x(benchmark, tmp_path):
     speedup = cold_s / warm_s
     print(f"\ncold {cold_s:.2f}s -> warm {warm_s:.3f}s ({speedup:.0f}x)")
     assert speedup >= 10.0, f"warm cache only {speedup:.1f}x faster"
+    append_record(
+        "BENCH_pipeline.json",
+        "warm_cache_speedup",
+        cells=len(warm.cells),
+        cold_seconds=round(cold_s, 4),
+        warm_seconds=round(warm_s, 4),
+        speedup=round(speedup, 1),
+    )
 
 
 @pytest.mark.skipif(
@@ -84,6 +92,15 @@ def test_multi_worker_beats_single(benchmark):
     assert multi_s < single_s, (
         f"{workers}-worker sweep ({multi_s:.2f}s) did not beat "
         f"single-worker ({single_s:.2f}s)"
+    )
+    append_record(
+        "BENCH_pipeline.json",
+        "multi_worker_scaling",
+        cells=len(multi.cells),
+        workers=workers,
+        serial_seconds=round(single_s, 4),
+        parallel_seconds=round(multi_s, 4),
+        speedup=round(single_s / multi_s, 2),
     )
 
 

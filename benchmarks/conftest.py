@@ -11,7 +11,43 @@ Paper-scale parameter sets are available through the CLI:
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
+
+#: Artifact format for the repo-root ``BENCH_*.json`` perf trajectory
+#: (ROADMAP: record timings so re-anchors can see the perf curve).
+BENCH_SCHEMA_VERSION = 1
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under benchmark timing and return its value."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def append_record(artifact: str, benchmark: str, **fields) -> None:
+    """Append one machine-readable timing record to a repo-root artifact.
+
+    The artifact is append-only JSON — ``{"schema_version": 1,
+    "records": [...]}`` — so successive benchmark runs (and future
+    re-anchors) extend the same trajectory instead of overwriting it.
+    """
+    path = REPO_ROOT / artifact
+    if path.exists():
+        payload = json.loads(path.read_text())
+        version = payload.get("schema_version")
+        if version != BENCH_SCHEMA_VERSION:
+            raise ValueError(f"{artifact}: unknown schema_version {version!r}")
+    else:
+        payload = {"schema_version": BENCH_SCHEMA_VERSION, "records": []}
+    payload["records"].append(
+        {
+            "benchmark": benchmark,
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            **fields,
+        }
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

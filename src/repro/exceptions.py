@@ -44,5 +44,14 @@ class SimulationError(ReproError):
     """The packet-level simulator was misconfigured or failed."""
 
 
+class EventLimitError(SimulationError):
+    """The event loop hit its ``max_events`` safety wall.
+
+    Catchable separately from other simulation failures so callers can
+    retry with a larger budget (``SimulationConfig.max_events``) instead
+    of treating the run as malformed.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was given inconsistent parameters."""

@@ -14,7 +14,7 @@ from typing import Callable
 from repro.exceptions import ExperimentError
 from repro.experiments import extra, fig01, fig02, fig03, fig04, fig05, fig06
 from repro.experiments import fig07, fig08, fig09, fig10, fig11, fig12, fig13
-from repro.experiments import growth, resilience, scale, search_study
+from repro.experiments import fidelity, growth, resilience, scale, search_study
 from repro.experiments.common import ExperimentResult
 
 
@@ -303,6 +303,14 @@ _register(
             "rates": (0.0, 0.02, 0.05, 0.1, 0.2, 0.3),
             "runs": 5,
         },
+    )
+)
+_register(
+    ExperimentSpec(
+        "fidelity",
+        fidelity.run_fidelity,
+        "Extension: ECMP/MPTCP routing fidelity vs exact LP, matched equipment",
+        {"k": 6, "runs": 3},
     )
 )
 _register(

@@ -18,6 +18,7 @@ Examples::
     repro-experiments sweep --topologies rrg --topo-param network_degree=8 \\
         --topo-param servers_per_switch=1 --sizes 1000,5000,10000 \\
         --traffics permutation --solvers estimate_bound,estimate_cut
+    repro-experiments fidelity --k 4 --runs 2
     repro-experiments grow --start 64 --target 2048 --stages 5 \\
         --degree 8 --servers-per-switch 4 \\
         --strategies swap,rebuild,fattree_upgrade --seeds 2 \\
@@ -226,6 +227,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress"
+    )
+
+    fidelity = sub.add_parser(
+        "fidelity",
+        help="routing-fidelity study: ECMP/MPTCP vs the exact LP on "
+        "matched equipment, with calibrated-band and route-cache stats",
+    )
+    fidelity.add_argument(
+        "--k", type=int, default=None, help="fat-tree arity / equipment scale"
+    )
+    fidelity.add_argument(
+        "--runs", type=int, default=None, help="replicates per family"
+    )
+    fidelity.add_argument("--seed", type=int, default=None, help="root seed")
+    fidelity.add_argument(
+        "--paper",
+        action="store_true",
+        help="use paper-scale parameters (slower)",
     )
 
     grow = sub.add_parser(
@@ -485,6 +504,29 @@ def _run_grow(args) -> int:
     return 0
 
 
+def _run_fidelity(args) -> int:
+    overrides: dict = {}
+    if args.k is not None:
+        overrides["k"] = args.k
+    if args.runs is not None:
+        overrides["runs"] = args.runs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    scale = "paper" if args.paper else "default"
+    result = run_experiment("fidelity", scale=scale, **overrides)
+    print(result.to_table())
+    stats = result.metadata.get("route_stats", {})
+    print(f"routes computed: {stats.get('computed', 0)}")
+    print(
+        f"route cache hits: {stats.get('memo_hits', 0)} memo, "
+        f"{stats.get('disk_hits', 0)} disk"
+    )
+    checks = result.metadata.get("band_checks", 0)
+    violations = result.metadata.get("band_violations", 0)
+    print(f"band violations: {violations} (of {checks} checks)")
+    return 1 if violations else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -502,6 +544,9 @@ def main(argv: "list[str] | None" = None) -> int:
         analysis = analyze_network(topo, traffic=traffic, seed=args.seed)
         print(analysis.to_text())
         return 0
+
+    if args.command == "fidelity":
+        return _run_fidelity(args)
 
     if args.command == "sweep":
         return _run_sweep(args)

@@ -1,0 +1,56 @@
+"""Routing fidelity: flow-level simulation of real routing mechanisms.
+
+The LP backends answer "what could a perfect routing scheme achieve";
+this package answers "what do ECMP and MPTCP actually deliver on the
+same fabric" — the gap between the two is the paper's §5 story. Three
+layers:
+
+- :mod:`repro.fidelity.routes` — content-cached route-set precomputation
+  (equal-cost DAGs with hash weights, scalable k-shortest-path sets);
+- :mod:`repro.fidelity.fluid` — the vectorized max-min water-filling
+  core shared by the mechanism solvers;
+- :mod:`repro.fidelity.solvers` / :mod:`repro.fidelity.adapter` — the
+  ``sim_ecmp`` / ``sim_mptcp`` fluid mechanisms and the ``sim_packet``
+  seed-simulator adapter, all registered as first-class solvers;
+- :mod:`repro.fidelity.calibrate` — per-(family, mechanism) ratio bands
+  against the exact LP.
+"""
+
+from repro.fidelity.adapter import PACKET_METRICS, sim_packet
+from repro.fidelity.calibrate import DEFAULT_MECHANISMS, calibrate_mechanisms
+from repro.fidelity.fluid import (
+    FluidFlow,
+    FluidOutcome,
+    simulate_fluid,
+    waterfill_rates,
+)
+from repro.fidelity.routes import (
+    ROUTE_SET_KIND,
+    RouteSet,
+    compute_route_set,
+    reset_route_stats,
+    route_set_for,
+    route_set_key,
+    route_stats,
+)
+from repro.fidelity.solvers import sim_ecmp, sim_mptcp
+
+__all__ = [
+    "DEFAULT_MECHANISMS",
+    "FluidFlow",
+    "FluidOutcome",
+    "PACKET_METRICS",
+    "ROUTE_SET_KIND",
+    "RouteSet",
+    "calibrate_mechanisms",
+    "compute_route_set",
+    "reset_route_stats",
+    "route_set_for",
+    "route_set_key",
+    "route_stats",
+    "sim_ecmp",
+    "sim_mptcp",
+    "sim_packet",
+    "simulate_fluid",
+    "waterfill_rates",
+]

@@ -52,12 +52,16 @@ class SolverBackend:
 
     ``exact`` mirrors :attr:`ThroughputResult.exact` for the backend's
     default options: whether it returns the true optimum rather than a
-    lower bound. ``estimate`` marks the scalable estimators of
-    :mod:`repro.estimate`, whose output is neither an optimum nor a
-    guaranteed lower bound and should be read against a calibrated error
-    band — the differential test matrix keys its assertions off these
-    two flags, so future backends are auto-enrolled by registering with
-    the right combination.
+    lower bound. ``estimate`` marks backends whose output is neither an
+    optimum nor a guaranteed lower bound and should be read against a
+    calibrated error band — the differential test matrix keys its
+    assertions off these two flags, so future backends are auto-enrolled
+    by registering with the right combination. ``simulation`` marks the
+    routing-fidelity backends of :mod:`repro.fidelity`, which measure a
+    concrete routing mechanism instead of an optimal routing: their
+    results carry a mechanism gap by design, and the fidelity
+    differential gate additionally checks them against per-family
+    calibrated bands.
     """
 
     name: str
@@ -66,6 +70,7 @@ class SolverBackend:
     exact: bool = True
     aliases: tuple = ()
     estimate: bool = False
+    simulation: bool = False
 
 
 _REGISTRY: dict[str, SolverBackend] = {}
@@ -95,6 +100,7 @@ def register_solver(
     exact: bool = True,
     aliases: "tuple | list" = (),
     estimate: bool = False,
+    simulation: bool = False,
 ) -> SolverBackend:
     """Register a throughput backend under a canonical key.
 
@@ -111,6 +117,7 @@ def register_solver(
         exact=exact,
         aliases=tuple(aliases),
         estimate=estimate,
+        simulation=simulation,
     )
     _REGISTRY[key] = backend
     for alias in backend.aliases:
@@ -277,4 +284,37 @@ register_solver(
     description="exact LP on a scaled demand sample (mid-scale)",
     exact=False,
     estimate=True,
+)
+
+# Routing-fidelity backends live in repro.fidelity and follow the same
+# bottom-import rule as the estimators: they depend on flow.result and
+# flow.reachability but import this module only lazily (fingerprinting),
+# so importing them after every definition keeps the cycle broken.
+from repro.fidelity.adapter import sim_packet  # noqa: E402
+from repro.fidelity.solvers import sim_ecmp, sim_mptcp  # noqa: E402
+
+register_solver(
+    "sim_ecmp",
+    sim_ecmp,
+    description="fluid simulation of hash-split ECMP over k equal-cost paths",
+    exact=False,
+    aliases=("sim-ecmp",),
+    simulation=True,
+)
+register_solver(
+    "sim_mptcp",
+    sim_mptcp,
+    description="fluid simulation of MPTCP with k uncoupled subflows",
+    exact=False,
+    aliases=("sim-mptcp",),
+    simulation=True,
+)
+register_solver(
+    "sim_packet",
+    sim_packet,
+    description="packet-level simulation (TCP dynamics; calibrated estimate)",
+    exact=False,
+    aliases=("sim-packet",),
+    estimate=True,
+    simulation=True,
 )

@@ -6,6 +6,14 @@ config) from :mod:`repro.pipeline.fingerprint`. Each entry stores the full
 :class:`~repro.flow.result.ThroughputResult` (via its ``to_dict`` round
 trip) plus provenance metadata.
 
+Beyond throughput results, the cache stores arbitrary JSON *payloads*
+under kind-tagged entries (:meth:`ResultCache.put_payload`); the
+routing-fidelity subsystem shares precomputed route sets this way, so
+annealing/growth/grid cells never recompute routes for a topology any
+worker has already seen. Payload keys live in their own content-address
+space (the key derivation hashes the kind), so they never collide with
+result keys.
+
 Writes go through a temp file + :func:`os.replace` so concurrent sweep
 workers never observe half-written entries; since keys are content
 addresses, two workers racing on the same key write identical bytes and
@@ -17,6 +25,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
+from contextvars import ContextVar
 from pathlib import Path
 
 from repro.flow.result import ThroughputResult
@@ -106,20 +116,73 @@ class ResultCache:
 
     def put(self, key: str, result: ThroughputResult, meta: "dict | None" = None) -> None:
         """Store ``result`` under ``key`` atomically."""
+        self._write_entry(
+            key,
+            {
+                "schema_version": CACHE_SCHEMA_VERSION,
+                "key": key,
+                "result": result.to_dict(),
+                "meta": meta or {},
+            },
+        )
+
+    def get_payload(self, key: str, kind: str) -> "dict | None":
+        """Return the raw JSON payload stored under ``key``, or ``None``.
+
+        ``kind`` must match what :meth:`put_payload` recorded — a mismatch
+        (or an unreadable entry) counts as a miss and evicts, exactly like
+        :meth:`get` does for result entries.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += 1
+            self._evict(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema_version") != CACHE_SCHEMA_VERSION
+            or entry.get("kind") != kind
+            or not isinstance(entry.get("payload"), dict)
+        ):
+            self.misses += 1
+            self._evict(path)
+            return None
+        self.hits += 1
+        if self.max_entries is not None:
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+        return entry["payload"]
+
+    def put_payload(self, key: str, kind: str, payload: dict) -> None:
+        """Store a JSON-safe ``payload`` under ``key``, tagged with ``kind``."""
+        self._write_entry(
+            key,
+            {
+                "schema_version": CACHE_SCHEMA_VERSION,
+                "key": key,
+                "kind": kind,
+                "payload": payload,
+            },
+        )
+
+    def _write_entry(self, key: str, entry: dict) -> None:
+        """Atomically serialize one entry dict to the key's path."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema_version": CACHE_SCHEMA_VERSION,
-            "key": key,
-            "result": result.to_dict(),
-            "meta": meta or {},
-        }
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+                json.dump(entry, handle)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -181,3 +244,41 @@ def default_cache() -> "ResultCache | None":
     if cache is None:
         cache = _DEFAULT_CACHES[root] = ResultCache(root)
     return cache
+
+
+#: The cache the surrounding pipeline call established, if any. Solvers
+#: that want to share intermediate artifacts (route sets) read it via
+#: :func:`active_cache` — they cannot take a ``cache`` keyword themselves
+#: because solver options enter the result fingerprint.
+_ACTIVE_CACHE: "ContextVar[ResultCache | None]" = ContextVar(
+    "repro_active_cache", default=None
+)
+
+
+@contextmanager
+def cache_context(cache: "ResultCache | None"):
+    """Make ``cache`` the active cache for the duration of a solve.
+
+    The pipeline engine wraps every solver invocation in this context, so
+    a backend running under ``run_grid --cache-dir`` stores its route sets
+    in the same content-addressed store as the results, without the cache
+    ever appearing among the solver's (fingerprinted) options.
+    """
+    token = _ACTIVE_CACHE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE_CACHE.reset(token)
+
+
+def active_cache() -> "ResultCache | None":
+    """The cache of the enclosing :func:`cache_context`, else the default.
+
+    Falls back to the ``REPRO_CACHE_DIR`` process-wide cache so direct
+    solver calls (no pipeline in the stack) still share route sets across
+    invocations when the environment opts in.
+    """
+    cache = _ACTIVE_CACHE.get()
+    if cache is not None:
+        return cache
+    return default_cache()

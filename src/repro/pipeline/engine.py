@@ -29,7 +29,7 @@ from statistics import fmean, pstdev
 from repro.exceptions import ExperimentError
 from repro.flow.result import ThroughputResult
 from repro.flow.solvers import SolverConfig, solve_throughput
-from repro.pipeline.cache import ResultCache, default_cache
+from repro.pipeline.cache import ResultCache, cache_context, default_cache
 from repro.pipeline.fingerprint import (
     result_key,
     solver_fingerprint,
@@ -70,7 +70,11 @@ def cached_solve(
     cached = cache.get(key)
     if cached is not None:
         return cached, True
-    result = config.solve(topo, traffic)
+    # The solve runs with this cache active so backends that precompute
+    # shareable artifacts (the fidelity route sets) store them alongside
+    # the results — a warm re-run then recomputes neither.
+    with cache_context(cache):
+        result = config.solve(topo, traffic)
     cache.put(
         key, result, meta=meta if meta is not None else {"solver": config.to_dict()}
     )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
-from repro.exceptions import SimulationError
+from repro.exceptions import EventLimitError, SimulationError
 
 
 class EventQueue:
@@ -40,7 +40,7 @@ class EventQueue:
         """Process events up to ``end_time``; returns the number processed.
 
         ``max_events`` guards against runaway event storms (raises
-        :class:`SimulationError` when exceeded).
+        :class:`~repro.exceptions.EventLimitError` when exceeded).
         """
         processed = 0
         while self._heap and self._heap[0][0] <= end_time:
@@ -49,7 +49,7 @@ class EventQueue:
             action()
             processed += 1
             if max_events is not None and processed > max_events:
-                raise SimulationError(
+                raise EventLimitError(
                     f"exceeded {max_events} events before t={end_time}"
                 )
         self.now = max(self.now, end_time)

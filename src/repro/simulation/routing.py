@@ -26,6 +26,42 @@ def host_id(server) -> tuple:
     return (HOST, switch, index)
 
 
+#: ECMP samples with replacement from at most this many equal-cost paths.
+ECMP_POOL_LIMIT = 64
+
+
+def route_table_for_traffic(
+    topo: Topology, server_pairs, num_paths: int, mode: str = "k-shortest"
+):
+    """Precompute one route set covering ``server_pairs``' switch pairs.
+
+    Returns ``None`` when every pair is same-switch (nothing to route).
+    The table reproduces :func:`host_paths_for_pair`'s direct computation
+    byte-for-byte — Yen's native path order for ``"k-shortest"``, the
+    ``limit=64`` equal-cost pool for ``"ecmp"`` — it just computes each
+    distinct switch pair once instead of once per flow, and shares the
+    result through the pipeline cache across runs.
+    """
+    from repro.fidelity.routes import route_set_for
+
+    pairs = {
+        (src[0], dst[0])
+        for src, dst in server_pairs
+        if src[0] != dst[0]
+    }
+    if not pairs:
+        return None
+    if mode == "k-shortest":
+        return route_set_for(
+            topo, pairs, mode="ksp", k=num_paths, method="yen"
+        )
+    if mode == "ecmp":
+        return route_set_for(
+            topo, pairs, mode="ecmp", k=ECMP_POOL_LIMIT, method="enum"
+        )
+    raise SimulationError(f"unknown routing mode {mode!r}")
+
+
 def host_paths_for_pair(
     topo: Topology,
     src_server,
@@ -33,6 +69,7 @@ def host_paths_for_pair(
     num_paths: int,
     mode: str = "k-shortest",
     seed=None,
+    route_table=None,
 ) -> list[list]:
     """Host-to-host paths for one server pair.
 
@@ -44,6 +81,12 @@ def host_paths_for_pair(
     mode:
         ``"k-shortest"`` (Yen; the paper's choice) or ``"ecmp"`` (sample
         with replacement among equal-cost shortest paths).
+    route_table:
+        Optional precomputed :class:`~repro.fidelity.routes.RouteSet` from
+        :func:`route_table_for_traffic`. When given, switch paths are read
+        from the table instead of recomputed per flow — identical output,
+        one path computation per distinct switch pair instead of one per
+        flow.
 
     Returns
     -------
@@ -62,10 +105,27 @@ def host_paths_for_pair(
         return [[src, src_switch, dst]]
 
     if mode == "k-shortest":
-        switch_paths = k_shortest_paths(topo, src_switch, dst_switch, num_paths)
+        if route_table is not None:
+            switch_paths = [
+                list(p)
+                for p in route_table.paths_for(src_switch, dst_switch)[:num_paths]
+            ]
+        else:
+            switch_paths = k_shortest_paths(
+                topo, src_switch, dst_switch, num_paths
+            )
     elif mode == "ecmp":
         rng = as_rng(seed)
-        pool = list(all_shortest_paths(topo, src_switch, dst_switch, limit=64))
+        if route_table is not None:
+            pool = [
+                list(p) for p in route_table.paths_for(src_switch, dst_switch)
+            ]
+        else:
+            pool = list(
+                all_shortest_paths(
+                    topo, src_switch, dst_switch, limit=ECMP_POOL_LIMIT
+                )
+            )
         if not pool:
             switch_paths = []
         else:

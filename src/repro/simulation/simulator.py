@@ -15,11 +15,11 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
-from repro.exceptions import SimulationError
+from repro.exceptions import EventLimitError, SimulationError
 from repro.simulation.events import EventQueue
 from repro.simulation.links import LinkQueue
 from repro.simulation.mptcp import MptcpFlow
-from repro.simulation.routing import host_paths_for_pair
+from repro.simulation.routing import host_paths_for_pair, route_table_for_traffic
 from repro.topology.base import Topology
 from repro.traffic.base import TrafficMatrix
 from repro.util.rng import as_rng
@@ -193,6 +193,15 @@ class PacketLevelSimulator:
         rng = as_rng(seed)
         cfg = self.config
 
+        # One route computation per distinct switch pair (cached across
+        # runs via the pipeline's route store), not one per flow.
+        route_table = route_table_for_traffic(
+            self.topo,
+            traffic.server_pairs,
+            num_paths=cfg.subflows,
+            mode=cfg.routing_mode,
+        )
+
         flows: list[MptcpFlow] = []
         for flow_index, (src, dst) in enumerate(traffic.server_pairs):
             paths = host_paths_for_pair(
@@ -202,6 +211,7 @@ class PacketLevelSimulator:
                 num_paths=cfg.subflows,
                 mode=cfg.routing_mode,
                 seed=rng,
+                route_table=route_table,
             )
             flow = MptcpFlow((flow_index, src, dst), coupling=cfg.coupling)
             for path in paths:
@@ -226,7 +236,15 @@ class PacketLevelSimulator:
                 flow.measure_latency = True
 
         self.events.schedule_at(cfg.warmup, take_snapshot)
-        self.events.run_until(cfg.duration, max_events=cfg.max_events)
+        try:
+            self.events.run_until(cfg.duration, max_events=cfg.max_events)
+        except EventLimitError as exc:
+            raise EventLimitError(
+                f"packet simulation of {traffic.name!r} on "
+                f"{self.topo.name!r} {exc}; raise "
+                "SimulationConfig.max_events (or shorten duration / grow "
+                "packet_size) to let the run finish"
+            ) from exc
 
         window = cfg.duration - cfg.warmup
         flow_rates = {

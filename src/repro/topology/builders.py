@@ -86,13 +86,17 @@ class _EdgeSet:
         return self.adjacency.get(u, set())
 
     def as_pairs(self) -> list[tuple]:
-        return [tuple(sorted(edge, key=repr)) for edge in self.edges]
+        # Sorted output: set iteration order depends on PYTHONHASHSEED, and
+        # a seeded construction must yield the same graph in every process
+        # (content-addressed caches key on it).
+        return sorted(
+            (tuple(sorted(edge, key=repr)) for edge in self.edges), key=repr
+        )
 
 
 def _random_edge(edge_set: _EdgeSet, rng: np.random.Generator) -> tuple:
-    pairs = list(edge_set.edges)
-    key = pairs[int(rng.integers(len(pairs)))]
-    u, v = tuple(key)
+    pairs = edge_set.as_pairs()
+    u, v = pairs[int(rng.integers(len(pairs)))]
     return u, v
 
 
@@ -248,7 +252,7 @@ def _rewire_for_progress(
 
     multi = [node for node in nodes if free.get(node, 0) >= 2]
     rng.shuffle(multi)
-    edge_pairs = [tuple(key) for key in edge_set.edges]
+    edge_pairs = edge_set.as_pairs()
     for x in multi:
         taboo = edge_set.neighbors(x)
         order = rng.permutation(len(edge_pairs))
@@ -329,7 +333,7 @@ def random_bipartite_matching(
             edge_set, free_a, free_b = result
             remainder = sum(free_a.values()) + sum(free_b.values())
             if remainder == 0 or allow_remainder:
-                return [tuple(sorted(key, key=repr)) for key in edge_set.edges]
+                return edge_set.as_pairs()
             last_error = GraphConstructionError(
                 f"{remainder} cross stubs could not be placed"
             )
@@ -421,7 +425,7 @@ def _bipartite_rewire(
         return False
     u = next(iter(free_a))
     v = next(iter(free_b))
-    edge_pairs = [tuple(key) for key in edge_set.edges]
+    edge_pairs = edge_set.as_pairs()
     order = rng.permutation(len(edge_pairs))
     for idx in order:
         first, second = edge_pairs[int(idx)]

@@ -1,0 +1,112 @@
+"""Differential gate for the simulation backends: sim <= LP, in band.
+
+Mirrors ``test_differential_solvers``'s auto-enrollment: every backend
+registered with ``simulation=True`` (and not ``estimate=True`` — those
+already face the estimator band assertions) is pulled from the live
+registry, calibrated per family with :func:`calibrate_mechanisms`, and
+asserted to (a) never exceed the exact LP and (b) land inside its
+calibrated mechanism band on fresh instances of the calibration family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimate import within_band
+from repro.fidelity.calibrate import calibrate_mechanisms
+from repro.flow.solvers import available_solvers, get_solver, solve_throughput
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+#: (num_switches, degree, seed) — same family as CALIBRATION_FAMILY.
+INSTANCES = [(8, 4, 11), (10, 4, 12), (12, 4, 13)]
+
+#: Mechanism options under which both the bands and the assertions run.
+MECHANISM_OPTIONS = {
+    "sim_ecmp": {"paths": 8},
+    "sim_mptcp": {"subflows": 8},
+}
+
+CALIBRATION_FAMILY = {
+    "rrg": {
+        "kind": "rrg",
+        "params": {"network_degree": 4, "servers_per_switch": 2},
+        "size_param": "num_switches",
+        "sizes": (8, 12),
+    }
+}
+
+
+def _mechanism_backends() -> list[str]:
+    return [
+        name
+        for name in available_solvers()
+        if get_solver(name).simulation and not get_solver(name).estimate
+    ]
+
+
+def _build(num_switches: int, degree: int, seed: int):
+    topo = random_regular_topology(
+        num_switches, degree, servers_per_switch=2, seed=seed
+    )
+    traffic = random_permutation_traffic(topo, seed=seed + 1)
+    return topo, traffic
+
+
+@pytest.fixture(scope="module")
+def mechanism_bands():
+    mechanisms = {
+        name: MECHANISM_OPTIONS.get(name, {}) for name in _mechanism_backends()
+    }
+    table = calibrate_mechanisms(
+        mechanisms, families=CALIBRATION_FAMILY, replicates=3, base_seed=100
+    )
+    return {name: table.band("rrg", name) for name in mechanisms}
+
+
+@pytest.fixture(scope="module")
+def references():
+    return {
+        coords: solve_throughput(*_build(*coords), "edge_lp").throughput
+        for coords in INSTANCES
+    }
+
+
+@pytest.mark.parametrize("name", _mechanism_backends())
+@pytest.mark.parametrize("coords", INSTANCES)
+def test_mechanism_below_lp_and_in_band(
+    name, coords, references, mechanism_bands
+):
+    topo, traffic = _build(*coords)
+    options = MECHANISM_OPTIONS.get(name, {})
+    result = solve_throughput(topo, traffic, name, **options)
+    exact = references[coords]
+    assert result.throughput <= exact * (1 + 1e-6), (name, coords)
+    assert within_band(result.throughput, exact, mechanism_bands[name]), (
+        name, coords, result.throughput, exact, mechanism_bands[name],
+    )
+
+
+def test_simulation_backends_registered():
+    """Guard: the fidelity mechanisms are live registry members."""
+    assert set(_mechanism_backends()) >= {"sim_ecmp", "sim_mptcp"}
+    simulation_flagged = {
+        name for name in available_solvers() if get_solver(name).simulation
+    }
+    assert "sim_packet" in simulation_flagged
+
+
+def test_calibration_table_round_trips(tmp_path):
+    table = calibrate_mechanisms(
+        {"sim_ecmp": {"paths": 4}},
+        families=CALIBRATION_FAMILY,
+        replicates=2,
+        base_seed=7,
+    )
+    from repro.estimate.calibrate import CalibrationTable
+
+    rebuilt = CalibrationTable.from_dict(table.to_dict())
+    assert rebuilt.band("rrg", "sim_ecmp") == table.band("rrg", "sim_ecmp")
+    record = table.get("rrg", "sim_ecmp")
+    assert record.samples >= 2
+    assert 0 < record.ratio_min <= record.ratio_max <= 1 + 1e-9

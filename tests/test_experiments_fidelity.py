@@ -1,0 +1,64 @@
+"""The fidelity experiment: §5 result, band gate, CLI plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fidelity import run_fidelity
+from repro.experiments.registry import available_experiments, run_experiment
+from repro.experiments.runner import main
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fidelity(k=4, runs=2, seed=0)
+
+
+class TestRunFidelity:
+    def test_reproduces_section5_ordering(self, result):
+        """MPTCP-8 within a few % of the LP on the random graph; ECMP far off."""
+        random_mptcp = result.get_series("MPTCP (Random (matched equipment))")
+        random_ecmp = result.get_series("ECMP (Random (matched equipment))")
+        assert random_mptcp.y_at(8) >= 0.9
+        assert random_ecmp.y_at(8) <= 0.8
+        assert random_mptcp.y_at(8) > random_ecmp.y_at(8)
+
+    def test_mptcp_improves_with_subflows(self, result):
+        for name in (
+            "MPTCP (Random (matched equipment))",
+            "MPTCP (Fat-tree (k=4))",
+        ):
+            ys = result.get_series(name).ys()
+            assert ys[0] <= ys[-1]
+            assert all(y <= 1 + 1e-6 for y in ys)
+
+    def test_band_gate_is_clean(self, result):
+        assert result.metadata["band_checks"] >= 8
+        assert result.metadata["band_violations"] == 0
+        assert result.metadata["calibration"]["records"]
+
+    def test_route_stats_reported(self, result):
+        stats = result.metadata["route_stats"]
+        assert set(stats) == {"computed", "memo_hits", "disk_hits"}
+
+    def test_registered(self):
+        assert "fidelity" in available_experiments()
+        small = run_experiment(
+            "fidelity", k=4, runs=1, path_counts=(2,), subflow_counts=(2,)
+        )
+        assert small.series
+
+
+class TestCli:
+    def test_fidelity_subcommand(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["fidelity", "--k", "4", "--runs", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "routes computed:" in out
+        assert "band violations: 0" in out
+
+    def test_fidelity_listed_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "fidelity" in capsys.readouterr().out

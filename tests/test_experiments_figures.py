@@ -129,8 +129,11 @@ class TestHeterogeneousFigures:
         assert worst_curve_min < 0.8 * best
 
     def test_fig8b_faster_links_help_at_high_cross(self):
-        # Oversubscribed so capacity (not path length) limits throughput.
-        config = TwoTypeConfig(6, 10, 6, 6, 48, label="mixed")
+        # Fabric-limited (not access-limited): with 48 servers both series
+        # saturate on the access links at high cross connectivity and the
+        # line-speed advantage disappears into noise; 36 servers keeps the
+        # bottleneck in the fabric where the fast mesh can matter.
+        config = TwoTypeConfig(6, 10, 6, 6, 36, label="mixed")
         result = run_fig8b(
             config=config,
             high_ports_per_large=2,

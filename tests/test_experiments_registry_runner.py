@@ -23,6 +23,7 @@ EXTRA_IDS = {
     "extra-routing",
     "extra-cabling",
     "extra-latency",
+    "fidelity",
     "resilience",
     "scale",
     "growth",

@@ -1,0 +1,139 @@
+"""Packet-simulator adapter and the routing satellites around it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EventLimitError, FlowError, SimulationError
+from repro.fidelity.adapter import PACKET_METRICS, sim_packet
+from repro.simulation.routing import (
+    ECMP_POOL_LIMIT,
+    host_paths_for_pair,
+    route_table_for_traffic,
+)
+from repro.simulation.simulator import PacketLevelSimulator, SimulationConfig
+from repro.topology.base import Topology
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+from repro.util.rng import as_rng
+
+
+@pytest.fixture(scope="module")
+def instance():
+    topo = random_regular_topology(8, 3, servers_per_switch=2, seed=2)
+    traffic = random_permutation_traffic(topo, seed=3)
+    return topo, traffic
+
+
+FAST = {"duration": 60.0, "warmup": 20.0}
+
+
+class TestSimPacket:
+    def test_estimate_result_shape(self, instance):
+        topo, traffic = instance
+        result = sim_packet(topo, traffic, **FAST)
+        assert result.is_estimate
+        assert not result.exact
+        assert result.solver == "sim-packet-min"
+        assert 0 < result.throughput
+        assert result.arc_flows
+
+    def test_deterministic_across_calls(self, instance):
+        topo, traffic = instance
+        a = sim_packet(topo, traffic, **FAST)
+        b = sim_packet(topo, traffic, **FAST)
+        assert a.throughput == b.throughput
+
+    def test_metric_validation(self, instance):
+        topo, traffic = instance
+        assert set(PACKET_METRICS) == {"min", "mean"}
+        with pytest.raises(FlowError):
+            sim_packet(topo, traffic, metric="median", **FAST)
+
+    def test_requires_server_traffic(self, instance):
+        topo, _ = instance
+        from repro.traffic.base import TrafficMatrix
+
+        switch_only = TrafficMatrix(
+            name="switch-only",
+            demands={(topo.switches[0], topo.switches[1]): 1.0},
+        )
+        with pytest.raises(FlowError):
+            sim_packet(topo, switch_only, **FAST)
+
+    def test_drop_policy_on_split_fabric(self):
+        topo = Topology("split")
+        for name in ("a", "b", "c", "d"):
+            topo.add_switch(name, servers=1)
+        topo.add_link("a", "b")
+        topo.add_link("c", "d")
+        traffic = random_permutation_traffic(topo, seed=1)
+        with pytest.raises(FlowError):
+            sim_packet(topo, traffic, **FAST)
+        result = sim_packet(topo, traffic, unreachable="drop", **FAST)
+        assert result.dropped_pairs
+        assert result.throughput > 0
+
+
+class TestRouteTableSatellite:
+    def test_k_shortest_paths_match_per_flow_computation(self, instance):
+        topo, traffic = instance
+        table = route_table_for_traffic(
+            topo, traffic.server_pairs, num_paths=4, mode="k-shortest"
+        )
+        for src, dst in traffic.server_pairs:
+            if src[0] == dst[0]:
+                continue
+            direct = host_paths_for_pair(topo, src, dst, 4, mode="k-shortest")
+            via_table = host_paths_for_pair(
+                topo, src, dst, 4, mode="k-shortest", route_table=table
+            )
+            assert via_table == direct
+
+    def test_ecmp_sampling_matches_per_flow_computation(self, instance):
+        topo, traffic = instance
+        table = route_table_for_traffic(
+            topo, traffic.server_pairs, num_paths=4, mode="ecmp"
+        )
+        assert table.k == ECMP_POOL_LIMIT
+        for src, dst in traffic.server_pairs:
+            if src[0] == dst[0]:
+                continue
+            direct = host_paths_for_pair(
+                topo, src, dst, 4, mode="ecmp", seed=as_rng(9)
+            )
+            via_table = host_paths_for_pair(
+                topo, src, dst, 4, mode="ecmp", seed=as_rng(9),
+                route_table=table,
+            )
+            assert via_table == direct
+
+    def test_all_local_traffic_returns_none(self):
+        topo = Topology("local")
+        topo.add_switch("a", servers=2)
+        pairs = ((("a", 0), ("a", 1)),)
+        assert route_table_for_traffic(topo, pairs, num_paths=2) is None
+
+    def test_unknown_mode_raises(self, instance):
+        topo, traffic = instance
+        with pytest.raises(SimulationError):
+            route_table_for_traffic(
+                topo, traffic.server_pairs, num_paths=2, mode="valiant"
+            )
+
+
+class TestEventLimit:
+    def test_event_wall_names_the_config_knob(self, instance):
+        topo, traffic = instance
+        sim = PacketLevelSimulator(
+            topo,
+            SimulationConfig(duration=200.0, warmup=10.0, max_events=50),
+        )
+        with pytest.raises(EventLimitError) as excinfo:
+            sim.run(traffic)
+        message = str(excinfo.value)
+        assert "SimulationConfig.max_events" in message
+        assert "50" in message
+
+    def test_event_limit_error_is_simulation_error(self):
+        assert issubclass(EventLimitError, SimulationError)

@@ -1,0 +1,187 @@
+"""Fluid core: water-filling, split balancing, and feasibility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+
+from repro.exceptions import FlowError
+from repro.fidelity.fluid import (
+    FluidFlow,
+    balance_splits,
+    simulate_fluid,
+    waterfill_rates,
+)
+from repro.flow.edge_lp import max_concurrent_flow
+from repro.topology.base import Topology
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+
+def _incidence(rows, cols, num_arcs, num_subflows):
+    return csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(num_arcs, num_subflows)
+    )
+
+
+class TestWaterfill:
+    def test_equal_share_on_one_arc(self):
+        inc = _incidence([0, 0], [0, 1], 1, 2)
+        rates, iterations = waterfill_rates(inc, [1.0])
+        assert rates == pytest.approx([0.5, 0.5])
+        assert iterations >= 1
+
+    def test_weighted_share_follows_speeds(self):
+        inc = _incidence([0, 0], [0, 1], 1, 2)
+        rates, _ = waterfill_rates(inc, [1.0], speeds=[1.0, 3.0])
+        assert rates == pytest.approx([0.25, 0.75])
+
+    def test_max_min_refills_after_freeze(self):
+        # Subflows 0,1 share arc 0 (cap 1); subflow 1 alone uses arc 1
+        # (cap 0.25) and freezes early, leaving more of arc 0 for 0.
+        inc = _incidence([0, 0, 1], [0, 1, 1], 2, 2)
+        rates, _ = waterfill_rates(inc, [1.0, 0.25])
+        assert rates == pytest.approx([0.75, 0.25])
+
+    def test_loads_never_exceed_capacity(self):
+        rng = np.random.default_rng(7)
+        num_arcs, num_subflows = 20, 50
+        rows = rng.integers(num_arcs, size=3 * num_subflows)
+        cols = np.repeat(np.arange(num_subflows), 3)
+        inc = _incidence(list(rows), list(cols), num_arcs, num_subflows)
+        inc.sum_duplicates()
+        caps = rng.uniform(0.5, 2.0, size=num_arcs)
+        rates, _ = waterfill_rates(inc, caps)
+        loads = inc @ rates
+        assert (loads <= caps * (1 + 1e-9) + 1e-9).all()
+        assert (rates >= 0).all()
+        # Max-min: every subflow is blocked by some saturated arc.
+        saturated = loads >= caps - 1e-6
+        blocked = inc.T @ saturated.astype(float)
+        assert (blocked > 0).all()
+
+    def test_rejects_bad_inputs(self):
+        inc = _incidence([0], [0], 1, 1)
+        with pytest.raises(FlowError):
+            waterfill_rates(inc, [0.0])
+        with pytest.raises(FlowError):
+            waterfill_rates(inc, [1.0], speeds=[0.0])
+        empty = _incidence([], [], 1, 2)
+        with pytest.raises(FlowError):
+            waterfill_rates(empty, [1.0])
+
+
+class TestBalanceSplits:
+    def test_shifts_mass_off_congested_arc(self):
+        # Flow 0 has two single-arc paths; flow 1 is pinned to arc 0.
+        # Balancing should move flow 0 mostly onto arc 1.
+        inc = _incidence([0, 1, 0], [0, 1, 2], 2, 3)
+        split = balance_splits(
+            inc, [1.0, 1.0], [0, 0, 1], [1.0, 1.0], rounds=200
+        )
+        assert split[1] > 0.9  # flow 0's share on the empty arc
+        assert split[0] + split[1] == pytest.approx(1.0)
+        assert split[2] == pytest.approx(1.0)  # single-path flow untouched
+
+    def test_zero_rounds_returns_equal_split(self):
+        inc = _incidence([0, 1], [0, 1], 2, 2)
+        split = balance_splits(inc, [1.0, 1.0], [0, 0], [1.0], rounds=0)
+        assert split == pytest.approx([0.5, 0.5])
+
+    def test_more_rounds_never_worse(self):
+        rng = np.random.default_rng(11)
+        num_arcs, num_flows, per_flow = 12, 8, 3
+        rows, cols, sub_flow = [], [], []
+        sub = 0
+        for f in range(num_flows):
+            for _ in range(per_flow):
+                for arc in rng.choice(num_arcs, size=2, replace=False):
+                    rows.append(int(arc))
+                    cols.append(sub)
+                sub_flow.append(f)
+                sub += 1
+        inc = _incidence(rows, cols, num_arcs, sub)
+        caps = rng.uniform(0.5, 1.5, size=num_arcs)
+        weights = np.ones(num_flows)
+
+        def peak(rounds):
+            split = balance_splits(inc, caps, sub_flow, weights, rounds=rounds)
+            return float(((inc @ split) / caps).max())
+
+        assert peak(400) <= peak(50) + 1e-12  # best-so-far is monotone
+
+
+class TestSimulateFluid:
+    def _line_topo(self):
+        topo = Topology("line")
+        for name in ("a", "b", "c"):
+            topo.add_switch(name, servers=1)
+        topo.add_link("a", "b", capacity=1.0)
+        topo.add_link("b", "c", capacity=1.0)
+        return topo
+
+    def test_single_flow_capped_by_nic(self):
+        topo = self._line_topo()
+        flows = [FluidFlow(pair=("a", "c"), weight=1.0, paths=(("a", "b", "c"),))]
+        capped = simulate_fluid(topo, flows, server_capacity=0.5)
+        assert capped.throughput == pytest.approx(0.5)
+        free = simulate_fluid(topo, flows, server_capacity=None)
+        assert free.throughput == pytest.approx(1.0)
+
+    def test_arc_flows_are_feasible(self):
+        topo = self._line_topo()
+        flows = [
+            FluidFlow(pair=("a", "c"), weight=1.0, paths=(("a", "b", "c"),)),
+            FluidFlow(pair=("b", "c"), weight=1.0, paths=(("b", "c"),)),
+        ]
+        outcome = simulate_fluid(topo, flows, server_capacity=None)
+        for arc, load in outcome.arc_flows.items():
+            assert load <= outcome.arc_capacities[arc] * (1 + 1e-9)
+        # Both flows squeeze through (b, c): 0.5 each.
+        assert outcome.throughput == pytest.approx(0.5)
+        assert outcome.flow_rates == pytest.approx([0.5, 0.5])
+
+    def test_never_exceeds_exact_lp(self):
+        topo = random_regular_topology(10, 4, servers_per_switch=2, seed=5)
+        traffic = random_permutation_traffic(topo, seed=6)
+        exact = max_concurrent_flow(topo, traffic).throughput
+        from repro.fidelity.routes import route_set_for
+
+        routes = route_set_for(
+            topo, traffic.demands, mode="ksp", k=4, method="yen"
+        )
+        flows = [
+            FluidFlow(pair=pair, weight=traffic.demands[pair], paths=group)
+            for pair, group in zip(routes.pairs, routes.paths)
+        ]
+        for rounds in (0, 150):
+            outcome = simulate_fluid(
+                topo, flows, server_capacity=None, balance_rounds=rounds
+            )
+            assert 0 < outcome.throughput <= exact * (1 + 1e-6)
+
+    def test_rejects_bad_flows(self):
+        topo = self._line_topo()
+        with pytest.raises(FlowError):
+            simulate_fluid(topo, [])
+        with pytest.raises(FlowError):
+            simulate_fluid(
+                topo,
+                [FluidFlow(pair=("a", "c"), weight=0.0, paths=(("a", "c"),))],
+            )
+        with pytest.raises(FlowError):
+            simulate_fluid(
+                topo, [FluidFlow(pair=("a", "c"), weight=1.0, paths=())]
+            )
+        with pytest.raises(FlowError):
+            simulate_fluid(
+                topo,
+                [FluidFlow(pair=("a", "c"), weight=1.0, paths=(("a", "c"),))],
+            )
+        with pytest.raises(FlowError):
+            simulate_fluid(
+                topo,
+                [FluidFlow(pair=("a", "b"), weight=1.0, paths=(("a", "b"),))],
+                server_capacity=0.0,
+            )

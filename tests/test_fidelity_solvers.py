@@ -1,0 +1,172 @@
+"""Mechanism solvers: registry contract, orderings, drop policy, sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.fidelity.solvers import sim_ecmp, sim_mptcp
+from repro.flow.result import ThroughputResult
+from repro.flow.solvers import (
+    SolverConfig,
+    get_solver,
+    solve_throughput,
+)
+from repro.pipeline.engine import run_grid
+from repro.pipeline.scenario import ScenarioGrid, TopologySpec, TrafficSpec
+from repro.topology.base import Topology
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+
+@pytest.fixture(scope="module")
+def instance():
+    topo = random_regular_topology(12, 4, servers_per_switch=2, seed=0)
+    traffic = random_permutation_traffic(topo, seed=1)
+    return topo, traffic
+
+
+@pytest.fixture(scope="module")
+def exact(instance):
+    return solve_throughput(*instance, "edge_lp").throughput
+
+
+class TestRegistryContract:
+    def test_flags(self):
+        for name in ("sim_ecmp", "sim_mptcp"):
+            backend = get_solver(name)
+            assert backend.simulation
+            assert not backend.exact
+            assert not backend.estimate
+        packet = get_solver("sim_packet")
+        assert packet.simulation and packet.estimate and not packet.exact
+
+    def test_aliases_resolve(self, instance):
+        topo, traffic = instance
+        hyphen = solve_throughput(topo, traffic, "sim-ecmp", paths=2)
+        canonical = solve_throughput(topo, traffic, "sim_ecmp", paths=2)
+        assert hyphen.throughput == canonical.throughput
+
+
+class TestMechanismOrdering:
+    def test_both_below_exact(self, instance, exact):
+        topo, traffic = instance
+        ecmp = sim_ecmp(topo, traffic, paths=8)
+        mptcp = sim_mptcp(topo, traffic, subflows=8, method="yen")
+        assert 0 < ecmp.throughput <= exact * (1 + 1e-6)
+        assert 0 < mptcp.throughput <= exact * (1 + 1e-6)
+
+    def test_mptcp8_beats_ecmp8_and_nears_lp(self, instance, exact):
+        """The §5 ordering on a random graph, at unit scale."""
+        topo, traffic = instance
+        ecmp = sim_ecmp(topo, traffic, paths=8, server_capacity=None)
+        mptcp = sim_mptcp(
+            topo, traffic, subflows=8, method="yen", server_capacity=None
+        )
+        assert mptcp.throughput > ecmp.throughput
+        assert mptcp.throughput >= 0.9 * exact
+        assert ecmp.throughput <= 0.8 * exact
+
+    def test_balanced_coupling_beats_uncoupled(self, instance):
+        topo, traffic = instance
+        balanced = sim_mptcp(topo, traffic, subflows=8, method="yen")
+        uncoupled = sim_mptcp(
+            topo, traffic, subflows=8, method="yen", coupling="uncoupled"
+        )
+        assert balanced.throughput >= uncoupled.throughput - 1e-9
+
+    def test_ecmp_deterministic_and_seed_sensitive(self, instance):
+        topo, traffic = instance
+        a = sim_ecmp(topo, traffic, paths=4)
+        b = sim_ecmp(topo, traffic, paths=4)
+        assert a.throughput == b.throughput
+        seeded = [
+            sim_ecmp(topo, traffic, paths=4, seed=s).throughput
+            for s in range(4)
+        ]
+        assert len(set(seeded)) > 1  # hash draw actually varies
+
+
+class TestResultParity:
+    def test_result_fields(self, instance):
+        topo, traffic = instance
+        result = sim_mptcp(topo, traffic, subflows=4, method="yen")
+        assert result.solver == "sim-mptcp-4"
+        assert result.exact is False
+        assert result.is_estimate is False
+        assert result.total_demand == traffic.total_demand
+        assert result.arc_capacities
+        for arc, load in result.arc_flows.items():
+            assert load <= result.arc_capacities[arc] * (1 + 1e-9)
+
+    def test_serialization_round_trip(self, instance):
+        topo, traffic = instance
+        result = sim_ecmp(topo, traffic, paths=4, error_band=(0.3, 0.8))
+        rebuilt = ThroughputResult.from_dict(result.to_dict())
+        assert rebuilt.throughput == result.throughput
+        assert rebuilt.solver == result.solver
+        assert rebuilt.error_band == pytest.approx((0.3, 0.8))
+
+    def test_validation_errors(self, instance):
+        topo, traffic = instance
+        with pytest.raises((FlowError, ValueError)):
+            sim_ecmp(topo, traffic, paths=0)
+        with pytest.raises(FlowError):
+            sim_mptcp(topo, traffic, coupling="magic")
+        with pytest.raises(FlowError):
+            sim_mptcp(topo, traffic, method="dag")
+
+
+class TestUnreachablePolicy:
+    def _split_topo(self):
+        topo = Topology("split")
+        for name in ("a", "b", "c", "d"):
+            topo.add_switch(name, servers=1)
+        topo.add_link("a", "b")
+        topo.add_link("c", "d")
+        return topo
+
+    def test_error_policy_raises(self):
+        topo = self._split_topo()
+        traffic = random_permutation_traffic(topo, seed=3)
+        for solver in (sim_ecmp, sim_mptcp):
+            with pytest.raises(FlowError):
+                solver(topo, traffic)
+
+    def test_drop_policy_reports_dropped(self):
+        topo = self._split_topo()
+        # A permutation over 4 servers on a split fabric strands demand
+        # with probability 1 - 1/3; seed 1 does.
+        traffic = random_permutation_traffic(topo, seed=1)
+        result = sim_ecmp(topo, traffic, unreachable="drop")
+        assert result.dropped_pairs
+        assert result.dropped_demand > 0
+
+
+class TestPipelineAxis:
+    def test_run_grid_with_sim_solvers(self, tmp_path):
+        grid = ScenarioGrid(
+            name="fidelity-smoke",
+            topologies=(
+                TopologySpec.make(
+                    "rrg", network_degree=4, servers_per_switch=2
+                ),
+            ),
+            traffics=(TrafficSpec.make("permutation"),),
+            solvers=(
+                SolverConfig.make("sim_ecmp", paths=4),
+                SolverConfig.make("sim_mptcp", subflows=4),
+            ),
+            sizes=(16,),
+            seeds=1,
+        )
+        from repro.fidelity.routes import reset_route_stats, route_stats
+
+        cold = run_grid(grid, cache_dir=str(tmp_path))
+        assert all(cell.throughput > 0 for cell in cold.cells)
+        reset_route_stats()
+        warm = run_grid(grid, cache_dir=str(tmp_path))
+        assert all(cell.cache_hit for cell in warm.cells)
+        assert route_stats()["computed"] == 0
+        for a, b in zip(cold.cells, warm.cells):
+            assert a.throughput == b.throughput

@@ -48,11 +48,18 @@ def mixed_traffic():
 
 def test_backends_cover_registry():
     # Estimator backends get the same unreachable-policy coverage in
-    # tests/test_estimate_unreachable.py (including exact-parity checks);
-    # together the two matrices must span the whole registry.
+    # tests/test_estimate_unreachable.py (including exact-parity checks),
+    # and the fidelity simulation backends in tests/test_fidelity_solvers.py
+    # and tests/test_fidelity_adapter.py; together the matrices must span
+    # the whole registry.
     from repro.estimate import ESTIMATOR_BACKENDS
+    from repro.flow.solvers import get_solver
 
-    assert set(BACKENDS) | set(ESTIMATOR_BACKENDS) == set(available_solvers())
+    simulation = {
+        name for name in available_solvers() if get_solver(name).simulation
+    }
+    covered = set(BACKENDS) | set(ESTIMATOR_BACKENDS) | simulation
+    assert covered == set(available_solvers())
 
 
 class TestErrorPolicy:
