@@ -1,0 +1,78 @@
+"""CI perf-regression gate over the ``BENCH_solvers.json`` trajectory.
+
+Run after ``pytest bench_solvers.py`` has appended a fresh record: the
+newest record for each gated benchmark is compared against the best
+(fastest) *committed* record, and the gate fails on a >2x slowdown of
+
+- the warm (incremental-model) anneal at N = 64, and
+- the end-to-end N = 100,000 estimator-ladder cell.
+
+The 2x threshold absorbs shared-runner noise; the in-run ratio asserts
+(warm >= 3x faster than cold) live in ``bench_solvers.py`` itself and
+are machine-independent. Usage::
+
+    python benchmarks/check_perf_gate.py [path/to/BENCH_solvers.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_ARTIFACT = REPO_ROOT / "BENCH_solvers.json"
+
+#: Gated benchmark -> the timing field the gate watches.
+GATES = {
+    "incremental_anneal_n64": "warm_seconds",
+    "estimator_ladder_100k": "total_seconds",
+}
+
+#: Newest record may be at most this many times slower than the fastest
+#: committed record.
+SLOWDOWN_LIMIT = 2.0
+
+
+def check(path: Path = DEFAULT_ARTIFACT) -> "list[str]":
+    """Return a list of gate failures (empty when the gate passes)."""
+    if not path.exists():
+        return [f"{path.name}: artifact missing (run bench_solvers.py first)"]
+    payload = json.loads(path.read_text())
+    failures: list[str] = []
+    for name, fld in GATES.items():
+        records = [r for r in payload.get("records", []) if r.get("benchmark") == name]
+        if not records:
+            failures.append(f"{name}: no records in {path.name}")
+            continue
+        latest = float(records[-1][fld])
+        prior = [float(r[fld]) for r in records[:-1]]
+        if not prior:
+            print(f"{name}: {fld}={latest:.2f}s (first record; baseline set)")
+            continue
+        baseline = min(prior)
+        ratio = latest / baseline
+        print(
+            f"{name}: {fld}={latest:.2f}s vs baseline {baseline:.2f}s "
+            f"({ratio:.2f}x, limit {SLOWDOWN_LIMIT:.1f}x)"
+        )
+        if ratio > SLOWDOWN_LIMIT:
+            failures.append(
+                f"{name}: {fld} regressed {ratio:.2f}x over baseline "
+                f"{baseline:.2f}s (limit {SLOWDOWN_LIMIT:.1f}x)"
+            )
+    return failures
+
+
+def main(argv: "list[str]") -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_ARTIFACT
+    failures = check(path)
+    for failure in failures:
+        print(f"PERF GATE FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("perf gate ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

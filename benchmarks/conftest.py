@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import time
 from pathlib import Path
 
@@ -20,6 +21,22 @@ from pathlib import Path
 #: (ROADMAP: record timings so re-anchors can see the perf curve).
 BENCH_SCHEMA_VERSION = 1
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git_short_sha() -> str:
+    """The repo's HEAD short SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -47,6 +64,7 @@ def append_record(artifact: str, benchmark: str, **fields) -> None:
             "benchmark": benchmark,
             "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "python": platform.python_version(),
+            "git_sha": _git_short_sha(),
             **fields,
         }
     )

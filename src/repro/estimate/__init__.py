@@ -22,6 +22,13 @@ the results. See ``docs/estimation.md`` for the taxonomy and when to
 trust which estimator.
 """
 
+from repro.estimate.batch import (
+    LADDER_SOLVERS,
+    SharedArtifacts,
+    active_artifacts,
+    run_ladder,
+    shared_artifacts,
+)
 from repro.estimate.bound import estimate_bound
 from repro.estimate.cut import estimate_cut
 from repro.estimate.sampled_lp import estimate_sampled_lp
@@ -46,6 +53,11 @@ ESTIMATOR_BACKENDS = (
 
 __all__ = [
     "ESTIMATOR_BACKENDS",
+    "LADDER_SOLVERS",
+    "SharedArtifacts",
+    "active_artifacts",
+    "run_ladder",
+    "shared_artifacts",
     "DEFAULT_FAMILIES",
     "DEFAULT_MARGIN",
     "CalibrationRecord",

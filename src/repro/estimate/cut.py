@@ -83,6 +83,9 @@ def _cut_ratios(
     best = float("inf")
 
     # Fiedler sweep prefixes, evenly spaced (always includes the median).
+    # All prefix masks come out of one stacked rank comparison — node i is
+    # inside prefix p iff its sweep rank is below p — which is the
+    # vectorized identity of the scatter loop (same masks, same ratios).
     order = sparse_fiedler_vector(topo)
     ranked = np.array(
         [index[node] for node, _ in sorted(order.items(), key=lambda kv: kv[1])]
@@ -93,9 +96,10 @@ def _cut_ratios(
             for p in np.linspace(1, n - 1, num=min(num_sweep_cuts, n - 1))
         }
     )
-    for prefix in positions:
-        mask = np.zeros(n, dtype=bool)
-        mask[ranked[:prefix]] = True
+    rank = np.empty(n, dtype=np.int64)
+    rank[ranked] = np.arange(n)
+    sweep_masks = rank[None, :] < np.asarray(positions, dtype=np.int64)[:, None]
+    for mask in sweep_masks:
         best = min(best, ratio(mask))
 
     # Random balanced bipartitions.

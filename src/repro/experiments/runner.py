@@ -228,6 +228,18 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress"
     )
+    sweep.add_argument(
+        "--profile",
+        type=str,
+        nargs="?",
+        const="profile_sweep.json",
+        default=None,
+        metavar="PATH",
+        help="emit a repro.perf JSON span artifact (timer spans + cProfile "
+        "hotspots; cProfile covers this process only — with --workers > 1 "
+        "the solve time lives in the span records) to PATH "
+        "(default: profile_sweep.json)",
+    )
 
     fidelity = sub.add_parser(
         "fidelity",
@@ -340,6 +352,17 @@ def _build_parser() -> argparse.ArgumentParser:
     grow.add_argument(
         "--quiet", action="store_true", help="suppress per-trajectory progress"
     )
+    grow.add_argument(
+        "--profile",
+        type=str,
+        nargs="?",
+        const="profile_grow.json",
+        default=None,
+        metavar="PATH",
+        help="emit a repro.perf JSON span artifact (timer spans + cProfile "
+        "hotspots; cProfile covers this process only) to PATH "
+        "(default: profile_grow.json)",
+    )
     return parser
 
 
@@ -414,93 +437,146 @@ def _grid_from_args(args) -> "object":
     )
 
 
+def _make_profiler(args, label: str):
+    """(profiler, scope) for a ``--profile`` run; inert otherwise."""
+    from contextlib import nullcontext
+
+    if not getattr(args, "profile", None):
+        return None, nullcontext()
+    from repro.perf import Profiler, profiling
+
+    profiler = Profiler(label=label, cprofile=True)
+    return profiler, profiling(profiler)
+
+
 def _run_sweep(args) -> int:
+    from contextlib import nullcontext
+
+    from repro.perf import perf_span
     from repro.pipeline.engine import run_grid
 
-    grid = _grid_from_args(args)
-    total = len(grid)
-    print(f"sweep {grid.name!r}: {total} cells, {args.workers} worker(s)")
+    profiler, scope = _make_profiler(args, "sweep")
+    with scope:
+        with perf_span("grid"):
+            grid = _grid_from_args(args)
+        total = len(grid)
+        print(f"sweep {grid.name!r}: {total} cells, {args.workers} worker(s)")
 
-    def progress(done: int, count: int, cell) -> None:
-        if not args.quiet:
-            hit = " [cached]" if cell.cache_hit else ""
-            print(
-                f"  [{done}/{count}] {cell.scenario.label()}: "
-                f"throughput {cell.throughput:.4f}{hit}"
+        def progress(done: int, count: int, cell) -> None:
+            if profiler is not None:
+                profiler.record(
+                    "cell",
+                    cell.elapsed_s,
+                    scenario=cell.scenario.label(),
+                    cache_hit=cell.cache_hit,
+                )
+            if not args.quiet:
+                hit = " [cached]" if cell.cache_hit else ""
+                print(
+                    f"  [{done}/{count}] {cell.scenario.label()}: "
+                    f"throughput {cell.throughput:.4f}{hit}"
+                )
+
+        profiled = profiler.profiled() if profiler is not None else nullcontext()
+        with perf_span("run", cells=total, workers=args.workers), profiled:
+            sweep = run_grid(
+                grid,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                progress=progress,
             )
-
-    sweep = run_grid(
-        grid,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        progress=progress,
-    )
-    print(sweep.to_table())
-    if args.json:
-        sweep.write_json(args.json)
-        print(f"wrote {args.json}")
-    if args.csv:
-        sweep.write_csv(args.csv)
-        print(f"wrote {args.csv}")
+        print(sweep.to_table())
+        with perf_span("artifacts"):
+            if args.json:
+                sweep.write_json(args.json)
+                print(f"wrote {args.json}")
+            if args.csv:
+                sweep.write_csv(args.csv)
+                print(f"wrote {args.csv}")
+    if profiler is not None:
+        profiler.write_json(args.profile)
+        print(f"wrote profile {args.profile}")
     return 0
 
 
 def _run_grow(args) -> int:
+    from contextlib import nullcontext
+
     from repro.growth.plan import GrowthSchedule
     from repro.growth.trajectory import run_growth_sweep
+    from repro.perf import perf_span
 
-    if args.schedule:
-        with open(args.schedule, "r", encoding="utf-8") as handle:
-            schedule = GrowthSchedule.from_dict(json.load(handle))
-    else:
-        schedule = GrowthSchedule.geometric(
-            args.start,
-            args.target,
-            args.stages,
-            name=args.name,
-            network_degree=args.degree,
-            servers_per_switch=args.servers_per_switch,
+    profiler, scope = _make_profiler(args, "grow")
+    with scope:
+        with perf_span("schedule"):
+            if args.schedule:
+                with open(args.schedule, "r", encoding="utf-8") as handle:
+                    schedule = GrowthSchedule.from_dict(json.load(handle))
+            else:
+                schedule = GrowthSchedule.geometric(
+                    args.start,
+                    args.target,
+                    args.stages,
+                    name=args.name,
+                    network_degree=args.degree,
+                    servers_per_switch=args.servers_per_switch,
+                )
+        strategies = tuple(_split_list(args.strategies))
+        print(
+            f"growth {schedule.name!r}: {len(schedule)} stages to "
+            f"N={schedule.final_switches}, {len(strategies)} strategies x "
+            f"{args.seeds} seed(s), {args.workers} worker(s)"
         )
-    strategies = tuple(_split_list(args.strategies))
-    print(
-        f"growth {schedule.name!r}: {len(schedule)} stages to "
-        f"N={schedule.final_switches}, {len(strategies)} strategies x "
-        f"{args.seeds} seed(s), {args.workers} worker(s)"
-    )
 
-    def progress(done: int, count: int, trajectory) -> None:
-        if not args.quiet:
+        def progress(done: int, count: int, trajectory) -> None:
             final = trajectory.final()
             hits = sum(1 for r in trajectory.records if r.cache_hit)
-            print(
-                f"  [{done}/{count}] {trajectory.strategy} rep"
-                f"{trajectory.replicate}: final throughput "
-                f"{final.throughput:.4f} at N={final.num_switches}, "
-                f"{final.cumulative_links_touched} links touched "
-                f"({hits}/{len(trajectory.records)} cached)"
-            )
+            if profiler is not None:
+                profiler.record(
+                    "trajectory",
+                    sum(r.elapsed_s for r in trajectory.records),
+                    strategy=trajectory.strategy,
+                    replicate=trajectory.replicate,
+                    cache_hits=hits,
+                )
+            if not args.quiet:
+                print(
+                    f"  [{done}/{count}] {trajectory.strategy} rep"
+                    f"{trajectory.replicate}: final throughput "
+                    f"{final.throughput:.4f} at N={final.num_switches}, "
+                    f"{final.cumulative_links_touched} links touched "
+                    f"({hits}/{len(trajectory.records)} cached)"
+                )
 
-    sweep = run_growth_sweep(
-        schedule,
-        strategies,
-        seeds=args.seeds,
-        base_seed=args.base_seed,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        strategy_options={"swap_anneal": {"steps": args.anneal_steps}},
-        traffic=args.traffic,
-        solver=args.solver,
-        exact_limit=args.exact_limit,
-        estimator=args.estimator,
-        progress=progress,
-    )
-    print(sweep.to_table())
-    if args.json:
-        sweep.write_json(args.json)
-        print(f"wrote {args.json}")
-    if args.csv:
-        sweep.write_csv(args.csv)
-        print(f"wrote {args.csv}")
+        profiled = profiler.profiled() if profiler is not None else nullcontext()
+        with perf_span(
+            "run", strategies=len(strategies), workers=args.workers
+        ), profiled:
+            sweep = run_growth_sweep(
+                schedule,
+                strategies,
+                seeds=args.seeds,
+                base_seed=args.base_seed,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                strategy_options={"swap_anneal": {"steps": args.anneal_steps}},
+                traffic=args.traffic,
+                solver=args.solver,
+                exact_limit=args.exact_limit,
+                estimator=args.estimator,
+                progress=progress,
+            )
+        print(sweep.to_table())
+        with perf_span("artifacts"):
+            if args.json:
+                sweep.write_json(args.json)
+                print(f"wrote {args.json}")
+            if args.csv:
+                sweep.write_csv(args.csv)
+                print(f"wrote {args.csv}")
+    if profiler is not None:
+        profiler.write_json(args.profile)
+        print(f"wrote profile {args.profile}")
     return 0
 
 

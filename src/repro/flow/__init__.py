@@ -50,6 +50,11 @@ from repro.flow.path_decomposition import (
     decompose_arc_flows,
     decompose_commodity_flows,
 )
+from repro.flow.incremental import (
+    EdgeLPModel,
+    model_for,
+    model_stats,
+)
 
 __all__ = [
     "ThroughputResult",
@@ -75,4 +80,7 @@ __all__ = [
     "PathFlow",
     "decompose_arc_flows",
     "decompose_commodity_flows",
+    "EdgeLPModel",
+    "model_for",
+    "model_stats",
 ]

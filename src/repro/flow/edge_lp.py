@@ -35,6 +35,7 @@ def max_concurrent_flow(
     aggregate_by_source: bool = True,
     keep_commodity_flows: bool = False,
     unreachable: str = "error",
+    method: str = "highs",
 ) -> ThroughputResult:
     """Solve the exact max concurrent flow problem.
 
@@ -59,6 +60,12 @@ def max_concurrent_flow(
         raises, ``"drop"`` solves over the served demand set and records
         the dropped pairs on the result. See
         :mod:`repro.flow.reachability`.
+    method:
+        HiGHS algorithm passed to :func:`scipy.optimize.linprog`. The
+        default ``"highs"`` (simplex) gives vertex solutions; on large
+        instances ``"highs-ipm"`` (interior point with crossover) solves
+        the same LP several times faster with optima agreeing to machine
+        precision — the hot-path choice of :mod:`repro.flow.incremental`.
 
     Returns
     -------
@@ -94,6 +101,7 @@ def max_concurrent_flow(
         traffic,
         solver_label="edge-lp",
         keep_commodity_flows=keep_commodity_flows,
+        method=method,
     )
     result.dropped_pairs = tuple(dropped)
     result.dropped_demand = dropped_demand
@@ -115,6 +123,7 @@ def _solve(
     traffic: TrafficMatrix,
     solver_label: str,
     keep_commodity_flows: bool = False,
+    method: str = "highs",
 ) -> ThroughputResult:
     nodes = topo.switches
     node_index = {node: i for i, node in enumerate(nodes)}
@@ -136,54 +145,70 @@ def _solve(
 
     # Equality rows: conservation for every commodity at every node except
     # the commodity's source (the source row is implied by the others).
-    eq_rows: list[np.ndarray] = []
-    eq_cols: list[np.ndarray] = []
-    eq_vals: list[np.ndarray] = []
-    row_base = 0
+    # Assembled as one vectorized COO batch over all commodities at once:
+    # node_rows[k, i] maps node i to its conservation row for commodity k
+    # (-1 at the skipped source row).
     num_eq_rows = num_commodities * (num_nodes - 1)
-    for k, (source, dests) in enumerate(commodities):
-        src_idx = node_index[source]
-        # Map node -> conservation row id for this commodity (source skipped).
-        node_rows = np.empty(num_nodes, dtype=np.int64)
-        row = row_base
-        for i in range(num_nodes):
-            if i == src_idx:
-                node_rows[i] = -1
-            else:
-                node_rows[i] = row
-                row += 1
-        col_base = k * num_arcs
-        arc_cols = np.arange(col_base, col_base + num_arcs, dtype=np.int64)
+    src_idx = np.fromiter(
+        (node_index[source] for source, _ in commodities),
+        dtype=np.int64,
+        count=num_commodities,
+    )
+    node_ids = np.arange(num_nodes, dtype=np.int64)
+    row_base = (np.arange(num_commodities, dtype=np.int64) * (num_nodes - 1))[
+        :, None
+    ]
+    node_rows = row_base + node_ids[None, :] - (node_ids[None, :] > src_idx[:, None])
+    node_rows[np.arange(num_commodities), src_idx] = -1
+    arc_cols = (
+        np.arange(num_commodities, dtype=np.int64)[:, None] * num_arcs
+        + np.arange(num_arcs, dtype=np.int64)[None, :]
+    )
 
-        head_rows = node_rows[arc_head]
-        mask = head_rows >= 0
-        eq_rows.append(head_rows[mask])
-        eq_cols.append(arc_cols[mask])
-        eq_vals.append(np.ones(int(mask.sum())))
+    head_rows = node_rows[:, arc_head]
+    head_mask = head_rows >= 0
+    tail_rows = node_rows[:, arc_tail]
+    tail_mask = tail_rows >= 0
 
-        tail_rows = node_rows[arc_tail]
-        mask = tail_rows >= 0
-        eq_rows.append(tail_rows[mask])
-        eq_cols.append(arc_cols[mask])
-        eq_vals.append(-np.ones(int(mask.sum())))
-
-        # Demand terms: inflow - outflow - t * demand(v) = 0 at each dest.
-        dest_rows = np.fromiter(
-            (node_rows[node_index[v]] for v in dests), dtype=np.int64, count=len(dests)
-        )
-        if np.any(dest_rows < 0):
-            raise FlowError(f"commodity {source!r} demands traffic to itself")
-        eq_rows.append(dest_rows)
-        eq_cols.append(np.full(len(dests), t_col, dtype=np.int64))
-        eq_vals.append(
-            -np.fromiter(dests.values(), dtype=np.float64, count=len(dests))
-        )
-        row_base += num_nodes - 1
+    # Demand terms: inflow - outflow - t * demand(v) = 0 at each dest.
+    dest_commodity = np.fromiter(
+        (k for k, (_, dests) in enumerate(commodities) for _ in dests),
+        dtype=np.int64,
+    )
+    dest_nodes = np.fromiter(
+        (node_index[v] for _, dests in commodities for v in dests),
+        dtype=np.int64,
+        count=len(dest_commodity),
+    )
+    dest_units = np.fromiter(
+        (units for _, dests in commodities for units in dests.values()),
+        dtype=np.float64,
+        count=len(dest_commodity),
+    )
+    dest_rows = node_rows[dest_commodity, dest_nodes]
+    if np.any(dest_rows < 0):
+        bad = commodities[int(dest_commodity[int(np.argmin(dest_rows))])][0]
+        raise FlowError(f"commodity {bad!r} demands traffic to itself")
 
     a_eq = sparse.coo_matrix(
         (
-            np.concatenate(eq_vals),
-            (np.concatenate(eq_rows), np.concatenate(eq_cols)),
+            np.concatenate(
+                (
+                    np.ones(int(head_mask.sum())),
+                    -np.ones(int(tail_mask.sum())),
+                    -dest_units,
+                )
+            ),
+            (
+                np.concatenate((head_rows[head_mask], tail_rows[tail_mask], dest_rows)),
+                np.concatenate(
+                    (
+                        arc_cols[head_mask],
+                        arc_cols[tail_mask],
+                        np.full(len(dest_rows), t_col, dtype=np.int64),
+                    )
+                ),
+            ),
         ),
         shape=(num_eq_rows, num_vars),
     ).tocsr()
@@ -208,7 +233,7 @@ def _solve(
         A_eq=a_eq,
         b_eq=b_eq,
         bounds=(0, None),
-        method="highs",
+        method=method,
     )
     if not outcome.success:
         raise SolverError(
@@ -217,21 +242,21 @@ def _solve(
 
     solution = np.asarray(outcome.x)
     throughput = float(solution[t_col])
-    per_commodity = solution[:t_col].reshape(num_commodities, num_arcs)
-    per_arc = per_commodity.sum(axis=0)
-    arc_flows = {
-        (arcs[a][0], arcs[a][1]): float(per_arc[a]) for a in range(num_arcs)
-    }
+    # Per-arc totals come from one vectorized reduction; the O(K x m)
+    # per-commodity dict materialization below runs only when the caller
+    # asked for it (exact path decomposition does, nothing else should).
+    per_arc = solution[:t_col].reshape(num_commodities, num_arcs).sum(axis=0)
+    arc_pairs = [(u, v) for u, v, _ in arcs]
+    arc_flows = dict(zip(arc_pairs, map(float, per_arc)))
     arc_caps = {(u, v): float(cap) for u, v, cap in arcs}
     commodity_flows = None
     if keep_commodity_flows:
+        per_commodity = solution[:t_col].reshape(num_commodities, num_arcs)
         commodity_flows = {}
         for k, (source, _) in enumerate(commodities):
-            flows_k = {
-                (arcs[a][0], arcs[a][1]): float(per_commodity[k, a])
-                for a in range(num_arcs)
-                if per_commodity[k, a] > 1e-12
-            }
+            row = per_commodity[k]
+            nonzero = np.nonzero(row > 1e-12)[0]
+            flows_k = {arc_pairs[a]: float(row[a]) for a in nonzero}
             # Per-pair commodities can repeat a source; merge their flows.
             if source in commodity_flows:
                 merged = commodity_flows[source]

@@ -1,0 +1,394 @@
+"""Reusable max-concurrent-flow LP models for swap-adjacent instances.
+
+:mod:`repro.flow.edge_lp` rebuilds its sparse constraint system on every
+call — the right trade for one-off solves, and exactly the wrong one for
+the annealing and growth inner loops, which solve thousands of instances
+that differ from their predecessor by a single double edge swap.
+
+:class:`EdgeLPModel` assembles the arc-based LP **once** per (topology
+structure, traffic structure) and then mutates it in place per swap:
+
+- Conservation uses the *full-row* formulation — one equality row per
+  (commodity, node), including the source row (redundant but harmless:
+  presolve drops it). With the source row present every arc column has
+  exactly two nonzeros (+1 at its head row, -1 at its tail row), so the
+  CSC arrays have a fixed layout: column ``c = k * num_arcs + j`` owns
+  data/index slots ``[2c, 2c + 2)`` forever. A double edge swap rewires
+  the head or tail of 4 arc slots, which is a vectorized write of
+  ``4 * num_commodities`` row indices — no reallocation, no re-sort.
+- The throughput column (demand terms), the capacity block, bounds and
+  objective never change under degree-preserving swaps: capacities travel
+  with the arc slot exactly as :class:`~repro.topology.mutation.
+  DoubleEdgeSwap` specifies (``(a, d)`` inherits the capacity of
+  ``(a, b)``).
+
+Solves default to ``method="highs-ipm"`` (interior point + crossover),
+which on the anneal-scale instances measured in ``BENCH_solvers.json``
+is ~10x faster than the default simplex with optima agreeing to machine
+precision; the differential test matrix pins mutated-model optima to cold
+:func:`~repro.flow.edge_lp.max_concurrent_flow` solves at 1e-9.
+
+A small fingerprint-keyed memo (:func:`model_for`) mirrors the route-set
+memo of :mod:`repro.fidelity.routes` so pipeline stages sharing a
+(topology, traffic) pair pay one assembly; :func:`model_stats` exposes
+the counters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.exceptions import FlowError, SolverError
+from repro.flow.edge_lp import _aggregate_by_source
+from repro.flow.result import ThroughputResult
+from repro.topology.base import Topology
+from repro.topology.mutation import DoubleEdgeSwap
+from repro.traffic.base import TrafficMatrix
+
+#: Hot-path LP algorithm. Interior point with crossover returns a basic
+#: optimal solution like simplex does, several times faster on the
+#: multi-commodity instances this module exists for.
+DEFAULT_METHOD = "highs-ipm"
+
+#: In-process memo size for :func:`model_for` (a model at N=64/r=8 is a
+#: few MB of index arrays).
+_MEMO_MAX = 4
+
+_MEMO: "OrderedDict[tuple, EdgeLPModel]" = OrderedDict()
+_STATS = {"built": 0, "memo_hits": 0, "solves": 0, "swaps": 0}
+
+
+def model_stats() -> dict:
+    """Counters since the last reset: built / memo_hits / solves / swaps."""
+    return dict(_STATS)
+
+
+def reset_model_stats() -> None:
+    """Zero the counters and drop the in-process model memo."""
+    for key in _STATS:
+        _STATS[key] = 0
+    _MEMO.clear()
+
+
+class EdgeLPModel:
+    """One assembled max-concurrent-flow LP, mutable under edge swaps.
+
+    Parameters
+    ----------
+    topo:
+        Connected network whose structure seeds the model. The model
+        keeps its own arc bookkeeping; later swaps are applied through
+        :meth:`apply_swap`, not by mutating ``topo``.
+    traffic:
+        Demand matrix. Commodities are aggregated by source switch (the
+        proven-equivalent compression of :mod:`repro.flow.edge_lp`).
+    method:
+        :func:`scipy.optimize.linprog` method for :meth:`solve`.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        traffic: TrafficMatrix,
+        method: str = DEFAULT_METHOD,
+    ) -> None:
+        traffic.validate_against(topo.switches)
+        if not traffic.demands:
+            raise FlowError("traffic matrix has no network demands")
+        arcs = topo.arcs()
+        if not arcs:
+            raise FlowError("topology has no links")
+        self.method = method
+        self.name = f"{topo.name}/{traffic.name}"
+        self.num_swaps = 0
+        self.num_solves = 0
+
+        nodes = topo.switches
+        self._node_index = {node: i for i, node in enumerate(nodes)}
+        self._nodes = list(nodes)
+        num_nodes = len(nodes)
+        commodities = _aggregate_by_source(traffic)
+        num_arcs = len(arcs)
+        num_commodities = len(commodities)
+        self._num_nodes = num_nodes
+        self._num_arcs = num_arcs
+        self._num_commodities = num_commodities
+        num_vars = num_commodities * num_arcs + 1
+        self._t_col = num_vars - 1
+
+        # Arc slots: slot j holds directed arc (tail[j], head[j]) with a
+        # capacity that never moves — swaps rewrite endpoints in place.
+        self._arc_tail = np.fromiter(
+            (self._node_index[u] for u, _, _ in arcs),
+            dtype=np.int64,
+            count=num_arcs,
+        )
+        self._arc_head = np.fromiter(
+            (self._node_index[v] for _, v, _ in arcs),
+            dtype=np.int64,
+            count=num_arcs,
+        )
+        self._capacities = np.fromiter(
+            (cap for _, _, cap in arcs), dtype=np.float64, count=num_arcs
+        )
+        self._arc_slot = {
+            (u, v): j for j, (u, v, _) in enumerate(arcs)
+        }
+
+        # Full-row conservation in fixed-layout CSC arrays. Arc column
+        # c = k * num_arcs + j occupies slots [2c, 2c+2): head row (+1)
+        # then tail row (-1). The trailing throughput column carries the
+        # demand terms (-units at dest rows) and +total_demand at each
+        # source row (flow out of the source equals t * its demand).
+        commodity_base = (
+            np.arange(num_commodities, dtype=np.int64) * num_nodes
+        )
+        head_rows = commodity_base[:, None] + self._arc_head[None, :]
+        tail_rows = commodity_base[:, None] + self._arc_tail[None, :]
+        arc_indices = np.empty((num_commodities, num_arcs, 2), dtype=np.int64)
+        arc_indices[:, :, 0] = head_rows
+        arc_indices[:, :, 1] = tail_rows
+        arc_data = np.empty(num_commodities * num_arcs * 2, dtype=np.float64)
+        arc_data[0::2] = 1.0
+        arc_data[1::2] = -1.0
+
+        dest_commodity = np.fromiter(
+            (k for k, (_, dests) in enumerate(commodities) for _ in dests),
+            dtype=np.int64,
+        )
+        dest_nodes = np.fromiter(
+            (self._node_index[v] for _, dests in commodities for v in dests),
+            dtype=np.int64,
+            count=len(dest_commodity),
+        )
+        if np.any(
+            dest_nodes
+            == np.fromiter(
+                (
+                    self._node_index[source]
+                    for source, dests in commodities
+                    for _ in dests
+                ),
+                dtype=np.int64,
+                count=len(dest_commodity),
+            )
+        ):
+            raise FlowError("a commodity demands traffic to itself")
+        dest_units = np.fromiter(
+            (units for _, dests in commodities for units in dests.values()),
+            dtype=np.float64,
+            count=len(dest_commodity),
+        )
+        src_rows = np.fromiter(
+            (
+                k * num_nodes + self._node_index[source]
+                for k, (source, _) in enumerate(commodities)
+            ),
+            dtype=np.int64,
+            count=num_commodities,
+        )
+        src_totals = np.zeros(num_commodities)
+        np.add.at(src_totals, dest_commodity, dest_units)
+        t_rows = np.concatenate(
+            (dest_commodity * num_nodes + dest_nodes, src_rows)
+        )
+        t_vals = np.concatenate((-dest_units, src_totals))
+        t_order = np.argsort(t_rows, kind="stable")
+
+        self._eq_indices = np.concatenate(
+            (arc_indices.reshape(-1), t_rows[t_order])
+        )
+        self._eq_data = np.concatenate((arc_data, t_vals[t_order]))
+        self._eq_indptr = np.empty(num_vars + 1, dtype=np.int64)
+        self._eq_indptr[: num_vars] = np.arange(
+            0, 2 * num_commodities * num_arcs + 1, 2, dtype=np.int64
+        )
+        self._eq_indptr[num_vars] = self._eq_indptr[num_vars - 1] + len(t_rows)
+        self._num_eq_rows = num_commodities * num_nodes
+        self._b_eq = np.zeros(self._num_eq_rows)
+
+        # Capacity block: sum over commodities of flow on arc slot j <=
+        # capacity(j). Column-to-row pattern is layout-only; b_ub moves
+        # with the slots, i.e. never.
+        ub_rows = np.tile(
+            np.arange(num_arcs, dtype=np.int64), num_commodities
+        )
+        ub_cols = np.arange(num_commodities * num_arcs, dtype=np.int64)
+        self._a_ub = sparse.coo_matrix(
+            (
+                np.ones(num_commodities * num_arcs),
+                (ub_rows, ub_cols),
+            ),
+            shape=(num_arcs, num_vars),
+        ).tocsr()
+
+        self._objective = np.zeros(num_vars)
+        self._objective[self._t_col] = -1.0
+        self.total_demand = float(traffic.total_demand)
+        _STATS["built"] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection used by the property tests
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        """(equality rows, variables) of the conservation block."""
+        return (self._num_eq_rows, self._t_col + 1)
+
+    @property
+    def nnz(self) -> int:
+        """Nonzero count of the conservation block (invariant under swaps)."""
+        return len(self._eq_data)
+
+    def arcs(self) -> list:
+        """Current directed arcs ``(u, v, capacity)`` in slot order."""
+        return [
+            (self._nodes[int(t)], self._nodes[int(h)], float(c))
+            for t, h, c in zip(self._arc_tail, self._arc_head, self._capacities)
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply_swap(self, swap: DoubleEdgeSwap) -> None:
+        """Rewire the model for ``swap`` in place (O(num_commodities)).
+
+        Both directed arcs of each swapped link move: ``(a, b)`` becomes
+        ``(a, d)`` (head rewrite), ``(b, a)`` becomes ``(d, a)`` (tail
+        rewrite), and symmetrically for ``(c, d)``. Raises
+        :class:`FlowError` when the swap does not fit the current arc set
+        (missing removed link or already-present added link), leaving the
+        model untouched.
+        """
+        a, b, c, d = swap.a, swap.b, swap.c, swap.d
+        for u, v in swap.removed:
+            if (u, v) not in self._arc_slot:
+                raise FlowError(f"swap removes missing arc ({u!r}, {v!r})")
+        for u, v in swap.added:
+            if (u, v) in self._arc_slot:
+                raise FlowError(f"swap adds existing arc ({u!r}, {v!r})")
+        # (endpoint-kind, old pair, new pair, replacement node)
+        moves = (
+            ("head", (a, b), (a, d), d),
+            ("tail", (b, a), (d, a), d),
+            ("head", (c, d), (c, b), b),
+            ("tail", (d, c), (b, c), b),
+        )
+        num_arcs = self._num_arcs
+        strides = (
+            np.arange(self._num_commodities, dtype=np.int64)
+            * (2 * num_arcs)
+        )
+        commodity_rows = (
+            np.arange(self._num_commodities, dtype=np.int64) * self._num_nodes
+        )
+        for kind, old, new, node in moves:
+            j = self._arc_slot.pop(old)
+            self._arc_slot[new] = j
+            node_idx = self._node_index[node]
+            if kind == "head":
+                self._arc_head[j] = node_idx
+                self._eq_indices[strides + 2 * j] = commodity_rows + node_idx
+            else:
+                self._arc_tail[j] = node_idx
+                self._eq_indices[strides + 2 * j + 1] = (
+                    commodity_rows + node_idx
+                )
+        self.num_swaps += 1
+        _STATS["swaps"] += 1
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self) -> float:
+        """Optimal concurrent throughput of the current instance."""
+        return float(self._solution()[self._t_col])
+
+    def solve_result(self) -> ThroughputResult:
+        """Full :class:`ThroughputResult` for the current instance."""
+        solution = self._solution()
+        throughput = float(solution[self._t_col])
+        per_arc = (
+            solution[: self._t_col]
+            .reshape(self._num_commodities, self._num_arcs)
+            .sum(axis=0)
+        )
+        arc_pairs = [
+            (self._nodes[int(t)], self._nodes[int(h)])
+            for t, h in zip(self._arc_tail, self._arc_head)
+        ]
+        return ThroughputResult(
+            throughput=throughput,
+            arc_flows=dict(zip(arc_pairs, map(float, per_arc))),
+            arc_capacities=dict(zip(arc_pairs, map(float, self._capacities))),
+            total_demand=self.total_demand,
+            solver="edge-lp-incremental",
+            exact=True,
+        )
+
+    def _solution(self) -> np.ndarray:
+        a_eq = sparse.csc_matrix(
+            (self._eq_data, self._eq_indices, self._eq_indptr),
+            shape=(self._num_eq_rows, self._t_col + 1),
+        )
+        outcome = linprog(
+            self._objective,
+            A_ub=self._a_ub,
+            b_ub=self._capacities,
+            A_eq=a_eq,
+            b_eq=self._b_eq,
+            bounds=(0, None),
+            method=self.method,
+        )
+        if not outcome.success:
+            raise SolverError(
+                f"HiGHS ({self.method}) failed on {self.name!r}: "
+                f"{outcome.message}"
+            )
+        self.num_solves += 1
+        _STATS["solves"] += 1
+        return np.asarray(outcome.x)
+
+    def copy(self) -> "EdgeLPModel":
+        """An independent model with the same current instance."""
+        clone = object.__new__(EdgeLPModel)
+        clone.__dict__.update(self.__dict__)
+        for attr in ("_arc_tail", "_arc_head", "_eq_indices"):
+            setattr(clone, attr, getattr(self, attr).copy())
+        clone._arc_slot = dict(self._arc_slot)
+        return clone
+
+
+def model_for(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    method: str = DEFAULT_METHOD,
+    mutable: bool = False,
+) -> EdgeLPModel:
+    """A (memoized) :class:`EdgeLPModel` for this exact instance.
+
+    Keyed by content fingerprints, so repeated pipeline stages touching
+    the same (topology, traffic) pair share one assembly. ``mutable=True``
+    returns a private copy safe to :meth:`~EdgeLPModel.apply_swap` — the
+    memoized original must keep matching its fingerprint key.
+    """
+    from repro.pipeline.fingerprint import (
+        topology_fingerprint,
+        traffic_fingerprint,
+    )
+
+    key = (topology_fingerprint(topo), traffic_fingerprint(traffic), method)
+    model = _MEMO.get(key)
+    if model is None:
+        model = EdgeLPModel(topo, traffic, method=method)
+        _MEMO[key] = model
+        while len(_MEMO) > _MEMO_MAX:
+            _MEMO.popitem(last=False)
+    else:
+        _MEMO.move_to_end(key)
+        _STATS["memo_hits"] += 1
+    return model.copy() if mutable else model

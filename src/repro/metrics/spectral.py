@@ -113,6 +113,14 @@ def expander_mixing_deviation(topo: Topology, side_s: set, side_t: set) -> dict:
 #: avoids shift-invert corner cases on very small graphs.
 SPARSE_SPECTRAL_THRESHOLD = 256
 
+#: Above this switch count the Fiedler solve drops shift-invert ARPACK —
+#: whose sparse LU factorization of the Laplacian costs minutes and
+#: gigabytes by N = 100,000 — for factorization-free Lanczos on the
+#: reflected operator ``c I - L`` (matvec-only; ~50 s at N = 100,000).
+#: Between the thresholds shift-invert stays, byte-for-byte, the solver
+#: it has always been.
+SHIFT_INVERT_LIMIT = 20_000
+
 
 def _sparse_fiedler_pair(
     topo: Topology, weighted: bool = True
@@ -152,18 +160,52 @@ def _sparse_fiedler_pair(
     )
     degrees = np.asarray(adjacency.sum(axis=1)).ravel()
     laplacian = sparse.diags(degrees) - adjacency
-    shift = -1e-2 * max(float(degrees.max()), 1.0)
     # A fixed start vector keeps ARPACK deterministic: without v0 it
     # seeds the Krylov iteration from the *global* numpy RandomState,
     # which would make cut estimates (and their cache entries) vary
     # between otherwise identical runs. A seeded Gaussian draw avoids
     # pathological starts (e.g. exactly the all-ones kernel vector).
     v0 = np.random.default_rng(0xF1ED1E2).standard_normal(len(nodes))
+    if len(nodes) > SHIFT_INVERT_LIMIT:
+        # Gershgorin puts every Laplacian eigenvalue in [0, 2 max-degree],
+        # so ``c I - L`` with c = 2 max-degree is PSD and its two largest
+        # eigenpairs are the kernel (value c) and the Fiedler pair (value
+        # c - lambda_2) — plain Lanczos finds both without factorizing
+        # anything.
+        c = 2.0 * max(float(degrees.max()), 1.0)
+        reflected = (
+            sparse.identity(len(nodes), format="csr", dtype=float) * c
+            - laplacian
+        )
+        eigenvalues, eigenvectors = eigsh(reflected, k=2, which="LA", v0=v0)
+        order = np.argsort(eigenvalues)[::-1]
+        return (
+            c - float(eigenvalues[order[1]]),
+            eigenvectors[:, order[1]],
+            nodes,
+        )
+    shift = -1e-2 * max(float(degrees.max()), 1.0)
     eigenvalues, eigenvectors = eigsh(
         laplacian.tocsc(), k=2, sigma=shift, which="LM", v0=v0
     )
     order = np.argsort(eigenvalues)
     return float(eigenvalues[order[1]]), eigenvectors[:, order[1]], nodes
+
+
+def _fiedler_pair_shared(topo: Topology, weighted: bool):
+    """One Fiedler eigensolve, via the batch artifact memo when active.
+
+    Inside a :func:`repro.estimate.batch.shared_artifacts` scope the
+    eigenpair is computed once per topology and reused by every backend
+    (``cut`` wants the vector, ``spectral`` the value); outside a scope
+    this is a plain call.
+    """
+    from repro.estimate.batch import active_artifacts
+
+    store = active_artifacts()
+    if store is not None:
+        return store.fiedler_pair(topo, weighted=weighted)
+    return _sparse_fiedler_pair(topo, weighted=weighted)
 
 
 def sparse_algebraic_connectivity(topo: Topology, weighted: bool = True) -> float:
@@ -173,13 +215,13 @@ def sparse_algebraic_connectivity(topo: Topology, weighted: bool = True) -> floa
     stays tractable for N = 10,000 networks where the dense O(N^3)
     eigensolve does not.
     """
-    value, _, _ = _sparse_fiedler_pair(topo, weighted=weighted)
+    value, _, _ = _fiedler_pair_shared(topo, weighted=weighted)
     return max(value, 0.0)
 
 
 def sparse_fiedler_vector(topo: Topology, weighted: bool = True) -> dict:
     """Per-node Fiedler-vector entries at scale (cf. :func:`fiedler_vector`)."""
-    _, vector, nodes = _sparse_fiedler_pair(topo, weighted=weighted)
+    _, vector, nodes = _fiedler_pair_shared(topo, weighted=weighted)
     return {node: float(vector[i]) for i, node in enumerate(nodes)}
 
 

@@ -1,0 +1,25 @@
+"""Performance instrumentation for the experiment pipelines.
+
+:mod:`repro.perf.profile` provides the span-timer / cProfile harness
+behind the ``--profile`` flag of ``repro-experiments sweep`` and
+``repro-experiments grow``, and the JSON span-artifact schema the
+benchmark regression gate consumes (see ``docs/performance.md``).
+"""
+
+from repro.perf.profile import (
+    PROFILE_SCHEMA_VERSION,
+    Profiler,
+    Span,
+    active_profiler,
+    perf_span,
+    profiling,
+)
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "Profiler",
+    "Span",
+    "active_profiler",
+    "perf_span",
+    "profiling",
+]

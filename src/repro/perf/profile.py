@@ -1,0 +1,204 @@
+"""Timer spans and cProfile capture behind one JSON artifact.
+
+A :class:`Profiler` collects named wall-clock **spans** (hierarchical via
+a dotted path the nesting maintains automatically) and, optionally, a
+cProfile run of whatever executes inside :meth:`Profiler.profiled`. Both
+serialize into one JSON artifact::
+
+    {
+      "schema_version": 1,
+      "label": "sweep",
+      "total_s": 12.34,
+      "spans": [
+        {"name": "grid", "elapsed_s": 0.01, "meta": {"cells": 64}},
+        {"name": "run", "elapsed_s": 12.1, "meta": {}},
+        {"name": "run.cell", "elapsed_s": 0.19, "meta": {...}},
+        ...
+      ],
+      "hotspots": [
+        {"function": "...linprog", "cumtime_s": 9.8, "calls": 64},
+        ...
+      ]
+    }
+
+The span list preserves completion order; repeated names are distinct
+entries (per-cell spans), and the reader aggregates as it pleases —
+``BENCH_*.json`` records and the CI perf gate only ever read
+``elapsed_s`` sums per name.
+
+Library code adds spans without threading a profiler through every
+signature: :func:`perf_span` consults a :class:`~contextvars.ContextVar`
+(the :func:`repro.pipeline.cache.cache_context` idiom) and is a cheap
+no-op when no :func:`profiling` scope is active — safe in hot loops.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+#: Bump when the artifact layout changes; readers must check it.
+PROFILE_SCHEMA_VERSION = 1
+
+#: Hotspot rows kept from a cProfile capture (by cumulative time).
+HOTSPOT_LIMIT = 25
+
+
+@dataclass
+class Span:
+    """One timed region: dotted ``name``, wall seconds, free-form meta."""
+
+    name: str
+    elapsed_s: float
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "elapsed_s": self.elapsed_s,
+            "meta": self.meta,
+        }
+
+
+class Profiler:
+    """Collects spans (and optionally a cProfile) for one run.
+
+    ``cprofile=True`` arms :meth:`profiled`; it stays inert otherwise so
+    span timing never pays interpreter-tracing overhead by accident.
+    """
+
+    def __init__(self, label: str = "run", cprofile: bool = False) -> None:
+        self.label = label
+        self.spans: "list[Span]" = []
+        self._stack: "list[str]" = []
+        self._start = time.perf_counter()
+        self._cprofile_enabled = bool(cprofile)
+        self._profile: "cProfile.Profile | None" = None
+
+    @contextmanager
+    def span(self, name: str, **meta):
+        """Time a region; nesting prefixes the parent's dotted path."""
+        path = ".".join(self._stack + [name])
+        self._stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            self.spans.append(
+                Span(path, time.perf_counter() - start, dict(meta))
+            )
+
+    def record(self, name: str, elapsed_s: float, **meta) -> None:
+        """Append an externally timed span (current nesting applies)."""
+        path = ".".join(self._stack + [name])
+        self.spans.append(Span(path, float(elapsed_s), dict(meta)))
+
+    @contextmanager
+    def profiled(self):
+        """Run the enclosed block under cProfile (no-op unless armed).
+
+        One capture per profiler: the artifact reports a single hotspot
+        table, so a second ``profiled`` block would silently merge into
+        it — re-entering raises instead.
+        """
+        if not self._cprofile_enabled:
+            yield
+            return
+        if self._profile is not None:
+            raise RuntimeError("profiler already captured a cProfile run")
+        self._profile = cProfile.Profile()
+        self._profile.enable()
+        try:
+            yield
+        finally:
+            self._profile.disable()
+
+    def total_by_name(self) -> "dict[str, float]":
+        """Summed ``elapsed_s`` per span name (the gate's view)."""
+        totals: dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.elapsed_s
+        return totals
+
+    def hotspots(self, limit: int = HOTSPOT_LIMIT) -> "list[dict]":
+        """Top functions by cumulative time from the cProfile capture."""
+        if self._profile is None:
+            return []
+        stats = pstats.Stats(self._profile, stream=io.StringIO())
+        rows = []
+        for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+            filename, lineno, name = func
+            rows.append(
+                {
+                    "function": f"{filename}:{lineno}({name})",
+                    "calls": int(nc),
+                    "tottime_s": float(tt),
+                    "cumtime_s": float(ct),
+                }
+            )
+        rows.sort(key=lambda row: row["cumtime_s"], reverse=True)
+        return rows[:limit]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "label": self.label,
+            "total_s": time.perf_counter() - self._start,
+            "spans": [span.to_dict() for span in self.spans],
+            "totals": self.total_by_name(),
+            "hotspots": self.hotspots(),
+        }
+
+    def write_json(self, path: str) -> None:
+        """Serialize the artifact (spans + totals + hotspots) to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+
+_ACTIVE_PROFILER: "ContextVar[Profiler | None]" = ContextVar(
+    "repro_active_profiler", default=None
+)
+
+
+@contextmanager
+def profiling(profiler: "Profiler | None" = None, label: str = "run",
+              cprofile: bool = False):
+    """Scope a profiler so :func:`perf_span` calls below it record spans.
+
+    Yields the active profiler (a fresh one when none is passed).
+    """
+    active = profiler if profiler is not None else Profiler(
+        label=label, cprofile=cprofile
+    )
+    token = _ACTIVE_PROFILER.set(active)
+    try:
+        yield active
+    finally:
+        _ACTIVE_PROFILER.reset(token)
+
+
+def active_profiler() -> "Profiler | None":
+    """The profiler of the enclosing :func:`profiling` scope, if any."""
+    return _ACTIVE_PROFILER.get()
+
+
+@contextmanager
+def perf_span(name: str, **meta):
+    """Time a region on the active profiler; near-free when none is.
+
+    The disabled path is one ContextVar read — cheap enough for
+    per-solve granularity, though not for per-arc inner loops.
+    """
+    profiler = _ACTIVE_PROFILER.get()
+    if profiler is None:
+        yield
+        return
+    with profiler.span(name, **meta):
+        yield

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
 from pathlib import Path
@@ -34,6 +35,13 @@ from repro.flow.result import ThroughputResult
 #: Bump when the entry payload schema changes; mismatched entries are
 #: treated as misses and rewritten.
 CACHE_SCHEMA_VERSION = 1
+
+#: Per-instance in-process memo size. Annealing and growth inner loops
+#: revisit a handful of hot keys thousands of times; keeping the parsed
+#: entry dicts in memory turns those re-hits from JSON file reads into
+#: dict lookups (mirroring the route-set memo of
+#: :mod:`repro.fidelity.routes`).
+MEMO_MAX_DEFAULT = 256
 
 
 class ResultCache:
@@ -45,25 +53,83 @@ class ResultCache:
     without limit. The default stays unbounded — existing callers see no
     behavior change, and unbounded caches skip the per-hit ``utime`` and
     the per-put directory scan entirely.
+
+    An in-process LRU memo of parsed entries (``memo_size`` keys, 0
+    disables) fronts the disk store: repeated hits on hot keys — the
+    annealing/growth inner-loop pattern — skip the file read *and* the
+    JSON parse. :meth:`stats` reports hits split into memo/disk.
     """
 
     def __init__(
         self,
         root: "str | os.PathLike",
         max_entries: "int | None" = None,
+        memo_size: int = MEMO_MAX_DEFAULT,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(
                 f"max_entries must be >= 1 or None, got {max_entries}"
             )
+        if memo_size < 0:
+            raise ValueError(f"memo_size must be >= 0, got {memo_size}")
         self.root = Path(root)
         self.max_entries = max_entries
+        self.memo_size = memo_size
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.memo_hits = 0
+        self.disk_hits = 0
+        #: key -> (kind or None, parsed entry dict). Keys are content
+        #: addresses, so a memoized parse can never go stale short of a
+        #: delete; this store's own evictions drop the memo entry too,
+        #: and an *external* delete only costs a spurious hit in the
+        #: process that cached it, same as an in-flight read.
+        self._memo: "OrderedDict[str, tuple]" = OrderedDict()
+
+    def stats(self) -> dict:
+        """Counters in :func:`repro.fidelity.routes.route_stats` style.
+
+        ``hits`` is total (memo + disk); ``memo_hits`` never touched the
+        filesystem.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "memo_entries": len(self._memo),
+        }
+
+    def _memo_get(self, key: str, kind: "str | None") -> "dict | None":
+        entry = self._memo.get(key)
+        if entry is None or entry[0] != kind:
+            return None
+        self._memo.move_to_end(key)
+        return entry[1]
+
+    def _memo_put(self, key: str, kind: "str | None", parsed: dict) -> None:
+        if self.memo_size == 0:
+            return
+        self._memo[key] = (kind, parsed)
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.memo_size:
+            self._memo.popitem(last=False)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _touch(self, key: str) -> None:
+        """Refresh disk recency on a memo hit, bounded caches only: LRU
+        eviction ranks by file mtime, and a memo hit must keep its entry
+        hot exactly like a disk hit does."""
+        if self.max_entries is None:
+            return
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
 
     def get(self, key: str) -> "ThroughputResult | None":
         """Return the cached result for ``key``, or ``None`` on a miss.
@@ -74,6 +140,14 @@ class ResultCache:
         the miss and the ``put`` would otherwise leave the stale file to
         be re-parsed (and re-missed) on every future read.
         """
+        memoized = self._memo_get(key, None)
+        if memoized is not None:
+            self.hits += 1
+            self.memo_hits += 1
+            self._touch(key)
+            # from_dict builds fresh containers, so callers can mutate
+            # their result without corrupting the memoized parse.
+            return ThroughputResult.from_dict(memoized)
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -96,6 +170,8 @@ class ResultCache:
             self._evict(path)
             return None
         self.hits += 1
+        self.disk_hits += 1
+        self._memo_put(key, None, payload["result"])
         if self.max_entries is not None:
             # Refresh recency so hot entries survive LRU eviction.
             try:
@@ -104,11 +180,12 @@ class ResultCache:
                 pass
         return result
 
-    @staticmethod
-    def _evict(path: Path) -> None:
+    def _evict(self, path: Path) -> None:
         """Best-effort removal of a stale entry (races with writers are
         benign: content-addressed keys make any concurrent rewrite
-        equivalent)."""
+        equivalent). The memo entry goes with it — an evicted key must
+        read as a miss, exactly like the memo-less store."""
+        self._memo.pop(path.stem, None)
         try:
             path.unlink()
         except OSError:
@@ -116,23 +193,33 @@ class ResultCache:
 
     def put(self, key: str, result: ThroughputResult, meta: "dict | None" = None) -> None:
         """Store ``result`` under ``key`` atomically."""
+        payload = result.to_dict()
         self._write_entry(
             key,
             {
                 "schema_version": CACHE_SCHEMA_VERSION,
                 "key": key,
-                "result": result.to_dict(),
+                "result": payload,
                 "meta": meta or {},
             },
         )
+        self._memo_put(key, None, payload)
 
     def get_payload(self, key: str, kind: str) -> "dict | None":
         """Return the raw JSON payload stored under ``key``, or ``None``.
 
         ``kind`` must match what :meth:`put_payload` recorded — a mismatch
         (or an unreadable entry) counts as a miss and evicts, exactly like
-        :meth:`get` does for result entries.
+        :meth:`get` does for result entries. Memoized payload dicts are
+        returned as-is; callers treat them as immutable (they are parsed,
+        not mutated, throughout the repo).
         """
+        memoized = self._memo_get(key, kind)
+        if memoized is not None:
+            self.hits += 1
+            self.memo_hits += 1
+            self._touch(key)
+            return memoized
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -154,6 +241,8 @@ class ResultCache:
             self._evict(path)
             return None
         self.hits += 1
+        self.disk_hits += 1
+        self._memo_put(key, kind, entry["payload"])
         if self.max_entries is not None:
             try:
                 os.utime(path)
@@ -172,6 +261,7 @@ class ResultCache:
                 "payload": payload,
             },
         )
+        self._memo_put(key, kind, payload)
 
     def _write_entry(self, key: str, entry: dict) -> None:
         """Atomically serialize one entry dict to the key's path."""

@@ -252,6 +252,165 @@ def _evaluate_cell_task(args: "tuple[Scenario, str | None]") -> CellResult:
     return evaluate_cell(scenario, cache=cache)
 
 
+def _instance_key(scenario: Scenario) -> tuple:
+    """Cells with equal keys build byte-identical intact (topo, traffic).
+
+    The grid derives one content-hashed seed per (topology, traffic,
+    size, replicate) combination — the solver and failure axes are
+    deliberately excluded so their columns stay paired — which makes this
+    exactly the granularity at which construction work can be shared.
+    """
+    return (
+        scenario.seed,
+        scenario.topology,
+        scenario.traffic,
+        scenario.size,
+        scenario.size_param,
+        scenario.replicate,
+    )
+
+
+def group_cells(cells: "list[Scenario]") -> "list[list[tuple[int, Scenario]]]":
+    """Partition cells into shared-instance batches, keeping grid indices.
+
+    Batches preserve first-appearance order; within a batch, cells keep
+    grid order. :func:`ScenarioGrid.cells` enumerates the failure and
+    solver axes innermost, so batches are contiguous runs of the grid —
+    flattening batch results reproduces grid order exactly.
+    """
+    groups: "dict[tuple, list]" = {}
+    for index, scenario in enumerate(cells):
+        groups.setdefault(_instance_key(scenario), []).append((index, scenario))
+    return list(groups.values())
+
+
+def evaluate_batch(
+    scenarios: "list[Scenario]", cache: "ResultCache | None" = None
+) -> "list[CellResult]":
+    """Solve a shared-instance batch of cells, building the instance once.
+
+    All scenarios must share an instance key (equal seeds and topology /
+    traffic / size coordinates — :func:`group_cells` produces such
+    batches). The intact topology and workload are built once; each
+    distinct failure spec degrades (and fingerprints) its topology once;
+    every solve runs inside one
+    :func:`repro.estimate.batch.shared_artifacts` scope, so estimator
+    columns share the CSR adjacency and the Fiedler eigensolve.
+
+    Results carry exactly the fields :func:`evaluate_cell` would produce
+    — same keys, fingerprints, and solved numbers — except ``elapsed_s``,
+    which amortizes the shared construction equally across the batch's
+    cells on top of each cell's own solve time.
+    """
+    from repro.estimate.batch import shared_artifacts
+    from repro.resilience import apply_failures, failure_seed
+
+    if not scenarios:
+        return []
+    first = scenarios[0]
+    key0 = _instance_key(first)
+    for scenario in scenarios[1:]:
+        if _instance_key(scenario) != key0:
+            raise ExperimentError(
+                "evaluate_batch needs cells sharing one sampled instance; "
+                f"{scenario.label()!r} differs from {first.label()!r}"
+            )
+    shared_start = time.perf_counter()
+    topo_ss, traffic_ss = first.instance_seeds()
+    intact = first.topology.build(
+        seed=topo_ss, size=first.size, size_param=first.size_param
+    )
+    traffic = first.traffic.build(intact, seed=traffic_ss)
+    traffic_fp = traffic_fingerprint(traffic)
+    # One degraded topology + fingerprint per distinct failure column
+    # (None = intact). FailureSpec is frozen/hashable, like the specs.
+    instances: dict = {}
+    for scenario in scenarios:
+        failure = scenario.failure
+        if failure is not None and failure.is_null():
+            failure = None
+        if failure in instances:
+            continue
+        if failure is None:
+            topo = intact
+        else:
+            topo = apply_failures(
+                intact, failure, seed=failure_seed(first.seed, failure)
+            )
+        instances[failure] = (topo, topology_fingerprint(topo))
+    shared_share = (time.perf_counter() - shared_start) / len(scenarios)
+
+    results: "list[CellResult]" = []
+    with shared_artifacts():
+        for scenario in scenarios:
+            start = time.perf_counter()
+            failure = scenario.failure
+            if failure is not None and failure.is_null():
+                failure = None
+            topo, topo_fp = instances[failure]
+            solver_config = scenario.effective_solver()
+            key = result_key(
+                topo_fp, traffic_fp, solver_fingerprint(solver_config)
+            )
+            result, cache_hit = cached_solve(
+                topo,
+                traffic,
+                solver_config,
+                cache,
+                key=key,
+                meta={"scenario": scenario.to_dict()},
+            )
+            utilization = (
+                result.utilization if result.total_capacity > 0 else 0.0
+            )
+            results.append(
+                CellResult(
+                    scenario=scenario,
+                    throughput=result.throughput,
+                    engine=result.solver,
+                    exact=result.exact,
+                    total_demand=result.total_demand,
+                    utilization=utilization,
+                    num_switches=topo.num_switches,
+                    num_servers=topo.num_servers,
+                    key=key,
+                    topology_fp=topo_fp,
+                    traffic_fp=traffic_fp,
+                    cache_hit=cache_hit,
+                    elapsed_s=shared_share + time.perf_counter() - start,
+                    dropped_pairs=result.num_dropped_pairs,
+                    dropped_demand=result.dropped_demand,
+                    is_estimate=result.is_estimate,
+                    error_lo=(
+                        result.error_band[0]
+                        if result.error_band is not None
+                        else None
+                    ),
+                    error_hi=(
+                        result.error_band[1]
+                        if result.error_band is not None
+                        else None
+                    ),
+                )
+            )
+    return results
+
+
+def _evaluate_batch_task(
+    args: "tuple[list[Scenario], str | None]",
+) -> "list[CellResult]":
+    """Module-level batch worker entry (picklable for process pools).
+
+    Shipping whole batches (instead of cells) to workers is what lets
+    construction sharing survive process boundaries: a worker holds the
+    batch's instance, artifact memo, and in-process cache memo for every
+    cell it solves.
+    """
+    scenarios, cache_dir = args
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return evaluate_batch(scenarios, cache=cache)
+
+
 @dataclass
 class SweepResult:
     """All cell results of one grid execution, plus run provenance."""
@@ -366,35 +525,66 @@ def run_grid(
     workers: int = 1,
     cache_dir: "str | None" = None,
     progress=None,
+    batch: bool = True,
 ) -> SweepResult:
     """Execute every cell of ``grid``; return the collected results.
 
-    ``workers > 1`` fans cells out over a process pool (cells are
+    ``workers > 1`` fans work out over a process pool (cells are
     independent; results come back in grid order). ``cache_dir`` enables
     the shared content-addressed result cache. ``progress`` is an optional
     ``callable(done, total, cell_result)`` invoked as cells finish.
+
+    ``batch`` (default) groups cells that share a sampled instance —
+    same topology build, same workload; the grid's solver and failure
+    columns — and executes each group together
+    (:func:`evaluate_batch`): the instance is built and fingerprinted
+    once, estimator columns share their eigensolves and adjacency, and
+    under ``workers > 1`` whole groups ship to one worker so the sharing
+    survives process boundaries. Solved numbers are identical either
+    way; ``batch=False`` forces the one-cell-at-a-time reference path.
     """
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
     cells = grid.cells()
     start = time.perf_counter()
-    results: list[CellResult] = []
-    if workers == 1:
+    results: "list[CellResult | None]" = [None] * len(cells)
+    done = 0
+
+    def record(index: int, cell_result: CellResult) -> None:
+        nonlocal done
+        results[index] = cell_result
+        done += 1
+        if progress is not None:
+            progress(done, len(cells), cell_result)
+
+    if batch:
+        groups = group_cells(cells)
+        if workers == 1:
+            cache = ResultCache(cache_dir) if cache_dir else None
+            for group in groups:
+                for (index, _), cell_result in zip(
+                    group, evaluate_batch([s for _, s in group], cache=cache)
+                ):
+                    record(index, cell_result)
+        else:
+            tasks = [([s for _, s in group], cache_dir) for group in groups]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for group, batch_results in zip(
+                    groups, pool.map(_evaluate_batch_task, tasks)
+                ):
+                    for (index, _), cell_result in zip(group, batch_results):
+                        record(index, cell_result)
+    elif workers == 1:
         cache = ResultCache(cache_dir) if cache_dir else None
         for index, scenario in enumerate(cells):
-            cell_result = evaluate_cell(scenario, cache=cache)
-            results.append(cell_result)
-            if progress is not None:
-                progress(index + 1, len(cells), cell_result)
+            record(index, evaluate_cell(scenario, cache=cache))
     else:
         tasks = [(scenario, cache_dir) for scenario in cells]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             for index, cell_result in enumerate(
                 pool.map(_evaluate_cell_task, tasks)
             ):
-                results.append(cell_result)
-                if progress is not None:
-                    progress(index + 1, len(cells), cell_result)
+                record(index, cell_result)
     return SweepResult(
         grid=grid,
         cells=results,

@@ -30,6 +30,73 @@ from repro.util.rng import as_rng
 _STALL_LIMIT = 64
 
 
+class _AliveIndex:
+    """Fenwick-indexed view of the free-node dict for O(log n) sampling.
+
+    The fill loop draws ``nodes[rng.integers(len(nodes))]`` where ``nodes``
+    is ``list(free)`` — the initial node order minus exhausted nodes.
+    Materializing that list per placed edge is the O(N) factor that made
+    N = 100,000 builds take minutes. This index answers ``select(i)`` ("the
+    i-th node of ``list(free)``") in O(log n) instead, and because it
+    preserves that exact ordering the RNG draws — and therefore the sampled
+    graph — are byte-identical to the list-based fill (the builder goldens
+    pin this).
+    """
+
+    __slots__ = ("_order", "_pos", "_tree", "_size", "count")
+
+    def __init__(self, nodes) -> None:
+        self._order = list(nodes)
+        self._pos = {node: i for i, node in enumerate(self._order)}
+        self._size = len(self._order)
+        self.count = self._size
+        tree = [0] * (self._size + 1)
+        for i in range(1, self._size + 1):
+            tree[i] += 1
+            parent = i + (i & -i)
+            if parent <= self._size:
+                tree[parent] += tree[i]
+        self._tree = tree
+
+    def remove(self, node) -> None:
+        i = self._pos[node] + 1
+        tree = self._tree
+        while i <= self._size:
+            tree[i] -= 1
+            i += i & -i
+        self.count -= 1
+
+    def select(self, k: int):
+        """The node at position ``k`` of ``list(free)`` (0-based)."""
+        remaining = k + 1
+        idx = 0
+        bit = 1 << (self._size.bit_length() - 1) if self._size else 0
+        tree = self._tree
+        while bit:
+            probe = idx + bit
+            if probe <= self._size and tree[probe] < remaining:
+                idx = probe
+                remaining -= tree[probe]
+            bit >>= 1
+        return self._order[idx]
+
+
+class _FreeDict(dict):
+    """Free-port budgets with a live Fenwick index over the key order.
+
+    Keys are only ever *removed* after construction (a budget reaching 0
+    deletes its entry), so the index never needs insertion support.
+    """
+
+    def __init__(self, items) -> None:
+        super().__init__(items)
+        self.alive = _AliveIndex(self)
+
+    def __delitem__(self, node) -> None:
+        super().__delitem__(node)
+        self.alive.remove(node)
+
+
 def is_graphical(degrees: Sequence[int]) -> bool:
     """Erdős–Gallai test: can ``degrees`` be realized by a simple graph?
 
@@ -177,18 +244,25 @@ def _fill_random_graph(
 ) -> tuple[_EdgeSet, dict]:
     """One attempt of the incremental random fill; returns edges + leftovers."""
     edge_set = _EdgeSet()
-    free = {node: budget for node, budget in degrees.items() if budget > 0}
+    free = _FreeDict(
+        (node, budget) for node, budget in degrees.items() if budget > 0
+    )
+    alive = free.alive
     stalls = 0
     while True:
-        nodes = [node for node, budget in free.items() if budget > 0]
-        if len(nodes) < 2:
+        # ``alive`` mirrors list(free) — entries are deleted the moment a
+        # budget hits 0, so every key is a free node. The slow paths below
+        # (scan, rewire) materialize the actual list; the hot draw never
+        # does.
+        if alive.count < 2:
             # All remaining stubs sit on one node (or none); only a rewiring
             # move can still make progress.
+            nodes = list(free)
             if not nodes or not _rewire_for_progress(edge_set, free, rng, nodes):
                 break
             continue
-        pick = rng.integers(len(nodes), size=2)
-        u, v = nodes[int(pick[0])], nodes[int(pick[1])]
+        pick = rng.integers(alive.count, size=2)
+        u, v = alive.select(int(pick[0])), alive.select(int(pick[1]))
         if u != v and not edge_set.has(u, v):
             _consume(edge_set, free, u, v)
             stalls = 0
@@ -197,11 +271,12 @@ def _fill_random_graph(
         if stalls < _STALL_LIMIT:
             continue
         stalls = 0
+        nodes = list(free)
         if _connect_any_free_pair(edge_set, free, rng, nodes):
             continue
         if not _rewire_for_progress(edge_set, free, rng, nodes):
             break
-    return edge_set, {node: budget for node, budget in free.items() if budget > 0}
+    return edge_set, dict(free)
 
 
 def _consume(edge_set: _EdgeSet, free: dict, u, v) -> None:

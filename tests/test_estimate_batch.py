@@ -1,0 +1,197 @@
+"""Shared-artifact batching, the estimator ladder, and source sampling.
+
+Pins the core batching contract: results computed inside a
+:func:`shared_artifacts` scope are **identical** to solo runs (a memo
+hit returns the same arrays the direct computation produces), while the
+expensive per-instance artifacts (Fiedler eigensolve, CSR adjacency)
+are paid once. Also covers the Horvitz-Thompson source sampling of
+``demand_hop_sum``/``estimate_bound`` and the factorization-free
+Fiedler path above :data:`SHIFT_INVERT_LIMIT`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.metrics.spectral as spectral_mod
+from repro.exceptions import FlowError
+from repro.estimate.batch import (
+    LADDER_SOLVERS,
+    SharedArtifacts,
+    active_artifacts,
+    run_ladder,
+    shared_artifacts,
+)
+from repro.estimate.bound import estimate_bound
+from repro.estimate.cut import estimate_cut
+from repro.estimate.spectral import estimate_spectral
+from repro.metrics.paths import demand_hop_sum
+from repro.metrics.spectral import sparse_algebraic_connectivity
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.permutation import random_permutation_traffic
+
+#: Big enough for the sparse (ARPACK) Fiedler path, small enough for CI.
+SPARSE_N = 400
+
+
+@pytest.fixture(scope="module")
+def instance():
+    topo = random_regular_topology(
+        SPARSE_N, 6, servers_per_switch=1, seed=0
+    )
+    return topo, random_permutation_traffic(topo, seed=1)
+
+
+class TestSharedArtifacts:
+    def test_fiedler_memoized_once(self, instance):
+        topo, _ = instance
+        store = SharedArtifacts()
+        first = store.fiedler_pair(topo)
+        again = store.fiedler_pair(topo)
+        assert again is first
+        assert store.stats["fiedler_solves"] == 1
+        assert store.stats["fiedler_hits"] == 1
+
+    def test_weighted_flag_is_part_of_the_key(self, instance):
+        topo, _ = instance
+        store = SharedArtifacts()
+        store.fiedler_pair(topo, weighted=True)
+        store.fiedler_pair(topo, weighted=False)
+        assert store.stats["fiedler_solves"] == 2
+
+    def test_csr_memoized_once(self, instance):
+        topo, _ = instance
+        store = SharedArtifacts()
+        first = store.csr_adjacency(topo)
+        assert store.csr_adjacency(topo) is first
+        assert store.stats == {
+            "fiedler_solves": 0,
+            "fiedler_hits": 0,
+            "csr_builds": 1,
+            "csr_hits": 1,
+        }
+
+    def test_scope_activates_and_restores(self):
+        assert active_artifacts() is None
+        with shared_artifacts() as store:
+            assert active_artifacts() is store
+        assert active_artifacts() is None
+
+    def test_distinct_topologies_get_distinct_entries(self, instance):
+        topo, _ = instance
+        other = topo.copy()
+        store = SharedArtifacts()
+        store.fiedler_pair(topo)
+        store.fiedler_pair(other)
+        assert store.stats["fiedler_solves"] == 2
+
+
+class TestBatchedEqualsSolo:
+    def test_ladder_matches_solo_backends(self, instance):
+        topo, traffic = instance
+        solo = {
+            "bound": estimate_bound(topo, traffic),
+            "cut": estimate_cut(topo, traffic),
+            "spectral": estimate_spectral(topo, traffic),
+        }
+        batched = run_ladder(topo, traffic)
+        for name in LADDER_SOLVERS:
+            assert batched[name].throughput == solo[name].throughput, name
+            assert batched[name].to_dict() == solo[name].to_dict(), name
+
+    def test_ladder_shares_one_eigensolve(self, instance):
+        topo, traffic = instance
+        store = SharedArtifacts()
+        run_ladder(topo, traffic, store=store)
+        assert store.stats["fiedler_solves"] == 1
+        assert store.stats["fiedler_hits"] >= 1
+
+    def test_store_carries_across_calls(self, instance):
+        topo, traffic = instance
+        store = SharedArtifacts()
+        for name in LADDER_SOLVERS:
+            run_ladder(topo, traffic, solvers=(name,), store=store)
+        assert store.stats["fiedler_solves"] == 1
+
+    def test_unknown_solver_rejected(self, instance):
+        topo, traffic = instance
+        with pytest.raises(FlowError, match="unknown ladder solver"):
+            run_ladder(topo, traffic, solvers=("bound", "exact_lp"))
+
+    def test_options_reach_the_backend(self, instance):
+        topo, traffic = instance
+        sampled = run_ladder(
+            topo,
+            traffic,
+            solvers=("bound",),
+            options={"bound": {"max_sources": 32}},
+        )["bound"]
+        exact = estimate_bound(topo, traffic)
+        assert sampled.throughput != exact.throughput
+        assert sampled.throughput == pytest.approx(
+            exact.throughput, rel=0.15
+        )
+
+    def test_shared_connectivity_matches_direct(self, instance):
+        topo, _ = instance
+        direct = sparse_algebraic_connectivity(topo)
+        with shared_artifacts():
+            shared = sparse_algebraic_connectivity(topo)
+        assert shared == direct
+
+
+class TestSourceSampling:
+    def test_full_sample_is_exact(self, instance):
+        topo, traffic = instance
+        exact = demand_hop_sum(topo, traffic)
+        assert demand_hop_sum(
+            topo, traffic, max_sources=10 ** 6
+        ) == exact
+
+    def test_sampling_is_deterministic_and_unbiased_ish(self, instance):
+        topo, traffic = instance
+        exact = demand_hop_sum(topo, traffic)
+        once = demand_hop_sum(topo, traffic, max_sources=100, seed=3)
+        again = demand_hop_sum(topo, traffic, max_sources=100, seed=3)
+        assert once == again
+        assert once == pytest.approx(exact, rel=0.10)
+        other = demand_hop_sum(topo, traffic, max_sources=100, seed=4)
+        assert other != once
+
+    def test_invalid_max_sources_rejected(self, instance):
+        topo, traffic = instance
+        with pytest.raises(ValueError, match="max_sources"):
+            demand_hop_sum(topo, traffic, max_sources=0)
+
+    def test_bound_threads_sampling_through(self, instance):
+        topo, traffic = instance
+        sampled = estimate_bound(topo, traffic, max_sources=64, seed=2)
+        assert sampled.is_estimate
+        assert sampled.throughput == pytest.approx(
+            estimate_bound(topo, traffic).throughput, rel=0.15
+        )
+
+
+class TestReflectedLanczosGate:
+    def test_reflected_path_matches_shift_invert(self, instance, monkeypatch):
+        """Forcing the >limit path on a small graph reproduces lambda_2."""
+        topo, traffic = instance
+        default = sparse_algebraic_connectivity(topo)
+        cut_default = estimate_cut(topo, traffic)
+        monkeypatch.setattr(spectral_mod, "SHIFT_INVERT_LIMIT", SPARSE_N - 1)
+        reflected = sparse_algebraic_connectivity(topo)
+        assert reflected == pytest.approx(default, abs=1e-8)
+        # The cut estimate consumes the Fiedler *vector*; the sweep must
+        # find the same cut structure either way.
+        cut_reflected = estimate_cut(topo, traffic)
+        assert cut_reflected.throughput == pytest.approx(
+            cut_default.throughput, rel=1e-6
+        )
+
+    def test_fiedler_vector_orthogonal_to_kernel(self, instance, monkeypatch):
+        topo, _ = instance
+        monkeypatch.setattr(spectral_mod, "SHIFT_INVERT_LIMIT", SPARSE_N - 1)
+        _, vector, _ = spectral_mod._sparse_fiedler_pair(topo)
+        assert abs(float(np.sum(vector))) < 1e-6
+        assert np.linalg.norm(vector) == pytest.approx(1.0, abs=1e-9)

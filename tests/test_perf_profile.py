@@ -1,0 +1,161 @@
+"""The profiling harness: spans, cProfile capture, and the CLI flag.
+
+Covers :mod:`repro.perf.profile` directly (dotted-path nesting, the
+one-capture rule, artifact schema) and end-to-end through
+``repro-experiments sweep/grow --profile``, which must leave a
+``schema_version`` 1 span artifact on disk.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.perf import (
+    PROFILE_SCHEMA_VERSION,
+    Profiler,
+    active_profiler,
+    perf_span,
+    profiling,
+)
+
+
+class TestProfiler:
+    def test_span_nesting_builds_dotted_paths(self):
+        profiler = Profiler(label="unit")
+        with profiler.span("run", cells=2):
+            with profiler.span("cell"):
+                pass
+            with profiler.span("cell"):
+                pass
+        names = [span.name for span in profiler.spans]
+        assert names == ["run.cell", "run.cell", "run"]
+        assert profiler.spans[-1].meta == {"cells": 2}
+
+    def test_record_applies_current_nesting(self):
+        profiler = Profiler()
+        with profiler.span("run"):
+            profiler.record("cell", 0.25, scenario="x")
+        totals = profiler.total_by_name()
+        assert totals["run.cell"] == 0.25
+        assert totals["run"] >= 0.0
+
+    def test_totals_sum_repeated_names(self):
+        profiler = Profiler()
+        profiler.record("cell", 1.0)
+        profiler.record("cell", 2.0)
+        assert profiler.total_by_name() == {"cell": 3.0}
+
+    def test_cprofile_capture_and_hotspots(self):
+        profiler = Profiler(cprofile=True)
+        with profiler.profiled():
+            sum(range(1000))
+        rows = profiler.hotspots()
+        assert rows and all(
+            {"function", "calls", "tottime_s", "cumtime_s"} <= set(row)
+            for row in rows
+        )
+
+    def test_second_capture_rejected(self):
+        profiler = Profiler(cprofile=True)
+        with profiler.profiled():
+            pass
+        with pytest.raises(RuntimeError, match="already captured"):
+            with profiler.profiled():
+                pass
+
+    def test_unarmed_profiled_is_noop(self):
+        profiler = Profiler(cprofile=False)
+        with profiler.profiled():
+            pass
+        with profiler.profiled():  # no one-capture rule when unarmed
+            pass
+        assert profiler.hotspots() == []
+
+    def test_artifact_schema(self, tmp_path):
+        profiler = Profiler(label="unit", cprofile=True)
+        with profiler.span("work"):
+            with profiler.profiled():
+                sorted(range(100))
+        path = tmp_path / "profile.json"
+        profiler.write_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == PROFILE_SCHEMA_VERSION
+        assert payload["label"] == "unit"
+        assert payload["total_s"] > 0.0
+        assert payload["totals"]["work"] > 0.0
+        assert [span["name"] for span in payload["spans"]] == ["work"]
+        assert payload["hotspots"]
+
+
+class TestActiveProfiler:
+    def test_perf_span_noop_without_scope(self):
+        assert active_profiler() is None
+        with perf_span("ignored"):
+            pass  # must not raise, must not record anywhere
+
+    def test_perf_span_records_inside_scope(self):
+        with profiling(label="scoped") as profiler:
+            assert active_profiler() is profiler
+            with perf_span("stage", detail=1):
+                pass
+        assert active_profiler() is None
+        assert [span.name for span in profiler.spans] == ["stage"]
+        assert profiler.spans[0].meta == {"detail": 1}
+
+    def test_existing_profiler_passes_through(self):
+        mine = Profiler(label="mine")
+        with profiling(mine) as active:
+            assert active is mine
+
+
+SWEEP_FLAGS = [
+    "sweep",
+    "--topologies", "rrg",
+    "--topo-param", "network_degree=4",
+    "--topo-param", "servers_per_switch=2",
+    "--sizes", "8",
+    "--traffics", "permutation",
+    "--solvers", "edge_lp",
+    "--seeds", "1",
+    "--quiet",
+]
+
+
+class TestProfileFlag:
+    def test_sweep_profile_artifact(self, tmp_path, capsys):
+        path = tmp_path / "profile_sweep.json"
+        assert main(SWEEP_FLAGS + ["--profile", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == PROFILE_SCHEMA_VERSION
+        totals = payload["totals"]
+        assert {"grid", "run", "run.cell", "artifacts"} <= set(totals)
+        assert payload["hotspots"]
+        cell_spans = [
+            span for span in payload["spans"] if span["name"] == "run.cell"
+        ]
+        assert len(cell_spans) == 1
+        assert "scenario" in cell_spans[0]["meta"]
+
+    def test_grow_profile_artifact(self, tmp_path, capsys):
+        path = tmp_path / "profile_grow.json"
+        flags = [
+            "grow",
+            "--start", "8", "--target", "12", "--stages", "1",
+            "--degree", "4", "--servers-per-switch", "2",
+            "--strategies", "swap", "--seeds", "1",
+            "--quiet", "--profile", str(path),
+        ]
+        assert main(flags) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == PROFILE_SCHEMA_VERSION
+        totals = payload["totals"]
+        assert {"schedule", "run", "run.trajectory", "artifacts"} <= set(
+            totals
+        )
+
+    def test_no_profile_flag_writes_nothing(self, tmp_path, capsys):
+        assert main(SWEEP_FLAGS) == 0
+        assert not list(tmp_path.iterdir())

@@ -292,3 +292,79 @@ class TestLruCap:
     def test_rejects_non_positive_cap(self, tmp_path):
         with pytest.raises(ValueError, match="max_entries"):
             ResultCache(tmp_path, max_entries=0)
+
+
+class TestInProcessMemo:
+    """The LRU memo fronting the disk store: hit accounting, mutation
+    safety, and the ``memo_size`` knob."""
+
+    @staticmethod
+    def _key(index: int) -> str:
+        return f"{index:02x}" * 32
+
+    def test_second_get_is_a_memo_hit(self, tmp_path, instance):
+        topo, traffic = instance
+        cache = ResultCache(tmp_path)
+        result = max_concurrent_flow(topo, traffic)
+        cache.put(self._key(0), result)
+        first = cache.get(self._key(0))
+        second = cache.get(self._key(0))
+        assert first.throughput == second.throughput == result.throughput
+        stats = cache.stats()
+        # put() memoizes, so neither get touched the disk.
+        assert stats["memo_hits"] == 2
+        assert stats["disk_hits"] == 0
+        assert stats["hits"] == 2
+
+    def test_fresh_instance_promotes_disk_hit_to_memo(self, tmp_path, instance):
+        topo, traffic = instance
+        writer = ResultCache(tmp_path)
+        writer.put(self._key(0), max_concurrent_flow(topo, traffic))
+        reader = ResultCache(tmp_path)
+        reader.get(self._key(0))
+        reader.get(self._key(0))
+        stats = reader.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["memo_hits"] == 1
+
+    def test_memoized_results_are_mutation_safe(self, tmp_path, instance):
+        topo, traffic = instance
+        cache = ResultCache(tmp_path)
+        cache.put(self._key(0), max_concurrent_flow(topo, traffic))
+        first = cache.get(self._key(0))
+        first.arc_flows.clear()
+        second = cache.get(self._key(0))
+        assert second.arc_flows  # fresh containers per get
+
+    def test_memo_size_zero_disables_memo(self, tmp_path, instance):
+        topo, traffic = instance
+        cache = ResultCache(tmp_path, memo_size=0)
+        cache.put(self._key(0), max_concurrent_flow(topo, traffic))
+        cache.get(self._key(0))
+        cache.get(self._key(0))
+        stats = cache.stats()
+        assert stats["memo_hits"] == 0
+        assert stats["disk_hits"] == 2
+        assert stats["memo_entries"] == 0
+
+    def test_memo_evicts_least_recently_used(self, tmp_path, instance):
+        topo, traffic = instance
+        cache = ResultCache(tmp_path, memo_size=2)
+        result = max_concurrent_flow(topo, traffic)
+        for index in range(3):
+            cache.put(self._key(index), result)
+        assert cache.stats()["memo_entries"] == 2
+        cache.get(self._key(0))  # evicted from memo, still on disk
+        assert cache.stats()["disk_hits"] == 1
+
+    def test_payload_memo_respects_kind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_payload(self._key(0), "routes", {"value": 1})
+        assert cache.get_payload(self._key(0), kind="routes") == {"value": 1}
+        assert cache.stats()["memo_hits"] == 1
+        # A kind mismatch must not serve the memoized payload.
+        assert cache.get_payload(self._key(0), kind="other") is None
+
+    def test_negative_memo_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="memo_size"):
+            ResultCache(tmp_path, memo_size=-1)
