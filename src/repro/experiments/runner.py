@@ -18,6 +18,12 @@ Examples::
     repro-experiments sweep --topologies rrg --topo-param network_degree=8 \\
         --topo-param servers_per_switch=1 --sizes 1000,5000,10000 \\
         --traffics permutation --solvers estimate_bound,estimate_cut
+    repro-experiments sweep --grid grid.json --manifest run-manifest.json
+    repro-experiments sweep --resume run-manifest.json
+    repro-experiments serve --socket eval.sock --workers 4 \\
+        --cache-dir .sweep-cache --http-port 8642
+    repro-experiments submit --socket eval.sock --grid grid.json \\
+        --priority interactive
     repro-experiments fidelity --k 4 --runs 2
     repro-experiments grow --start 64 --target 2048 --stages 5 \\
         --degree 8 --servers-per-switch 4 \\
@@ -220,6 +226,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="content-addressed result cache directory (reused across runs)",
     )
     sweep.add_argument(
+        "--manifest",
+        type=str,
+        default=None,
+        help="write a resumable run manifest here (rewritten atomically "
+        "after every completed work item)",
+    )
+    sweep.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="MANIFEST",
+        help="re-attach to an interrupted run: cells the manifest records "
+        "are skipped, the rest re-run against its cache (grid flags are "
+        "ignored; reports re-solved / cache-hit / skipped counts)",
+    )
+    sweep.add_argument(
         "--json", type=str, default=None, help="write full sweep JSON here"
     )
     sweep.add_argument(
@@ -239,6 +261,82 @@ def _build_parser() -> argparse.ArgumentParser:
         "hotspots; cProfile covers this process only — with --workers > 1 "
         "the solve time lives in the span records) to PATH "
         "(default: profile_sweep.json)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the evaluation daemon: JSON-lines over a unix socket "
+        "(streaming cell results), optional minimal HTTP; interactive "
+        "submits preempt queued bulk sweeps, and repeat grids answer "
+        "from the grid memo without touching a worker",
+    )
+    serve.add_argument(
+        "--socket",
+        type=str,
+        default="repro-eval.sock",
+        help="unix socket path to listen on (default: repro-eval.sock)",
+    )
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="also serve minimal HTTP (GET /ping, GET /stats, "
+        "POST /submit) on this localhost port",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker processes"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="content-addressed result cache directory (also persists the "
+        "grid memo across daemon restarts)",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="backpressure bound on concurrently dispatched work items "
+        "(default: 2 x workers)",
+    )
+    serve.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="per-attempt wall-clock timeout for work items (retried "
+        "with backoff until attempts run out)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a grid to a running daemon and stream its cells",
+    )
+    submit.add_argument(
+        "--socket",
+        type=str,
+        default="repro-eval.sock",
+        help="daemon unix socket path",
+    )
+    submit.add_argument(
+        "--grid",
+        type=str,
+        required=True,
+        help="JSON grid config file (ScenarioGrid.to_dict schema)",
+    )
+    submit.add_argument(
+        "--priority",
+        type=str,
+        default="bulk",
+        help="'interactive' (jumps queued bulk work) or 'bulk'",
+    )
+    submit.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable shared-instance batching (reference path)",
+    )
+    submit.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress"
     )
 
     fidelity = sub.add_parser(
@@ -453,14 +551,19 @@ def _run_sweep(args) -> int:
     from contextlib import nullcontext
 
     from repro.perf import perf_span
-    from repro.pipeline.engine import run_grid
+    from repro.pipeline.engine import resume_grid, run_grid
 
     profiler, scope = _make_profiler(args, "sweep")
     with scope:
-        with perf_span("grid"):
-            grid = _grid_from_args(args)
-        total = len(grid)
-        print(f"sweep {grid.name!r}: {total} cells, {args.workers} worker(s)")
+        if args.resume:
+            grid = None
+        else:
+            with perf_span("grid"):
+                grid = _grid_from_args(args)
+            total = len(grid)
+            print(
+                f"sweep {grid.name!r}: {total} cells, {args.workers} worker(s)"
+            )
 
         def progress(done: int, count: int, cell) -> None:
             if profiler is not None:
@@ -478,13 +581,27 @@ def _run_sweep(args) -> int:
                 )
 
         profiled = profiler.profiled() if profiler is not None else nullcontext()
-        with perf_span("run", cells=total, workers=args.workers), profiled:
-            sweep = run_grid(
-                grid,
-                workers=args.workers,
-                cache_dir=args.cache_dir,
-                progress=progress,
+        if args.resume:
+            with perf_span("run", workers=args.workers), profiled:
+                sweep = resume_grid(
+                    args.resume, workers=args.workers, progress=progress
+                )
+            counts = sweep.solve_counts or {}
+            print(
+                f"resumed {sweep.grid.name!r} from {args.resume}: "
+                f"{counts.get('re_solved', 0)} re-solved, "
+                f"{counts.get('cache_hit', 0)} cache-hit, "
+                f"{counts.get('skipped', 0)} skipped"
             )
+        else:
+            with perf_span("run", cells=total, workers=args.workers), profiled:
+                sweep = run_grid(
+                    grid,
+                    workers=args.workers,
+                    cache_dir=args.cache_dir,
+                    progress=progress,
+                    manifest=args.manifest,
+                )
         print(sweep.to_table())
         with perf_span("artifacts"):
             if args.json:
@@ -580,6 +697,78 @@ def _run_grow(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    from repro.pipeline.jobs import RetryPolicy
+    from repro.service import serve
+
+    retry = (
+        RetryPolicy(timeout_s=args.timeout_s)
+        if args.timeout_s is not None
+        else None
+    )
+
+    def ready() -> None:
+        http = (
+            f", http http://127.0.0.1:{args.http_port}"
+            if args.http_port is not None
+            else ""
+        )
+        print(
+            f"serving on {args.socket} ({args.workers} worker(s), "
+            f"cache {args.cache_dir or 'off'}{http})",
+            flush=True,
+        )
+
+    return serve(
+        args.socket,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        http_port=args.http_port,
+        retry=retry,
+        max_in_flight=args.max_in_flight,
+        ready=ready,
+    )
+
+
+def _run_submit(args) -> int:
+    from repro.service import ServiceClient
+
+    with open(args.grid, "r", encoding="utf-8") as handle:
+        grid_dict = json.load(handle)
+
+    def on_event(message: dict) -> None:
+        event = message.get("event")
+        if event == "accepted":
+            mode = "cached" if message.get("cached") else "queued"
+            print(
+                f"job {message['job_id']}: {message['cells']} cells ({mode})"
+            )
+        elif event == "cell" and not args.quiet:
+            row = message["row"]
+            hit = " [cached]" if row.get("cache_hit") else ""
+            print(
+                f"  [{message['index']}] {row['topology']}/{row['traffic']}/"
+                f"{row['solver']}: throughput {row['throughput']:.4f}{hit}"
+            )
+
+    client = ServiceClient(args.socket)
+    done = client.submit(
+        grid_dict,
+        priority=args.priority,
+        batch=not args.no_batch,
+        on_event=on_event,
+    )
+    counts = done.get("solve_counts", {})
+    print(
+        f"done in {done['elapsed_s']:.3f}s: "
+        f"{counts.get('re_solved', 0)} solves, "
+        f"{counts.get('cache_hit', 0)} cache hits, "
+        f"{counts.get('skipped', 0)} skipped"
+        + (" (memo answer)" if done.get("cached") else "")
+    )
+    return 0
+
+
 def _run_fidelity(args) -> int:
     overrides: dict = {}
     if args.k is not None:
@@ -626,6 +815,12 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "submit":
+        return _run_submit(args)
 
     if args.command == "grow":
         return _run_grow(args)

@@ -33,7 +33,15 @@ from repro.pipeline.engine import (
     SweepResult,
     evaluate_cell,
     evaluate_throughput,
+    resume_grid,
     run_grid,
+)
+from repro.pipeline.executors import (
+    GridExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    executor_for_workers,
 )
 from repro.pipeline.fingerprint import (
     result_key,
@@ -41,11 +49,19 @@ from repro.pipeline.fingerprint import (
     topology_fingerprint,
     traffic_fingerprint,
 )
+from repro.pipeline.jobs import GridJob, ItemState, RetryPolicy, WorkItem
 from repro.pipeline.scenario import (
     Scenario,
     ScenarioGrid,
     TopologySpec,
     TrafficSpec,
+)
+from repro.pipeline.scheduler import (
+    BULK,
+    INTERACTIVE,
+    GridScheduler,
+    JobHandle,
+    run_job,
 )
 
 __all__ = [
@@ -56,7 +72,22 @@ __all__ = [
     "SweepResult",
     "evaluate_cell",
     "evaluate_throughput",
+    "resume_grid",
     "run_grid",
+    "GridExecutor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "executor_for_workers",
+    "GridJob",
+    "ItemState",
+    "RetryPolicy",
+    "WorkItem",
+    "BULK",
+    "INTERACTIVE",
+    "GridScheduler",
+    "JobHandle",
+    "run_job",
     "result_key",
     "solver_fingerprint",
     "topology_fingerprint",

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -86,6 +87,10 @@ class ResultCache:
         #: and an *external* delete only costs a spurious hit in the
         #: process that cached it, same as an in-flight read.
         self._memo: "OrderedDict[str, tuple]" = OrderedDict()
+        #: Guards every memo access: the service shares one cache
+        #: instance across scheduler and asyncio threads, and an
+        #: OrderedDict mid-``move_to_end`` is not safe to read.
+        self._memo_lock = threading.Lock()
 
     def stats(self) -> dict:
         """Counters in :func:`repro.fidelity.routes.route_stats` style.
@@ -103,19 +108,21 @@ class ResultCache:
         }
 
     def _memo_get(self, key: str, kind: "str | None") -> "dict | None":
-        entry = self._memo.get(key)
-        if entry is None or entry[0] != kind:
-            return None
-        self._memo.move_to_end(key)
-        return entry[1]
+        with self._memo_lock:
+            entry = self._memo.get(key)
+            if entry is None or entry[0] != kind:
+                return None
+            self._memo.move_to_end(key)
+            return entry[1]
 
     def _memo_put(self, key: str, kind: "str | None", parsed: dict) -> None:
         if self.memo_size == 0:
             return
-        self._memo[key] = (kind, parsed)
-        self._memo.move_to_end(key)
-        while len(self._memo) > self.memo_size:
-            self._memo.popitem(last=False)
+        with self._memo_lock:
+            self._memo[key] = (kind, parsed)
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -185,7 +192,8 @@ class ResultCache:
         benign: content-addressed keys make any concurrent rewrite
         equivalent). The memo entry goes with it — an evicted key must
         read as a miss, exactly like the memo-less store."""
-        self._memo.pop(path.stem, None)
+        with self._memo_lock:
+            self._memo.pop(path.stem, None)
         try:
             path.unlink()
         except OSError:

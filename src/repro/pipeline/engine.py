@@ -1,4 +1,4 @@
-"""Sweep execution: cached single solves and process-parallel grid runs.
+"""Sweep execution: cached single solves and job-scheduled grid runs.
 
 Two layers:
 
@@ -12,8 +12,18 @@ Two layers:
   :class:`SweepResult` that renders as a summary table and serializes to
   JSON/CSV artifacts.
 
-Cells are independent, so parallelism is a straight process-pool map; the
-shared cache is filesystem-backed and atomic, so workers coordinate only
+``run_grid`` is a thin synchronous wrapper over the layered job model:
+a :class:`~repro.pipeline.jobs.GridJob` decomposes the grid into
+shared-instance work items, a
+:class:`~repro.pipeline.scheduler.GridScheduler` dispatches them onto a
+:mod:`~repro.pipeline.executors` backend, and the wrapper blocks until
+the job settles. The same job model backs the resumable ``sweep
+--manifest`` path (:func:`resume_grid`) and the :mod:`repro.service`
+daemon; this module keeps the cell evaluation primitives
+(:func:`evaluate_cell`, :func:`evaluate_batch`) those layers execute.
+
+Cells are independent, so parallelism is a straight fan-out; the shared
+cache is filesystem-backed and atomic, so workers coordinate only
 through content-addressed files.
 """
 
@@ -22,7 +32,6 @@ from __future__ import annotations
 import csv
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from statistics import fmean, pstdev
 
@@ -413,13 +422,22 @@ def _evaluate_batch_task(
 
 @dataclass
 class SweepResult:
-    """All cell results of one grid execution, plus run provenance."""
+    """All cell results of one grid execution, plus run provenance.
+
+    ``restored`` counts cells that came straight out of a resume
+    manifest (see :func:`resume_grid`) — they were *skipped*, not
+    re-executed, this run.
+    """
 
     grid: ScenarioGrid
     cells: "list[CellResult]" = field(default_factory=list)
     workers: int = 1
     cache_dir: "str | None" = None
     elapsed_s: float = 0.0
+    restored: int = 0
+    #: ``re_solved / cache_hit / skipped`` split from the job, set by
+    #: resumed runs only (``None`` keeps fresh-run artifacts unchanged).
+    solve_counts: "dict | None" = None
 
     @property
     def cache_hits(self) -> int:
@@ -496,7 +514,7 @@ class SweepResult:
         return header + format_table(headers, rows, float_format=float_format)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "grid": self.grid.to_dict(),
             "workers": self.workers,
             "cache_dir": self.cache_dir,
@@ -505,6 +523,11 @@ class SweepResult:
             "cells": self.rows(),
             "summary": self.mean_series(),
         }
+        if self.restored:
+            payload["restored"] = self.restored
+        if self.solve_counts is not None:
+            payload["solve_counts"] = self.solve_counts
+        return payload
 
     def write_json(self, path: str) -> None:
         """Write the full sweep (cells + summary + grid) as one JSON file."""
@@ -520,12 +543,45 @@ class SweepResult:
                 writer.writerow(row)
 
 
+def _execute_job(
+    job,
+    workers: int,
+    progress=None,
+    retry=None,
+) -> list:
+    """Run a :class:`~repro.pipeline.jobs.GridJob` to completion, bridging
+    the scheduler's per-cell callback onto the old ``progress(done,
+    total, cell)`` contract. Restored (manifest-skipped) cells count as
+    already done, so resumed runs report honest totals."""
+    from repro.pipeline.scheduler import run_job
+
+    total = job.total_cells
+    done = len(job.restored_indices)
+
+    def on_cell(index: int, cell_result) -> None:
+        # Called from the single dispatcher thread only, so the plain
+        # counter needs no lock.
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total, cell_result)
+
+    return run_job(
+        job,
+        workers=workers,
+        retry=retry,
+        on_cell=on_cell if progress is not None else None,
+    )
+
+
 def run_grid(
     grid: ScenarioGrid,
     workers: int = 1,
     cache_dir: "str | None" = None,
     progress=None,
     batch: bool = True,
+    manifest: "str | None" = None,
+    retry=None,
 ) -> SweepResult:
     """Execute every cell of ``grid``; return the collected results.
 
@@ -542,53 +598,60 @@ def run_grid(
     under ``workers > 1`` whole groups ship to one worker so the sharing
     survives process boundaries. Solved numbers are identical either
     way; ``batch=False`` forces the one-cell-at-a-time reference path.
+
+    ``manifest`` names a JSON run-manifest file rewritten after every
+    item completion; an interrupted run resumes from it via
+    :func:`resume_grid` (or ``sweep --resume``). ``retry`` is an
+    optional :class:`~repro.pipeline.jobs.RetryPolicy` governing
+    per-item retry/backoff/timeout; solver exceptions still propagate
+    immediately by default, exactly like the direct evaluation path.
     """
+    from repro.pipeline.jobs import GridJob
+
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
-    cells = grid.cells()
     start = time.perf_counter()
-    results: "list[CellResult | None]" = [None] * len(cells)
-    done = 0
-
-    def record(index: int, cell_result: CellResult) -> None:
-        nonlocal done
-        results[index] = cell_result
-        done += 1
-        if progress is not None:
-            progress(done, len(cells), cell_result)
-
-    if batch:
-        groups = group_cells(cells)
-        if workers == 1:
-            cache = ResultCache(cache_dir) if cache_dir else None
-            for group in groups:
-                for (index, _), cell_result in zip(
-                    group, evaluate_batch([s for _, s in group], cache=cache)
-                ):
-                    record(index, cell_result)
-        else:
-            tasks = [([s for _, s in group], cache_dir) for group in groups]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for group, batch_results in zip(
-                    groups, pool.map(_evaluate_batch_task, tasks)
-                ):
-                    for (index, _), cell_result in zip(group, batch_results):
-                        record(index, cell_result)
-    elif workers == 1:
-        cache = ResultCache(cache_dir) if cache_dir else None
-        for index, scenario in enumerate(cells):
-            record(index, evaluate_cell(scenario, cache=cache))
-    else:
-        tasks = [(scenario, cache_dir) for scenario in cells]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for index, cell_result in enumerate(
-                pool.map(_evaluate_cell_task, tasks)
-            ):
-                record(index, cell_result)
+    job = GridJob(grid, batch=batch, cache_dir=cache_dir, manifest_path=manifest)
+    cells = _execute_job(job, workers=workers, progress=progress, retry=retry)
     return SweepResult(
         grid=grid,
-        cells=results,
+        cells=cells,
         workers=workers,
         cache_dir=cache_dir,
         elapsed_s=time.perf_counter() - start,
+    )
+
+
+def resume_grid(
+    manifest_path: str,
+    workers: int = 1,
+    progress=None,
+    retry=None,
+) -> SweepResult:
+    """Re-attach to an interrupted run and finish only what's missing.
+
+    Cells the manifest already records are restored without executing
+    anything (``SweepResult.restored`` counts them); the remaining items
+    re-run against the manifest's cache directory, so cells whose solves
+    already landed in the content-addressed cache come back as pure
+    cache hits — a resumed run after a crash typically re-solves zero
+    cells. Use :meth:`GridJob.solve_counts` semantics via the returned
+    result: ``restored`` = skipped, and ``cache_hits`` splits the
+    re-executed remainder.
+    """
+    from repro.pipeline.jobs import GridJob
+
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    start = time.perf_counter()
+    job = GridJob.resume(manifest_path)
+    cells = _execute_job(job, workers=workers, progress=progress, retry=retry)
+    return SweepResult(
+        grid=job.grid,
+        cells=cells,
+        workers=workers,
+        cache_dir=job.cache_dir,
+        elapsed_s=time.perf_counter() - start,
+        restored=len(job.restored_indices),
+        solve_counts=job.solve_counts(),
     )

@@ -1,0 +1,416 @@
+"""The ``repro-experiments serve`` daemon: sockets over the service core.
+
+Two listeners share one :class:`~repro.service.core.EvalService`:
+
+- **Unix socket, JSON lines** — the primary surface. Each request is
+  one JSON object on one line; ``submit`` answers with a stream of
+  events (``accepted``, one ``cell`` per solved cell *as it solves*,
+  then ``done`` with solve counts), everything else with a single
+  object. One connection handles one request at a time; clients open a
+  connection per concurrent query.
+- **Minimal HTTP** (optional ``--http-port``) — ``GET /ping``,
+  ``GET /stats``, and a blocking ``POST /submit`` for curl-style use.
+  This is a probe surface, not a web framework: requests are parsed by
+  hand and responses are single JSON bodies.
+
+Scheduler callbacks run on the dispatcher thread; they cross into
+asyncio via ``loop.call_soon_threadsafe`` onto a per-request queue, so
+the event loop never blocks on the scheduler and vice versa.
+
+Request ops::
+
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "submit", "grid": {...ScenarioGrid.to_dict...},
+     "priority": "interactive"|"bulk"|int, "batch": true}
+    {"op": "status", "job_id": "..."}
+    {"op": "cancel", "job_id": "..."}
+    {"op": "shutdown"}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro.pipeline.scenario import ScenarioGrid
+from repro.service.core import EvalService
+
+#: Event names a ``submit`` stream may carry, in order of appearance.
+SUBMIT_EVENTS = ("accepted", "cell", "done", "error")
+
+
+def _encode(message: dict) -> bytes:
+    return (json.dumps(message) + "\n").encode("utf-8")
+
+
+class EvalDaemon:
+    """Bind an :class:`EvalService` to a unix socket (and optional HTTP)."""
+
+    def __init__(
+        self,
+        service: EvalService,
+        socket_path: str,
+        http_port: "int | None" = None,
+        http_host: str = "127.0.0.1",
+    ) -> None:
+        self.service = service
+        self.socket_path = str(socket_path)
+        self.http_port = http_port
+        self.http_host = http_host
+        self._servers: list = []
+        self._stop = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._servers.append(
+            await asyncio.start_unix_server(
+                self._handle_socket, path=self.socket_path
+            )
+        )
+        if self.http_port is not None:
+            self._servers.append(
+                await asyncio.start_server(
+                    self._handle_http, host=self.http_host, port=self.http_port
+                )
+            )
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        if os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def request_shutdown(self) -> None:
+        self._stop.set()
+
+    # -- unix socket (JSON lines) --------------------------------------
+
+    async def _handle_socket(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    writer.write(
+                        _encode({"event": "error", "error": f"bad JSON: {exc}"})
+                    )
+                    await writer.drain()
+                    continue
+                await self._dispatch(request, writer)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop shutdown cancels open connection handlers; that is a
+            # clean exit, not an error to log.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: dict, writer) -> None:
+        op = request.get("op")
+        if op == "ping":
+            writer.write(_encode({"event": "pong", "time": time.time()}))
+        elif op == "stats":
+            writer.write(
+                _encode({"event": "stats", "stats": self.service.stats()})
+            )
+        elif op == "status":
+            writer.write(_encode(self._status(request.get("job_id"))))
+        elif op == "cancel":
+            job_id = request.get("job_id")
+            ok = self.service.cancel(job_id) if job_id else False
+            writer.write(
+                _encode({"event": "cancelled" if ok else "error",
+                         "job_id": job_id,
+                         **({} if ok else {"error": "unknown or finished job"})})
+            )
+        elif op == "submit":
+            await self._submit(request, writer)
+        elif op == "shutdown":
+            writer.write(_encode({"event": "stopping"}))
+            self.request_shutdown()
+        else:
+            writer.write(
+                _encode({"event": "error", "error": f"unknown op {op!r}"})
+            )
+
+    def _status(self, job_id: "str | None") -> dict:
+        handle = self.service.get_job(job_id) if job_id else None
+        if handle is None:
+            return {"event": "error", "error": f"unknown job {job_id!r}"}
+        return {
+            "event": "status",
+            "job_id": job_id,
+            "status": handle.status,
+            "counts": handle.job.counts(),
+        }
+
+    async def _submit(self, request: dict, writer) -> None:
+        start = time.perf_counter()
+        try:
+            grid = ScenarioGrid.from_dict(request["grid"])
+            priority = request.get("priority", "bulk")
+            batch = bool(request.get("batch", True))
+        except Exception as exc:
+            writer.write(
+                _encode({"event": "error", "error": f"bad submit: {exc}"})
+            )
+            return
+
+        loop = asyncio.get_running_loop()
+        events: "asyncio.Queue" = asyncio.Queue()
+
+        def on_cell(index: int, cell) -> None:
+            loop.call_soon_threadsafe(
+                events.put_nowait, ("cell", index, cell)
+            )
+
+        def on_done(handle) -> None:
+            loop.call_soon_threadsafe(events.put_nowait, ("done", handle))
+
+        try:
+            job_id, handle, cached = self.service.submit(
+                grid,
+                priority=priority,
+                batch=batch,
+                on_cell=on_cell,
+                on_done=on_done,
+            )
+        except Exception as exc:
+            writer.write(
+                _encode({"event": "error", "error": f"{type(exc).__name__}: {exc}"})
+            )
+            return
+
+        writer.write(
+            _encode(
+                {
+                    "event": "accepted",
+                    "job_id": job_id,
+                    "cells": len(grid),
+                    "cached": cached is not None,
+                }
+            )
+        )
+        if cached is not None:
+            # Memo answer: every cell is already in hand — no queue, no
+            # workers; the elapsed time here is the microseconds-path.
+            for index, cell in enumerate(cached):
+                writer.write(
+                    _encode({"event": "cell", "index": index, "row": cell.row()})
+                )
+            writer.write(
+                _encode(
+                    {
+                        "event": "done",
+                        "job_id": job_id,
+                        "status": "done",
+                        "cached": True,
+                        "solve_counts": {
+                            "re_solved": 0,
+                            "cache_hit": len(cached),
+                            "skipped": 0,
+                        },
+                        "elapsed_s": time.perf_counter() - start,
+                    }
+                )
+            )
+            return
+
+        while True:
+            kind, *payload = await events.get()
+            if kind == "cell":
+                index, cell = payload
+                writer.write(
+                    _encode({"event": "cell", "index": index, "row": cell.row()})
+                )
+                await writer.drain()
+                continue
+            (done_handle,) = payload
+            message = {
+                "event": "done",
+                "job_id": job_id,
+                "status": done_handle.status,
+                "cached": False,
+                "counts": done_handle.job.counts(),
+                "solve_counts": done_handle.job.solve_counts(),
+                "elapsed_s": time.perf_counter() - start,
+            }
+            if done_handle.status == "failed":
+                failed = done_handle.job.failed_items()
+                message["error"] = "; ".join(
+                    f"item {item.item_id}: {item.error}" for item in failed
+                ) or (
+                    f"{type(done_handle.error).__name__}: {done_handle.error}"
+                    if done_handle.error is not None
+                    else "failed"
+                )
+            writer.write(_encode(message))
+            return
+
+    # -- minimal HTTP --------------------------------------------------
+
+    async def _handle_http(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                await self._http_reply(writer, 400, {"error": "bad request"})
+                return
+            method, path = parts[0], parts[1]
+            content_length = 0
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = header.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            body = (
+                await reader.readexactly(content_length)
+                if content_length
+                else b""
+            )
+            await self._http_route(method, path, body, writer)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            ValueError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _http_route(
+        self, method: str, path: str, body: bytes, writer
+    ) -> None:
+        if method == "GET" and path == "/ping":
+            await self._http_reply(writer, 200, {"ok": True})
+        elif method == "GET" and path == "/stats":
+            await self._http_reply(writer, 200, self.service.stats())
+        elif method == "POST" and path == "/submit":
+            try:
+                request = json.loads(body or b"{}")
+                request["op"] = "submit"
+            except json.JSONDecodeError as exc:
+                await self._http_reply(writer, 400, {"error": f"bad JSON: {exc}"})
+                return
+            collector = _CollectingWriter()
+            await self._submit(request, collector)
+            status = 200 if collector.final.get("event") == "done" else 400
+            await self._http_reply(
+                writer,
+                status,
+                {**collector.final, "rows": collector.rows},
+            )
+        else:
+            await self._http_reply(
+                writer, 404, {"error": f"no route {method} {path}"}
+            )
+
+    async def _http_reply(self, writer, status: int, payload: dict) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "Error"
+        )
+        body = json.dumps(payload).encode("utf-8")
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+
+
+class _CollectingWriter:
+    """Duck-typed writer that buffers a submit stream for HTTP replies."""
+
+    def __init__(self) -> None:
+        self.rows: list = []
+        self.final: dict = {}
+
+    def write(self, data: bytes) -> None:
+        message = json.loads(data)
+        if message.get("event") == "cell":
+            self.rows.append(message["row"])
+        else:
+            self.final = message
+
+    async def drain(self) -> None:
+        pass
+
+
+def serve(
+    socket_path: str,
+    workers: int = 2,
+    cache_dir: "str | None" = None,
+    http_port: "int | None" = None,
+    retry=None,
+    max_in_flight: "int | None" = None,
+    ready=None,
+) -> int:
+    """Blocking entry point behind ``repro-experiments serve``.
+
+    Runs until a ``shutdown`` request (or KeyboardInterrupt). ``ready``
+    is an optional zero-arg callable invoked once the listeners are
+    bound — the CLI prints the banner there, and tests use it to
+    synchronize.
+    """
+    service = EvalService(
+        workers=workers,
+        cache_dir=cache_dir,
+        retry=retry,
+        max_in_flight=max_in_flight,
+    )
+    daemon = EvalDaemon(service, socket_path, http_port=http_port)
+
+    async def _main() -> None:
+        await daemon.start()
+        if ready is not None:
+            ready()
+        try:
+            await daemon._stop.wait()
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0

@@ -92,6 +92,69 @@ class TestSweepCommand:
         assert "gravity" in out
 
 
+class TestManifestResume:
+    def test_sweep_writes_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        flags = BASE_FLAGS + [
+            "--manifest", str(manifest),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(flags) == 0
+        payload = json.loads(manifest.read_text())
+        assert len(payload["cells"]) == 4
+        assert all(item["state"] == "done" for item in payload["items"])
+
+    def test_resume_reports_solve_counts(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        flags = BASE_FLAGS + [
+            "--manifest", str(manifest),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(flags) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--resume", str(manifest), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 re-solved, 0 cache-hit, 4 skipped" in out
+
+    def test_resume_after_crash_hits_cache(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        flags = BASE_FLAGS + [
+            "--manifest", str(manifest),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(flags) == 0
+        capsys.readouterr()
+        # Drop one item's recorded cells, as if the run died mid-item.
+        payload = json.loads(manifest.read_text())
+        victim = payload["items"][0]
+        victim["state"] = "running"
+        lost = len(victim["indices"])
+        for index in victim["indices"]:
+            del payload["cells"][str(index)]
+        manifest.write_text(json.dumps(payload))
+        assert main(["sweep", "--resume", str(manifest), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert (
+            f"0 re-solved, {lost} cache-hit, {4 - lost} skipped" in out
+        )
+        assert json.loads(manifest.read_text())["cells"].keys() == {
+            "0", "1", "2", "3"
+        }
+
+    def test_resume_artifacts(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        json_path = tmp_path / "resumed.json"
+        assert main(BASE_FLAGS + ["--manifest", str(manifest)]) == 0
+        code = main(
+            ["sweep", "--resume", str(manifest), "--quiet",
+             "--json", str(json_path)]
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["restored"] == 4
+        assert payload["solve_counts"]["skipped"] == 4
+
+
 class TestFailureFlags:
     FAILURE_FLAGS = [
         "sweep",

@@ -1,0 +1,231 @@
+"""Evaluation service: grid memo, daemon socket protocol, CLI client."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.flow.solvers import SolverConfig
+from repro.pipeline.engine import run_grid
+from repro.pipeline.scenario import ScenarioGrid, TopologySpec, TrafficSpec
+from repro.service import EvalService, ServiceClient, grid_digest, serve
+
+
+def small_grid(**overrides) -> ScenarioGrid:
+    kwargs = dict(
+        name="service-test",
+        topologies=(
+            TopologySpec.make("rrg", network_degree=4, servers_per_switch=2),
+        ),
+        traffics=(TrafficSpec.make("permutation"),),
+        solvers=(SolverConfig("ecmp"),),
+        sizes=(8, 10),
+        seeds=1,
+    )
+    kwargs.update(overrides)
+    return ScenarioGrid(**kwargs)
+
+
+class TestGridMemo:
+    def test_digest_is_stable_and_batch_sensitive(self):
+        assert grid_digest(small_grid()) == grid_digest(small_grid())
+        assert grid_digest(small_grid()) != grid_digest(
+            small_grid(), batch=False
+        )
+        assert grid_digest(small_grid()) != grid_digest(
+            small_grid(name="other")
+        )
+
+    def test_second_submit_answers_from_memo(self, tmp_path):
+        grid = small_grid()
+        with EvalService(workers=1, cache_dir=str(tmp_path)) as service:
+            job_id, handle, cached = service.submit(grid)
+            assert cached is None
+            first = handle.result(timeout=60)
+            _, handle2, cached2 = service.submit(grid)
+            assert handle2 is None and cached2 is not None
+            assert all(cell.cache_hit for cell in cached2)
+            assert [c.throughput for c in cached2] == [
+                c.throughput for c in first
+            ]
+            assert service.stats()["memo_answers"] == 1
+
+    def test_memo_survives_restart_without_spawning_workers(self, tmp_path):
+        grid = small_grid()
+        with EvalService(workers=1, cache_dir=str(tmp_path)) as warmup:
+            _, handle, _ = warmup.submit(grid)
+            handle.result(timeout=60)
+        # Fresh service, multi-worker: the persisted memo answers before
+        # the lazy process pool ever spawns.
+        with EvalService(workers=4, cache_dir=str(tmp_path)) as service:
+            _, handle, cached = service.submit(grid)
+            assert handle is None and cached is not None
+            assert service.executor.started is False
+            assert service.executor.worker_pids() == ()
+
+    def test_memo_distrusts_pruned_cache(self, tmp_path):
+        grid = small_grid()
+        with EvalService(workers=1, cache_dir=str(tmp_path)) as warmup:
+            _, handle, _ = warmup.submit(grid)
+            cells = handle.result(timeout=60)
+        # Prune one underlying solve from the content-addressed store.
+        with EvalService(workers=1, cache_dir=str(tmp_path)) as service:
+            victim = service.cache._path(cells[0].key)
+            victim.unlink()
+            assert service.lookup_cached(grid) is None
+
+    def test_uncached_service_has_no_persistent_memo(self):
+        grid = small_grid(sizes=(8,))
+        with EvalService(workers=1) as service:
+            _, handle, _ = service.submit(grid)
+            handle.result(timeout=60)
+            # In-process memo still answers...
+            assert service.lookup_cached(grid) is not None
+        with EvalService(workers=1) as fresh:
+            assert fresh.lookup_cached(grid) is None
+
+    def test_cancel_unknown_job(self, tmp_path):
+        with EvalService(workers=1) as service:
+            assert service.cancel("nope") is False
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live daemon on a unix socket, torn down via shutdown request."""
+    socket_path = str(tmp_path / "eval.sock")
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=serve,
+        args=(socket_path,),
+        kwargs=dict(
+            workers=1,
+            cache_dir=str(tmp_path / "cache"),
+            ready=ready.set,
+        ),
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(30), "daemon did not come up"
+    yield socket_path
+    try:
+        ServiceClient(socket_path, timeout=10).shutdown()
+    except ExperimentError:
+        pass
+    thread.join(timeout=30)
+
+
+class TestDaemon:
+    def test_ping_and_stats(self, daemon):
+        client = ServiceClient(daemon)
+        assert client.ping()["event"] == "pong"
+        stats = client.stats()
+        assert stats["submitted"] == 0
+        assert "scheduler" in stats
+
+    def test_submit_streams_cells_then_done(self, daemon):
+        client = ServiceClient(daemon)
+        events = []
+        done = client.submit(
+            small_grid().to_dict(), on_event=lambda m: events.append(m)
+        )
+        assert done["status"] == "done"
+        assert not done["cached"]
+        assert len(done["rows"]) == len(small_grid())
+        kinds = [m["event"] for m in events]
+        assert kinds[0] == "accepted"
+        assert kinds.count("cell") == len(small_grid())
+        assert kinds[-1] == "done"
+        # Rows carry the full CellResult record.
+        reference = run_grid(small_grid())
+        assert [row["throughput"] for row in done["rows"]] == [
+            cell.throughput for cell in reference.cells
+        ]
+
+    def test_warm_resubmit_is_cached_with_zero_solves(self, daemon):
+        client = ServiceClient(daemon)
+        client.submit(small_grid().to_dict())
+        start = time.perf_counter()
+        done = client.submit(small_grid().to_dict())
+        elapsed = time.perf_counter() - start
+        assert done["cached"]
+        assert done["solve_counts"]["re_solved"] == 0
+        assert all(row["cache_hit"] for row in done["rows"])
+        # Round trip including socket overhead stays interactive.
+        assert elapsed < 1.0
+
+    def test_interactive_priority_accepted(self, daemon):
+        client = ServiceClient(daemon)
+        done = client.submit(
+            small_grid(sizes=(8,)).to_dict(), priority="interactive"
+        )
+        assert done["status"] == "done"
+
+    def test_bad_grid_is_an_error(self, daemon):
+        client = ServiceClient(daemon)
+        with pytest.raises(ExperimentError, match="bad submit"):
+            client.submit({"nonsense": True})
+
+    def test_status_of_unknown_job(self, daemon):
+        client = ServiceClient(daemon)
+        response = client.status("missing")
+        assert response["event"] == "error"
+
+    def test_unreachable_daemon_raises(self, tmp_path):
+        client = ServiceClient(str(tmp_path / "nowhere.sock"), timeout=2)
+        with pytest.raises(ExperimentError, match="cannot reach"):
+            client.ping()
+
+
+class TestServeCli:
+    def test_serve_and_submit_round_trip(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        socket_path = str(tmp_path / "cli.sock")
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps(small_grid(sizes=(8,)).to_dict()))
+        thread = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve",
+                    "--socket", socket_path,
+                    "--workers", "1",
+                    "--cache-dir", str(tmp_path / "cache"),
+                ],
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 30
+        client = ServiceClient(socket_path, timeout=10)
+        while time.monotonic() < deadline:
+            try:
+                client.ping()
+                break
+            except ExperimentError:
+                time.sleep(0.05)
+        else:
+            raise AssertionError("daemon did not come up")
+        try:
+            code = main(
+                ["submit", "--socket", socket_path, "--grid", str(grid_path)]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "cells (queued)" in out
+            assert "done in" in out
+            code = main(
+                ["submit", "--socket", socket_path, "--grid", str(grid_path),
+                 "--quiet"]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "0 solves" in out
+            assert "(memo answer)" in out
+        finally:
+            client.shutdown()
+            thread.join(timeout=30)
