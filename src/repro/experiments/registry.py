@@ -14,7 +14,8 @@ from typing import Callable
 from repro.exceptions import ExperimentError
 from repro.experiments import extra, fig01, fig02, fig03, fig04, fig05, fig06
 from repro.experiments import fig07, fig08, fig09, fig10, fig11, fig12, fig13
-from repro.experiments import fidelity, growth, resilience, scale, search_study
+from repro.experiments import fidelity, growth, replay_study, resilience
+from repro.experiments import scale, search_study
 from repro.experiments.common import ExperimentResult
 
 
@@ -340,6 +341,15 @@ _register(
             "strategies": ("swap", "rebuild", "fattree_upgrade"),
             "runs": 2,
         },
+    )
+)
+_register(
+    ExperimentSpec(
+        "replay",
+        replay_study.run_replay_study,
+        "Extension: retained throughput over a time-varying VDC trace, "
+        "RRG vs fat-tree",
+        {"k": 6, "steps": 200, "arrival_rate": 2.0},
     )
 )
 _register(

@@ -461,6 +461,112 @@ def _build_parser() -> argparse.ArgumentParser:
         "hotspots; cProfile covers this process only) to PATH "
         "(default: profile_grow.json)",
     )
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a time-varying traffic timeline step by step, "
+        "warm-starting the solver between steps (VDC workload generator "
+        "or a JSON/CSV trace file)",
+    )
+    replay.add_argument(
+        "--name", type=str, default="replay", help="run name for artifacts"
+    )
+    replay.add_argument(
+        "--topology",
+        type=str,
+        default="rrg",
+        help="topology registry kind (default: rrg)",
+    )
+    replay.add_argument(
+        "--topo-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="topology constructor parameter (repeatable)",
+    )
+    replay.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        help="JSON/CSV trace file (step,src,dst,units rows; step 0 is the "
+        "base matrix, later steps are deltas); timeline flags are "
+        "ignored when given",
+    )
+    replay.add_argument(
+        "--timeline",
+        type=str,
+        default="vdc",
+        help="timeline generator registry kind (default: vdc)",
+    )
+    replay.add_argument(
+        "--steps", type=int, default=100, help="generated timeline length"
+    )
+    replay.add_argument(
+        "--timeline-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="timeline generator parameter, e.g. arrival_rate=1.5 "
+        "(repeatable)",
+    )
+    replay.add_argument(
+        "--solver",
+        type=str,
+        default="edge_lp",
+        help="solver registry key; edge_lp and bound re-solve "
+        "incrementally between steps, others fall back to per-step "
+        "cold solves",
+    )
+    replay.add_argument(
+        "--solver-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="solver option (repeatable)",
+    )
+    replay.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the topology build and the timeline generator",
+    )
+    replay.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="timeline steps per work item (the warm-chain unit; "
+        "default: 16)",
+    )
+    replay.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    replay.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="content-addressed result cache directory; replay steps are "
+        "addressed by chained content fingerprints, so a warm re-run "
+        "of the same trace answers every step from the cache",
+    )
+    replay.add_argument(
+        "--manifest",
+        type=str,
+        default=None,
+        help="write a resumable run manifest here",
+    )
+    replay.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="MANIFEST",
+        help="re-attach to an interrupted replay (other flags are ignored)",
+    )
+    replay.add_argument(
+        "--json", type=str, default=None, help="write full replay JSON here"
+    )
+    replay.add_argument(
+        "--csv", type=str, default=None, help="write per-step CSV here"
+    )
+    replay.add_argument(
+        "--quiet", action="store_true", help="suppress per-step progress"
+    )
     return parser
 
 
@@ -697,6 +803,81 @@ def _run_grow(args) -> int:
     return 0
 
 
+def _replay_plan_from_args(args):
+    from repro.flow.solvers import SolverConfig
+    from repro.pipeline.replay import DEFAULT_WINDOW, ReplayPlan
+    from repro.pipeline.scenario import TopologySpec
+    from repro.traffic.timeline import make_timeline, read_trace
+
+    spec = TopologySpec.make(args.topology, **_parse_params(args.topo_param))
+    if args.trace:
+        timeline = read_trace(args.trace)
+    else:
+        topo = spec.build(seed=args.seed)
+        timeline = make_timeline(
+            args.timeline,
+            topo,
+            seed=args.seed,
+            steps=args.steps,
+            **_parse_params(args.timeline_param),
+        )
+    return ReplayPlan(
+        name=args.name,
+        topology=spec,
+        timeline=timeline,
+        solver=SolverConfig.make(
+            args.solver, **_parse_params(args.solver_param)
+        ),
+        seed=args.seed,
+        window=args.window if args.window is not None else DEFAULT_WINDOW,
+    )
+
+
+def _run_replay(args) -> int:
+    from repro.pipeline.replay import resume_replay, run_replay
+
+    def progress(done: int, count: int, cell) -> None:
+        if not args.quiet:
+            mode = cell.replay_mode or ("cached" if cell.cache_hit else "?")
+            print(
+                f"  [{done}/{count}] {cell.scenario.label()}: "
+                f"throughput {cell.throughput:.4f} [{mode}]"
+            )
+
+    if args.resume:
+        result = resume_replay(
+            args.resume, workers=args.workers, progress=progress
+        )
+    else:
+        plan = _replay_plan_from_args(args)
+        print(
+            f"replay {plan.name!r}: {plan.num_steps} steps of "
+            f"{plan.timeline.name!r} on {plan.topology.label()}, "
+            f"window {plan.window}, {args.workers} worker(s)"
+        )
+        result = run_replay(
+            plan,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            progress=progress,
+            manifest=args.manifest,
+        )
+    print(result.summary())
+    retained = result.retained_series()
+    if retained:
+        print(
+            f"retained throughput vs t0: min {min(retained):.4f}, "
+            f"final {retained[-1]:.4f}"
+        )
+    if args.json:
+        result.write_json(args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        result.write_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _run_serve(args) -> int:
     from repro.pipeline.jobs import RetryPolicy
     from repro.service import serve
@@ -824,6 +1005,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.command == "grow":
         return _run_grow(args)
+
+    if args.command == "replay":
+        return _run_replay(args)
 
     ids = list(args.experiments)
     if ids == ["all"]:

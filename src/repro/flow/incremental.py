@@ -59,11 +59,18 @@ DEFAULT_METHOD = "highs-ipm"
 _MEMO_MAX = 4
 
 _MEMO: "OrderedDict[tuple, EdgeLPModel]" = OrderedDict()
-_STATS = {"built": 0, "memo_hits": 0, "solves": 0, "swaps": 0}
+_STATS = {
+    "built": 0,
+    "memo_hits": 0,
+    "solves": 0,
+    "swaps": 0,
+    "demand_deltas": 0,
+}
 
 
 def model_stats() -> dict:
-    """Counters since the last reset: built / memo_hits / solves / swaps."""
+    """Counters since the last reset: built / memo_hits / solves / swaps /
+    demand_deltas."""
     return dict(_STATS)
 
 
@@ -95,6 +102,7 @@ class EdgeLPModel:
         topo: Topology,
         traffic: TrafficMatrix,
         method: str = DEFAULT_METHOD,
+        sources: "str | None" = None,
     ) -> None:
         traffic.validate_against(topo.switches)
         if not traffic.demands:
@@ -102,16 +110,29 @@ class EdgeLPModel:
         arcs = topo.arcs()
         if not arcs:
             raise FlowError("topology has no links")
+        if sources not in (None, "all"):
+            raise FlowError(f"sources must be None or 'all', got {sources!r}")
         self.method = method
         self.name = f"{topo.name}/{traffic.name}"
         self.num_swaps = 0
         self.num_solves = 0
+        self.num_demand_deltas = 0
 
         nodes = topo.switches
         self._node_index = {node: i for i, node in enumerate(nodes)}
         self._nodes = list(nodes)
         num_nodes = len(nodes)
         commodities = _aggregate_by_source(traffic)
+        if sources == "all":
+            # One commodity per switch, demand or not: zero-demand
+            # commodities cost columns but keep the fixed layout valid for
+            # *any* later demand delta (a new source just fills its slot).
+            by_source = dict(commodities)
+            commodities = [
+                (node, by_source.get(node, {}))
+                for node in sorted(nodes, key=repr)
+            ]
+        self._sources_mode = sources
         num_arcs = len(arcs)
         num_commodities = len(commodities)
         self._num_nodes = num_nodes
@@ -156,60 +177,26 @@ class EdgeLPModel:
         arc_data[0::2] = 1.0
         arc_data[1::2] = -1.0
 
-        dest_commodity = np.fromiter(
-            (k for k, (_, dests) in enumerate(commodities) for _ in dests),
-            dtype=np.int64,
-        )
-        dest_nodes = np.fromiter(
-            (self._node_index[v] for _, dests in commodities for v in dests),
-            dtype=np.int64,
-            count=len(dest_commodity),
-        )
-        if np.any(
-            dest_nodes
-            == np.fromiter(
-                (
-                    self._node_index[source]
-                    for source, dests in commodities
-                    for _ in dests
-                ),
-                dtype=np.int64,
-                count=len(dest_commodity),
-            )
-        ):
-            raise FlowError("a commodity demands traffic to itself")
-        dest_units = np.fromiter(
-            (units for _, dests in commodities for units in dests.values()),
-            dtype=np.float64,
-            count=len(dest_commodity),
-        )
-        src_rows = np.fromiter(
-            (
-                k * num_nodes + self._node_index[source]
-                for k, (source, _) in enumerate(commodities)
-            ),
-            dtype=np.int64,
-            count=num_commodities,
-        )
-        src_totals = np.zeros(num_commodities)
-        np.add.at(src_totals, dest_commodity, dest_units)
-        t_rows = np.concatenate(
-            (dest_commodity * num_nodes + dest_nodes, src_rows)
-        )
-        t_vals = np.concatenate((-dest_units, src_totals))
-        t_order = np.argsort(t_rows, kind="stable")
+        for source, dests in commodities:
+            if source in dests:
+                raise FlowError("a commodity demands traffic to itself")
+        self._commodity_sources = [source for source, _ in commodities]
+        self._commodity_index = {
+            source: k for k, (source, _) in enumerate(commodities)
+        }
+        self._commodity_dests = [dict(dests) for _, dests in commodities]
 
-        self._eq_indices = np.concatenate(
-            (arc_indices.reshape(-1), t_rows[t_order])
-        )
-        self._eq_data = np.concatenate((arc_data, t_vals[t_order]))
+        self._arc_nnz = 2 * num_commodities * num_arcs
+        self._eq_indices = arc_indices.reshape(-1)
+        self._eq_data = arc_data
         self._eq_indptr = np.empty(num_vars + 1, dtype=np.int64)
         self._eq_indptr[: num_vars] = np.arange(
             0, 2 * num_commodities * num_arcs + 1, 2, dtype=np.int64
         )
-        self._eq_indptr[num_vars] = self._eq_indptr[num_vars - 1] + len(t_rows)
+        self._eq_indptr[num_vars] = self._eq_indptr[num_vars - 1]
         self._num_eq_rows = num_commodities * num_nodes
         self._b_eq = np.zeros(self._num_eq_rows)
+        self._rebuild_t_column()
 
         # Capacity block: sum over commodities of flow on arc slot j <=
         # capacity(j). Column-to-row pattern is layout-only; b_ub moves
@@ -301,6 +288,125 @@ class EdgeLPModel:
         self.num_swaps += 1
         _STATS["swaps"] += 1
 
+    def _rebuild_t_column(self) -> None:
+        """Regenerate the throughput column's CSC tail from demand state.
+
+        The t-column is the *last* CSC column, so its entries are the tail
+        of ``_eq_data`` / ``_eq_indices`` — regenerating it touches no arc
+        slot and costs O(demand pairs + commodities), tiny next to a solve.
+        """
+        num_nodes = self._num_nodes
+        dest_commodity = np.fromiter(
+            (
+                k
+                for k, dests in enumerate(self._commodity_dests)
+                for _ in dests
+            ),
+            dtype=np.int64,
+        )
+        dest_nodes = np.fromiter(
+            (
+                self._node_index[v]
+                for dests in self._commodity_dests
+                for v in dests
+            ),
+            dtype=np.int64,
+            count=len(dest_commodity),
+        )
+        dest_units = np.fromiter(
+            (
+                units
+                for dests in self._commodity_dests
+                for units in dests.values()
+            ),
+            dtype=np.float64,
+            count=len(dest_commodity),
+        )
+        src_rows = np.fromiter(
+            (
+                k * num_nodes + self._node_index[source]
+                for k, source in enumerate(self._commodity_sources)
+            ),
+            dtype=np.int64,
+            count=self._num_commodities,
+        )
+        src_totals = np.zeros(self._num_commodities)
+        np.add.at(src_totals, dest_commodity, dest_units)
+        t_rows = np.concatenate(
+            (dest_commodity * num_nodes + dest_nodes, src_rows)
+        )
+        t_vals = np.concatenate((-dest_units, src_totals))
+        t_order = np.argsort(t_rows, kind="stable")
+        arc_nnz = self._arc_nnz
+        self._eq_indices = np.concatenate(
+            (self._eq_indices[:arc_nnz], t_rows[t_order])
+        )
+        self._eq_data = np.concatenate(
+            (self._eq_data[:arc_nnz], t_vals[t_order])
+        )
+        self._eq_indptr[self._t_col + 1] = arc_nnz + len(t_rows)
+
+    def apply_demand_delta(self, delta) -> None:
+        """Fold a :class:`~repro.traffic.timeline.DemandDelta` in place.
+
+        Only the throughput column (the CSC tail) and ``total_demand``
+        change — arc columns, the capacity block, bounds, and objective
+        are untouched, mirroring :meth:`apply_swap`'s slot discipline.
+        Reverting is ``apply_demand_delta(delta.inverse())``.
+
+        A delta whose source has no commodity slot raises
+        :class:`FlowError` unless the model was built with
+        ``sources="all"`` (one commodity per switch, so every source has
+        a slot); callers fall back to a cold rebuild in that case. The
+        model is left untouched on any validation failure.
+        """
+        from repro.traffic.timeline import ZERO_DEMAND_TOLERANCE
+
+        pending: dict = {}
+        total_change = 0.0
+        for (u, v), units in delta.changes:
+            k = self._commodity_index.get(u)
+            if k is None:
+                if u not in self._node_index:
+                    raise FlowError(
+                        f"delta source {u!r} is not a switch in the model"
+                    )
+                raise FlowError(
+                    f"delta adds new source {u!r}; only models built with "
+                    "sources='all' can warm-start new sources — rebuild cold"
+                )
+            if v not in self._node_index:
+                raise FlowError(
+                    f"delta destination {v!r} is not a switch in the model"
+                )
+            key = (k, v)
+            current = pending.get(key)
+            if current is None:
+                current = self._commodity_dests[k].get(v, 0.0)
+            new_units = current + units
+            if new_units < -ZERO_DEMAND_TOLERANCE:
+                raise FlowError(
+                    f"delta {delta.label!r} drives demand for ({u!r}, {v!r}) "
+                    f"negative ({new_units})"
+                )
+            pending[key] = new_units
+            total_change += units
+        if self.total_demand + total_change <= ZERO_DEMAND_TOLERANCE:
+            raise FlowError(
+                f"delta {delta.label!r} leaves no network demand to solve"
+            )
+        for (k, v), new_units in pending.items():
+            if abs(new_units) <= ZERO_DEMAND_TOLERANCE:
+                self._commodity_dests[k].pop(v, None)
+            else:
+                self._commodity_dests[k][v] = new_units
+        self.total_demand = float(
+            sum(sum(dests.values()) for dests in self._commodity_dests)
+        )
+        self._rebuild_t_column()
+        self.num_demand_deltas += 1
+        _STATS["demand_deltas"] += 1
+
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
@@ -357,9 +463,16 @@ class EdgeLPModel:
         """An independent model with the same current instance."""
         clone = object.__new__(EdgeLPModel)
         clone.__dict__.update(self.__dict__)
-        for attr in ("_arc_tail", "_arc_head", "_eq_indices"):
+        for attr in (
+            "_arc_tail",
+            "_arc_head",
+            "_eq_indices",
+            "_eq_data",
+            "_eq_indptr",
+        ):
             setattr(clone, attr, getattr(self, attr).copy())
         clone._arc_slot = dict(self._arc_slot)
+        clone._commodity_dests = [dict(d) for d in self._commodity_dests]
         return clone
 
 
@@ -368,23 +481,30 @@ def model_for(
     traffic: TrafficMatrix,
     method: str = DEFAULT_METHOD,
     mutable: bool = False,
+    sources: "str | None" = None,
 ) -> EdgeLPModel:
     """A (memoized) :class:`EdgeLPModel` for this exact instance.
 
     Keyed by content fingerprints, so repeated pipeline stages touching
     the same (topology, traffic) pair share one assembly. ``mutable=True``
-    returns a private copy safe to :meth:`~EdgeLPModel.apply_swap` — the
-    memoized original must keep matching its fingerprint key.
+    returns a private copy safe to :meth:`~EdgeLPModel.apply_swap` /
+    :meth:`~EdgeLPModel.apply_demand_delta` — the memoized original must
+    keep matching its fingerprint key.
     """
     from repro.pipeline.fingerprint import (
         topology_fingerprint,
         traffic_fingerprint,
     )
 
-    key = (topology_fingerprint(topo), traffic_fingerprint(traffic), method)
+    key = (
+        topology_fingerprint(topo),
+        traffic_fingerprint(traffic),
+        method,
+        sources,
+    )
     model = _MEMO.get(key)
     if model is None:
-        model = EdgeLPModel(topo, traffic, method=method)
+        model = EdgeLPModel(topo, traffic, method=method, sources=sources)
         _MEMO[key] = model
         while len(_MEMO) > _MEMO_MAX:
             _MEMO.popitem(last=False)

@@ -199,6 +199,136 @@ def demand_hop_sum(
     return total * scale
 
 
+class DemandHopTracker:
+    """Incrementally-maintained :func:`demand_hop_sum` for demand deltas.
+
+    Built once per topology, the tracker caches each demand source's BFS
+    distance row (distances depend only on the topology, which replay
+    holds fixed) and its per-source hop-sum contribution. Applying a
+    :class:`~repro.traffic.timeline.DemandDelta` re-prices **only the
+    touched sources** — an O(changed pairs) dictionary update per source
+    already priced, one BFS for a source never seen — so
+    ``estimate_bound`` re-prices a timestep without the all-source sweep.
+
+    Exact (no ``max_sources`` sampling): replay compares steps against
+    each other, where sampling noise would swamp small deltas.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        traffic: TrafficMatrix,
+        chunk_size: int = 512,
+    ) -> None:
+        if not traffic.demands:
+            raise TopologyError("traffic matrix has no network demands")
+        check_positive_int(chunk_size, "chunk_size")
+        import networkx as nx
+
+        self._topo = topo
+        self._nodes = topo.switches
+        self._index = {node: i for i, node in enumerate(self._nodes)}
+        self._chunk_size = chunk_size
+        from repro.estimate.batch import active_artifacts
+
+        store = active_artifacts()
+        if store is not None:
+            self._adjacency = store.csr_adjacency(topo)
+        else:
+            self._adjacency = nx.to_scipy_sparse_array(
+                topo.graph, nodelist=self._nodes, weight=None, format="csr"
+            )
+        self._by_source: dict = {}
+        for (u, v), units in traffic.demands.items():
+            for node in (u, v):
+                if node not in self._index:
+                    raise TopologyError(
+                        f"demand endpoint {node!r} is not a switch"
+                    )
+            self._by_source.setdefault(u, {})[v] = units
+        self._dist_rows: dict = {}
+        self._source_sums: dict = {}
+        self.num_repriced = 0
+        self._price_sources(sorted(self._by_source, key=repr))
+        self.total = float(sum(self._source_sums.values()))
+
+    # ------------------------------------------------------------------
+    def _price_sources(self, sources: list) -> None:
+        """(Re)compute hop-sum contributions for ``sources``."""
+        import numpy as np
+        from scipy.sparse import csgraph
+
+        missing = [u for u in sources if u not in self._dist_rows]
+        for start in range(0, len(missing), self._chunk_size):
+            batch = missing[start : start + self._chunk_size]
+            rows = np.fromiter(
+                (self._index[u] for u in batch),
+                dtype=np.int64,
+                count=len(batch),
+            )
+            distances = csgraph.dijkstra(
+                self._adjacency, unweighted=True, indices=rows
+            )
+            for offset, source in enumerate(batch):
+                self._dist_rows[source] = distances[offset]
+        import math
+
+        for source in sources:
+            row = self._dist_rows[source]
+            dests = self._by_source.get(source, {})
+            subtotal = 0.0
+            for v, units in dests.items():
+                hops = float(row[self._index[v]])
+                if not math.isfinite(hops):
+                    raise TopologyError(
+                        f"demand {source!r}->{v!r} has no path in "
+                        f"{self._topo.name!r}"
+                    )
+                subtotal += units * hops
+            self._source_sums[source] = subtotal
+            self.num_repriced += 1
+
+    def apply_delta(self, delta) -> float:
+        """Fold a delta in; returns the new total hop sum.
+
+        Raises :class:`TopologyError` on unknown endpoints or a pair
+        driven negative, leaving the tracker untouched in that case.
+        """
+        from repro.traffic.timeline import ZERO_DEMAND_TOLERANCE
+
+        pending: dict = {}
+        for (u, v), units in delta.changes:
+            for node in (u, v):
+                if node not in self._index:
+                    raise TopologyError(
+                        f"delta endpoint {node!r} is not a switch"
+                    )
+            current = pending.get((u, v))
+            if current is None:
+                current = self._by_source.get(u, {}).get(v, 0.0)
+            new_units = current + units
+            if new_units < -ZERO_DEMAND_TOLERANCE:
+                raise TopologyError(
+                    f"delta {delta.label!r} drives demand for ({u!r}, {v!r}) "
+                    f"negative ({new_units})"
+                )
+            pending[(u, v)] = new_units
+        touched: dict = {}
+        for (u, v), new_units in pending.items():
+            dests = self._by_source.setdefault(u, {})
+            if abs(new_units) <= ZERO_DEMAND_TOLERANCE:
+                dests.pop(v, None)
+            else:
+                dests[v] = new_units
+            touched.setdefault(u, None)
+        self._price_sources(sorted(touched, key=repr))
+        for u in list(touched):
+            if not self._by_source.get(u):
+                self._by_source.pop(u, None)
+        self.total = float(sum(self._source_sums.values()))
+        return self.total
+
+
 # ----------------------------------------------------------------------
 # Path enumeration
 # ----------------------------------------------------------------------

@@ -50,6 +50,15 @@ from repro.pipeline.fingerprint import (
     traffic_fingerprint,
 )
 from repro.pipeline.jobs import GridJob, ItemState, RetryPolicy, WorkItem
+from repro.pipeline.replay import (
+    ReplayJob,
+    ReplayPlan,
+    ReplayResult,
+    ReplayStep,
+    evaluate_window,
+    resume_replay,
+    run_replay,
+)
 from repro.pipeline.scenario import (
     Scenario,
     ScenarioGrid,
@@ -92,6 +101,13 @@ __all__ = [
     "solver_fingerprint",
     "topology_fingerprint",
     "traffic_fingerprint",
+    "ReplayJob",
+    "ReplayPlan",
+    "ReplayResult",
+    "ReplayStep",
+    "evaluate_window",
+    "resume_replay",
+    "run_replay",
     "Scenario",
     "ScenarioGrid",
     "TopologySpec",

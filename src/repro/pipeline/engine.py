@@ -145,6 +145,12 @@ class CellResult:
     #: when absent — exact solves, or uncalibrated estimator runs).
     error_lo: "float | None" = None
     error_hi: "float | None" = None
+    #: How a replay step was obtained — ``"cold"`` (fresh model build),
+    #: ``"warm"`` (incremental delta re-solve), ``"cache"`` (content
+    #: address hit), or ``"fallback"`` (per-step cold solve for a solver
+    #: without a warm path). ``None`` outside the replay path; excluded
+    #: from ``FIELDS``/``row()`` so CSV artifacts are unchanged.
+    replay_mode: "str | None" = None
 
     #: Column order shared by CSV artifacts and the summary table.
     FIELDS = (
@@ -211,6 +217,10 @@ def evaluate_cell(
     both the degraded links and the policy enter the cache key, so
     degraded and intact solves never collide.
     """
+    if getattr(scenario, "is_replay_step", False):
+        from repro.pipeline.replay import evaluate_window
+
+        return evaluate_window([scenario], cache=cache)[0]
     start = time.perf_counter()
     topo, traffic = scenario.build()
     solver_config = scenario.effective_solver()
@@ -317,6 +327,12 @@ def evaluate_batch(
     if not scenarios:
         return []
     first = scenarios[0]
+    if getattr(first, "is_replay_step", False):
+        # Replay windows ride the same work-item plumbing; their steps
+        # solve sequentially with warm starts instead of instance sharing.
+        from repro.pipeline.replay import evaluate_window
+
+        return evaluate_window(list(scenarios), cache=cache)
     key0 = _instance_key(first)
     for scenario in scenarios[1:]:
         if _instance_key(scenario) != key0:

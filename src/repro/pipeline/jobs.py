@@ -143,6 +143,7 @@ def _cell_payload(cell) -> dict:
         "is_estimate": cell.is_estimate,
         "error_lo": cell.error_lo,
         "error_hi": cell.error_hi,
+        "replay_mode": cell.replay_mode,
     }
 
 
@@ -168,8 +169,6 @@ class GridJob:
         manifest_path: "str | os.PathLike | None" = None,
         run_id: "str | None" = None,
     ) -> None:
-        from repro.pipeline.engine import group_cells
-
         self.grid = grid
         self.batch = bool(batch)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -182,13 +181,7 @@ class GridJob:
         self._lock = threading.Lock()
         cells = grid.cells()
         self.results: "list | None" = [None] * len(cells)
-        if self.batch:
-            shards = [
-                tuple(group) for group in group_cells(cells)
-            ]
-        else:
-            # The reference path: one cell per item, grid order.
-            shards = [((index, cell),) for index, cell in enumerate(cells)]
+        shards = self._shards(cells)
         self.items: "list[WorkItem]" = [
             WorkItem(
                 item_id=item_id,
@@ -199,6 +192,26 @@ class GridJob:
         ]
         #: Grid indices restored from a manifest (skipped on resume).
         self.restored_indices: "frozenset[int]" = frozenset()
+
+    def _shards(self, cells: list) -> "list[tuple]":
+        """Decompose cells into work-item groups of ``(index, cell)``.
+
+        Subclasses override to change the shard unit (the replay job
+        windows consecutive timeline steps); the default is the
+        shared-instance batching of :func:`~repro.pipeline.engine.
+        group_cells`, or one cell per item when ``batch`` is off.
+        """
+        from repro.pipeline.engine import group_cells
+
+        if self.batch:
+            return [tuple(group) for group in group_cells(cells)]
+        # The reference path: one cell per item, grid order.
+        return [((index, cell),) for index, cell in enumerate(cells)]
+
+    @classmethod
+    def _grid_from_manifest(cls, payload: dict):
+        """Rebuild the grid object recorded in a manifest (overridable)."""
+        return ScenarioGrid.from_dict(payload["grid"])
 
     # -- introspection -------------------------------------------------
 
@@ -439,7 +452,7 @@ class GridJob:
                 f"manifest {manifest_path}: schema_version {version!r} "
                 f"(expected {MANIFEST_SCHEMA_VERSION})"
             )
-        grid = ScenarioGrid.from_dict(payload["grid"])
+        grid = cls._grid_from_manifest(payload)
         job = cls(
             grid,
             batch=bool(payload.get("batch", True)),

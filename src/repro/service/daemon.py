@@ -46,6 +46,19 @@ def _encode(message: dict) -> bytes:
     return (json.dumps(message) + "\n").encode("utf-8")
 
 
+async def _send(writer, message: dict) -> None:
+    """Write one JSON-lines message and honor transport backpressure.
+
+    Every reply on the socket surface goes through here: ``drain()``
+    after each write is what bounds the daemon's buffered output by the
+    kernel socket buffer — a slow or paused reader then pauses its own
+    stream instead of growing the process heap (most visible on the
+    memo-answer path, which emits a whole grid's cells in one burst).
+    """
+    writer.write(_encode(message))
+    await writer.drain()
+
+
 class EvalDaemon:
     """Bind an :class:`EvalService` to a unix socket (and optional HTTP)."""
 
@@ -112,13 +125,12 @@ class EvalDaemon:
                 try:
                     request = json.loads(line)
                 except json.JSONDecodeError as exc:
-                    writer.write(
-                        _encode({"event": "error", "error": f"bad JSON: {exc}"})
+                    await _send(
+                        writer,
+                        {"event": "error", "error": f"bad JSON: {exc}"},
                     )
-                    await writer.drain()
                     continue
                 await self._dispatch(request, writer)
-                await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
         except asyncio.CancelledError:
@@ -135,29 +147,30 @@ class EvalDaemon:
     async def _dispatch(self, request: dict, writer) -> None:
         op = request.get("op")
         if op == "ping":
-            writer.write(_encode({"event": "pong", "time": time.time()}))
+            await _send(writer, {"event": "pong", "time": time.time()})
         elif op == "stats":
-            writer.write(
-                _encode({"event": "stats", "stats": self.service.stats()})
+            await _send(
+                writer, {"event": "stats", "stats": self.service.stats()}
             )
         elif op == "status":
-            writer.write(_encode(self._status(request.get("job_id"))))
+            await _send(writer, self._status(request.get("job_id")))
         elif op == "cancel":
             job_id = request.get("job_id")
             ok = self.service.cancel(job_id) if job_id else False
-            writer.write(
-                _encode({"event": "cancelled" if ok else "error",
-                         "job_id": job_id,
-                         **({} if ok else {"error": "unknown or finished job"})})
+            await _send(
+                writer,
+                {"event": "cancelled" if ok else "error",
+                 "job_id": job_id,
+                 **({} if ok else {"error": "unknown or finished job"})},
             )
         elif op == "submit":
             await self._submit(request, writer)
         elif op == "shutdown":
-            writer.write(_encode({"event": "stopping"}))
+            await _send(writer, {"event": "stopping"})
             self.request_shutdown()
         else:
-            writer.write(
-                _encode({"event": "error", "error": f"unknown op {op!r}"})
+            await _send(
+                writer, {"event": "error", "error": f"unknown op {op!r}"}
             )
 
     def _status(self, job_id: "str | None") -> dict:
@@ -178,8 +191,8 @@ class EvalDaemon:
             priority = request.get("priority", "bulk")
             batch = bool(request.get("batch", True))
         except Exception as exc:
-            writer.write(
-                _encode({"event": "error", "error": f"bad submit: {exc}"})
+            await _send(
+                writer, {"event": "error", "error": f"bad submit: {exc}"}
             )
             return
 
@@ -203,43 +216,43 @@ class EvalDaemon:
                 on_done=on_done,
             )
         except Exception as exc:
-            writer.write(
-                _encode({"event": "error", "error": f"{type(exc).__name__}: {exc}"})
+            await _send(
+                writer,
+                {"event": "error", "error": f"{type(exc).__name__}: {exc}"},
             )
             return
 
-        writer.write(
-            _encode(
-                {
-                    "event": "accepted",
-                    "job_id": job_id,
-                    "cells": len(grid),
-                    "cached": cached is not None,
-                }
-            )
+        await _send(
+            writer,
+            {
+                "event": "accepted",
+                "job_id": job_id,
+                "cells": len(grid),
+                "cached": cached is not None,
+            },
         )
         if cached is not None:
             # Memo answer: every cell is already in hand — no queue, no
             # workers; the elapsed time here is the microseconds-path.
             for index, cell in enumerate(cached):
-                writer.write(
-                    _encode({"event": "cell", "index": index, "row": cell.row()})
+                await _send(
+                    writer,
+                    {"event": "cell", "index": index, "row": cell.row()},
                 )
-            writer.write(
-                _encode(
-                    {
-                        "event": "done",
-                        "job_id": job_id,
-                        "status": "done",
-                        "cached": True,
-                        "solve_counts": {
-                            "re_solved": 0,
-                            "cache_hit": len(cached),
-                            "skipped": 0,
-                        },
-                        "elapsed_s": time.perf_counter() - start,
-                    }
-                )
+            await _send(
+                writer,
+                {
+                    "event": "done",
+                    "job_id": job_id,
+                    "status": "done",
+                    "cached": True,
+                    "solve_counts": {
+                        "re_solved": 0,
+                        "cache_hit": len(cached),
+                        "skipped": 0,
+                    },
+                    "elapsed_s": time.perf_counter() - start,
+                },
             )
             return
 
@@ -247,10 +260,10 @@ class EvalDaemon:
             kind, *payload = await events.get()
             if kind == "cell":
                 index, cell = payload
-                writer.write(
-                    _encode({"event": "cell", "index": index, "row": cell.row()})
+                await _send(
+                    writer,
+                    {"event": "cell", "index": index, "row": cell.row()},
                 )
-                await writer.drain()
                 continue
             (done_handle,) = payload
             message = {
@@ -271,7 +284,7 @@ class EvalDaemon:
                     if done_handle.error is not None
                     else "failed"
                 )
-            writer.write(_encode(message))
+            await _send(writer, message)
             return
 
     # -- minimal HTTP --------------------------------------------------

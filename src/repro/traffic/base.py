@@ -59,6 +59,8 @@ class TrafficMatrix:
     num_flows: int = 0
     num_local_flows: int = 0
     server_pairs: "list[tuple[ServerId, ServerId]] | None" = None
+    scale_base: "str | None" = None
+    scale_factor: float = 1.0
 
     def __post_init__(self) -> None:
         cleaned: dict = {}
@@ -104,15 +106,25 @@ class TrafficMatrix:
         return float(self.demands.get((u, v), 0.0))
 
     def scaled(self, factor: float) -> "TrafficMatrix":
-        """Return a copy with every switch-level demand multiplied."""
+        """Return a copy with every switch-level demand multiplied.
+
+        Repeated application accumulates into one factor against the
+        original name (``tm.scaled(2).scaled(2)`` is labelled ``"... x4"``,
+        not ``"... x2 x2"``): the pre-scale name and the cumulative factor
+        are carried in :attr:`scale_base` / :attr:`scale_factor`.
+        """
         if factor <= 0:
             raise TrafficError(f"scale factor must be positive, got {factor}")
+        base_name = self.scale_base if self.scale_base is not None else self.name
+        cumulative = self.scale_factor * factor
         return TrafficMatrix(
-            name=f"{self.name} x{factor:g}",
+            name=f"{base_name} x{cumulative:g}",
             demands={pair: units * factor for pair, units in self.demands.items()},
             num_flows=self.num_flows,
             num_local_flows=self.num_local_flows,
             server_pairs=self.server_pairs,
+            scale_base=base_name,
+            scale_factor=cumulative,
         )
 
     def validate_against(self, switches: Iterable) -> None:
@@ -123,6 +135,61 @@ class TrafficMatrix:
                 raise TrafficError(f"demand source {u!r} is not a switch")
             if v not in known:
                 raise TrafficError(f"demand destination {v!r} is not a switch")
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (switch ids encoded, demands repr-sorted).
+
+        Round-trips through :meth:`from_dict`. Scale bookkeeping is not
+        serialized — a scaled matrix re-loads as a plain matrix whose name
+        already carries the cumulative factor.
+        """
+        from repro.topology.serialization import encode_node
+
+        demands = sorted(
+            (
+                [encode_node(u), encode_node(v), units]
+                for (u, v), units in self.demands.items()
+            ),
+            key=lambda entry: (str(entry[0]), str(entry[1])),
+        )
+        payload: dict = {
+            "name": self.name,
+            "demands": demands,
+            "num_flows": self.num_flows,
+            "num_local_flows": self.num_local_flows,
+        }
+        if self.server_pairs is not None:
+            payload["server_pairs"] = [
+                [
+                    [encode_node(src[0]), int(src[1])],
+                    [encode_node(dst[0]), int(dst[1])],
+                ]
+                for src, dst in self.server_pairs
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TrafficMatrix":
+        """Invert :meth:`to_dict`."""
+        from repro.topology.serialization import decode_node
+
+        demands = {
+            (decode_node(u), decode_node(v)): float(units)
+            for u, v, units in payload["demands"]
+        }
+        server_pairs = None
+        if payload.get("server_pairs") is not None:
+            server_pairs = [
+                ((decode_node(s), int(i)), (decode_node(d), int(j)))
+                for (s, i), (d, j) in payload["server_pairs"]
+            ]
+        return cls(
+            name=str(payload["name"]),
+            demands=demands,
+            num_flows=int(payload.get("num_flows", 0)),
+            num_local_flows=int(payload.get("num_local_flows", 0)),
+            server_pairs=server_pairs,
+        )
 
     @classmethod
     def from_server_pairs(

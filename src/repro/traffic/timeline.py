@@ -1,0 +1,543 @@
+"""Time-varying traffic: a timeline of demand deltas over a base matrix.
+
+A :class:`TrafficTimeline` is the trace-driven workload kind: an ordered
+sequence of :class:`DemandDelta` records applied to a base
+:class:`~repro.traffic.base.TrafficMatrix`. Step 0 is the base matrix;
+step ``i`` is the base with the first ``i`` deltas folded in. The replay
+pipeline (:mod:`repro.pipeline.replay`) walks the timeline with
+warm-started incremental solves instead of ``num_steps`` cold ones.
+
+Deltas are purely *additive* per-pair changes: remove and scale are
+expressed as additive changes computed against the current matrix (see
+:meth:`DemandDelta.removing` / :meth:`DemandDelta.scaling`). This keeps
+the algebra trivially invertible — ``delta.inverse()`` undoes ``delta``
+exactly whenever demands are integer-valued unit flows (the VDC
+generator's case; general floats are exact up to cancellation error).
+
+Content addressing: :meth:`TrafficTimeline.step_fingerprints` chains a
+digest per step from the base matrix's fingerprint, so the result cache
+can address step ``i`` by *cumulative content* without materializing the
+matrix. Two timelines share a step's cache entry iff they share the base
+and the whole delta prefix. Delta labels are excluded from fingerprints
+(labels never affect the solve, matching
+:mod:`repro.pipeline.fingerprint`).
+
+Trace formats (:func:`read_trace` / :func:`write_trace`):
+
+- ``.json`` — the :meth:`TrafficTimeline.to_dict` schema.
+- ``.csv`` — ``step,src,dst,units`` rows; ``step == 0`` rows give the
+  base matrix's absolute units, ``step >= 1`` rows are additive deltas
+  for that step. Switch ids that look like integers are parsed as ints.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.exceptions import TrafficError
+from repro.traffic.base import TrafficMatrix
+from repro.util.hashing import stable_digest
+
+#: Demands smaller than this after applying a delta are treated as zero
+#: and dropped (guards float cancellation residue on non-integer units).
+ZERO_DEMAND_TOLERANCE = 1e-12
+
+
+def _encode_pair_key(u, v) -> tuple[str, str]:
+    return (str(u), str(v))
+
+
+@dataclass(frozen=True)
+class DemandDelta:
+    """One timestep's additive change to a switch-level demand matrix.
+
+    ``changes`` maps ``(src, dst) -> delta_units``; positive adds demand,
+    negative removes it. Entries are normalized at construction: zero
+    deltas dropped, duplicates merged, and the tuple repr-sorted so equal
+    deltas are equal objects and fingerprints are iteration-order-stable.
+    """
+
+    label: str
+    changes: tuple = ()
+    num_flows_delta: int = 0
+    num_local_flows_delta: int = 0
+
+    def __post_init__(self) -> None:
+        merged: dict = {}
+        for (u, v), units in self.changes:
+            if u == v:
+                raise TrafficError(
+                    f"delta touches self-pair ({u!r}, {u!r}); local flows "
+                    "are tracked via num_local_flows_delta"
+                )
+            units = float(units)
+            if units == 0.0:
+                continue
+            key = (u, v)
+            merged[key] = merged.get(key, 0.0) + units
+        normalized = tuple(
+            sorted(
+                ((pair, units) for pair, units in merged.items() if units != 0.0),
+                key=lambda item: _encode_pair_key(*item[0]),
+            )
+        )
+        object.__setattr__(self, "changes", normalized)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_changes(self) -> int:
+        return len(self.changes)
+
+    def touched_pairs(self) -> list[tuple]:
+        """Switch pairs whose demand this delta modifies."""
+        return [pair for pair, _ in self.changes]
+
+    def touched_sources(self) -> list:
+        """Distinct source switches touched, repr-sorted."""
+        seen: dict = {}
+        for (u, _), _ in self.changes:
+            seen.setdefault(u, None)
+        return sorted(seen, key=str)
+
+    def inverse(self) -> "DemandDelta":
+        """The delta that exactly undoes this one."""
+        return DemandDelta(
+            label=f"undo {self.label}",
+            changes=tuple((pair, -units) for pair, units in self.changes),
+            num_flows_delta=-self.num_flows_delta,
+            num_local_flows_delta=-self.num_local_flows_delta,
+        )
+
+    def apply(self, matrix: TrafficMatrix, name: str | None = None) -> TrafficMatrix:
+        """Return a new matrix with this delta folded in.
+
+        Raises :class:`TrafficError` if any pair would go meaningfully
+        negative (beyond :data:`ZERO_DEMAND_TOLERANCE`) or a flow count
+        would drop below zero.
+        """
+        demands = dict(matrix.demands)
+        for pair, units in self.changes:
+            new_units = demands.get(pair, 0.0) + units
+            if new_units < -ZERO_DEMAND_TOLERANCE:
+                raise TrafficError(
+                    f"delta {self.label!r} drives demand for {pair!r} "
+                    f"negative ({new_units})"
+                )
+            if abs(new_units) <= ZERO_DEMAND_TOLERANCE:
+                demands.pop(pair, None)
+            else:
+                demands[pair] = new_units
+        num_flows = matrix.num_flows + self.num_flows_delta
+        num_local = matrix.num_local_flows + self.num_local_flows_delta
+        if num_flows < 0 or num_local < 0:
+            raise TrafficError(
+                f"delta {self.label!r} drives flow counts negative "
+                f"({num_flows}, {num_local})"
+            )
+        return TrafficMatrix(
+            name=name if name is not None else matrix.name,
+            demands=demands,
+            num_flows=num_flows,
+            num_local_flows=num_local,
+        )
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def adding(
+        cls,
+        pairs: Mapping,
+        label: str = "add",
+        num_flows_delta: int | None = None,
+    ) -> "DemandDelta":
+        """Delta that adds ``pairs`` (``(u, v) -> units``) of new demand."""
+        changes = tuple((pair, float(units)) for pair, units in pairs.items())
+        if num_flows_delta is None:
+            num_flows_delta = int(round(sum(units for _, units in changes)))
+        return cls(label=label, changes=changes, num_flows_delta=num_flows_delta)
+
+    @classmethod
+    def removing(
+        cls,
+        matrix: TrafficMatrix,
+        pairs: Iterable,
+        label: str = "remove",
+    ) -> "DemandDelta":
+        """Delta that removes the listed pairs' current demand entirely."""
+        changes = []
+        removed = 0.0
+        for pair in pairs:
+            units = matrix.demands.get(pair)
+            if units is None:
+                raise TrafficError(f"cannot remove absent pair {pair!r}")
+            changes.append((pair, -units))
+            removed += units
+        return cls(
+            label=label,
+            changes=tuple(changes),
+            num_flows_delta=-int(round(removed)),
+        )
+
+    @classmethod
+    def scaling(
+        cls,
+        matrix: TrafficMatrix,
+        factor: float,
+        pairs: Iterable | None = None,
+        label: str | None = None,
+    ) -> "DemandDelta":
+        """Delta that multiplies current demand on ``pairs`` by ``factor``.
+
+        Expressed additively against ``matrix`` (``delta = old*(f-1)``),
+        so it only composes correctly when applied to that matrix state.
+        """
+        if factor < 0:
+            raise TrafficError(f"scale factor must be >= 0, got {factor}")
+        if pairs is None:
+            pairs = list(matrix.demands)
+        changes = []
+        for pair in pairs:
+            units = matrix.demands.get(pair)
+            if units is None:
+                raise TrafficError(f"cannot scale absent pair {pair!r}")
+            changes.append((pair, units * (factor - 1.0)))
+        return cls(
+            label=label if label is not None else f"scale x{factor:g}",
+            changes=tuple(changes),
+        )
+
+    # -- serialization --------------------------------------------------
+    def content_payload(self) -> dict:
+        """Canonical JSON-safe payload for fingerprinting (label excluded)."""
+        from repro.topology.serialization import encode_node
+
+        return {
+            "changes": [
+                [encode_node(u), encode_node(v), units]
+                for (u, v), units in self.changes
+            ],
+            "num_flows_delta": self.num_flows_delta,
+            "num_local_flows_delta": self.num_local_flows_delta,
+        }
+
+    def to_dict(self) -> dict:
+        payload = self.content_payload()
+        payload["label"] = self.label
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "DemandDelta":
+        from repro.topology.serialization import decode_node
+
+        return cls(
+            label=str(payload.get("label", "delta")),
+            changes=tuple(
+                ((decode_node(u), decode_node(v)), float(units))
+                for u, v, units in payload["changes"]
+            ),
+            num_flows_delta=int(payload.get("num_flows_delta", 0)),
+            num_local_flows_delta=int(payload.get("num_local_flows_delta", 0)),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DemandDelta(label={self.label!r}, changes={len(self.changes)}, "
+            f"flows_delta={self.num_flows_delta:+d})"
+        )
+
+
+@dataclass(frozen=True)
+class TrafficTimeline:
+    """An ordered demand trace: base matrix plus per-step deltas.
+
+    Step ``0`` is ``base``; step ``i`` (``1 <= i <= len(deltas)``) is the
+    base with ``deltas[:i]`` folded in. ``num_steps`` counts matrices,
+    not deltas: a timeline with ``k`` deltas has ``k + 1`` steps.
+    """
+
+    name: str
+    base: TrafficMatrix
+    deltas: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "deltas", tuple(self.deltas))
+        for delta in self.deltas:
+            if not isinstance(delta, DemandDelta):
+                raise TrafficError(
+                    f"timeline deltas must be DemandDelta, got {type(delta).__name__}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        return 1 + len(self.deltas)
+
+    def matrices(self) -> Iterator[TrafficMatrix]:
+        """Yield the matrix at every step, folding deltas incrementally."""
+        current = TrafficMatrix(
+            name=f"{self.name}@t0",
+            demands=dict(self.base.demands),
+            num_flows=self.base.num_flows,
+            num_local_flows=self.base.num_local_flows,
+        )
+        yield current
+        for step, delta in enumerate(self.deltas, start=1):
+            current = delta.apply(current, name=f"{self.name}@t{step}")
+            yield current
+
+    def matrix_at(self, step: int) -> TrafficMatrix:
+        """The matrix at ``step`` (folds ``deltas[:step]`` from the base)."""
+        if not 0 <= step < self.num_steps:
+            raise TrafficError(
+                f"step {step} out of range for {self.num_steps}-step timeline"
+            )
+        for index, matrix in enumerate(self.matrices()):
+            if index == step:
+                return matrix
+        raise AssertionError("unreachable")
+
+    def step_fingerprints(self) -> list[str]:
+        """Chained content digests, one per step.
+
+        ``fp[0]`` is the base matrix's
+        :func:`~repro.pipeline.fingerprint.traffic_fingerprint`; each
+        subsequent digest chains the previous one with the delta's
+        canonical payload. Addressing a step therefore never requires
+        materializing its matrix, and any change to the base or to an
+        earlier delta changes every later step's address.
+        """
+        from repro.pipeline.fingerprint import traffic_fingerprint
+
+        fingerprints = [traffic_fingerprint(self.base)]
+        for delta in self.deltas:
+            if (
+                not delta.changes
+                and delta.num_flows_delta == 0
+                and delta.num_local_flows_delta == 0
+            ):
+                # A no-op delta leaves the content unchanged, so the step
+                # keeps its predecessor's address (and its cache entry).
+                fingerprints.append(fingerprints[-1])
+                continue
+            fingerprints.append(
+                stable_digest(
+                    {"prev": fingerprints[-1], "delta": delta.content_payload()}
+                )
+            )
+        return fingerprints
+
+    def step_fingerprint(self, step: int) -> str:
+        if not 0 <= step < self.num_steps:
+            raise TrafficError(
+                f"step {step} out of range for {self.num_steps}-step timeline"
+            )
+        return self.step_fingerprints()[step]
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "kind": "traffic-timeline",
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "deltas": [delta.to_dict() for delta in self.deltas],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TrafficTimeline":
+        if payload.get("kind") not in (None, "traffic-timeline"):
+            raise TrafficError(f"not a traffic timeline: kind={payload.get('kind')!r}")
+        return cls(
+            name=str(payload["name"]),
+            base=TrafficMatrix.from_dict(payload["base"]),
+            deltas=tuple(
+                DemandDelta.from_dict(entry) for entry in payload.get("deltas", ())
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficTimeline(name={self.name!r}, steps={self.num_steps}, "
+            f"base_pairs={len(self.base.demands)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Trace ingestion
+# ----------------------------------------------------------------------
+
+def _parse_trace_node(token: str):
+    token = token.strip()
+    if token.lstrip("-").isdigit():
+        return int(token)
+    return token
+
+
+def _timeline_from_csv(path: Path, name: str | None) -> TrafficTimeline:
+    base_pairs: dict = {}
+    step_changes: dict[int, dict] = {}
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise TrafficError(f"empty trace file {path}")
+        expected = ["step", "src", "dst", "units"]
+        if [cell.strip().lower() for cell in header] != expected:
+            raise TrafficError(
+                f"bad CSV trace header {header!r}; expected {expected!r}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) != 4:
+                raise TrafficError(
+                    f"{path}:{row_number}: expected 4 columns, got {len(row)}"
+                )
+            step = int(row[0])
+            if step < 0:
+                raise TrafficError(f"{path}:{row_number}: negative step {step}")
+            pair = (_parse_trace_node(row[1]), _parse_trace_node(row[2]))
+            units = float(row[3])
+            if step == 0:
+                base_pairs[pair] = base_pairs.get(pair, 0.0) + units
+            else:
+                changes = step_changes.setdefault(step, {})
+                changes[pair] = changes.get(pair, 0.0) + units
+    label = name if name is not None else path.stem
+    base = TrafficMatrix(
+        name=f"{label} base",
+        demands=base_pairs,
+        num_flows=int(round(sum(base_pairs.values()))),
+    )
+    deltas = []
+    last_step = max(step_changes) if step_changes else 0
+    for step in range(1, last_step + 1):
+        changes = step_changes.get(step, {})
+        deltas.append(
+            DemandDelta(
+                label=f"t{step}",
+                changes=tuple(changes.items()),
+                num_flows_delta=int(round(sum(changes.values()))),
+            )
+        )
+    return TrafficTimeline(name=label, base=base, deltas=tuple(deltas))
+
+
+def read_trace(path, name: str | None = None) -> TrafficTimeline:
+    """Load a demand trace from ``.json`` or ``.csv`` (see module docs)."""
+    path = Path(path)
+    if not path.exists():
+        raise TrafficError(f"trace file not found: {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        payload = json.loads(path.read_text())
+        timeline = TrafficTimeline.from_dict(payload)
+        if name is not None:
+            timeline = TrafficTimeline(
+                name=name, base=timeline.base, deltas=timeline.deltas
+            )
+        return timeline
+    if suffix == ".csv":
+        return _timeline_from_csv(path, name)
+    raise TrafficError(
+        f"unsupported trace format {suffix!r} for {path}; use .json or .csv"
+    )
+
+
+def write_trace(timeline: TrafficTimeline, path) -> Path:
+    """Persist a timeline as a ``.json`` or ``.csv`` trace file."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        path.write_text(json.dumps(timeline.to_dict(), indent=2, sort_keys=True))
+        return path
+    if suffix == ".csv":
+        from repro.topology.serialization import encode_node
+
+        def cell(node) -> str:
+            encoded = encode_node(node)
+            if not isinstance(encoded, (int, str)):
+                raise TrafficError(
+                    f"CSV traces support int/str switch ids only, got {node!r}; "
+                    "use the JSON format"
+                )
+            return str(encoded)
+
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["step", "src", "dst", "units"])
+            for (u, v), units in sorted(
+                timeline.base.demands.items(),
+                key=lambda item: _encode_pair_key(*item[0]),
+            ):
+                writer.writerow([0, cell(u), cell(v), f"{units:g}"])
+            for step, delta in enumerate(timeline.deltas, start=1):
+                for (u, v), units in delta.changes:
+                    writer.writerow([step, cell(u), cell(v), f"{units:g}"])
+        return path
+    raise TrafficError(
+        f"unsupported trace format {suffix!r} for {path}; use .json or .csv"
+    )
+
+
+# ----------------------------------------------------------------------
+# Timeline registry (mirrors the static traffic-model registry)
+# ----------------------------------------------------------------------
+
+_TIMELINES: dict[str, Callable[..., TrafficTimeline]] = {}
+
+
+def available_timelines() -> list[str]:
+    """Sorted timeline kinds accepted by :func:`make_timeline`."""
+    return sorted(_TIMELINES)
+
+
+def register_timeline(name: str, builder: Callable[..., TrafficTimeline]) -> None:
+    """Register a timeline builder ``builder(topo, seed=None, **params)``."""
+    key = name.strip().lower().replace("_", "-")
+    if key in _TIMELINES:
+        raise TrafficError(f"timeline kind {name!r} is already registered")
+    _TIMELINES[key] = builder
+
+
+def make_timeline(kind: str, topo, seed=None, **params) -> TrafficTimeline:
+    """Construct a timeline by registry name.
+
+    Built-in kinds: ``"vdc"`` (synthetic tenant arrival/departure
+    workload, :func:`repro.traffic.vdc.vdc_timeline`) and ``"trace"``
+    (file ingestion; requires ``path=...``).
+    """
+    key = kind.strip().lower().replace("_", "-")
+    try:
+        builder = _TIMELINES[key]
+    except KeyError:
+        known = ", ".join(available_timelines())
+        raise TrafficError(f"unknown timeline kind {kind!r}; known kinds: {known}")
+    timeline = builder(topo, seed=seed, **params)
+    if not isinstance(timeline, TrafficTimeline):
+        raise TrafficError(
+            f"timeline builder {key!r} returned {type(timeline).__name__}"
+        )
+    return timeline
+
+
+def _trace_timeline(topo, seed=None, *, path=None, name=None) -> TrafficTimeline:
+    if path is None:
+        raise TrafficError("timeline kind 'trace' requires path=<trace file>")
+    timeline = read_trace(path, name=name)
+    if topo is not None:
+        known = set(topo.switches)
+        timeline.base.validate_against(known)
+        for delta in timeline.deltas:
+            for u, v in delta.touched_pairs():
+                if u not in known or v not in known:
+                    raise TrafficError(
+                        f"trace delta {delta.label!r} touches unknown switch "
+                        f"pair ({u!r}, {v!r})"
+                    )
+    return timeline
+
+
+register_timeline("trace", _trace_timeline)

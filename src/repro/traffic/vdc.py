@@ -1,0 +1,322 @@
+"""Synthetic VDC workload: tenant virtual clusters arriving and departing.
+
+Models an Azure-V1-style virtual-data-center trace at switch level:
+tenants arrive as a Poisson process, each requesting a virtual cluster of
+``n`` VMs (lognormal) that lives for a lognormal number of timesteps. VMs
+are placed on server slots *in proportion to free slots per switch* — the
+paper's §5.1 proportional placement rule
+(:func:`repro.core.placement.expected_share_per_switch` computes the
+shares) — and a tenant's VMs talk all-to-all at unit rate, so an ``n``-VM
+tenant contributes ``n*(n-1)`` unit server flows. Same-switch VM pairs
+become local flows, matching the non-blocking-backplane traffic model.
+
+Each timestep's arrivals and departures fold into one
+:class:`~repro.traffic.timeline.DemandDelta`, so the generated
+:class:`~repro.traffic.timeline.TrafficTimeline` replays through the
+warm-started incremental solver path. All demands are integer unit
+flows, which keeps the delta algebra exact (apply-then-revert identity).
+
+Determinism: one :func:`repro.util.rng.as_rng` stream drawn in a fixed
+order, switches iterated repr-sorted — the same seed always yields the
+same timeline regardless of hash seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import TrafficError
+from repro.topology.base import Topology
+from repro.traffic.base import TrafficMatrix
+from repro.traffic.timeline import DemandDelta, TrafficTimeline
+from repro.util.rng import as_rng
+
+#: Bound on the extra warmup steps spent waiting for a first placeable
+#: tenant before giving up on producing a non-empty base matrix.
+_WARMUP_EXTENSION_LIMIT = 1000
+
+
+@dataclass
+class _Tenant:
+    tenant_id: int
+    vm_counts: dict  # switch -> VMs placed there
+    depart_step: int
+
+    def demand_changes(self, sign: float) -> dict:
+        """Switch-pair unit-flow contribution, scaled by ``sign`` (+/-1)."""
+        changes: dict = {}
+        switches = sorted(self.vm_counts, key=str)
+        for u in switches:
+            for v in switches:
+                if u == v:
+                    continue
+                changes[(u, v)] = sign * self.vm_counts[u] * self.vm_counts[v]
+        return changes
+
+    @property
+    def num_vms(self) -> int:
+        return sum(self.vm_counts.values())
+
+    @property
+    def num_flows(self) -> int:
+        n = self.num_vms
+        return n * (n - 1)
+
+    @property
+    def num_local_flows(self) -> int:
+        return sum(count * (count - 1) for count in self.vm_counts.values())
+
+
+class _VdcSimulator:
+    """Slot-tracking tenant arrival/departure process over a topology."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        rng,
+        *,
+        arrival_rate: float,
+        mean_vms: float,
+        sigma_vms: float,
+        mean_duration: float,
+        sigma_duration: float,
+    ) -> None:
+        import numpy as np
+
+        server_map = topo.server_map()
+        self.switch_order = sorted(server_map, key=str)
+        self.free = {switch: int(server_map[switch]) for switch in self.switch_order}
+        self.total_free = sum(self.free.values())
+        if self.total_free < 2:
+            raise TrafficError(
+                f"VDC workload needs >= 2 server slots, topology has "
+                f"{self.total_free}"
+            )
+        self.rng = rng
+        self.arrival_rate = float(arrival_rate)
+        self.mu_vms = float(np.log(mean_vms))
+        self.sigma_vms = float(sigma_vms)
+        self.mu_duration = float(np.log(mean_duration))
+        self.sigma_duration = float(sigma_duration)
+        self.active: list[_Tenant] = []
+        self.rejected = 0
+        self._next_tenant_id = 0
+
+    # ------------------------------------------------------------------
+    def _place(self, nvms: int) -> dict | None:
+        """Proportional-to-free-slots placement; ``None`` if it can't fit."""
+        # Imported lazily: repro.core's package init reaches the pipeline,
+        # which imports this module back through the traffic registry.
+        from repro.core.placement import expected_share_per_switch
+
+        total_free = sum(self.free.values())
+        if nvms > total_free:
+            return None
+        candidates = [s for s in self.switch_order if self.free[s] > 0]
+        shares = {
+            s: expected_share_per_switch(nvms, self.free[s], total_free)
+            for s in candidates
+        }
+        counts = {s: min(int(shares[s]), self.free[s]) for s in candidates}
+        remainder = nvms - sum(counts.values())
+        # Largest fractional share first; repr order breaks ties.
+        by_fraction = sorted(
+            candidates, key=lambda s: (-(shares[s] - int(shares[s])), str(s))
+        )
+        while remainder > 0:
+            progressed = False
+            for s in by_fraction:
+                if remainder == 0:
+                    break
+                if counts[s] < self.free[s]:
+                    counts[s] += 1
+                    remainder -= 1
+                    progressed = True
+            if not progressed:
+                return None
+        placed = {s: c for s, c in counts.items() if c > 0}
+        for s, c in placed.items():
+            self.free[s] -= c
+        return placed
+
+    def _draw_tenant_size(self) -> int:
+        raw = int(round(self.rng.lognormal(self.mu_vms, self.sigma_vms)))
+        return max(2, min(raw, self.total_free))
+
+    def _draw_duration(self) -> int:
+        return max(
+            1, int(round(self.rng.lognormal(self.mu_duration, self.sigma_duration)))
+        )
+
+    def step(self, now: int) -> tuple[list[_Tenant], list[_Tenant]]:
+        """Advance one timestep; returns (departures, arrivals)."""
+        departures = [t for t in self.active if t.depart_step <= now]
+        self.active = [t for t in self.active if t.depart_step > now]
+        for tenant in departures:
+            for s, c in tenant.vm_counts.items():
+                self.free[s] += c
+        arrivals: list[_Tenant] = []
+        for _ in range(int(self.rng.poisson(self.arrival_rate))):
+            nvms = self._draw_tenant_size()
+            duration = self._draw_duration()
+            placed = self._place(nvms)
+            if placed is None:
+                self.rejected += 1
+                continue
+            tenant = _Tenant(
+                tenant_id=self._next_tenant_id,
+                vm_counts=placed,
+                depart_step=now + duration,
+            )
+            self._next_tenant_id += 1
+            self.active.append(tenant)
+            arrivals.append(tenant)
+        return departures, arrivals
+
+
+def _merge_changes(target: dict, updates: dict) -> None:
+    for pair, units in updates.items():
+        merged = target.get(pair, 0.0) + units
+        if merged == 0.0:
+            target.pop(pair, None)
+        else:
+            target[pair] = merged
+
+
+def vdc_timeline(
+    topo: Topology,
+    seed=None,
+    *,
+    steps: int = 100,
+    arrival_rate: float = 1.0,
+    mean_vms: float = 6.0,
+    sigma_vms: float = 0.6,
+    mean_duration: float = 20.0,
+    sigma_duration: float = 0.6,
+    warmup: int = 10,
+    name: str | None = None,
+) -> TrafficTimeline:
+    """Generate a VDC tenant-churn timeline with ``steps`` matrices.
+
+    ``warmup`` pre-simulation steps populate the base matrix (extended, up
+    to a bound, until at least one tenant with cross-switch demand is
+    active — the base must be solvable). If a recorded step's departures
+    would leave *no* network demand at all, those departures are deferred
+    to the next step so every step stays solvable; the deferral is
+    deterministic and noted in the delta label.
+    """
+    if steps < 1:
+        raise TrafficError(f"steps must be >= 1, got {steps}")
+    if warmup < 0:
+        raise TrafficError(f"warmup must be >= 0, got {warmup}")
+    if arrival_rate <= 0:
+        raise TrafficError(f"arrival_rate must be positive, got {arrival_rate}")
+    rng = as_rng(seed)
+    sim = _VdcSimulator(
+        topo,
+        rng,
+        arrival_rate=arrival_rate,
+        mean_vms=mean_vms,
+        sigma_vms=sigma_vms,
+        mean_duration=mean_duration,
+        sigma_duration=sigma_duration,
+    )
+
+    def network_pairs(changes_source) -> bool:
+        return any(units > 0 for units in changes_source.values())
+
+    state: dict = {}
+    num_flows = 0
+    num_local = 0
+    now = 0
+    while now < warmup or not network_pairs(state):
+        departures, arrivals = sim.step(now)
+        for tenant in departures:
+            _merge_changes(state, tenant.demand_changes(-1.0))
+            num_flows -= tenant.num_flows
+            num_local -= tenant.num_local_flows
+        for tenant in arrivals:
+            _merge_changes(state, tenant.demand_changes(+1.0))
+            num_flows += tenant.num_flows
+            num_local += tenant.num_local_flows
+        now += 1
+        if now > warmup + _WARMUP_EXTENSION_LIMIT:
+            raise TrafficError(
+                "VDC warmup produced no cross-switch demand within "
+                f"{_WARMUP_EXTENSION_LIMIT} extra steps; raise arrival_rate "
+                "or mean_vms"
+            )
+
+    label = name if name is not None else "vdc"
+    base = TrafficMatrix(
+        name=f"{label} base",
+        demands=dict(state),
+        num_flows=num_flows,
+        num_local_flows=num_local,
+    )
+
+    deltas: list[DemandDelta] = []
+    deferred: list[_Tenant] = []
+    for _ in range(steps - 1):
+        departures, arrivals = sim.step(now)
+        departures = deferred + departures
+        deferred = []
+        changes: dict = {}
+        flows_delta = 0
+        local_delta = 0
+        for tenant in arrivals:
+            _merge_changes(changes, tenant.demand_changes(+1.0))
+            flows_delta += tenant.num_flows
+            local_delta += tenant.num_local_flows
+        departure_changes: dict = {}
+        dep_flows = 0
+        dep_local = 0
+        for tenant in departures:
+            _merge_changes(departure_changes, tenant.demand_changes(-1.0))
+            dep_flows -= tenant.num_flows
+            dep_local -= tenant.num_local_flows
+        candidate = dict(state)
+        _merge_changes(candidate, changes)
+        with_departures = dict(candidate)
+        _merge_changes(with_departures, departure_changes)
+        suffix = ""
+        if network_pairs(with_departures):
+            _merge_changes(changes, departure_changes)
+            flows_delta += dep_flows
+            local_delta += dep_local
+            state = with_departures
+        else:
+            # Applying these departures would empty the matrix; push them
+            # to the next step so every step stays solvable.
+            deferred = departures
+            state = candidate
+            if departures:
+                suffix = " (departures deferred)"
+        deltas.append(
+            DemandDelta(
+                label=(
+                    f"t{len(deltas) + 1}: +{len(arrivals)} tenants, "
+                    f"-{len(departures) - len(deferred)}{suffix}"
+                ),
+                changes=tuple(changes.items()),
+                num_flows_delta=flows_delta,
+                num_local_flows_delta=local_delta,
+            )
+        )
+        now += 1
+
+    return TrafficTimeline(name=label, base=base, deltas=tuple(deltas))
+
+
+def vdc_snapshot_traffic(topo: Topology, seed=None, **params) -> TrafficMatrix:
+    """Static snapshot of a VDC timeline (registry model ``"vdc"``).
+
+    ``step`` selects which matrix to return (default: the last step);
+    remaining params are forwarded to :func:`vdc_timeline`. Lets static
+    grids sweep a point-in-time VDC matrix without the replay path.
+    """
+    step = params.pop("step", None)
+    timeline = vdc_timeline(topo, seed=seed, **params)
+    if step is None:
+        step = timeline.num_steps - 1
+    return timeline.matrix_at(int(step))

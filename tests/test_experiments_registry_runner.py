@@ -24,6 +24,7 @@ EXTRA_IDS = {
     "extra-cabling",
     "extra-latency",
     "fidelity",
+    "replay",
     "resilience",
     "scale",
     "growth",

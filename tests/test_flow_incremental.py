@@ -188,6 +188,111 @@ def test_inverse_swap_restores_indices(seed):
     assert np.array_equal(model._eq_indices, indices)
 
 
+class TestDemandDeltas:
+    """Warm demand-delta application == cold rebuilds, plus slot rules."""
+
+    def _timeline_instance(self, seed: int = 11, steps: int = 12):
+        from repro.traffic.vdc import vdc_timeline
+
+        topo = random_regular_topology(
+            12, 4, servers_per_switch=3, seed=seed
+        )
+        timeline = vdc_timeline(
+            topo,
+            seed=seed,
+            steps=steps,
+            arrival_rate=1.5,
+            mean_vms=4.0,
+            mean_duration=6.0,
+        )
+        return topo, timeline
+
+    def test_delta_stream_matches_cold_solves(self):
+        """Warm-advance a VDC trace; every step equals a cold solve."""
+        topo, timeline = self._timeline_instance()
+        model = EdgeLPModel(topo, timeline.base, sources="all")
+        for step in range(1, timeline.num_steps):
+            model.apply_demand_delta(timeline.deltas[step - 1])
+            cold = max_concurrent_flow(topo, timeline.matrix_at(step))
+            assert abs(model.solve() - cold.throughput) <= TOL, f"step {step}"
+            assert model.total_demand == pytest.approx(
+                sum(timeline.matrix_at(step).demands.values())
+            )
+        assert model.num_demand_deltas == timeline.num_steps - 1
+
+    def test_apply_then_inverse_restores_csc_arrays(self):
+        from repro.traffic.timeline import DemandDelta
+
+        topo, timeline = self._timeline_instance(seed=3)
+        model = EdgeLPModel(topo, timeline.base, sources="all")
+        data = model._eq_data.copy()
+        indices = model._eq_indices.copy()
+        indptr = model._eq_indptr.copy()
+        total = model.total_demand
+        switches = topo.switches
+        delta = DemandDelta.adding(
+            {(switches[0], switches[5]): 2.0, (switches[1], switches[2]): 1.0}
+        )
+        model.apply_demand_delta(delta)
+        assert model.total_demand == pytest.approx(total + 3.0)
+        model.apply_demand_delta(delta.inverse())
+        assert np.array_equal(model._eq_data, data)
+        assert np.array_equal(model._eq_indices, indices)
+        assert np.array_equal(model._eq_indptr, indptr)
+        assert model.total_demand == pytest.approx(total)
+
+    def test_new_source_needs_sources_all(self):
+        from repro.traffic.base import TrafficMatrix
+        from repro.traffic.timeline import DemandDelta
+
+        topo = random_regular_topology(10, 4, servers_per_switch=2, seed=2)
+        a, b, c = topo.switches[:3]
+        traffic = TrafficMatrix(name="one", demands={(a, b): 2.0}, num_flows=2)
+        delta = DemandDelta.adding({(c, a): 1.0})
+
+        narrow = EdgeLPModel(topo, traffic)
+        with pytest.raises(FlowError, match="new source"):
+            narrow.apply_demand_delta(delta)
+
+        wide = EdgeLPModel(topo, traffic, sources="all")
+        wide.apply_demand_delta(delta)
+        grown = delta.apply(traffic)
+        cold = max_concurrent_flow(topo, grown)
+        assert abs(wide.solve() - cold.throughput) <= TOL
+
+    def test_invalid_deltas_leave_model_untouched(self):
+        from repro.traffic.base import TrafficMatrix
+        from repro.traffic.timeline import DemandDelta
+
+        topo = random_regular_topology(10, 4, servers_per_switch=2, seed=4)
+        a, b = topo.switches[:2]
+        traffic = TrafficMatrix(name="one", demands={(a, b): 2.0}, num_flows=2)
+        model = EdgeLPModel(topo, traffic, sources="all")
+        base = model.solve()
+
+        with pytest.raises(FlowError, match="negative"):
+            model.apply_demand_delta(DemandDelta.adding({(a, b): -5.0}))
+        with pytest.raises(FlowError, match="no network demand"):
+            model.apply_demand_delta(DemandDelta.adding({(a, b): -2.0}))
+        with pytest.raises(FlowError, match="not a switch"):
+            model.apply_demand_delta(DemandDelta.adding({("nope", b): 1.0}))
+        assert model.num_demand_deltas == 0
+        assert abs(model.solve() - base) <= TOL
+
+    def test_delta_counter_in_model_stats(self):
+        from repro.traffic.timeline import DemandDelta
+
+        reset_model_stats()
+        topo, timeline = self._timeline_instance(seed=7, steps=4)
+        model = EdgeLPModel(topo, timeline.base, sources="all")
+        switches = topo.switches
+        model.apply_demand_delta(
+            DemandDelta.adding({(switches[0], switches[1]): 1.0})
+        )
+        assert model_stats()["demand_deltas"] == 1
+        reset_model_stats()
+
+
 class TestModelMemo:
     def test_model_for_memoizes_by_fingerprint(self):
         reset_model_stats()

@@ -9,9 +9,11 @@ import pytest
 
 from repro.exceptions import TopologyError
 from repro.metrics.paths import (
+    DemandHopTracker,
     all_pairs_shortest_lengths,
     all_shortest_paths,
     average_shortest_path_length,
+    demand_hop_sum,
     demand_weighted_aspl,
     diameter,
     k_shortest_paths,
@@ -87,6 +89,77 @@ class TestDemandWeightedAspl:
         tm = TrafficMatrix(name="x", demands={(0, 1): 1.0}, num_flows=1)
         with pytest.raises(TopologyError, match="no path"):
             demand_weighted_aspl(topo, tm)
+
+
+class TestDemandHopTracker:
+    """Incremental hop-sum == full recompute, re-pricing touched sources."""
+
+    def _timeline_instance(self, seed: int = 5, steps: int = 10):
+        from repro.traffic.vdc import vdc_timeline
+
+        topo = random_regular_topology(
+            12, 4, servers_per_switch=3, seed=seed
+        )
+        timeline = vdc_timeline(
+            topo,
+            seed=seed,
+            steps=steps,
+            arrival_rate=1.5,
+            mean_vms=4.0,
+            mean_duration=6.0,
+        )
+        return topo, timeline
+
+    def test_initial_total_matches_full_sum(self):
+        topo, timeline = self._timeline_instance()
+        tracker = DemandHopTracker(topo, timeline.base)
+        assert tracker.total == pytest.approx(
+            demand_hop_sum(topo, timeline.base), abs=1e-9
+        )
+
+    def test_delta_stream_matches_full_recompute(self):
+        topo, timeline = self._timeline_instance(seed=9)
+        tracker = DemandHopTracker(topo, timeline.base)
+        for step in range(1, timeline.num_steps):
+            total = tracker.apply_delta(timeline.deltas[step - 1])
+            assert total == pytest.approx(
+                demand_hop_sum(topo, timeline.matrix_at(step)), abs=1e-9
+            ), f"step {step}"
+
+    def test_reprices_only_touched_sources(self):
+        from repro.traffic.timeline import DemandDelta
+
+        topo, timeline = self._timeline_instance(seed=2)
+        tracker = DemandHopTracker(topo, timeline.base)
+        priced = tracker.num_repriced
+        assert priced == len({u for u, _ in timeline.base.demands})
+        a = next(iter({u for u, _ in timeline.base.demands}))
+        dest = next(v for v in topo.switches if v != a)
+        tracker.apply_delta(DemandDelta.adding({(a, dest): 1.0}))
+        assert tracker.num_repriced == priced + 1
+
+    def test_invalid_deltas_leave_tracker_untouched(self):
+        from repro.traffic.timeline import DemandDelta
+
+        topo, timeline = self._timeline_instance(seed=3)
+        tracker = DemandHopTracker(topo, timeline.base)
+        total = tracker.total
+        pair = next(iter(timeline.base.demands))
+        units = timeline.base.demands[pair]
+        with pytest.raises(TopologyError, match="negative"):
+            tracker.apply_delta(
+                DemandDelta.adding({pair: -(units + 5.0)})
+            )
+        with pytest.raises(TopologyError, match="not a switch"):
+            tracker.apply_delta(
+                DemandDelta.adding({("ghost", topo.switches[0]): 1.0})
+            )
+        assert tracker.total == pytest.approx(total)
+
+    def test_empty_traffic_rejected(self):
+        topo, _ = self._timeline_instance()
+        with pytest.raises(TopologyError, match="no network demands"):
+            DemandHopTracker(topo, TrafficMatrix(name="empty", demands={}))
 
 
 class TestKShortestPaths:

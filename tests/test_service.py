@@ -229,3 +229,111 @@ class TestServeCli:
         finally:
             client.shutdown()
             thread.join(timeout=30)
+
+
+class _DisciplinedWriter:
+    """Fake transport that enforces one ``drain`` await per ``write``.
+
+    ``pending`` would exceed 1 if the daemon ever queued a second message
+    without honoring backpressure on the first — exactly the bug the
+    uniform drain discipline exists to prevent.
+    """
+
+    def __init__(self) -> None:
+        self.messages: list = []
+        self.pending = 0
+        self.max_pending = 0
+
+    def write(self, data: bytes) -> None:
+        self.pending += 1
+        self.max_pending = max(self.max_pending, self.pending)
+        self.messages.append(json.loads(data))
+
+    async def drain(self) -> None:
+        self.pending -= 1
+
+
+class _PausedWriter(_DisciplinedWriter):
+    """A reader that has stopped consuming: ``drain`` blocks on a gate."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        import asyncio
+
+        self.gate = asyncio.Event()
+
+    async def drain(self) -> None:
+        await self.gate.wait()
+        await super().drain()
+
+
+class TestDaemonBackpressure:
+    def _daemon(self, tmp_path):
+        from repro.service.daemon import EvalDaemon
+
+        service = EvalService(workers=1, cache_dir=str(tmp_path / "cache"))
+        return service, EvalDaemon(service, str(tmp_path / "ignored.sock"))
+
+    def test_every_reply_drains_before_the_next_write(self, tmp_path):
+        """All socket paths — including the memo cell burst — drain per write."""
+        import asyncio
+
+        grid = small_grid()
+        service, daemon = self._daemon(tmp_path)
+        with service:
+            _, handle, _ = service.submit(grid)
+            handle.result(timeout=60)
+
+            async def scenario() -> _DisciplinedWriter:
+                writer = _DisciplinedWriter()
+                for request in (
+                    {"op": "ping"},
+                    {"op": "stats"},
+                    {"op": "status", "job_id": "nope"},
+                    {"op": "wat"},
+                    {"op": "submit"},  # missing grid -> error reply
+                    {"op": "submit", "grid": grid.to_dict()},  # memo burst
+                ):
+                    await daemon._dispatch(request, writer)
+                return writer
+
+            writer = asyncio.run(scenario())
+        assert writer.pending == 0
+        assert writer.max_pending == 1, (
+            "a reply was written without awaiting drain on the previous one"
+        )
+        events = [m.get("event") for m in writer.messages]
+        assert events[-1] == "done"
+        assert events.count("cell") == len(grid)
+
+    def test_paused_reader_pauses_the_cell_stream(self, tmp_path):
+        """With a stalled reader the daemon blocks in drain instead of
+        buffering the remaining cells into process memory."""
+        import asyncio
+
+        grid = small_grid()
+        service, daemon = self._daemon(tmp_path)
+        with service:
+            _, handle, _ = service.submit(grid)
+            handle.result(timeout=60)
+
+            async def scenario() -> tuple:
+                writer = _PausedWriter()
+                task = asyncio.create_task(
+                    daemon._dispatch(
+                        {"op": "submit", "grid": grid.to_dict()}, writer
+                    )
+                )
+                await asyncio.sleep(0.05)
+                stalled = list(writer.messages)
+                writer.gate.set()
+                await asyncio.wait_for(task, timeout=30)
+                return stalled, writer
+
+            stalled, writer = asyncio.run(scenario())
+        # Only the first message went out before the reader stalled.
+        assert len(stalled) == 1 and stalled[0]["event"] == "accepted"
+        # Resuming the reader delivers the full stream, nothing dropped.
+        events = [m.get("event") for m in writer.messages]
+        assert events[0] == "accepted" and events[-1] == "done"
+        assert events.count("cell") == len(grid)

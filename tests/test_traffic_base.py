@@ -58,6 +58,23 @@ class TestTrafficMatrix:
         with pytest.raises(TrafficError, match="positive"):
             tm.scaled(0.0)
 
+    def test_scaled_name_compounds_one_factor(self):
+        """Regression: repeated scaling folds into a single ``xN`` label.
+
+        ``scaled`` used to append a new `` xK`` suffix per call, so
+        logically-identical matrices (``x2 x2`` vs ``x4``) fingerprinted
+        differently and missed the result cache.
+        """
+        tm = TrafficMatrix(name="t", demands={("a", "b"): 2.0}, num_flows=2)
+        twice = tm.scaled(2.0).scaled(2.0)
+        once = tm.scaled(4.0)
+        assert twice.name == once.name == "t x4"
+        assert twice.demands == once.demands
+        assert twice.scale_base == "t"
+        assert twice.scale_factor == pytest.approx(4.0)
+        # Fractional round trips land back on the original label too.
+        assert tm.scaled(2.0).scaled(0.5).name == "t x1"
+
     def test_validate_against(self):
         tm = TrafficMatrix(name="t", demands={("a", "b"): 1.0}, num_flows=1)
         tm.validate_against(["a", "b", "c"])

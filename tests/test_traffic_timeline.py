@@ -1,0 +1,297 @@
+"""Property and serialization tests for demand timelines.
+
+The replay pipeline's correctness leans on three timeline properties
+pinned here: the delta algebra is exactly invertible (apply-then-revert
+is the identity for unit-flow traffic), folding deltas incrementally
+equals constructing each step's matrix directly, and step fingerprints
+are a pure function of *content* — stable across insertion order,
+process hash seeds, and label changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TrafficError
+from repro.traffic.base import TrafficMatrix
+from repro.traffic.timeline import (
+    DemandDelta,
+    TrafficTimeline,
+    available_timelines,
+    make_timeline,
+    read_trace,
+    write_trace,
+)
+
+
+def _matrix(pairs: dict, name: str = "tm") -> TrafficMatrix:
+    return TrafficMatrix(
+        name=name,
+        demands=dict(pairs),
+        num_flows=int(round(sum(pairs.values()))),
+    )
+
+
+# Integer unit demands on a small switch universe: the VDC generator's
+# regime, where delta apply/revert must be bit-exact.
+_pairs = st.dictionaries(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(
+        lambda p: p[0] != p[1]
+    ),
+    st.integers(1, 4).map(float),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestDemandDelta:
+    def test_normalization_merges_sorts_and_drops_zeros(self):
+        delta = DemandDelta(
+            label="d",
+            changes=(((1, 0), 2.0), ((0, 1), 1.0), ((1, 0), -2.0), ((2, 0), 0.0)),
+        )
+        assert delta.changes == (((0, 1), 1.0),)
+        assert delta.touched_pairs() == [(0, 1)]
+        assert delta.touched_sources() == [0]
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(TrafficError, match="self-pair"):
+            DemandDelta(label="d", changes=(((1, 1), 2.0),))
+
+    def test_apply_rejects_negative_demand(self):
+        tm = _matrix({(0, 1): 1.0})
+        delta = DemandDelta(label="d", changes=(((0, 1), -2.0),))
+        with pytest.raises(TrafficError, match="negative"):
+            delta.apply(tm)
+
+    def test_apply_rejects_negative_flow_counts(self):
+        tm = _matrix({(0, 1): 1.0})
+        delta = DemandDelta(label="d", num_flows_delta=-5)
+        with pytest.raises(TrafficError, match="flow counts"):
+            delta.apply(tm)
+
+    def test_removing_and_scaling_constructors(self):
+        tm = _matrix({(0, 1): 2.0, (1, 2): 3.0})
+        removed = DemandDelta.removing(tm, [(0, 1)]).apply(tm)
+        assert (0, 1) not in removed.demands
+        assert removed.demands[(1, 2)] == 3.0
+
+        doubled = DemandDelta.scaling(tm, 2.0).apply(tm)
+        assert doubled.demands == {(0, 1): 4.0, (1, 2): 6.0}
+        with pytest.raises(TrafficError, match="absent"):
+            DemandDelta.removing(tm, [(5, 6)])
+
+    @given(_pairs, _pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_apply_then_inverse_is_identity(self, base_pairs, add_pairs):
+        tm = _matrix(base_pairs)
+        delta = DemandDelta.adding(add_pairs)
+        forward = delta.apply(tm)
+        restored = delta.inverse().apply(forward, name=tm.name)
+        assert restored.demands == tm.demands
+        assert restored.num_flows == tm.num_flows
+        assert restored.num_local_flows == tm.num_local_flows
+
+    def test_round_trip(self):
+        delta = DemandDelta.adding({(0, 1): 2.0, (3, 4): 1.0}, label="arrive")
+        clone = DemandDelta.from_dict(
+            json.loads(json.dumps(delta.to_dict()))
+        )
+        assert clone == delta
+
+
+class TestTimelineFold:
+    def _timeline(self) -> TrafficTimeline:
+        base = _matrix({(0, 1): 1.0, (1, 2): 2.0}, name="base")
+        return TrafficTimeline(
+            name="tl",
+            base=base,
+            deltas=(
+                DemandDelta.adding({(2, 0): 1.0}, label="t1"),
+                DemandDelta(label="noop"),
+                DemandDelta.adding({(0, 1): -1.0}, label="t3"),
+            ),
+        )
+
+    def test_fold_equals_direct(self):
+        timeline = self._timeline()
+        folded = list(timeline.matrices())
+        assert len(folded) == timeline.num_steps == 4
+        for step, matrix in enumerate(folded):
+            direct = timeline.matrix_at(step)
+            assert direct.demands == matrix.demands
+            assert direct.num_flows == matrix.num_flows
+            assert matrix.name == f"tl@t{step}"
+
+    def test_step_out_of_range(self):
+        timeline = self._timeline()
+        with pytest.raises(TrafficError, match="out of range"):
+            timeline.matrix_at(timeline.num_steps)
+        with pytest.raises(TrafficError, match="out of range"):
+            timeline.step_fingerprint(-1)
+
+    def test_non_delta_rejected(self):
+        with pytest.raises(TrafficError, match="DemandDelta"):
+            TrafficTimeline(name="x", base=_matrix({(0, 1): 1.0}), deltas=("no",))
+
+    def test_round_trip(self):
+        timeline = self._timeline()
+        clone = TrafficTimeline.from_dict(
+            json.loads(json.dumps(timeline.to_dict()))
+        )
+        assert clone.name == timeline.name
+        assert clone.deltas == timeline.deltas
+        assert clone.base.demands == timeline.base.demands
+        assert clone.step_fingerprints() == timeline.step_fingerprints()
+
+
+class TestStepFingerprints:
+    def _base(self) -> TrafficMatrix:
+        return _matrix({(0, 1): 1.0, (2, 3): 2.0}, name="base")
+
+    def test_chained_and_prefix_sensitive(self):
+        base = self._base()
+        d1 = DemandDelta.adding({(1, 2): 1.0})
+        d2 = DemandDelta.adding({(3, 0): 1.0})
+        fps = TrafficTimeline(name="a", base=base, deltas=(d1, d2)).step_fingerprints()
+        assert len(fps) == 3 and len(set(fps)) == 3
+        # Changing an early delta changes every later address.
+        other = TrafficTimeline(name="a", base=base, deltas=(d2, d2))
+        assert other.step_fingerprints()[1:] != fps[1:]
+        # Same prefix shares addresses.
+        assert other.step_fingerprints()[0] == fps[0]
+
+    def test_noop_delta_keeps_predecessor_address(self):
+        base = self._base()
+        timeline = TrafficTimeline(
+            name="a", base=base, deltas=(DemandDelta(label="idle"),)
+        )
+        fps = timeline.step_fingerprints()
+        assert fps[0] == fps[1]
+
+    def test_labels_do_not_affect_fingerprints(self):
+        base = self._base()
+        d = {(1, 2): 1.0}
+        one = TrafficTimeline(
+            name="a", base=base, deltas=(DemandDelta.adding(d, label="x"),)
+        )
+        two = TrafficTimeline(
+            name="b", base=base, deltas=(DemandDelta.adding(d, label="y"),)
+        )
+        assert one.step_fingerprints() == two.step_fingerprints()
+
+    def test_insertion_order_stable(self):
+        base = self._base()
+        fwd = DemandDelta(
+            label="d", changes=(((0, 2), 1.0), ((3, 1), 2.0), ((1, 3), 1.0))
+        )
+        rev = DemandDelta(
+            label="d", changes=(((1, 3), 1.0), ((3, 1), 2.0), ((0, 2), 1.0))
+        )
+        assert fwd == rev
+        assert (
+            TrafficTimeline(name="a", base=base, deltas=(fwd,)).step_fingerprints()
+            == TrafficTimeline(name="a", base=base, deltas=(rev,)).step_fingerprints()
+        )
+
+    def test_hash_seed_independent(self):
+        """Fingerprints agree across processes with different hash seeds."""
+        script = textwrap.dedent(
+            """
+            from repro.traffic.base import TrafficMatrix
+            from repro.traffic.timeline import DemandDelta, TrafficTimeline
+
+            base = TrafficMatrix(
+                name="base",
+                demands={("sw", 0): 1.0, (1, "sw"): 2.0, (3, 4): 1.0},
+                num_flows=4,
+            )
+            timeline = TrafficTimeline(
+                name="t",
+                base=base,
+                deltas=(
+                    DemandDelta.adding({(4, 3): 1.0, ("sw", 1): 2.0}),
+                    DemandDelta.adding({(3, 4): -1.0}),
+                ),
+            )
+            print("\\n".join(timeline.step_fingerprints()))
+            """
+        )
+        outputs = set()
+        for hash_seed in ("1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (env.get("PYTHONPATH"), "src") if p
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1
+
+
+class TestTraceIO:
+    def _timeline(self) -> TrafficTimeline:
+        base = _matrix({(0, 1): 2.0, (2, 3): 1.0}, name="trace base")
+        return TrafficTimeline(
+            name="trace",
+            base=base,
+            deltas=(
+                DemandDelta.adding({(1, 0): 1.0}, label="t1"),
+                DemandDelta.adding({(0, 1): -2.0}, label="t2"),
+            ),
+        )
+
+    @pytest.mark.parametrize("suffix", [".json", ".csv"])
+    def test_round_trip(self, tmp_path, suffix):
+        timeline = self._timeline()
+        path = write_trace(timeline, tmp_path / f"trace{suffix}")
+        clone = read_trace(path)
+        assert clone.num_steps == timeline.num_steps
+        for ours, theirs in zip(timeline.matrices(), clone.matrices()):
+            assert ours.demands == theirs.demands
+        assert clone.step_fingerprints() == timeline.step_fingerprints()
+
+    def test_csv_header_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(TrafficError, match="header"):
+            read_trace(path)
+
+    def test_missing_file_and_bad_suffix(self, tmp_path):
+        with pytest.raises(TrafficError, match="not found"):
+            read_trace(tmp_path / "absent.json")
+        with pytest.raises(TrafficError, match="unsupported"):
+            read_trace_path = tmp_path / "trace.xml"
+            read_trace_path.write_text("<x/>")
+            read_trace(read_trace_path)
+
+    def test_trace_registry_validates_endpoints(self, tmp_path, small_rrg):
+        assert {"trace", "vdc"} <= set(available_timelines())
+        timeline = self._timeline()
+        path = write_trace(timeline, tmp_path / "t.csv")
+        # Endpoints 0..3 exist in the fixture topology, so this loads.
+        loaded = make_timeline("trace", small_rrg, path=str(path))
+        assert loaded.num_steps == timeline.num_steps
+        # A pair outside the topology is rejected.
+        bad = TrafficTimeline(
+            name="bad",
+            base=timeline.base,
+            deltas=(DemandDelta.adding({(998, 999): 1.0}),),
+        )
+        bad_path = write_trace(bad, tmp_path / "bad_trace.csv")
+        with pytest.raises(TrafficError, match="unknown switch"):
+            make_timeline("trace", small_rrg, path=str(bad_path))

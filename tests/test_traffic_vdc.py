@@ -1,0 +1,126 @@
+"""Tests for the VDC tenant-churn workload generator.
+
+The generator must be deterministic in its seed, respect server-slot
+capacity at every step, emit integer unit flows whose counts stay
+self-consistent under folding, and keep every step solvable (non-empty
+network demand).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.topology.random_regular import random_regular_topology
+from repro.traffic.registry import make_traffic
+from repro.traffic.timeline import available_timelines, make_timeline
+from repro.traffic.vdc import _VdcSimulator, vdc_snapshot_traffic, vdc_timeline
+from repro.util.rng import as_rng
+
+
+@pytest.fixture
+def topo():
+    return random_regular_topology(10, 4, servers_per_switch=3, seed=2)
+
+
+PARAMS = dict(steps=25, arrival_rate=1.5, mean_vms=4.0, mean_duration=8.0)
+
+
+class TestVdcTimeline:
+    def test_deterministic_in_seed(self, topo):
+        one = vdc_timeline(topo, seed=9, **PARAMS)
+        two = vdc_timeline(topo, seed=9, **PARAMS)
+        assert one.to_dict() == two.to_dict()
+        other = vdc_timeline(topo, seed=10, **PARAMS)
+        assert other.to_dict() != one.to_dict()
+
+    def test_every_step_solvable_with_valid_endpoints(self, topo):
+        timeline = vdc_timeline(topo, seed=4, **PARAMS)
+        assert timeline.num_steps == PARAMS["steps"]
+        switches = set(topo.switches)
+        for matrix in timeline.matrices():
+            assert matrix.demands, "VDC step lost all network demand"
+            assert matrix.num_flows >= 0
+            assert matrix.num_local_flows >= 0
+            for (u, v), units in matrix.demands.items():
+                assert u in switches and v in switches
+                assert units > 0
+                assert units == int(units), "VDC demands are unit flows"
+
+    def test_flow_counts_consistent(self, topo):
+        """Network flows = pair-unit sum at every folded step."""
+        timeline = vdc_timeline(topo, seed=6, **PARAMS)
+        for matrix in timeline.matrices():
+            network = matrix.num_flows - matrix.num_local_flows
+            assert network == pytest.approx(sum(matrix.demands.values()))
+
+    def test_parameter_validation(self, topo):
+        with pytest.raises(TrafficError, match="steps"):
+            vdc_timeline(topo, seed=0, steps=0)
+        with pytest.raises(TrafficError, match="arrival_rate"):
+            vdc_timeline(topo, seed=0, arrival_rate=0.0)
+        with pytest.raises(TrafficError, match="warmup"):
+            vdc_timeline(topo, seed=0, warmup=-1)
+
+    def test_needs_server_slots(self):
+        bare = random_regular_topology(6, 3, servers_per_switch=0, seed=1)
+        with pytest.raises(TrafficError, match="server slots"):
+            vdc_timeline(bare, seed=0)
+
+    def test_registered_as_timeline_kind(self, topo):
+        assert "vdc" in available_timelines()
+        timeline = make_timeline("vdc", topo, seed=3, **PARAMS)
+        assert timeline.num_steps == PARAMS["steps"]
+
+
+class TestPlacementCapacity:
+    def test_placement_never_exceeds_free_slots(self, topo):
+        sim = _VdcSimulator(
+            topo,
+            as_rng(11),
+            arrival_rate=2.0,
+            mean_vms=5.0,
+            sigma_vms=0.6,
+            mean_duration=6.0,
+            sigma_duration=0.6,
+        )
+        capacity = dict(sim.free)
+        for now in range(60):
+            sim.step(now)
+            used: dict = {}
+            for tenant in sim.active:
+                for switch, count in tenant.vm_counts.items():
+                    used[switch] = used.get(switch, 0) + count
+            for switch, count in used.items():
+                assert count <= capacity[switch]
+                assert sim.free[switch] == capacity[switch] - count
+            for switch, free in sim.free.items():
+                assert 0 <= free <= capacity[switch]
+
+    def test_oversized_tenants_rejected_not_placed(self, topo):
+        sim = _VdcSimulator(
+            topo,
+            as_rng(1),
+            arrival_rate=4.0,
+            mean_vms=40.0,  # clamped to total slots; fills fast, then rejects
+            sigma_vms=0.2,
+            mean_duration=50.0,
+            sigma_duration=0.2,
+        )
+        for now in range(20):
+            sim.step(now)
+        assert sim.rejected > 0
+        assert all(free >= 0 for free in sim.free.values())
+
+
+class TestSnapshotModel:
+    def test_snapshot_matches_timeline_step(self, topo):
+        timeline = vdc_timeline(topo, seed=8, **PARAMS)
+        snap = vdc_snapshot_traffic(topo, seed=8, step=10, **PARAMS)
+        assert snap.demands == timeline.matrix_at(10).demands
+        last = vdc_snapshot_traffic(topo, seed=8, **PARAMS)
+        assert last.demands == timeline.matrix_at(timeline.num_steps - 1).demands
+
+    def test_available_through_traffic_registry(self, topo):
+        tm = make_traffic("vdc", topo, seed=5, steps=10, arrival_rate=1.5)
+        assert tm.demands
