@@ -1,0 +1,67 @@
+"""Design-engine acceptance benchmarks: frontier quality and warm reruns.
+
+Two claims, measured on the default catalog at CI scale:
+
+- One ``run_design`` call over every generator family produces a
+  non-empty Pareto frontier on which a random-family design dominates
+  the matched-cost fat-tree (the paper's headline, as a design result).
+- A second run of the same (spec, catalog) pair against the same cache
+  performs zero cold solves and reproduces the frontier exactly.
+
+The wall-clock records append to ``BENCH_design.json``;
+``check_perf_gate.py`` gates the cold-run trajectory.
+"""
+
+from __future__ import annotations
+
+from conftest import append_record, run_once
+
+from repro.design import DesignSpec, run_design
+
+SPEC = DesignSpec.make(budget=50_000.0, servers=16, replicates=2)
+
+
+def test_design_cold_then_warm_rerun(benchmark, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = run_design(SPEC, cache_dir=cache_dir)
+
+    frontier = cold.frontier()
+    assert frontier, "empty Pareto frontier"
+    dominance = cold.dominance()
+    assert dominance["confirmed"], (
+        "no random-family design dominated a matched-cost fat-tree"
+    )
+    assert cold.cold_solves > 0 and cold.cache_hits == 0
+
+    warm = run_once(benchmark, run_design, SPEC, cache_dir=cache_dir)
+    assert warm.cold_solves == 0, (
+        f"warm rerun performed {warm.cold_solves} cold solves"
+    )
+    assert warm.cache_hits == cold.cold_solves
+    assert [p.label() for p in warm.frontier()] == [
+        p.label() for p in frontier
+    ]
+    assert {p.label(): p.metrics for p in warm.points} == {
+        p.label(): p.metrics for p in cold.points
+    }, "warm cache changed numbers"
+
+    speedup = cold.elapsed_s / max(warm.elapsed_s, 1e-9)
+    print(
+        f"\ncold {cold.elapsed_s:.2f}s ({cold.cold_solves} solves, "
+        f"{len(frontier)} frontier / {len(cold.points)} evaluated, "
+        f"{len(dominance['pairs'])} dominating pairs) -> warm "
+        f"{warm.elapsed_s:.2f}s ({speedup:.0f}x)"
+    )
+    append_record(
+        "BENCH_design.json",
+        "design_cold_run",
+        budget=SPEC.budget,
+        servers=SPEC.servers,
+        evaluated=len(cold.points),
+        frontier_size=len(frontier),
+        dominating_pairs=len(dominance["pairs"]),
+        cold_solves=cold.cold_solves,
+        cold_seconds=round(cold.elapsed_s, 4),
+        warm_seconds=round(warm.elapsed_s, 4),
+        speedup=round(speedup, 1),
+    )

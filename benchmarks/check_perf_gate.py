@@ -1,17 +1,21 @@
-"""CI perf-regression gate over the ``BENCH_solvers.json`` trajectory.
+"""CI perf-regression gate over the repo-root ``BENCH_*.json`` trajectories.
 
-Run after ``pytest bench_solvers.py`` has appended a fresh record: the
-newest record for each gated benchmark is compared against the best
-(fastest) *committed* record, and the gate fails on a >2x slowdown of
+Run after the gated benchmarks have appended fresh records: the newest
+record of each gated benchmark is compared against the best (fastest)
+*committed* record, and the gate fails on a >2x slowdown of
 
-- the warm (incremental-model) anneal at N = 64, and
-- the end-to-end N = 100,000 estimator-ladder cell.
+- the warm (incremental-model) anneal at N = 64 and the end-to-end
+  N = 100,000 estimator-ladder cell (``BENCH_solvers.json``, appended by
+  ``bench_solvers.py``), and
+- the cold cost-Pareto design run over every generator family
+  (``BENCH_design.json``, appended by ``bench_design.py``).
 
 The 2x threshold absorbs shared-runner noise; the in-run ratio asserts
-(warm >= 3x faster than cold) live in ``bench_solvers.py`` itself and
-are machine-independent. Usage::
+(e.g. warm >= 3x faster than cold) live in the benchmark files
+themselves and are machine-independent. Usage::
 
-    python benchmarks/check_perf_gate.py [path/to/BENCH_solvers.json]
+    python benchmarks/check_perf_gate.py            # gate every artifact
+    python benchmarks/check_perf_gate.py BENCH_solvers.json   # just one
 """
 
 from __future__ import annotations
@@ -21,12 +25,16 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_ARTIFACT = REPO_ROOT / "BENCH_solvers.json"
 
-#: Gated benchmark -> the timing field the gate watches.
+#: Gated artifact -> {benchmark name -> the timing field the gate watches}.
 GATES = {
-    "incremental_anneal_n64": "warm_seconds",
-    "estimator_ladder_100k": "total_seconds",
+    "BENCH_solvers.json": {
+        "incremental_anneal_n64": "warm_seconds",
+        "estimator_ladder_100k": "total_seconds",
+    },
+    "BENCH_design.json": {
+        "design_cold_run": "cold_seconds",
+    },
 }
 
 #: Newest record may be at most this many times slower than the fastest
@@ -34,14 +42,19 @@ GATES = {
 SLOWDOWN_LIMIT = 2.0
 
 
-def check(path: Path = DEFAULT_ARTIFACT) -> "list[str]":
-    """Return a list of gate failures (empty when the gate passes)."""
+def check_artifact(path: Path, gates: "dict[str, str]") -> "list[str]":
+    """Gate one artifact; return failures (empty when it passes)."""
     if not path.exists():
-        return [f"{path.name}: artifact missing (run bench_solvers.py first)"]
+        return [
+            f"{path.name}: artifact missing (run the benchmark that "
+            "appends it first)"
+        ]
     payload = json.loads(path.read_text())
     failures: list[str] = []
-    for name, fld in GATES.items():
-        records = [r for r in payload.get("records", []) if r.get("benchmark") == name]
+    for name, fld in gates.items():
+        records = [
+            r for r in payload.get("records", []) if r.get("benchmark") == name
+        ]
         if not records:
             failures.append(f"{name}: no records in {path.name}")
             continue
@@ -64,8 +77,22 @@ def check(path: Path = DEFAULT_ARTIFACT) -> "list[str]":
     return failures
 
 
+def check(path: "Path | None" = None) -> "list[str]":
+    """Gate one artifact (by path) or every registered artifact."""
+    if path is not None:
+        gates = GATES.get(path.name)
+        if gates is None:
+            known = ", ".join(sorted(GATES))
+            return [f"{path.name}: no gates registered (known: {known})"]
+        return check_artifact(path, gates)
+    failures: list[str] = []
+    for name, gates in GATES.items():
+        failures.extend(check_artifact(REPO_ROOT / name, gates))
+    return failures
+
+
 def main(argv: "list[str]") -> int:
-    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_ARTIFACT
+    path = Path(argv[1]) if len(argv) > 1 else None
     failures = check(path)
     for failure in failures:
         print(f"PERF GATE FAIL: {failure}", file=sys.stderr)

@@ -8,6 +8,13 @@ a vanilla random interconnect is always among the optima — makes this a
 practical tool: the designer confirms (or adjusts) that default for any
 concrete equipment mix, including mixed line-speeds where no clean rule is
 known.
+
+Solves route through the pipeline's cached entry point
+(:func:`repro.pipeline.engine.evaluate_throughput`), so a warm
+``REPRO_CACHE_DIR`` answers a repeated sweep without re-solving any LPs.
+For budget-driven multi-objective design across whole topology families —
+cost × throughput × resilience × churn — see :mod:`repro.design`, which
+generalizes this two-type grid search.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from dataclasses import dataclass
 
 from repro.core.placement import ServerSplit, feasible_server_splits
 from repro.exceptions import ExperimentError, TopologyError
-from repro.flow.edge_lp import max_concurrent_flow
+from repro.pipeline.engine import evaluate_throughput
 from repro.topology.two_cluster import two_cluster_random_topology
 from repro.traffic.permutation import random_permutation_traffic
 from repro.util.rng import child_rngs
@@ -108,7 +115,9 @@ class HeterogeneousDesigner:
                 throughputs.append(0.0)
                 continue
             traffic = random_permutation_traffic(topo, seed=rng)
-            throughputs.append(max_concurrent_flow(topo, traffic).throughput)
+            throughputs.append(
+                evaluate_throughput(topo, traffic, "edge_lp").throughput
+            )
         mean = statistics.fmean(throughputs)
         std = statistics.pstdev(throughputs) if len(throughputs) > 1 else 0.0
         return DesignPoint(

@@ -1,0 +1,46 @@
+"""Budget-driven multi-objective topology design (the paper's pitch).
+
+``repro.design`` turns the evaluation stack into a *designer*: give it a
+parts catalog (:class:`PartsCatalog`) and a design spec
+(:class:`DesignSpec` — budget, server target, objectives) and
+:func:`run_design` searches the space of buildable topologies for the
+Pareto frontier of cost × throughput × resilience × growth-churn,
+annealing over candidate designs with cheap calibrated estimators inner
+loop and exact-LP confirmation of the finalists. See ``docs/design.md``.
+"""
+
+from repro.design.candidates import (
+    CandidateDesign,
+    available_generators,
+    generate_candidates,
+    mutate_candidate,
+    register_generator,
+)
+from repro.design.catalog import PartsCatalog, SwitchSKU, default_catalog
+from repro.design.engine import DesignPointRecord, DesignReport, run_design
+from repro.design.pareto import (
+    DESIGN_AXES,
+    FrontierEntry,
+    ParetoFrontier,
+    dominates,
+)
+from repro.design.spec import DesignSpec
+
+__all__ = [
+    "CandidateDesign",
+    "DESIGN_AXES",
+    "DesignPointRecord",
+    "DesignReport",
+    "DesignSpec",
+    "FrontierEntry",
+    "ParetoFrontier",
+    "PartsCatalog",
+    "SwitchSKU",
+    "available_generators",
+    "default_catalog",
+    "dominates",
+    "generate_candidates",
+    "mutate_candidate",
+    "register_generator",
+    "run_design",
+]

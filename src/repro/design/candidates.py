@@ -1,0 +1,449 @@
+"""Candidate designs and the generators that emit them.
+
+A :class:`CandidateDesign` is one buildable point in the design space: a
+registry-keyed :class:`~repro.pipeline.scenario.TopologySpec` (so the
+pipeline can construct, fingerprint, cache, and batch it like any other
+sweep cell) plus the procurement side — the bill of catalog SKUs, the
+lit ports per unit, the attached server count, and the resulting
+equipment cost.
+
+Generators turn a (:class:`~repro.design.catalog.PartsCatalog`,
+:class:`~repro.design.spec.DesignSpec`) pair into candidate lists:
+
+- ``rrg`` — random regular graphs at every SKU radix and a few
+  servers-per-switch mixes (the paper's main construction),
+- ``fat-tree`` — the k-ary fat-tree upgrade ladder,
+- ``matched`` — for each buildable fat-tree ``k``, a random graph wired
+  from *exactly* the fat-tree's equipment (same bill, same cost — the
+  paper's equal-cost comparison point),
+- ``vl2`` — the VL2/Clos ladder at unit line-speed,
+- ``power-law`` — heterogeneous switch populations from the truncated
+  power law of :func:`repro.topology.heterogeneous.power_law_port_counts`,
+  with the port population pinned by a content-derived ``ports_seed`` so
+  every replicate prices the same bill.
+
+:func:`mutate_candidate` proposes a neighboring design (the annealing
+move kernel): radix/split tweaks for random families, ladder steps for
+structured ones. All emitted candidates satisfy the spec's server target
+and fit its budget on equipment cost; the engine re-checks total cost
+once cabling is priced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.design.catalog import PartsCatalog, SwitchSKU
+from repro.design.spec import DesignSpec
+from repro.exceptions import DesignError
+from repro.pipeline.scenario import TopologySpec
+from repro.topology.heterogeneous import power_law_port_counts
+from repro.util.hashing import stable_seed
+
+
+@dataclass(frozen=True)
+class CandidateDesign:
+    """One buildable, priceable point in the design space."""
+
+    generator: str
+    #: ``"random"`` families grow by link swaps; ``"structured"`` ones
+    #: upgrade along their ladder (drives the churn measurement).
+    family: str
+    #: Calibration family label for estimator error bands.
+    calibration_family: str
+    topology: TopologySpec
+    bill: "tuple[tuple[str, int], ...]"
+    ports_used: "tuple[tuple[str, int], ...]"
+    servers: int
+    num_switches: int
+    equipment_cost: float
+
+    def label(self) -> str:
+        return self.topology.label()
+
+    def bill_dict(self) -> "dict[str, int]":
+        return dict(self.bill)
+
+
+def _candidate(
+    generator: str,
+    family: str,
+    calibration_family: str,
+    topology: TopologySpec,
+    bill: "Mapping[str, int]",
+    ports_used: "Mapping[str, int]",
+    servers: int,
+    catalog: PartsCatalog,
+) -> CandidateDesign:
+    cost = catalog.equipment_cost(bill, servers=servers, ports_used=ports_used)
+    return CandidateDesign(
+        generator=generator,
+        family=family,
+        calibration_family=calibration_family,
+        topology=topology,
+        bill=tuple(sorted(bill.items())),
+        ports_used=tuple(sorted(ports_used.items())),
+        servers=int(servers),
+        num_switches=int(sum(bill.values())),
+        equipment_cost=cost,
+    )
+
+
+def _rrg_candidate(
+    sku: SwitchSKU,
+    servers_per_switch: int,
+    catalog: PartsCatalog,
+    spec: DesignSpec,
+) -> "CandidateDesign | None":
+    """An RRG point on ``sku`` with a given server split, or ``None``."""
+    if servers_per_switch < 1 or servers_per_switch >= sku.ports:
+        return None
+    degree = sku.ports - servers_per_switch
+    if degree < 3:
+        return None
+    num_switches = math.ceil(spec.servers / servers_per_switch)
+    if num_switches <= degree:
+        num_switches = degree + 1
+    if (num_switches * degree) % 2:
+        num_switches += 1
+    candidate = _candidate(
+        generator="rrg",
+        family="random",
+        calibration_family="rrg",
+        topology=TopologySpec.make(
+            "rrg",
+            num_switches=num_switches,
+            network_degree=degree,
+            servers_per_switch=servers_per_switch,
+        ),
+        bill={sku.name: num_switches},
+        ports_used={sku.name: degree + servers_per_switch},
+        servers=num_switches * servers_per_switch,
+        catalog=catalog,
+    )
+    if candidate.equipment_cost > spec.budget:
+        return None
+    return candidate
+
+
+def rrg_candidates(
+    catalog: PartsCatalog, spec: DesignSpec
+) -> "list[CandidateDesign]":
+    out = []
+    for sku in catalog.skus:
+        splits = {sku.ports // 4, sku.ports // 3, sku.ports // 2}
+        for servers_per_switch in sorted(s for s in splits if s >= 1):
+            candidate = _rrg_candidate(sku, servers_per_switch, catalog, spec)
+            if candidate is not None:
+                out.append(candidate)
+    return out
+
+
+def _fat_tree_ks(catalog: PartsCatalog, spec: DesignSpec) -> "list[int]":
+    """Buildable fat-tree radices meeting the server target and budget."""
+    out = []
+    for k in range(4, catalog.max_ports() + 1, 2):
+        if k * k * k // 4 < spec.servers:
+            continue
+        sku = catalog.cheapest_sku_for(k)
+        if sku is None:
+            break
+        cost = catalog.equipment_cost(
+            {sku.name: 5 * k * k // 4},
+            servers=k * k * k // 4,
+            ports_used={sku.name: k},
+        )
+        if cost > spec.budget:
+            break
+        out.append(k)
+        if len(out) >= 4:  # one ladder rung past the target is plenty
+            break
+    return out
+
+
+def _fat_tree_equipment(
+    k: int, catalog: PartsCatalog
+) -> "tuple[dict, dict, int]":
+    sku = catalog.cheapest_sku_for(k)
+    if sku is None:
+        raise DesignError(f"no SKU with >= {k} ports in catalog")
+    return {sku.name: 5 * k * k // 4}, {sku.name: k}, k * k * k // 4
+
+
+def fat_tree_candidates(
+    catalog: PartsCatalog, spec: DesignSpec
+) -> "list[CandidateDesign]":
+    out = []
+    for k in _fat_tree_ks(catalog, spec):
+        bill, ports_used, servers = _fat_tree_equipment(k, catalog)
+        out.append(
+            _candidate(
+                generator="fat-tree",
+                family="structured",
+                calibration_family="fat-tree",
+                topology=TopologySpec.make("fat-tree", k=k),
+                bill=bill,
+                ports_used=ports_used,
+                servers=servers,
+                catalog=catalog,
+            )
+        )
+    return out
+
+
+def matched_candidates(
+    catalog: PartsCatalog, spec: DesignSpec
+) -> "list[CandidateDesign]":
+    """Random graphs wired from exactly the fat-tree bill at each ``k``."""
+    out = []
+    for k in _fat_tree_ks(catalog, spec):
+        bill, ports_used, servers = _fat_tree_equipment(k, catalog)
+        out.append(
+            _candidate(
+                generator="matched",
+                family="random",
+                calibration_family="rrg",
+                topology=TopologySpec.make("matched-random", k=k),
+                bill=bill,
+                ports_used=ports_used,
+                servers=servers,
+                catalog=catalog,
+            )
+        )
+    return out
+
+
+def vl2_candidates(
+    catalog: PartsCatalog, spec: DesignSpec
+) -> "list[CandidateDesign]":
+    out = []
+    for k in range(4, catalog.max_ports() + 1, 2):
+        tors = k * k // 4
+        servers_per_tor = math.ceil(spec.servers / tors)
+        fabric_sku = catalog.cheapest_sku_for(k)
+        tor_sku = catalog.cheapest_sku_for(servers_per_tor + 2)
+        if fabric_sku is None or tor_sku is None:
+            continue
+        bill = {fabric_sku.name: k + k // 2}
+        ports_used = {fabric_sku.name: k}
+        bill[tor_sku.name] = bill.get(tor_sku.name, 0) + tors
+        if tor_sku.name in ports_used:
+            # ToRs and fabric share a SKU: bill the larger port usage.
+            ports_used[tor_sku.name] = max(
+                ports_used[tor_sku.name], servers_per_tor + 2
+            )
+        else:
+            ports_used[tor_sku.name] = servers_per_tor + 2
+        candidate = _candidate(
+            generator="vl2",
+            family="structured",
+            calibration_family="vl2",
+            topology=TopologySpec.make(
+                "vl2",
+                da=k,
+                di=k,
+                servers_per_tor=servers_per_tor,
+                fabric_capacity=1.0,
+            ),
+            bill=bill,
+            ports_used=ports_used,
+            servers=tors * servers_per_tor,
+            catalog=catalog,
+        )
+        if candidate.equipment_cost <= spec.budget:
+            out.append(candidate)
+            if len(out) >= 3:
+                break
+    return out
+
+
+def _power_law_candidate(
+    num_switches: int,
+    exponent: float,
+    max_ports: int,
+    ports_seed: int,
+    catalog: PartsCatalog,
+    spec: DesignSpec,
+    min_ports: int = 4,
+) -> "CandidateDesign | None":
+    """Price one power-law population (or ``None`` when infeasible).
+
+    The bill is computable without building: ``ports_seed`` pins the
+    sampled population, and each switch is priced by the cheapest SKU
+    covering its port count.
+    """
+    counts = power_law_port_counts(
+        num_switches,
+        exponent=exponent,
+        min_ports=min_ports,
+        max_ports=max_ports,
+        seed=ports_seed,
+    )
+    if spec.servers > sum(max(0, ports - 1) for ports in counts):
+        return None
+    bill: "dict[str, int]" = {}
+    ports_used: "dict[str, int]" = {}
+    for ports in counts:
+        sku = catalog.cheapest_sku_for(ports)
+        if sku is None:
+            return None
+        bill[sku.name] = bill.get(sku.name, 0) + 1
+        ports_used[sku.name] = max(ports_used.get(sku.name, 0), ports)
+    candidate = _candidate(
+        generator="power-law",
+        family="random",
+        calibration_family="rrg",
+        topology=TopologySpec.make(
+            "power-law",
+            num_switches=num_switches,
+            exponent=round(float(exponent), 4),
+            min_ports=min_ports,
+            max_ports=max_ports,
+            total_servers=spec.servers,
+            beta=1.0,
+            ports_seed=int(ports_seed),
+        ),
+        bill=bill,
+        ports_used=ports_used,
+        servers=spec.servers,
+        catalog=catalog,
+    )
+    if candidate.equipment_cost > spec.budget:
+        return None
+    return candidate
+
+
+def power_law_candidates(
+    catalog: PartsCatalog, spec: DesignSpec
+) -> "list[CandidateDesign]":
+    out = []
+    max_ports = min(16, catalog.max_ports())
+    for exponent in (1.5, 2.0):
+        for scale in (2, 3):
+            num_switches = max(8, math.ceil(spec.servers / scale))
+            ports_seed = stable_seed(
+                {
+                    "design-ports": spec.base_seed,
+                    "n": num_switches,
+                    "exponent": exponent,
+                }
+            )
+            candidate = _power_law_candidate(
+                num_switches, exponent, max_ports, ports_seed, catalog, spec
+            )
+            if candidate is not None:
+                out.append(candidate)
+    return out
+
+
+_GENERATORS: "dict[str, Callable[[PartsCatalog, DesignSpec], list]]" = {
+    "rrg": rrg_candidates,
+    "fat-tree": fat_tree_candidates,
+    "matched": matched_candidates,
+    "vl2": vl2_candidates,
+    "power-law": power_law_candidates,
+}
+
+
+def available_generators() -> "list[str]":
+    """Registered candidate-generator names, in registration order."""
+    return list(_GENERATORS)
+
+
+def register_generator(
+    name: str, fn: "Callable[[PartsCatalog, DesignSpec], list]"
+) -> None:
+    """Register a custom generator (existing names cannot be overwritten)."""
+    if name in _GENERATORS:
+        raise DesignError(f"generator {name!r} is already registered")
+    _GENERATORS[name] = fn
+
+
+def generate_candidates(
+    catalog: PartsCatalog,
+    spec: DesignSpec,
+    generators: "tuple[str, ...] | None" = None,
+) -> "list[CandidateDesign]":
+    """Run the chosen generators and dedup by topology label."""
+    names = tuple(generators if generators is not None else ())
+    if not names:
+        names = tuple(spec.generators) or tuple(_GENERATORS)
+    out: "list[CandidateDesign]" = []
+    seen: set = set()
+    for name in names:
+        if name not in _GENERATORS:
+            known = ", ".join(_GENERATORS)
+            raise DesignError(f"unknown generator {name!r}; known: {known}")
+        for candidate in _GENERATORS[name](catalog, spec):
+            key = candidate.label()
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(candidate)
+    if not out:
+        raise DesignError(
+            f"no feasible candidate serves {spec.servers} servers within "
+            f"budget {spec.budget}; widen the catalog or raise the budget"
+        )
+    return out
+
+
+def mutate_candidate(
+    candidate: CandidateDesign,
+    catalog: PartsCatalog,
+    spec: DesignSpec,
+    rng,
+) -> "CandidateDesign | None":
+    """Propose a neighboring design (the annealing move kernel).
+
+    Random families tweak their radix mix (servers-per-switch, SKU, or
+    power-law shape); structured families step along their ladder.
+    Returns ``None`` when the sampled move is infeasible or busts the
+    equipment budget — the annealer just draws again.
+    """
+    params = candidate.topology.params_dict()
+    if candidate.generator == "rrg":
+        sku_names = [sku.name for sku in catalog.skus]
+        current = candidate.bill[0][0]
+        if len(sku_names) > 1 and rng.random() < 0.3:
+            choices = [name for name in sku_names if name != current]
+            sku = catalog.sku(choices[int(rng.integers(len(choices)))])
+            servers_per_switch = max(1, sku.ports // 3)
+        else:
+            sku = catalog.sku(current)
+            servers_per_switch = int(params["servers_per_switch"]) + (
+                1 if rng.random() < 0.5 else -1
+            )
+        return _rrg_candidate(sku, servers_per_switch, catalog, spec)
+    if candidate.generator == "power-law":
+        exponent = float(params["exponent"])
+        if rng.random() < 0.5:
+            exponent = min(3.0, max(1.2, exponent + rng.choice((-0.25, 0.25))))
+            ports_seed = int(params["ports_seed"])
+        else:
+            ports_seed = int(rng.integers(2**31))
+        return _power_law_candidate(
+            int(params["num_switches"]),
+            exponent,
+            int(params["max_ports"]),
+            ports_seed,
+            catalog,
+            spec,
+            min_ports=int(params["min_ports"]),
+        )
+    if candidate.generator in ("fat-tree", "matched", "vl2"):
+        step = 2 if rng.random() < 0.5 else -2
+        maker = {
+            "fat-tree": fat_tree_candidates,
+            "matched": matched_candidates,
+            "vl2": vl2_candidates,
+        }[candidate.generator]
+        key = "k" if "k" in params else "da"
+        target = int(params[key]) + step
+        for neighbor in maker(catalog, spec):
+            if int(neighbor.topology.params_dict()[key]) == target:
+                return neighbor
+        return None
+    return None

@@ -1,0 +1,223 @@
+"""Parts catalogs: the equipment and cabling price list designs are costed by.
+
+A :class:`PartsCatalog` is the purchasable universe of a design run: a
+set of switch SKUs (radix, line-speed, chassis and per-port optics
+prices) plus cabling rates (per cable and per meter) and an optional
+per-server cost. Candidate generators consult it to decide which radices
+are buildable and what a bill of switches costs; the engine prices each
+candidate's physical cabling by laying the built topology out on a rack
+row (:func:`repro.core.cabling.linear_layout`) and billing the resulting
+:func:`~repro.core.cabling.cable_report` — the same machinery that
+prices growth churn (:func:`~repro.core.cabling.cable_churn`), so the
+cost and churn axes share one price list.
+
+Catalogs are plain frozen dataclasses with a JSON round trip
+(``save``/``load``), so a procurement team's actual price list can be
+passed to ``repro-experiments design --catalog prices.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.cabling import CableChurn, cable_report, linear_layout
+from repro.exceptions import DesignError
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class SwitchSKU:
+    """One purchasable switch model.
+
+    ``unit_cost`` prices the chassis; ``port_cost`` prices each *used*
+    port (optics/transceivers), so a design that leaves ports dark pays
+    for the chassis but not the unused optics.
+    """
+
+    name: str
+    ports: int
+    unit_cost: float
+    port_cost: float = 0.0
+    line_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ports < 1:
+            raise DesignError(f"SKU {self.name!r}: ports must be >= 1")
+        if self.unit_cost < 0 or self.port_cost < 0:
+            raise DesignError(f"SKU {self.name!r}: costs must be >= 0")
+        if self.line_speed <= 0:
+            raise DesignError(f"SKU {self.name!r}: line_speed must be > 0")
+
+    def cost(self, ports_used: "int | None" = None) -> float:
+        """Price of one unit with ``ports_used`` ports lit (default: all)."""
+        used = self.ports if ports_used is None else ports_used
+        if used < 0 or used > self.ports:
+            raise DesignError(
+                f"SKU {self.name!r} has {self.ports} ports; "
+                f"cannot light {used}"
+            )
+        return float(self.unit_cost + self.port_cost * used)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ports": self.ports,
+            "unit_cost": self.unit_cost,
+            "port_cost": self.port_cost,
+            "line_speed": self.line_speed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SwitchSKU":
+        return cls(
+            name=str(payload["name"]),
+            ports=int(payload["ports"]),
+            unit_cost=float(payload["unit_cost"]),
+            port_cost=float(payload.get("port_cost", 0.0)),
+            line_speed=float(payload.get("line_speed", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class PartsCatalog:
+    """The price list a design run shops from."""
+
+    skus: "tuple[SwitchSKU, ...]"
+    #: Flat price per installed cable (connectors, labor).
+    cable_cost: float = 1.0
+    #: Price per meter of cable run (rack-row Manhattan distance).
+    cable_cost_per_meter: float = 0.0
+    #: Price per attached server (NIC + its cable); often zero because
+    #: every candidate serves the same server count and it cancels.
+    server_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "skus", tuple(self.skus))
+        if not self.skus:
+            raise DesignError("catalog needs at least one SKU")
+        names = [sku.name for sku in self.skus]
+        if len(set(names)) != len(names):
+            raise DesignError(f"duplicate SKU names in catalog: {names}")
+        if min(self.cable_cost, self.cable_cost_per_meter, self.server_cost) < 0:
+            raise DesignError("catalog costs must be >= 0")
+
+    def sku(self, name: str) -> SwitchSKU:
+        for sku in self.skus:
+            if sku.name == name:
+                return sku
+        known = ", ".join(sku.name for sku in self.skus)
+        raise DesignError(f"unknown SKU {name!r}; catalog has: {known}")
+
+    def cheapest_sku_for(self, ports: int) -> "SwitchSKU | None":
+        """The cheapest SKU with at least ``ports`` ports, or ``None``.
+
+        "Cheapest" prices the chassis plus ``ports`` lit ports — a big
+        chassis with cheap optics can beat a small one.
+        """
+        fitting = [sku for sku in self.skus if sku.ports >= ports]
+        if not fitting:
+            return None
+        return min(fitting, key=lambda sku: (sku.cost(ports), sku.name))
+
+    def max_ports(self) -> int:
+        """The largest radix purchasable from this catalog."""
+        return max(sku.ports for sku in self.skus)
+
+    def equipment_cost(
+        self,
+        bill: "Mapping[str, int] | tuple",
+        servers: int = 0,
+        ports_used: "Mapping[str, int] | None" = None,
+    ) -> float:
+        """Price a bill of materials: ``{sku name: count}`` plus servers.
+
+        ``ports_used`` optionally maps SKU names to lit ports per unit
+        (default: all ports lit).
+        """
+        if not isinstance(bill, Mapping):
+            bill = dict(bill)
+        used = dict(ports_used or {})
+        total = float(self.server_cost) * int(servers)
+        for name, count in bill.items():
+            if count < 0:
+                raise DesignError(f"negative count for SKU {name!r}")
+            total += self.sku(name).cost(used.get(name)) * int(count)
+        return total
+
+    def cabling_cost(
+        self,
+        topo: Topology,
+        positions: "dict | None" = None,
+        seed: int = 0,
+    ) -> float:
+        """Price the physical cabling of a built topology.
+
+        Lays the switches out on a cluster-grouped rack row when no
+        ``positions`` are given (deterministic for a fixed ``seed``) and
+        bills each link one cable plus its Manhattan length.
+        """
+        if positions is None:
+            positions = linear_layout(topo, seed=seed)
+        report = cable_report(topo, positions)
+        return (
+            report.num_cables * self.cable_cost
+            + report.total_length * self.cable_cost_per_meter
+        )
+
+    def churn_cost(self, churn: CableChurn) -> float:
+        """Price a rewiring step (cables pulled + installed)."""
+        return (
+            churn.cables_touched * self.cable_cost
+            + churn.length_touched * self.cable_cost_per_meter
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "skus": [sku.to_dict() for sku in self.skus],
+            "cable_cost": self.cable_cost,
+            "cable_cost_per_meter": self.cable_cost_per_meter,
+            "server_cost": self.server_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "PartsCatalog":
+        return cls(
+            skus=tuple(
+                SwitchSKU.from_dict(entry) for entry in payload.get("skus", ())
+            ),
+            cable_cost=float(payload.get("cable_cost", 1.0)),
+            cable_cost_per_meter=float(payload.get("cable_cost_per_meter", 0.0)),
+            server_cost=float(payload.get("server_cost", 0.0)),
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path) -> "PartsCatalog":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def default_catalog() -> PartsCatalog:
+    """A generic merchant-silicon price list (arbitrary but plausible units).
+
+    Prices follow the usual shape: cost grows super-linearly with radix
+    (the paper's §2 motivation for building big networks from small
+    switches), optics dominate at high radix, cables are cheap but not
+    free.
+    """
+    return PartsCatalog(
+        skus=(
+            SwitchSKU(name="edge8", ports=8, unit_cost=600.0, port_cost=40.0),
+            SwitchSKU(name="edge16", ports=16, unit_cost=1500.0, port_cost=50.0),
+            SwitchSKU(name="agg32", ports=32, unit_cost=4200.0, port_cost=60.0),
+            SwitchSKU(name="core64", ports=64, unit_cost=12000.0, port_cost=80.0),
+        ),
+        cable_cost=10.0,
+        cable_cost_per_meter=3.0,
+        server_cost=0.0,
+    )

@@ -1,0 +1,682 @@
+"""The Pareto design engine: budget-driven search over the full stack.
+
+One :func:`run_design` call answers the paper's actual question — *what
+is the best network you can buy for this budget?* — as a Pareto frontier
+over cost × throughput × resilience × growth-churn:
+
+1. **Generate.** Every registered generator emits registry-keyed
+   candidates that serve the spec's server target within its equipment
+   budget (:mod:`repro.design.candidates`).
+2. **Calibrate.** When any candidate exceeds ``spec.exact_limit``
+   switches, the spec's estimator is calibrated per family
+   (:func:`repro.estimate.calibrate.calibrate_estimators`) with all
+   calibration solves routed through the content-addressed cache.
+3. **Evaluate.** Candidates are scored through
+   :func:`repro.pipeline.engine.run_grid` — batched execution on the
+   job model, one grid per solver tier, with the failure axis supplying
+   the resilience coordinate. Cabling cost and growth churn are then
+   measured on the built instance (:mod:`repro.core.cabling`,
+   :mod:`repro.topology.expansion`).
+4. **Anneal.** A Metropolis walk over the *design space* (not the edge
+   space): :func:`~repro.design.candidates.mutate_candidate` proposes
+   neighboring designs, a weighted scalarization steers acceptance
+   under a :class:`~repro.search.annealing.CoolingSchedule`, and every
+   evaluated design is offered to the incremental
+   :class:`~repro.design.pareto.ParetoFrontier`.
+5. **Promote.** Frontier finalists scored by an estimator are re-solved
+   with the exact ``edge_lp`` and checked against their calibration
+   band; the frontier is re-filtered on the exact numbers.
+
+Every throughput number flows through ``ResultCache`` content addresses,
+so re-running the same (spec, catalog) answers entirely from cache —
+the report's ``cold_solves`` counter reads zero on a warm rerun.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import os
+from dataclasses import dataclass, field
+
+from repro.core.cabling import cable_churn, linear_layout
+from repro.design.candidates import (
+    CandidateDesign,
+    generate_candidates,
+    mutate_candidate,
+)
+from repro.design.catalog import PartsCatalog, default_catalog
+from repro.design.pareto import DESIGN_AXES, ParetoFrontier
+from repro.design.spec import DesignSpec
+from repro.estimate.calibrate import (
+    CalibrationTable,
+    calibrate_estimators,
+    within_band,
+)
+from repro.exceptions import DesignError
+from repro.flow.solvers import SolverConfig
+from repro.pipeline.cache import CACHE_ENV_VAR
+from repro.pipeline.engine import run_grid
+from repro.pipeline.scenario import ScenarioGrid, TopologySpec, TrafficSpec
+from repro.resilience import FailureSpec
+from repro.search.annealing import CoolingSchedule
+from repro.topology.base import Topology
+from repro.topology.expansion import expand_topology
+from repro.util.hashing import stable_seed
+from repro.util.rng import as_rng
+from repro.util.tables import format_table
+
+#: Sizes the designer calibrates estimator bands at (small enough for
+#: exact LPs, solved through the cache so warm reruns cost nothing).
+CALIBRATION_SIZES = (16, 24)
+
+
+@dataclass
+class DesignPointRecord:
+    """One fully evaluated candidate: objectives plus provenance."""
+
+    candidate: CandidateDesign
+    metrics: dict = field(default_factory=dict)
+    on_frontier: bool = False
+
+    def values(self) -> "dict[str, float]":
+        """The four Pareto axis values of this point."""
+        return {axis: float(self.metrics[axis]) for axis in DESIGN_AXES}
+
+    def label(self) -> str:
+        return self.candidate.label()
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label(),
+            "generator": self.candidate.generator,
+            "family": self.candidate.family,
+            "topology": self.candidate.topology.to_dict(),
+            "bill": self.candidate.bill_dict(),
+            "servers": self.candidate.servers,
+            "num_switches": self.candidate.num_switches,
+            "metrics": dict(self.metrics),
+            "on_frontier": self.on_frontier,
+        }
+
+
+CSV_FIELDS = (
+    "label",
+    "generator",
+    "family",
+    "num_switches",
+    "servers",
+    "cost",
+    "equipment_cost",
+    "cabling_cost",
+    "throughput",
+    "throughput_std",
+    "resilience",
+    "churn",
+    "solver",
+    "exact",
+    "promoted",
+    "within_band",
+    "on_frontier",
+)
+
+
+@dataclass
+class DesignReport:
+    """Everything a design run produced, JSON/CSV serializable."""
+
+    spec: DesignSpec
+    catalog: PartsCatalog
+    points: "list[DesignPointRecord]" = field(default_factory=list)
+    dominated: int = 0
+    cold_solves: int = 0
+    cache_hits: int = 0
+    anneal_accepted: int = 0
+    anneal_proposed: int = 0
+    elapsed_s: float = 0.0
+
+    def frontier(self) -> "list[DesignPointRecord]":
+        """Frontier points, cheapest first."""
+        return sorted(
+            (p for p in self.points if p.on_frontier),
+            key=lambda p: p.metrics["cost"],
+        )
+
+    def dominance(self) -> dict:
+        """The paper's equal-cost claim, checked on this run's numbers.
+
+        A random-family design *dominates* a fat-tree point when its
+        equipment cost is no higher, its total cost (equipment +
+        cabling) is no higher, and its throughput is strictly higher.
+        """
+        pairs = []
+        eps = 1e-9
+        fat_trees = [p for p in self.points if p.candidate.generator == "fat-tree"]
+        randoms = [p for p in self.points if p.candidate.family == "random"]
+        for ft in fat_trees:
+            for rnd in randoms:
+                if (
+                    rnd.metrics["equipment_cost"]
+                    <= ft.metrics["equipment_cost"] + eps
+                    and rnd.metrics["cost"] <= ft.metrics["cost"] + eps
+                    and rnd.metrics["throughput"]
+                    > ft.metrics["throughput"] + eps
+                ):
+                    pairs.append(
+                        {
+                            "random": rnd.label(),
+                            "fat_tree": ft.label(),
+                            "equipment_cost": ft.metrics["equipment_cost"],
+                            "throughput_gain": (
+                                rnd.metrics["throughput"]
+                                - ft.metrics["throughput"]
+                            ),
+                        }
+                    )
+        return {"confirmed": bool(pairs), "pairs": pairs}
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "catalog": self.catalog.to_dict(),
+            "points": [p.to_dict() for p in self.points],
+            "frontier": [p.label() for p in self.frontier()],
+            "dominance": self.dominance(),
+            "dominated": self.dominated,
+            "cold_solves": self.cold_solves,
+            "cache_hits": self.cache_hits,
+            "anneal_accepted": self.anneal_accepted,
+            "anneal_proposed": self.anneal_proposed,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def write_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    def write_csv(self, path) -> None:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+            writer.writeheader()
+            for point in self.points:
+                row = {
+                    "label": point.label(),
+                    "generator": point.candidate.generator,
+                    "family": point.candidate.family,
+                    "num_switches": point.candidate.num_switches,
+                    "servers": point.candidate.servers,
+                    "on_frontier": point.on_frontier,
+                }
+                for name in CSV_FIELDS:
+                    if name in point.metrics:
+                        row[name] = point.metrics[name]
+                writer.writerow(row)
+
+    def summary(self) -> str:
+        """Human-readable frontier table plus run counters."""
+        headers = [
+            "design",
+            "cost",
+            "throughput",
+            "resilience",
+            "churn",
+            "solver",
+        ]
+        rows = []
+        for point in self.frontier():
+            rows.append(
+                [
+                    point.label(),
+                    point.metrics["cost"],
+                    point.metrics["throughput"],
+                    point.metrics["resilience"],
+                    point.metrics["churn"],
+                    point.metrics["solver"]
+                    + ("*" if point.metrics.get("promoted") else ""),
+                ]
+            )
+        dominance = self.dominance()
+        lines = [
+            f"== design frontier ({len(rows)} points, "
+            f"{len(self.points)} evaluated, {self.dominated} dominated) ==",
+            format_table(headers, rows, float_format="{:.3f}"),
+            (
+                "random beats fat-tree at matched cost: "
+                + ("yes" if dominance["confirmed"] else "no")
+                + (
+                    f" ({len(dominance['pairs'])} dominating pairs)"
+                    if dominance["pairs"]
+                    else ""
+                )
+            ),
+            (
+                f"{self.cold_solves} cold solves, "
+                f"{self.cache_hits} cache hits, "
+                f"{self.anneal_accepted}/{self.anneal_proposed} anneal moves "
+                f"accepted, {self.elapsed_s:.2f}s"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def _solver_for(
+    candidate: CandidateDesign, spec: DesignSpec, table: "CalibrationTable | None"
+) -> SolverConfig:
+    """Exact LP below the size limit, calibrated estimator above it."""
+    if candidate.num_switches <= spec.exact_limit:
+        return SolverConfig.make("edge_lp")
+    if table is not None:
+        return table.config_for(candidate.calibration_family, spec.estimator)
+    return SolverConfig.make(spec.estimator)
+
+
+def _failure_axis(spec: DesignSpec):
+    if spec.failure_rate <= 0:
+        return None
+    return (
+        None,
+        FailureSpec(model=spec.failure_model, rate=spec.failure_rate),
+    )
+
+
+def _grid_for(
+    candidates: "list[CandidateDesign]",
+    solver: SolverConfig,
+    spec: DesignSpec,
+) -> ScenarioGrid:
+    return ScenarioGrid(
+        name="design",
+        topologies=tuple(c.topology for c in candidates),
+        traffics=(TrafficSpec.make(spec.traffic),),
+        solvers=(solver,),
+        seeds=spec.replicates,
+        base_seed=spec.base_seed,
+        failures=_failure_axis(spec),
+    )
+
+
+def _union_positions(before: Topology, after: Topology) -> dict:
+    """Deterministic rack-row slots covering both topologies' switches."""
+    ordered = sorted(set(before.switches) | set(after.switches), key=repr)
+    return {node: index for index, node in enumerate(ordered)}
+
+
+def _measure_churn(
+    candidate: CandidateDesign,
+    topo: Topology,
+    catalog: PartsCatalog,
+    spec: DesignSpec,
+) -> float:
+    """Rewiring cost per added server of one growth step.
+
+    Random families grow in place by link swaps (an eighth more
+    switches, matching equipment); structured families step to the next
+    ladder rung (``k + 2``) and pay for every cable that differs. Both
+    are priced by the catalog over a shared layout and normalized per
+    server gained, so the axis is comparable across families.
+    """
+    if candidate.family == "random":
+        before = topo
+        after = topo.copy()
+        num_add = max(1, round(candidate.num_switches / 8))
+        degree = max(
+            2, round(2 * topo.num_links / max(1, topo.num_switches))
+        )
+        servers_each = math.ceil(candidate.servers / candidate.num_switches)
+        new_switches = {f"__grow{i}": degree for i in range(num_add)}
+        servers = {name: servers_each for name in new_switches}
+        expand_topology(
+            after,
+            new_switches,
+            servers=servers,
+            seed=stable_seed({"design-churn": candidate.label()}),
+        )
+        churn = cable_churn(before, after, _union_positions(before, after))
+        added = after.num_servers - before.num_servers
+        return catalog.churn_cost(churn) / max(1, added)
+    params = candidate.topology.params_dict()
+    if "k" in params:
+        params["k"] = int(params["k"]) + 2
+    else:
+        params["da"] = int(params["da"]) + 2
+        params["di"] = int(params["di"]) + 2
+    upgraded = TopologySpec.make(candidate.topology.kind, **params).build()
+    churn = cable_churn(topo, upgraded, _union_positions(topo, upgraded))
+    added = upgraded.num_servers - topo.num_servers
+    return catalog.churn_cost(churn) / max(1, added)
+
+
+class _DesignRun:
+    """Mutable state of one :func:`run_design` invocation."""
+
+    def __init__(
+        self,
+        spec: DesignSpec,
+        catalog: PartsCatalog,
+        cache_dir: "str | None",
+        workers: int,
+    ) -> None:
+        self.spec = spec
+        self.catalog = catalog
+        self.cache_dir = cache_dir
+        self.workers = workers
+        self.table: "CalibrationTable | None" = None
+        self.records: "dict[str, DesignPointRecord]" = {}
+        self.cold_solves = 0
+        self.cache_hits = 0
+
+    # -- throughput/resilience through the batched pipeline ------------
+
+    def evaluate(
+        self, candidates: "list[CandidateDesign]"
+    ) -> "list[DesignPointRecord]":
+        """Score candidates not yet measured; return records for all."""
+        fresh = [
+            c for c in candidates if c.label() not in self.records
+        ]
+        by_solver: "dict[SolverConfig, list[CandidateDesign]]" = {}
+        for candidate in fresh:
+            config = _solver_for(candidate, self.spec, self.table)
+            by_solver.setdefault(config, []).append(candidate)
+        for config, group in by_solver.items():
+            self._run_group(group, config)
+        return [self.records[c.label()] for c in candidates]
+
+    def _run_group(
+        self, group: "list[CandidateDesign]", config: SolverConfig
+    ) -> None:
+        grid = _grid_for(group, config, self.spec)
+        sweep = run_grid(
+            grid, workers=self.workers, cache_dir=self.cache_dir
+        )
+        by_spec: "dict[TopologySpec, dict]" = {}
+        for cell in sweep.cells:
+            if cell.cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cold_solves += 1
+            bucket = by_spec.setdefault(
+                cell.scenario.topology, {"base": {}, "failed": {}}
+            )
+            kind = "base" if cell.scenario.failure is None else "failed"
+            bucket[kind][cell.scenario.replicate] = cell
+        for candidate in group:
+            self._finalize(candidate, config, by_spec[candidate.topology])
+
+    def _finalize(
+        self,
+        candidate: CandidateDesign,
+        config: SolverConfig,
+        cells: dict,
+    ) -> None:
+        base = [cells["base"][r] for r in sorted(cells["base"])]
+        throughputs = [cell.throughput for cell in base]
+        mean = sum(throughputs) / len(throughputs)
+        std = (
+            math.sqrt(
+                sum((t - mean) ** 2 for t in throughputs) / len(throughputs)
+            )
+            if len(throughputs) > 1
+            else 0.0
+        )
+        if cells["failed"]:
+            ratios = []
+            for replicate, cell in cells["failed"].items():
+                reference = cells["base"][replicate].throughput
+                ratios.append(
+                    cell.throughput / reference if reference > 0 else 0.0
+                )
+            resilience = sum(ratios) / len(ratios)
+        else:
+            resilience = 1.0
+        # Physical pass: build the replicate-0 instance once for the
+        # cabling and churn coordinates.
+        scenario = base[0].scenario
+        topo = scenario.topology.build(seed=scenario.instance_seeds()[0])
+        cabling = self.catalog.cabling_cost(
+            topo, seed=stable_seed({"design-layout": candidate.label()})
+        )
+        churn = _measure_churn(candidate, topo, self.catalog, self.spec)
+        metrics = {
+            "cost": candidate.equipment_cost + cabling,
+            "equipment_cost": candidate.equipment_cost,
+            "cabling_cost": cabling,
+            "throughput": mean,
+            "throughput_std": std,
+            "resilience": resilience,
+            "churn": churn,
+            "solver": config.name,
+            "exact": bool(base[0].exact),
+            "promoted": False,
+            "within_band": None,
+            "error_lo": base[0].error_lo,
+            "error_hi": base[0].error_hi,
+        }
+        self.records[candidate.label()] = DesignPointRecord(
+            candidate=candidate, metrics=metrics
+        )
+
+    # -- calibration through the cache ---------------------------------
+
+    def calibrate_if_needed(
+        self, candidates: "list[CandidateDesign]"
+    ) -> None:
+        """Fit estimator bands for the families that will need them.
+
+        Calibration pairs solve through :func:`cached_solve`, so they
+        are content-addressed like every other evaluation — a warm
+        rerun recalibrates without a single cold solve.
+        """
+        needed = sorted(
+            {
+                c.calibration_family
+                for c in candidates
+                if c.num_switches > self.spec.exact_limit
+            }
+        )
+        if not needed:
+            return
+        from repro.estimate.calibrate import DEFAULT_FAMILIES
+        from repro.pipeline.cache import ResultCache
+        from repro.pipeline.engine import cached_solve
+
+        cache = (
+            ResultCache(self.cache_dir) if self.cache_dir is not None else None
+        )
+
+        def solve(topo, traffic, solver_name, **options):
+            result, hit = cached_solve(
+                topo,
+                traffic,
+                SolverConfig.make(solver_name, **options),
+                cache,
+            )
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cold_solves += 1
+            return result
+
+        self.table = calibrate_estimators(
+            (self.spec.estimator,),
+            families={name: DEFAULT_FAMILIES[name] for name in needed},
+            sizes=CALIBRATION_SIZES,
+            traffic=self.spec.traffic,
+            base_seed=self.spec.base_seed,
+            solve=solve,
+        )
+
+    # -- design-space annealing ----------------------------------------
+
+    def anneal(self, report: DesignReport, frontier: ParetoFrontier) -> None:
+        spec = self.spec
+        if spec.anneal_steps <= 0:
+            return
+        weights = spec.weights_dict()
+        refs = {
+            axis: max(
+                1e-9,
+                sum(abs(r.metrics[axis]) for r in self.records.values())
+                / len(self.records),
+            )
+            for axis in DESIGN_AXES
+        }
+
+        def score(record: DesignPointRecord) -> float:
+            total = 0.0
+            for axis, direction in DESIGN_AXES.items():
+                sign = 1.0 if direction == "max" else -1.0
+                total += (
+                    weights.get(axis, 0.0)
+                    * sign
+                    * record.metrics[axis]
+                    / refs[axis]
+                )
+            return total
+
+        rng = as_rng(
+            stable_seed({"design-anneal": spec.to_dict()})
+        )
+        schedule = CoolingSchedule(
+            initial_temperature=0.5, final_temperature=0.02
+        )
+        current = max(self.records.values(), key=score)
+        current_score = score(current)
+        for step in range(spec.anneal_steps):
+            proposal = mutate_candidate(
+                current.candidate, self.catalog, spec, rng
+            )
+            if proposal is None:
+                continue
+            report.anneal_proposed += 1
+            record = self.evaluate([proposal])[0]
+            if record.metrics["cost"] > spec.budget:
+                continue
+            frontier.insert(record.values(), record.label())
+            delta = score(record) - current_score
+            temperature = schedule.temperature(step, spec.anneal_steps)
+            if delta >= 0 or rng.random() < math.exp(delta / temperature):
+                current, current_score = record, score(record)
+                report.anneal_accepted += 1
+
+    # -- exact promotion of frontier finalists -------------------------
+
+    def promote(self, finalists: "list[DesignPointRecord]") -> None:
+        """Re-solve estimator-scored finalists with the exact LP.
+
+        The estimator's mean is checked against the finalist's
+        calibration band (``within_band``); the exact number replaces
+        the throughput coordinate either way, so the final frontier is
+        filtered on exact values. Resilience keeps its estimator ratio
+        (a ratio of two same-backend numbers, where the systematic
+        offset cancels).
+        """
+        pending = [p for p in finalists if not p.metrics["exact"]]
+        for point in pending:
+            grid = ScenarioGrid(
+                name="design-promote",
+                topologies=(point.candidate.topology,),
+                traffics=(TrafficSpec.make(self.spec.traffic),),
+                solvers=(SolverConfig.make("edge_lp"),),
+                seeds=self.spec.replicates,
+                base_seed=self.spec.base_seed,
+            )
+            sweep = run_grid(
+                grid, workers=self.workers, cache_dir=self.cache_dir
+            )
+            for cell in sweep.cells:
+                if cell.cache_hit:
+                    self.cache_hits += 1
+                else:
+                    self.cold_solves += 1
+            exact_mean = sum(c.throughput for c in sweep.cells) / len(
+                sweep.cells
+            )
+            estimate = point.metrics["throughput"]
+            banded = None
+            if self.table is not None:
+                band = self.table.band(
+                    point.candidate.calibration_family, self.spec.estimator
+                )
+                banded = within_band(estimate, exact_mean, band)
+            point.metrics.update(
+                {
+                    "throughput": exact_mean,
+                    "estimate": estimate,
+                    "exact": True,
+                    "promoted": True,
+                    "within_band": banded,
+                    "solver": "edge_lp",
+                }
+            )
+
+
+def run_design(
+    spec: DesignSpec,
+    catalog: "PartsCatalog | None" = None,
+    cache_dir: "str | None" = None,
+    workers: int = 1,
+    promote: bool = True,
+) -> DesignReport:
+    """Search the design space; return the evaluated Pareto frontier.
+
+    ``cache_dir`` defaults to the ``REPRO_CACHE_DIR`` environment
+    variable; with a cache configured, a rerun of the same (spec,
+    catalog) pair completes with zero cold solves. ``promote=False``
+    skips the exact-LP confirmation of estimator-scored finalists.
+    """
+    import time
+
+    start = time.perf_counter()
+    catalog = catalog if catalog is not None else default_catalog()
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_ENV_VAR) or None
+    run = _DesignRun(spec, catalog, cache_dir, workers)
+    report = DesignReport(spec=spec, catalog=catalog)
+
+    candidates = generate_candidates(catalog, spec)
+    run.calibrate_if_needed(candidates)
+    frontier = ParetoFrontier(axes=dict(DESIGN_AXES))
+    for record in run.evaluate(candidates):
+        if record.metrics["cost"] > spec.budget:
+            continue
+        frontier.insert(record.values(), record.label())
+
+    run.anneal(report, frontier)
+
+    finalists = [
+        run.records[label]
+        for label in frontier.items()
+        if label in run.records
+    ]
+    if promote:
+        run.promote(finalists)
+
+    # Re-filter on the final (possibly promoted) numbers so the frontier
+    # flag reflects exact values wherever they exist.
+    final = ParetoFrontier(axes=dict(DESIGN_AXES))
+    within_budget = [
+        record
+        for record in run.records.values()
+        if record.metrics["cost"] <= spec.budget
+    ]
+    if not within_budget:
+        raise DesignError(
+            "no candidate fits the budget once cabling is priced; "
+            "raise the budget or cheapen the catalog"
+        )
+    for record in within_budget:
+        final.insert(record.values(), record.label())
+    on_frontier = set(final.items())
+    for record in within_budget:
+        record.on_frontier = record.label() in on_frontier
+
+    report.points = sorted(
+        within_budget, key=lambda r: (r.metrics["cost"], r.label())
+    )
+    report.dominated = final.dominated_count
+    report.cold_solves = run.cold_solves
+    report.cache_hits = run.cache_hits
+    report.elapsed_s = time.perf_counter() - start
+    return report

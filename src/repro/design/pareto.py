@@ -1,0 +1,162 @@
+"""Incremental non-dominated frontiers over named objective axes.
+
+The designer scores every candidate on several objectives at once —
+cost, throughput, resilience, growth churn — and no scalar weighting can
+honestly rank them: the useful output is the *Pareto frontier*, the set
+of candidates not dominated by any other. This module maintains that set
+incrementally: each :meth:`ParetoFrontier.insert` either rejects a
+dominated newcomer or admits it and evicts every incumbent it dominates,
+so the live set is always exactly the non-dominated subset of everything
+inserted so far, independent of insertion order (the property tests in
+``tests/test_design_pareto_properties.py`` pin both invariants).
+
+Axes carry a direction: ``"min"`` (cost, churn — less is better) or
+``"max"`` (throughput, resilience). Dominance is the standard strict
+Pareto relation: no worse on every axis, strictly better on at least
+one. Ties on every axis dominate in neither direction, so duplicate
+points coexist on the frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.exceptions import DesignError
+
+#: The designer's default objective axes and their directions.
+DESIGN_AXES: "dict[str, str]" = {
+    "cost": "min",
+    "throughput": "max",
+    "resilience": "max",
+    "churn": "min",
+}
+
+
+def _check_axes(axes: "Mapping[str, str]") -> "dict[str, str]":
+    if not axes:
+        raise DesignError("frontier needs at least one axis")
+    checked: "dict[str, str]" = {}
+    for name, direction in axes.items():
+        if direction not in ("min", "max"):
+            raise DesignError(
+                f"axis {name!r} direction must be 'min' or 'max', "
+                f"got {direction!r}"
+            )
+        checked[str(name)] = direction
+    return checked
+
+
+def _oriented(values: "Mapping[str, float]", axes: "Mapping[str, str]") -> tuple:
+    """Project ``values`` onto the axes, flipped so larger is always better."""
+    out = []
+    for name, direction in axes.items():
+        if name not in values:
+            raise DesignError(
+                f"point misses axis {name!r}; have: {sorted(values)}"
+            )
+        value = float(values[name])
+        if value != value:  # NaN never dominates and is never dominated
+            raise DesignError(f"axis {name!r} is NaN")
+        out.append(value if direction == "max" else -value)
+    return tuple(out)
+
+
+def dominates(
+    a: "Mapping[str, float]",
+    b: "Mapping[str, float]",
+    axes: "Mapping[str, str] | None" = None,
+) -> bool:
+    """Whether point ``a`` Pareto-dominates point ``b``.
+
+    ``a`` dominates ``b`` when it is no worse on every axis and strictly
+    better on at least one (directions per ``axes``, default
+    :data:`DESIGN_AXES`).
+    """
+    axes = _check_axes(axes if axes is not None else DESIGN_AXES)
+    oa = _oriented(a, axes)
+    ob = _oriented(b, axes)
+    return all(x >= y for x, y in zip(oa, ob)) and any(
+        x > y for x, y in zip(oa, ob)
+    )
+
+
+@dataclass(frozen=True)
+class FrontierEntry:
+    """One admitted point: its axis values plus an arbitrary payload."""
+
+    values: "tuple[tuple[str, float], ...]"
+    item: object = None
+
+    def values_dict(self) -> "dict[str, float]":
+        return dict(self.values)
+
+
+@dataclass
+class ParetoFrontier:
+    """The live non-dominated set under incremental insertion.
+
+    >>> frontier = ParetoFrontier(axes={"cost": "min", "throughput": "max"})
+    >>> frontier.insert({"cost": 10, "throughput": 1.0}, "a")
+    True
+    >>> frontier.insert({"cost": 10, "throughput": 0.5}, "b")  # dominated
+    False
+    >>> frontier.insert({"cost": 5, "throughput": 1.5}, "c")  # evicts "a"
+    True
+    >>> [entry.item for entry in frontier]
+    ['c']
+    """
+
+    axes: "dict[str, str]" = field(default_factory=lambda: dict(DESIGN_AXES))
+    _entries: "list[FrontierEntry]" = field(default_factory=list, repr=False)
+    #: Points rejected or evicted so far (not retained, just counted).
+    dominated_count: int = 0
+
+    def __post_init__(self) -> None:
+        self.axes = _check_axes(self.axes)
+
+    def insert(self, values: "Mapping[str, float]", item: object = None) -> bool:
+        """Offer a point; return ``True`` iff it joins the frontier.
+
+        A dominated newcomer is rejected; an admitted newcomer evicts
+        every incumbent it dominates. Either way the frontier stays
+        exactly the non-dominated subset of all points ever offered.
+        """
+        oriented = _oriented(values, self.axes)
+        survivors: "list[FrontierEntry]" = []
+        evicted = 0
+        for entry in self._entries:
+            incumbent = _oriented(entry.values_dict(), self.axes)
+            if all(x >= y for x, y in zip(incumbent, oriented)) and any(
+                x > y for x, y in zip(incumbent, oriented)
+            ):
+                # An incumbent dominates the newcomer: nothing changes
+                # (no incumbent can dominate another, so none were
+                # evicted before we looked at this one).
+                self.dominated_count += 1
+                return False
+            if all(x >= y for x, y in zip(oriented, incumbent)) and any(
+                x > y for x, y in zip(oriented, incumbent)
+            ):
+                evicted += 1
+                continue
+            survivors.append(entry)
+        frozen = tuple((name, float(values[name])) for name in self.axes)
+        survivors.append(FrontierEntry(values=frozen, item=item))
+        self._entries = survivors
+        self.dominated_count += evicted
+        return True
+
+    def entries(self) -> "list[FrontierEntry]":
+        """The current frontier, in admission order."""
+        return list(self._entries)
+
+    def items(self) -> list:
+        """Payloads of the current frontier, in admission order."""
+        return [entry.item for entry in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> "Iterator[FrontierEntry]":
+        return iter(self._entries)

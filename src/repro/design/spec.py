@@ -1,0 +1,130 @@
+"""Design specs: what to buy for, what to optimize, how hard to search.
+
+A :class:`DesignSpec` is the declarative input of a design run — the
+budget and server target that bound the candidate space, the workload
+and failure model the objectives are measured under, the estimator
+policy for the cheap inner loop, and the annealing effort. Like the
+pipeline's scenario specs it is a frozen, hashable, JSON-round-trippable
+dataclass: the spec's content (plus the catalog's) determines every
+evaluation the engine performs, which is what makes warm reruns answer
+entirely from the content-addressed cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import DesignError
+
+#: Default scalarization weights for the annealing walk (the frontier
+#: itself is weight-free; weights only steer where the walk spends time).
+DEFAULT_WEIGHTS: "dict[str, float]" = {
+    "cost": 1.0,
+    "throughput": 1.0,
+    "resilience": 0.5,
+    "churn": 0.25,
+}
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """One design problem: budget, target, objectives, search effort."""
+
+    #: Total budget (equipment + cabling + servers) a candidate may cost.
+    budget: float
+    #: Minimum number of servers every candidate must attach.
+    servers: int
+    #: Traffic-registry model the throughput axis is measured under.
+    traffic: str = "permutation"
+    #: Scalarization weights for the annealing walk, as sorted pairs.
+    weights: tuple = ()
+    #: Independent replicates per candidate (mean throughput/resilience).
+    replicates: int = 2
+    #: Content-seed base; a different base draws held-out replicates.
+    base_seed: int = 0
+    #: Failure model and rate defining the resilience axis.
+    failure_model: str = "random_links"
+    failure_rate: float = 0.1
+    #: Estimator backend for candidates above ``exact_limit`` switches.
+    estimator: str = "estimate_bound"
+    #: Candidates with at most this many switches solve with the exact LP.
+    exact_limit: int = 120
+    #: Design-space annealing steps (0 = generators only, no refinement).
+    anneal_steps: int = 0
+    #: Generator names to draw candidates from (empty = all registered).
+    generators: "tuple[str, ...]" = ()
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise DesignError(f"budget must be > 0, got {self.budget}")
+        if self.servers < 1:
+            raise DesignError(f"servers must be >= 1, got {self.servers}")
+        if self.replicates < 1:
+            raise DesignError(
+                f"replicates must be >= 1, got {self.replicates}"
+            )
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise DesignError(
+                f"failure_rate must be in [0, 1), got {self.failure_rate}"
+            )
+        if self.exact_limit < 0:
+            raise DesignError(
+                f"exact_limit must be >= 0, got {self.exact_limit}"
+            )
+        if self.anneal_steps < 0:
+            raise DesignError(
+                f"anneal_steps must be >= 0, got {self.anneal_steps}"
+            )
+        weights = self.weights
+        if isinstance(weights, Mapping):
+            weights = tuple(weights.items())
+        frozen = tuple(
+            sorted((str(k), float(v)) for k, v in (weights or ()))
+        )
+        object.__setattr__(self, "weights", frozen)
+        object.__setattr__(self, "generators", tuple(self.generators))
+
+    @classmethod
+    def make(cls, budget: float, servers: int, **kwargs) -> "DesignSpec":
+        return cls(budget=budget, servers=servers, **kwargs)
+
+    def weights_dict(self) -> "dict[str, float]":
+        """Effective scalarization weights (defaults where unset)."""
+        out = dict(DEFAULT_WEIGHTS)
+        out.update(dict(self.weights))
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "budget": self.budget,
+            "servers": self.servers,
+            "traffic": self.traffic,
+            "weights": dict(self.weights),
+            "replicates": self.replicates,
+            "base_seed": self.base_seed,
+            "failure_model": self.failure_model,
+            "failure_rate": self.failure_rate,
+            "estimator": self.estimator,
+            "exact_limit": self.exact_limit,
+            "anneal_steps": self.anneal_steps,
+            "generators": list(self.generators),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "DesignSpec":
+        return cls(
+            budget=float(payload["budget"]),
+            servers=int(payload["servers"]),
+            traffic=str(payload.get("traffic", "permutation")),
+            weights=tuple(dict(payload.get("weights") or {}).items()),
+            replicates=int(payload.get("replicates", 2)),
+            base_seed=int(payload.get("base_seed", 0)),
+            failure_model=str(payload.get("failure_model", "random_links")),
+            failure_rate=float(payload.get("failure_rate", 0.1)),
+            estimator=str(payload.get("estimator", "estimate_bound")),
+            exact_limit=int(payload.get("exact_limit", 120)),
+            anneal_steps=int(payload.get("anneal_steps", 0)),
+            generators=tuple(payload.get("generators") or ()),
+        )
+

@@ -250,6 +250,7 @@ def calibrate_estimators(
     base_seed: int = 0,
     exact_solver: str = "edge_lp",
     estimator_options: "Mapping[str, Mapping] | None" = None,
+    solve=None,
 ) -> CalibrationTable:
     """Run estimator-vs-exact pairs and fit the per-family ratio bands.
 
@@ -262,9 +263,16 @@ def calibrate_estimators(
     must validate with the same ``sample_fraction`` it calibrated with).
     Instances whose exact throughput is zero are skipped (nothing to
     take a ratio against).
+
+    ``solve`` overrides the solve entry point — same signature as
+    :func:`repro.flow.solvers.solve_throughput` (the default). The
+    design engine passes a cache-routed wrapper here so calibration
+    solves are content-addressed like every other evaluation.
     """
     from repro.flow.solvers import normalize_solver_name, solve_throughput
 
+    if solve is None:
+        solve = solve_throughput
     if margin < 0:
         raise ExperimentError(f"margin must be >= 0, got {margin}")
     if replicates < 1:
@@ -288,11 +296,11 @@ def calibrate_estimators(
             traffic_params=traffic_params,
             base_seed=base_seed,
         ):
-            exact = solve_throughput(topo, tm, exact_solver).throughput
+            exact = solve(topo, tm, exact_solver).throughput
             if exact <= 0:
                 continue
             for key in estimator_keys:
-                estimate = solve_throughput(
+                estimate = solve(
                     topo, tm, key, **options_by_key.get(key, {})
                 ).throughput
                 ratios[key].append(estimate / exact)

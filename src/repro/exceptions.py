@@ -55,3 +55,12 @@ class EventLimitError(SimulationError):
 
 class ExperimentError(ReproError):
     """An experiment harness was given inconsistent parameters."""
+
+
+class DesignError(ReproError):
+    """A topology-design request is malformed or unsatisfiable.
+
+    Raised by :mod:`repro.design` for inconsistent parts catalogs,
+    infeasible design specs (e.g. no candidate fits the budget), and
+    malformed Pareto-frontier insertions.
+    """

@@ -14,8 +14,8 @@ from typing import Callable
 from repro.exceptions import ExperimentError
 from repro.experiments import extra, fig01, fig02, fig03, fig04, fig05, fig06
 from repro.experiments import fig07, fig08, fig09, fig10, fig11, fig12, fig13
-from repro.experiments import fidelity, growth, replay_study, resilience
-from repro.experiments import scale, search_study
+from repro.experiments import design_study, fidelity, growth, replay_study
+from repro.experiments import resilience, scale, search_study
 from repro.experiments.common import ExperimentResult
 
 
@@ -350,6 +350,20 @@ _register(
         "Extension: retained throughput over a time-varying VDC trace, "
         "RRG vs fat-tree",
         {"k": 6, "steps": 200, "arrival_rate": 2.0},
+    )
+)
+_register(
+    ExperimentSpec(
+        "design",
+        design_study.run_design_study,
+        "Design: cost-Pareto frontier where random dominates fat-tree "
+        "at matched cost",
+        {
+            "budget": 120_000.0,
+            "servers": 32,
+            "replicates": 3,
+            "anneal_steps": 12,
+        },
     )
 )
 _register(

@@ -32,32 +32,11 @@ from repro.experiments.common import (
 )
 from repro.pipeline.engine import evaluate_throughput
 from repro.resilience import FailureSpec, apply_failures, failure_seed
-from repro.topology.base import Topology
 from repro.topology.fattree import fat_tree_topology
-from repro.topology.heterogeneous import heterogeneous_random_topology
+from repro.topology.heterogeneous import matched_random_topology
 from repro.topology.vl2 import vl2_topology
 from repro.traffic.permutation import random_permutation_traffic
 from repro.util.rng import spawn_seeds
-
-
-def matched_random_topology(k: int, seed=None) -> Topology:
-    """Random fabric from exactly a k-ary fat-tree's equipment.
-
-    ``5k^2/4`` switches of ``k`` ports each; ``k^3/4`` servers spread as
-    evenly as possible; all remaining ports in a uniform-random
-    interconnect.
-    """
-    num_switches = 5 * k * k // 4
-    num_servers = k * k * k // 4
-    base, remainder = divmod(num_servers, num_switches)
-    port_counts = {f"s{i}": k for i in range(num_switches)}
-    servers = {
-        f"s{i}": base + (1 if i < remainder else 0)
-        for i in range(num_switches)
-    }
-    return heterogeneous_random_topology(
-        port_counts, servers, seed=seed, name=f"matched-random(k={k})"
-    )
 
 
 def _families(k: int):

@@ -567,6 +567,99 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--quiet", action="store_true", help="suppress per-step progress"
     )
+
+    design = sub.add_parser(
+        "design",
+        help="cost-Pareto topology designer: search buildable designs "
+        "from a parts catalog for the cost x throughput x resilience x "
+        "churn frontier under a budget",
+    )
+    design.add_argument(
+        "--budget",
+        type=float,
+        required=True,
+        help="total dollar budget (equipment + cabling)",
+    )
+    design.add_argument(
+        "--servers", type=int, default=16, help="server target for candidates"
+    )
+    design.add_argument(
+        "--catalog",
+        type=str,
+        default=None,
+        help="parts catalog JSON (PartsCatalog schema); default: the "
+        "built-in 4-SKU catalog",
+    )
+    design.add_argument(
+        "--traffic", type=str, default="permutation", help="traffic model"
+    )
+    design.add_argument(
+        "--replicates", type=int, default=2, help="instances per design point"
+    )
+    design.add_argument(
+        "--base-seed", type=int, default=0, help="root seed for replicates"
+    )
+    design.add_argument(
+        "--failure-model",
+        type=str,
+        default="random_links",
+        help="failure model for the resilience axis ('none' disables it)",
+    )
+    design.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.1,
+        help="failure rate for the resilience axis",
+    )
+    design.add_argument(
+        "--estimator",
+        type=str,
+        default="estimate_bound",
+        help="calibrated estimator for designs above --exact-limit",
+    )
+    design.add_argument(
+        "--exact-limit",
+        type=int,
+        default=120,
+        help="largest fabric (switches) evaluated with the exact LP",
+    )
+    design.add_argument(
+        "--anneal-steps",
+        type=int,
+        default=0,
+        help="annealing mutations after the generator population",
+    )
+    design.add_argument(
+        "--generators",
+        type=str,
+        default=None,
+        help="comma-separated candidate generators (default: all; see "
+        "repro.design.available_generators)",
+    )
+    design.add_argument(
+        "--no-promote",
+        action="store_true",
+        help="skip the exact-LP confirmation pass over frontier finalists",
+    )
+    design.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    design.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="content-addressed result cache directory; a warm re-run of "
+        "the same spec + catalog answers every solve from the cache",
+    )
+    design.add_argument(
+        "--json", type=str, default=None, help="write full frontier JSON here"
+    )
+    design.add_argument(
+        "--csv", type=str, default=None, help="write per-design CSV here"
+    )
+    design.add_argument(
+        "--quiet", action="store_true", help="suppress the frontier table"
+    )
     return parser
 
 
@@ -878,6 +971,51 @@ def _run_replay(args) -> int:
     return 0
 
 
+def _run_design(args) -> int:
+    from repro.design import DesignSpec, PartsCatalog, default_catalog, run_design
+
+    catalog = (
+        PartsCatalog.load(args.catalog) if args.catalog else default_catalog()
+    )
+    spec = DesignSpec.make(
+        budget=args.budget,
+        servers=args.servers,
+        traffic=args.traffic,
+        replicates=args.replicates,
+        base_seed=args.base_seed,
+        failure_model=args.failure_model,
+        failure_rate=args.failure_rate,
+        estimator=args.estimator,
+        exact_limit=args.exact_limit,
+        anneal_steps=args.anneal_steps,
+        generators=tuple(_split_list(args.generators)),
+    )
+    if not args.quiet:
+        print(
+            f"design: budget {spec.budget:g}, {spec.servers} servers, "
+            f"{len(catalog.skus)} SKUs, {args.workers} worker(s)"
+        )
+    report = run_design(
+        spec,
+        catalog=catalog,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        promote=not args.no_promote,
+    )
+    if args.quiet:
+        lines = report.summary().splitlines()
+        print("\n".join(lines[-2:]))
+    else:
+        print(report.summary())
+    if args.json:
+        report.write_json(args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        report.write_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _run_serve(args) -> int:
     from repro.pipeline.jobs import RetryPolicy
     from repro.service import serve
@@ -1008,6 +1146,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.command == "replay":
         return _run_replay(args)
+
+    if args.command == "design":
+        return _run_design(args)
 
     ids = list(args.experiments)
     if ids == ["all"]:

@@ -224,6 +224,93 @@ def power_law_ports_with_mean(
     return best
 
 
+def power_law_random_topology(
+    num_switches: int,
+    exponent: float = 2.0,
+    min_ports: int = 4,
+    max_ports: int = 64,
+    total_servers: "int | None" = None,
+    beta: float = 1.0,
+    capacity: float = 1.0,
+    ports_seed: "int | None" = None,
+    seed=None,
+    name: "str | None" = None,
+) -> Topology:
+    """Random network over a power-law switch population (Figure 5).
+
+    Samples per-switch port counts from the truncated discrete power law
+    of :func:`power_law_port_counts`, places ``total_servers`` servers
+    proportionally to ``port_count ** beta`` (the paper's optimal rule at
+    ``beta = 1``), and wires the remaining ports uniformly at random.
+
+    ``ports_seed`` (when given) pins the sampled port-count *population*
+    independently of the wiring ``seed``: sweeps and designers can then
+    hold the equipment mix fixed — same bill of switches, hence the same
+    cost — while re-rolling the interconnect per replicate. Without it
+    the population is drawn from ``seed`` like everything else.
+
+    ``total_servers`` defaults to one third of the total port count,
+    leaving the majority of ports for the network fabric.
+    """
+    num_switches = check_positive_int(num_switches, "num_switches")
+    rng = as_rng(seed)
+    ports_rng = as_rng(ports_seed) if ports_seed is not None else rng
+    counts = power_law_port_counts(
+        num_switches,
+        exponent=exponent,
+        min_ports=min_ports,
+        max_ports=max_ports,
+        seed=ports_rng,
+    )
+    port_counts = {f"s{i}": ports for i, ports in enumerate(counts)}
+    if total_servers is None:
+        total_servers = total_ports(port_counts) // 3
+    servers = beta_server_distribution(port_counts, total_servers, beta=beta)
+    return heterogeneous_random_topology(
+        port_counts,
+        servers,
+        capacity=capacity,
+        seed=rng,
+        name=name
+        or (
+            f"power-law(n={num_switches}, a={exponent}, "
+            f"ports={min_ports}..{max_ports})"
+        ),
+    )
+
+
+def matched_random_topology(
+    k: int, capacity: float = 1.0, seed=None, name: "str | None" = None
+) -> Topology:
+    """Random fabric from exactly a k-ary fat-tree's equipment.
+
+    ``5k^2/4`` switches of ``k`` ports each; ``k^3/4`` servers spread as
+    evenly as possible; all remaining ports in a uniform-random
+    interconnect. The equipment bill — and hence the equipment cost —
+    is identical to :func:`~repro.topology.fattree.fat_tree_topology`
+    at the same ``k``, which makes this the paper's equal-cost
+    random-graph comparison point.
+    """
+    k = check_positive_int(k, "k")
+    if k % 2:
+        raise TopologyError(f"k must be even, got {k}")
+    num_switches = 5 * k * k // 4
+    num_servers = k * k * k // 4
+    base, remainder = divmod(num_servers, num_switches)
+    port_counts = {f"s{i}": k for i in range(num_switches)}
+    servers = {
+        f"s{i}": base + (1 if i < remainder else 0)
+        for i in range(num_switches)
+    }
+    return heterogeneous_random_topology(
+        port_counts,
+        servers,
+        capacity=capacity,
+        seed=seed,
+        name=name or f"matched-random(k={k})",
+    )
+
+
 def mixed_linespeed_topology(
     num_large: int,
     large_low_ports: int,

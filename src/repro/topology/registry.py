@@ -19,7 +19,9 @@ from repro.topology.fattree import fat_tree_topology
 from repro.topology.flattened_butterfly import flattened_butterfly_topology
 from repro.topology.heterogeneous import (
     heterogeneous_random_topology,
+    matched_random_topology,
     mixed_linespeed_topology,
+    power_law_random_topology,
 )
 from repro.topology.hypercube import hypercube_topology
 from repro.topology.random_regular import random_regular_topology
@@ -52,6 +54,8 @@ _REGISTRY: dict[str, Callable[..., Topology]] = {
     "jellyfish": random_regular_topology,
     "two-cluster": two_cluster_random_topology,
     "heterogeneous": heterogeneous_random_topology,
+    "power-law": power_law_random_topology,
+    "matched-random": matched_random_topology,
     "mixed-linespeed": mixed_linespeed_topology,
     "vl2": vl2_topology,
     "rewired-vl2": rewired_vl2_topology,

@@ -1,0 +1,123 @@
+"""Tests for the candidate generators and the annealing move kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design import (
+    DesignSpec,
+    available_generators,
+    default_catalog,
+    generate_candidates,
+    mutate_candidate,
+    register_generator,
+)
+from repro.design.candidates import (
+    fat_tree_candidates,
+    matched_candidates,
+    rrg_candidates,
+    vl2_candidates,
+)
+from repro.exceptions import DesignError
+from repro.util.rng import as_rng
+
+SPEC = DesignSpec.make(budget=60_000.0, servers=16)
+CATALOG = default_catalog()
+
+
+class TestGenerators:
+    def test_all_registered(self):
+        assert available_generators() == [
+            "rrg",
+            "fat-tree",
+            "matched",
+            "vl2",
+            "power-law",
+        ]
+
+    def test_candidates_serve_target_within_budget(self):
+        for candidate in generate_candidates(CATALOG, SPEC):
+            assert candidate.servers >= SPEC.servers
+            assert candidate.equipment_cost <= SPEC.budget
+            assert candidate.num_switches == sum(candidate.bill_dict().values())
+            # The priced bill must be purchasable from the catalog.
+            for name, count in candidate.bill_dict().items():
+                assert count >= 1
+                CATALOG.sku(name)
+
+    def test_candidates_are_buildable(self):
+        # Every emitted TopologySpec must construct through the registry
+        # with at least the promised servers attached.
+        for candidate in generate_candidates(CATALOG, SPEC):
+            topo = candidate.topology.build(seed=0)
+            assert topo.num_switches == candidate.num_switches
+            assert topo.num_servers >= SPEC.servers
+            assert topo.is_connected()
+
+    def test_matched_shares_the_fat_tree_bill(self):
+        fat_trees = {
+            c.topology.params_dict()["k"]: c
+            for c in fat_tree_candidates(CATALOG, SPEC)
+        }
+        matched = {
+            c.topology.params_dict()["k"]: c
+            for c in matched_candidates(CATALOG, SPEC)
+        }
+        assert set(fat_trees) == set(matched)
+        for k, ft in fat_trees.items():
+            assert matched[k].bill == ft.bill
+            assert matched[k].equipment_cost == pytest.approx(
+                ft.equipment_cost
+            )
+
+    def test_budget_filters_candidates(self):
+        tight = DesignSpec.make(budget=5_000.0, servers=8)
+        for candidate in rrg_candidates(CATALOG, tight):
+            assert candidate.equipment_cost <= tight.budget
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(DesignError, match="unknown generator"):
+            generate_candidates(CATALOG, SPEC, generators=("nope",))
+
+    def test_register_rejects_overwrite(self):
+        with pytest.raises(DesignError, match="already registered"):
+            register_generator("rrg", rrg_candidates)
+
+    def test_infeasible_space_raises(self):
+        greedy = DesignSpec.make(budget=10.0, servers=10_000)
+        with pytest.raises(DesignError, match="no feasible candidate"):
+            generate_candidates(CATALOG, greedy)
+
+    def test_vl2_ports_shared_sku(self):
+        for candidate in vl2_candidates(CATALOG, SPEC):
+            used = dict(candidate.ports_used)
+            for name, lit in used.items():
+                assert lit <= CATALOG.sku(name).ports
+
+
+class TestMutation:
+    def test_moves_stay_feasible(self):
+        rng = as_rng(11)
+        pool = generate_candidates(CATALOG, SPEC)
+        proposals = 0
+        for candidate in pool:
+            for _ in range(8):
+                neighbor = mutate_candidate(candidate, CATALOG, SPEC, rng)
+                if neighbor is None:
+                    continue
+                proposals += 1
+                assert neighbor.servers >= SPEC.servers
+                assert neighbor.equipment_cost <= SPEC.budget
+        assert proposals > 0
+
+    def test_mutation_explores_new_designs(self):
+        rng = as_rng(3)
+        pool = generate_candidates(CATALOG, SPEC)
+        labels = {c.label() for c in pool}
+        discovered = set()
+        for candidate in pool:
+            for _ in range(16):
+                neighbor = mutate_candidate(candidate, CATALOG, SPEC, rng)
+                if neighbor is not None and neighbor.label() not in labels:
+                    discovered.add(neighbor.label())
+        assert discovered

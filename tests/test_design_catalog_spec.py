@@ -1,0 +1,122 @@
+"""Tests for the parts catalog and the design spec containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design import DesignSpec, PartsCatalog, SwitchSKU, default_catalog
+from repro.design.spec import DEFAULT_WEIGHTS
+from repro.exceptions import DesignError
+from repro.topology.random_regular import random_regular_topology
+
+
+class TestSwitchSKU:
+    def test_cost_all_ports_by_default(self):
+        sku = SwitchSKU(name="s", ports=8, unit_cost=100.0, port_cost=10.0)
+        assert sku.cost() == pytest.approx(180.0)
+        assert sku.cost(ports_used=4) == pytest.approx(140.0)
+
+    def test_overlit_rejected(self):
+        sku = SwitchSKU(name="s", ports=8, unit_cost=100.0)
+        with pytest.raises(DesignError, match="cannot light"):
+            sku.cost(ports_used=9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ports": 0},
+            {"unit_cost": -1.0},
+            {"port_cost": -0.5},
+            {"line_speed": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = {"name": "s", "ports": 8, "unit_cost": 1.0}
+        base.update(kwargs)
+        with pytest.raises(DesignError):
+            SwitchSKU(**base)
+
+
+class TestPartsCatalog:
+    def test_duplicate_sku_names_rejected(self):
+        sku = SwitchSKU(name="s", ports=8, unit_cost=1.0)
+        with pytest.raises(DesignError, match="duplicate"):
+            PartsCatalog(skus=(sku, sku))
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(DesignError, match="at least one SKU"):
+            PartsCatalog(skus=())
+
+    def test_cheapest_sku_prices_lit_ports(self):
+        # The big chassis with cheap optics wins once enough ports are lit.
+        small = SwitchSKU(name="small", ports=8, unit_cost=100.0, port_cost=50.0)
+        big = SwitchSKU(name="big", ports=32, unit_cost=300.0, port_cost=5.0)
+        catalog = PartsCatalog(skus=(small, big))
+        assert catalog.cheapest_sku_for(4).name == "small"
+        assert catalog.cheapest_sku_for(8).name == "big"
+        assert catalog.cheapest_sku_for(33) is None
+        assert catalog.max_ports() == 32
+
+    def test_equipment_cost(self):
+        catalog = default_catalog()
+        bill = {"edge8": 3, "edge16": 1}
+        expected = 3 * (600.0 + 8 * 40.0) + (1500.0 + 16 * 50.0)
+        assert catalog.equipment_cost(bill) == pytest.approx(expected)
+        partial = catalog.equipment_cost(bill, ports_used={"edge8": 4})
+        assert partial == pytest.approx(
+            3 * (600.0 + 4 * 40.0) + (1500.0 + 16 * 50.0)
+        )
+
+    def test_unknown_sku_rejected(self):
+        with pytest.raises(DesignError, match="unknown SKU"):
+            default_catalog().equipment_cost({"nope": 1})
+
+    def test_cabling_cost_deterministic(self):
+        topo = random_regular_topology(8, 3, seed=7)
+        catalog = default_catalog()
+        assert catalog.cabling_cost(topo, seed=3) == pytest.approx(
+            catalog.cabling_cost(topo, seed=3)
+        )
+        assert catalog.cabling_cost(topo) > 0
+
+    def test_json_round_trip(self, tmp_path):
+        catalog = default_catalog()
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+        assert PartsCatalog.load(path) == catalog
+
+
+class TestDesignSpec:
+    def test_round_trip(self):
+        spec = DesignSpec.make(
+            budget=5e4,
+            servers=32,
+            weights={"cost": 2.0},
+            generators=("rrg", "fat-tree"),
+            anneal_steps=8,
+        )
+        assert DesignSpec.from_dict(spec.to_dict()) == spec
+        assert hash(spec) == hash(DesignSpec.from_dict(spec.to_dict()))
+
+    def test_weights_merge_defaults(self):
+        spec = DesignSpec.make(budget=1.0, servers=1, weights={"cost": 3.0})
+        weights = spec.weights_dict()
+        assert weights["cost"] == 3.0
+        assert weights["churn"] == DEFAULT_WEIGHTS["churn"]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"budget": 0.0},
+            {"servers": 0},
+            {"replicates": 0},
+            {"failure_rate": 1.0},
+            {"exact_limit": -1},
+            {"anneal_steps": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = {"budget": 100.0, "servers": 4}
+        base.update(kwargs)
+        with pytest.raises(DesignError):
+            DesignSpec(**base)

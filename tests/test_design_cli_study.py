@@ -1,0 +1,81 @@
+"""Tests for the ``design`` CLI subcommand and the registered experiment."""
+
+from __future__ import annotations
+
+import json
+
+from repro.design import default_catalog
+from repro.experiments.registry import run_experiment
+from repro.experiments.runner import main
+
+CLI_ARGS = [
+    "design",
+    "--budget",
+    "20000",
+    "--servers",
+    "8",
+    "--replicates",
+    "1",
+    "--generators",
+    "rrg,fat-tree,matched",
+    "--exact-limit",
+    "60",
+]
+
+
+class TestDesignCli:
+    def test_cold_then_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        json_path = tmp_path / "frontier.json"
+        csv_path = tmp_path / "frontier.csv"
+        args = CLI_ARGS + [
+            "--cache-dir",
+            cache,
+            "--json",
+            str(json_path),
+            "--csv",
+            str(csv_path),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "design frontier" in cold
+        assert "random beats fat-tree at matched cost: yes" in cold
+        assert "0 cold solves" not in cold
+
+        payload = json.loads(json_path.read_text())
+        assert payload["dominance"]["confirmed"] is True
+        assert payload["frontier"]
+        assert csv_path.read_text().count("\n") > 1
+
+        assert main(CLI_ARGS + ["--cache-dir", cache, "--quiet"]) == 0
+        warm = capsys.readouterr().out
+        assert "0 cold solves" in warm
+
+    def test_custom_catalog_file(self, tmp_path, capsys):
+        catalog_path = tmp_path / "catalog.json"
+        default_catalog().save(catalog_path)
+        args = CLI_ARGS + ["--catalog", str(catalog_path), "--quiet"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cold solves" in out
+
+
+class TestDesignStudy:
+    def test_experiment_reports_dominance(self, tmp_path):
+        result = run_experiment(
+            "design",
+            budget=20_000.0,
+            servers=8,
+            replicates=1,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert result.experiment_id == "design"
+        assert result.metadata["dominance_confirmed"] is True
+        assert result.metadata["dominating_pairs"] >= 1
+        assert result.metadata["frontier_size"] >= 1
+        frontier = result.get_series("frontier")
+        structured = result.get_series("structured")
+        assert frontier.points
+        assert structured.points
+        # The frontier's best throughput beats every structured design.
+        assert frontier.peak().y > structured.peak().y

@@ -1,0 +1,136 @@
+"""End-to-end tests for the Pareto design engine.
+
+Scoped to the small end of the ladder (8-server target, three
+generators) so the exact LP stays fast; the CI workflow runs the full
+default-catalog study separately.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.design import DesignSpec, default_catalog, dominates, run_design
+
+SPEC = DesignSpec.make(
+    budget=20_000.0,
+    servers=8,
+    replicates=1,
+    generators=("rrg", "fat-tree", "matched"),
+    exact_limit=60,
+)
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("design-cache")
+    return run_design(SPEC, cache_dir=str(cache)), str(cache)
+
+
+class TestRunDesign:
+    def test_frontier_nonempty_and_within_budget(self, report):
+        result, _ = report
+        frontier = result.frontier()
+        assert frontier
+        for point in frontier:
+            assert point.metrics["cost"] <= SPEC.budget
+            assert point.metrics["throughput"] > 0
+
+    def test_frontier_flags_match_dominance(self, report):
+        result, _ = report
+        values = {p.label(): p.values() for p in result.points}
+        for point in result.points:
+            dominated = any(
+                dominates(values[other.label()], values[point.label()])
+                for other in result.points
+                if other.label() != point.label()
+            )
+            assert point.on_frontier == (not dominated)
+
+    def test_random_dominates_fat_tree_at_matched_cost(self, report):
+        result, _ = report
+        dominance = result.dominance()
+        assert dominance["confirmed"]
+        for pair in dominance["pairs"]:
+            assert pair["throughput_gain"] > 0
+
+    def test_exact_solves_below_limit(self, report):
+        result, _ = report
+        for point in result.points:
+            assert point.metrics["solver"] == "edge_lp"
+            assert point.metrics["exact"] is True
+
+    def test_cold_run_counts_solves(self, report):
+        result, _ = report
+        assert result.cold_solves > 0
+        assert result.cache_hits == 0
+
+    def test_warm_rerun_answers_from_cache(self, report):
+        result, cache = report
+        warm = run_design(SPEC, cache_dir=cache)
+        assert warm.cold_solves == 0
+        assert warm.cache_hits == result.cold_solves
+        cold_metrics = {
+            p.label(): {
+                k: v for k, v in p.metrics.items() if k != "elapsed_s"
+            }
+            for p in result.points
+        }
+        warm_metrics = {
+            p.label(): {
+                k: v for k, v in p.metrics.items() if k != "elapsed_s"
+            }
+            for p in warm.points
+        }
+        assert warm_metrics == cold_metrics
+
+    def test_artifact_round_trip(self, report, tmp_path):
+        result, _ = report
+        json_path = tmp_path / "design.json"
+        csv_path = tmp_path / "design.csv"
+        result.write_json(json_path)
+        result.write_csv(csv_path)
+        payload = json.loads(json_path.read_text())
+        assert payload["dominance"]["confirmed"] is True
+        assert set(payload["frontier"]) == {
+            p.label() for p in result.frontier()
+        }
+        header = csv_path.read_text().splitlines()[0]
+        assert "throughput" in header and "on_frontier" in header
+
+    def test_summary_reports_counters(self, report):
+        result, _ = report
+        summary = result.summary()
+        assert "design frontier" in summary
+        assert "random beats fat-tree at matched cost: yes" in summary
+        assert f"{result.cold_solves} cold solves" in summary
+
+
+class TestEstimatorPromotion:
+    def test_finalists_promoted_to_exact(self, tmp_path):
+        spec = DesignSpec.make(
+            budget=20_000.0,
+            servers=8,
+            replicates=1,
+            generators=("rrg",),
+            exact_limit=0,  # force every candidate through the estimator
+        )
+        result = run_design(spec, cache_dir=str(tmp_path / "cache"))
+        assert result.points
+        verdicts = []
+        for point in result.frontier():
+            assert point.metrics["promoted"] is True
+            assert point.metrics["exact"] is True
+            assert point.metrics["solver"] == "edge_lp"
+            # The band check ran and recorded a verdict; degenerate tiny
+            # instances (near-complete graphs) may honestly fall outside
+            # the band fit on the sparse calibration family.
+            assert isinstance(point.metrics["within_band"], bool)
+            verdicts.append(point.metrics["within_band"])
+            assert point.metrics["estimate"] > 0
+        assert any(verdicts)
+        for point in result.points:
+            if not point.on_frontier and not point.metrics["promoted"]:
+                assert point.metrics["solver"] == spec.estimator
+                assert point.metrics["error_lo"] is not None

@@ -1,0 +1,131 @@
+"""Property tests pinning the incremental Pareto frontier invariants.
+
+The designer's frontier must be *exactly* the non-dominated subset of
+everything ever offered, regardless of insertion order — these tests
+check both invariants against a brute-force reference on random point
+clouds, plus the dominance relation's own algebra.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import DESIGN_AXES, ParetoFrontier, dominates
+from repro.exceptions import DesignError
+
+AXES = dict(DESIGN_AXES)
+
+# Small integer coordinates so ties and dominance both occur often.
+_point = st.fixed_dictionaries(
+    {
+        "cost": st.integers(min_value=0, max_value=6).map(float),
+        "throughput": st.integers(min_value=0, max_value=6).map(float),
+        "resilience": st.integers(min_value=0, max_value=6).map(float),
+        "churn": st.integers(min_value=0, max_value=6).map(float),
+    }
+)
+_clouds = st.lists(_point, min_size=1, max_size=24)
+
+
+def _brute_force_frontier(points: list) -> list:
+    """Indices of the non-dominated points (duplicates all survive)."""
+    out = []
+    for i, p in enumerate(points):
+        if not any(dominates(q, p, AXES) for q in points):
+            out.append(i)
+    return out
+
+
+def _insert_all(points: list, order: "list[int] | None" = None):
+    frontier = ParetoFrontier(axes=dict(AXES))
+    for index in order if order is not None else range(len(points)):
+        frontier.insert(points[index], item=index)
+    return frontier
+
+
+class TestFrontierInvariants:
+    @given(_clouds)
+    @settings(max_examples=80, deadline=None)
+    def test_frontier_is_exactly_the_nondominated_set(self, points):
+        frontier = _insert_all(points)
+        expected = _brute_force_frontier(points)
+        # Values must match as a multiset (duplicate points coexist).
+        got = sorted(
+            tuple(sorted(e.values_dict().items())) for e in frontier
+        )
+        want = sorted(
+            tuple(sorted(points[i].items())) for i in expected
+        )
+        assert got == want
+
+    @given(_clouds, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_order_independence(self, points, rand):
+        order = list(range(len(points)))
+        rand.shuffle(order)
+        straight = _insert_all(points)
+        shuffled = _insert_all(points, order)
+        key = lambda e: tuple(sorted(e.values_dict().items()))  # noqa: E731
+        assert sorted(map(key, straight)) == sorted(map(key, shuffled))
+
+    @given(_clouds)
+    @settings(max_examples=60, deadline=None)
+    def test_offered_points_are_conserved(self, points):
+        frontier = _insert_all(points)
+        assert len(frontier) + frontier.dominated_count == len(points)
+
+    @given(_clouds)
+    @settings(max_examples=60, deadline=None)
+    def test_no_frontier_point_dominates_another(self, points):
+        frontier = _insert_all(points)
+        entries = [e.values_dict() for e in frontier]
+        for a in entries:
+            for b in entries:
+                assert not dominates(a, b, AXES)
+
+
+class TestDominanceAlgebra:
+    @given(_point)
+    @settings(max_examples=40, deadline=None)
+    def test_irreflexive(self, p):
+        assert not dominates(p, p, AXES)
+
+    @given(_point, _point)
+    @settings(max_examples=60, deadline=None)
+    def test_asymmetric(self, p, q):
+        assert not (dominates(p, q, AXES) and dominates(q, p, AXES))
+
+    @given(_point, _point, _point)
+    @settings(max_examples=60, deadline=None)
+    def test_transitive(self, p, q, r):
+        if dominates(p, q, AXES) and dominates(q, r, AXES):
+            assert dominates(p, r, AXES)
+
+
+class TestValidation:
+    def test_missing_axis_rejected(self):
+        frontier = ParetoFrontier(axes={"cost": "min"})
+        with pytest.raises(DesignError, match="misses axis"):
+            frontier.insert({"throughput": 1.0})
+
+    def test_nan_rejected(self):
+        with pytest.raises(DesignError, match="NaN"):
+            dominates({"cost": float("nan")}, {"cost": 1.0}, {"cost": "min"})
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(DesignError, match="direction"):
+            ParetoFrontier(axes={"cost": "down"})
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(DesignError, match="at least one axis"):
+            ParetoFrontier(axes={})
+
+    def test_insert_reports_admission(self):
+        frontier = ParetoFrontier(axes={"cost": "min", "throughput": "max"})
+        assert frontier.insert({"cost": 10.0, "throughput": 1.0}, "a")
+        assert not frontier.insert({"cost": 11.0, "throughput": 0.9}, "b")
+        assert frontier.insert({"cost": 9.0, "throughput": 2.0}, "c")
+        assert frontier.items() == ["c"]
+        assert frontier.dominated_count == 2

@@ -20,6 +20,7 @@ ALL_FIGURE_IDS = {
     "fig10a", "fig10b", "fig11", "fig12a", "fig12b", "fig12c", "fig13",
 }
 EXTRA_IDS = {
+    "design",
     "extra-routing",
     "extra-cabling",
     "extra-latency",
